@@ -1,0 +1,45 @@
+// Extension: PHAS-style hijack alarms over the study window. Shows how much
+// of the DROP hijack activity a monitoring system would have caught — and
+// how much was stealthy because the space was unmonitored (previously
+// unannounced) or the attacker re-used the historic origin ASN, the evasion
+// §6.1's case study demonstrates.
+#include <map>
+
+#include "bench/common.hpp"
+#include "core/alarms.hpp"
+
+using namespace droplens;
+
+int main(int argc, char** argv) {
+  bench::Harness h = bench::Harness::make(argc, argv);
+  core::AlarmResult r = core::analyze_alarms(*h.study, h.index);
+
+  std::map<core::AlarmKind, int> by_kind;
+  std::map<core::AlarmKind, int> by_kind_on_drop;
+  for (const core::Alarm& a : r.alarms) {
+    ++by_kind[a.kind];
+    if (a.on_drop) ++by_kind_on_drop[a.kind];
+  }
+
+  std::cout << "\n=== Hijack-alarm replay (PHAS-style monitor) ===\n";
+  util::TextTable table({"alarm kind", "alarms", "on DROP prefixes"});
+  for (core::AlarmKind k :
+       {core::AlarmKind::kNewOrigin, core::AlarmKind::kMoas,
+        core::AlarmKind::kNewSubPrefix}) {
+    table.add_row({std::string(core::to_string(k)),
+                   std::to_string(by_kind[k]),
+                   std::to_string(by_kind_on_drop[k])});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nDROP hijack announcements:      " << r.drop_hijacks_total
+            << "\n  raised an alarm:              " << r.drop_hijacks_alarmed
+            << " (" << util::percent(r.alarm_coverage(), 1.0) << ")"
+            << "\n  stealthy (unmonitored space / historic origin): "
+            << r.drop_hijacks_stealthy << "\n";
+  std::cout << "\nReading: detection systems watch *announced* prefixes, so "
+               "attackers who target abandoned, never-announced space — the "
+               "dominant pattern on DROP — trip nothing. The 132.255.0.0/22 "
+               "re-origination with the ROA's own ASN is likewise silent.\n";
+  return 0;
+}

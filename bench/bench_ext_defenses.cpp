@@ -1,0 +1,55 @@
+// Extension: the defense-comparison matrix. Replays every hijack on DROP
+// and reports which defense (ROV, operator/RIR AS0, path-end validation,
+// BGPsec) would have stopped it — the paper's §1 defense taxonomy made
+// executable. The punchline matches the paper's conclusion: for abandoned
+// unsigned space only AS0 policies help.
+#include "bench/common.hpp"
+#include "core/defenses.hpp"
+
+using namespace droplens;
+
+int main(int argc, char** argv) {
+  bench::Harness h = bench::Harness::make(argc, argv);
+  core::DefenseMatrixResult r = core::analyze_defenses(*h.study, h.index);
+
+  std::cout << "\n=== Defense matrix over " << r.total()
+            << " hijack announcements on DROP ===\n";
+  util::TextTable table({"hijack kind", "events", "ROV", "ROV+opAS0",
+                         "ROV+rirAS0", "path-end", "BGPsec"});
+  for (core::HijackKind kind : core::kAllHijackKinds) {
+    size_t k = static_cast<size_t>(kind);
+    std::vector<std::string> row{std::string(core::to_string(kind)),
+                                 std::to_string(r.events_by_kind[k])};
+    for (core::Defense d : core::kAllDefenses) {
+      row.push_back(util::percent(
+          r.blocked_by_kind[k][static_cast<size_t>(d)],
+          std::max(1, r.events_by_kind[k])));
+    }
+    table.add_row(row);
+  }
+  table.add_rule();
+  {
+    std::vector<std::string> row{"total", std::to_string(r.total())};
+    for (core::Defense d : core::kAllDefenses) {
+      row.push_back(util::percent(
+          r.blocked_by_defense[static_cast<size_t>(d)],
+          std::max(1, r.total())));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nHijacks only an AS0 policy would have stopped: "
+            << r.unstoppable_without_as0 << " of " << r.total() << " ("
+            << util::percent(r.unstoppable_without_as0, r.total())
+            << ")\n";
+  std::cout << "Hijacks no modeled defense stops (abandoned unsigned "
+               "space): " << r.blocked_by_nothing << " ("
+            << util::percent(r.blocked_by_nothing, r.total()) << ")\n";
+  std::cout << "Reading: ROV as deployed barely helps (hijackers target "
+               "unsigned space, and the one RPKI-valid hijack passes it); "
+               "path authentication helps only against forged origins; the "
+               "unrouted/unallocated attack surface falls to AS0 alone — "
+               "the paper's §7 conclusion.\n";
+  return 0;
+}

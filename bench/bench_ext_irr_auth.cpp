@@ -1,0 +1,47 @@
+// Extension: the authenticated-IRR what-if. Replays every RADb registration
+// through an IRR that verifies the registrant is the recorded holder —
+// quantifying how much of §5's abuse authorization would have prevented,
+// and what it cannot (fraudulently allocated space still passes).
+#include "bench/common.hpp"
+#include "core/irr_analysis.hpp"
+#include "core/irr_whatif.hpp"
+
+using namespace droplens;
+
+int main(int argc, char** argv) {
+  bench::Harness h = bench::Harness::make(argc, argv);
+  core::IrrWhatIfResult r = core::analyze_irr_whatif(*h.study);
+  core::IrrResult baseline = core::analyze_irr(*h.study, h.index);
+
+  bench::Comparison cmp("Authenticated-IRR what-if (holder verification)");
+  cmp.row("registrations replayed", "-",
+          std::to_string(r.registrations_replayed));
+  cmp.row("rejected by holder check", "-",
+          std::to_string(r.rejected) + " (" +
+              util::percent(r.rejected, r.registrations_replayed) + ")");
+  cmp.row("rejected forged hijack objects",
+          "57 exist in RADb (§5)",
+          std::to_string(r.rejected_forged));
+  cmp.row("fraud-allocated objects still accepted",
+          "45 incident prefixes (§3.1)",
+          std::to_string(r.accepted_incident));
+  cmp.print();
+
+  std::cout << "\nBaseline RADb accepted all "
+            << r.registrations_replayed << " registrations, including the "
+            << baseline.hijacker_asn_in_route_object
+            << " forged hijack objects.\n"
+            << "Reading: holder verification kills the register-then-hijack "
+               "workflow (§5, Fig 3), but is powerless against fraud at the "
+               "registry itself — the AFRINIC incidents would have passed. "
+               "Authorization moves the problem to allocation integrity; it "
+               "does not solve it.\n";
+
+  std::cout << "\nFirst rejected objects:\n";
+  for (size_t i = 0; i < r.rejected_objects.size() && i < 8; ++i) {
+    const irr::RouteObject& o = r.rejected_objects[i];
+    std::cout << "  " << o.prefix.to_string() << " origin "
+              << o.origin.to_string() << " org " << o.org_id << "\n";
+  }
+  return 0;
+}

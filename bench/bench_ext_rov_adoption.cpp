@@ -1,0 +1,44 @@
+// Extension: hijack capture vs. ROV adoption.
+//
+// Propagates every contested DROP hijack (victim vs. attacker origination)
+// through the AS graph derived from the observed AS paths, sweeping the
+// fraction of networks that enforce route origin validation (largest
+// networks first). Two worlds per hijack: the prefix as it was (mostly
+// unsigned — ROV sees not-found and adoption is useless) and a counter-
+// factual where the victim had a ROA (the hijack validates invalid).
+// Quantifies the paper's argument that signing, not validator deployment,
+// is the binding constraint.
+#include "bench/common.hpp"
+#include "core/impact.hpp"
+
+using namespace droplens;
+
+int main(int argc, char** argv) {
+  bench::Harness h = bench::Harness::make(argc, argv);
+  // Log-spaced: deployment is top-heavy (largest networks first), so the
+  // interesting region is the first fraction of a percent.
+  std::vector<double> levels = {0.0, 0.0001, 0.001, 0.01, 0.1, 1.0};
+  core::ImpactResult r = core::analyze_rov_adoption(*h.study, h.index, levels);
+
+  std::cout << "\n=== Hijack capture vs. ROV adoption ===\n"
+            << "AS graph: " << r.graph_ases
+            << " ASes (derived from observed paths); contested hijacks: "
+            << r.hijacks_evaluated << "\n\n";
+  util::TextTable table({"ROV adoption (largest first)",
+                         "capture (unsigned prefix)",
+                         "capture (signed prefix)"});
+  for (const core::AdoptionPoint& p : r.points) {
+    table.add_row({util::fixed(100.0 * p.adoption, 2) + "%",
+                   util::percent(p.capture_unsigned, 1.0),
+                   util::percent(p.capture_signed, 1.0)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nReading: for the unsigned prefixes that dominate DROP, "
+               "deploying validators changes nothing — the hijacked routes "
+               "are not-found, not invalid. Had the victims signed, capture "
+               "collapses as the big networks turn on ROV. Signing is the "
+               "binding constraint; §4.2's finding that DROP remediation "
+               "drives signing is therefore the hopeful note.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Figure 2 + §4.1: routing visibility after blocklisting.
+//
+// Left panel: CDF of DROP prefixes withdrawn by day offset from listing.
+// Right panel: CDF of the fraction of full-table peers observing each
+// prefix (the step below 1.0 is the DROP-filtering peers).
+// Text stats: per-category withdrawal rates and RIR deallocations.
+#include "bench/common.hpp"
+#include "core/visibility.hpp"
+#include "util/csv.hpp"
+
+using namespace droplens;
+
+int main(int argc, char** argv) {
+  bench::Harness h = bench::Harness::make(argc, argv);
+  core::VisibilityResult r = core::analyze_visibility(*h.study, h.index);
+
+  auto cat_rate = [&](drop::Category c) {
+    size_t i = static_cast<size_t>(c);
+    return util::percent(r.withdrawn_30d_by_category[i],
+                         r.routed_by_category[i]);
+  };
+
+  bench::Comparison cmp("Figure 2 / §4.1 — visibility after listing");
+  cmp.row("withdrawn within 30 days", "19%",
+          util::percent(r.withdrawn_within_30d, r.routed_at_listing));
+  cmp.row("  hijacked", "70.7%", cat_rate(drop::Category::kHijacked));
+  cmp.row("  unallocated", "54.8%", cat_rate(drop::Category::kUnallocated));
+  cmp.row("RouteViews peers filtering DROP", "3",
+          std::to_string(r.filtering_peers));
+  cmp.rule();
+  cmp.row("MH prefixes deallocated by RIR", "17.4%",
+          util::percent(r.mh_deallocated, r.mh_allocated_at_listing));
+  cmp.row("removed prefixes deallocated", "8.8%",
+          util::percent(r.removed_deallocated, r.removed_prefixes));
+  cmp.row("  removed within a week of dealloc", "half",
+          util::percent(r.removed_within_week_of_dealloc,
+                        r.removed_deallocated));
+  cmp.print();
+
+  std::cout << "\nLeft panel CDF (day offset -> fraction withdrawn):\n";
+  util::CsvWriter csv(std::cout);
+  csv.header({"day_offset", "fraction_withdrawn"});
+  for (const core::WithdrawalCdfPoint& p : r.withdrawal_cdf) {
+    csv.values(p.day_offset, util::fixed(p.fraction, 4));
+  }
+
+  std::cout << "\nRight panel CDF (fraction of peers observing; deciles):\n";
+  util::CsvWriter csv2(std::cout);
+  csv2.header({"percentile", "fraction_of_peers"});
+  const auto& f = r.peer_visibility_fractions;
+  for (int pct = 0; pct <= 100 && !f.empty(); pct += 10) {
+    size_t idx = std::min(f.size() - 1, f.size() * pct / 100);
+    csv2.values(pct, util::fixed(f[idx], 4));
+  }
+
+  std::cout << "\nPeers that appear to filter DROP prefixes:\n";
+  for (const core::PeerFilterStat& s : r.peer_stats) {
+    if (s.appears_to_filter) {
+      const bgp::Peer& peer = h.world->fleet.peer(s.peer);
+      std::cout << "  " << peer.name << " (" << peer.asn.to_string()
+                << "): missing " << s.drop_prefixes_missing << "/"
+                << (s.drop_prefixes_carried + s.drop_prefixes_missing)
+                << " listed-and-announced prefixes\n";
+    }
+  }
+  return 0;
+}

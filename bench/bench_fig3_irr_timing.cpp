@@ -1,0 +1,90 @@
+// §5 + Figure 3: effectiveness of the IRR.
+//
+// Prints the route-object statistics of §5 and the Fig 3 CDFs: days from
+// creation of the forged IRR record to the prefix appearing in BGP and on
+// DROP.
+#include <algorithm>
+
+#include "bench/common.hpp"
+#include "core/irr_analysis.hpp"
+#include "util/csv.hpp"
+
+using namespace droplens;
+
+int main(int argc, char** argv) {
+  bench::Harness h = bench::Harness::make(argc, argv);
+  core::IrrResult r = core::analyze_irr(*h.study, h.index);
+
+  bench::Comparison cmp("§5 — route objects for DROP prefixes");
+  cmp.row("prefixes with route object (7d window)", "226 (31.7%)",
+          std::to_string(r.prefixes_with_route_object) + " (" +
+              util::percent(r.prefixes_with_route_object,
+                            r.drop_prefix_count) +
+              ")");
+  cmp.row("DROP space covered by route objects", "68.8%",
+          util::percent(static_cast<double>(r.route_object_space.size()),
+                        static_cast<double>(r.drop_space.size())));
+  cmp.row("objects created <=1 month before listing", "32%",
+          util::percent(r.created_within_month_before,
+                        r.prefixes_with_route_object));
+  cmp.row("objects removed <=1 month after listing", "43%",
+          util::percent(r.removed_within_month_after,
+                        r.prefixes_with_route_object));
+  cmp.rule();
+  cmp.row("hijacked prefixes with SBL-named ASN", "130",
+          std::to_string(r.hijacked_with_asn));
+  cmp.row("  hijacker ASN in route object", "57 (45%)",
+          std::to_string(r.hijacker_asn_in_route_object) + " (" +
+              util::percent(r.hijacker_asn_in_route_object,
+                            r.hijacked_with_asn) +
+              ")");
+  cmp.row("  no object / different ASN", "69 (55%)",
+          std::to_string(r.no_object_or_different_asn) + " (" +
+              util::percent(r.no_object_or_different_asn,
+                            r.hijacked_with_asn) +
+              ")");
+  cmp.row("distinct hijacking ASNs", "13",
+          std::to_string(r.distinct_hijacking_asns));
+  cmp.row("prefixes under top-3 ORG-IDs", "49",
+          std::to_string(r.top3_org_prefixes));
+  cmp.row("records created >1yr after BGP", "2",
+          std::to_string(r.late_records));
+  cmp.row("prefixes with pre-existing owner entry", "5",
+          std::to_string(r.preexisting_entries));
+  cmp.row("route object for unallocated prefix", "1",
+          std::to_string(r.unallocated_with_route_object));
+  cmp.row("serial ORG common transit",
+          "AS50509",
+          r.serial_common_transit ? r.serial_common_transit->to_string()
+                                  : "(none)");
+  cmp.print();
+
+  std::cout << "\nORG-ID histogram of forged route objects:\n";
+  for (const auto& [org, count] : r.forged_org_histogram) {
+    std::cout << "  " << org << ": " << count << "\n";
+  }
+
+  // Fig 3 CDFs over the forged cases.
+  std::vector<int> to_bgp, to_drop;
+  for (const core::ForgedIrrCase& c : r.forged_cases) {
+    if (c.days_irr_to_bgp >= 0) to_bgp.push_back(c.days_irr_to_bgp);
+    to_drop.push_back(std::max(0, c.days_irr_to_drop));
+  }
+  std::sort(to_bgp.begin(), to_bgp.end());
+  std::sort(to_drop.begin(), to_drop.end());
+  std::cout << "\nFig 3 CDF (days since IRR creation):\n";
+  util::CsvWriter csv(std::cout);
+  csv.header({"days", "cdf_appeared_in_bgp", "cdf_appeared_in_drop"});
+  for (int day : {0, 1, 2, 3, 5, 7, 14, 30, 60, 90, 150, 200, 250, 300}) {
+    auto frac = [&](const std::vector<int>& v) {
+      if (v.empty()) return std::string("0");
+      size_t n = static_cast<size_t>(
+          std::upper_bound(v.begin(), v.end(), day) - v.begin());
+      return util::fixed(static_cast<double>(n) / v.size(), 3);
+    };
+    csv.values(day, frac(to_bgp), frac(to_drop));
+  }
+  std::cout << "\nPaper anchors: all but 2 prefixes appear in BGP within a "
+               "week of the record; DROP listings spread out to ~300 days.\n";
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 6 + §6.2.2: unallocated address space on DROP vs. the RIR AS0
+// policies, and whether any RouteViews peer actually filters with the AS0
+// TALs.
+#include <algorithm>
+
+#include "bench/common.hpp"
+#include "core/as0_analysis.hpp"
+#include "rpki/as0_policy.hpp"
+#include "util/csv.hpp"
+
+using namespace droplens;
+
+int main(int argc, char** argv) {
+  bench::Harness h = bench::Harness::make(argc, argv);
+  core::As0Result r = core::analyze_as0(*h.study, h.index);
+
+  bench::Comparison cmp("Figure 6 / §6.2.2 — unallocated space on DROP");
+  cmp.row("unallocated prefixes on DROP", "40",
+          std::to_string(r.unallocated_listings.size()));
+  cmp.row("  LACNIC cluster", "19",
+          std::to_string(
+              r.unallocated_by_rir[static_cast<size_t>(rir::Rir::kLacnic)]));
+  cmp.row("  AFRINIC cluster", "12",
+          std::to_string(
+              r.unallocated_by_rir[static_cast<size_t>(rir::Rir::kAfrinic)]));
+  cmp.row("listed after an RIR AS0 policy", ">0 (hijacks continued)",
+          std::to_string(r.listed_after_policy));
+  cmp.row("peers filtering via AS0 TALs", "0",
+          std::to_string(r.peers_apparently_filtering_as0));
+  cmp.row("AS0-rejectable routes per peer", "~30",
+          util::fixed(r.mean_as0_rejectable, 1));
+  cmp.print();
+
+  std::cout << "\nAS0 policy dates: APNIC ";
+  std::cout << rpki::as0_policy_date(rir::Rir::kApnic)->to_string()
+            << ", LACNIC "
+            << rpki::as0_policy_date(rir::Rir::kLacnic)->to_string()
+            << " (ARIN / RIPE NCC / AFRINIC: none)\n";
+
+  std::cout << "\nFig 6 timeline (unallocated listings):\n";
+  std::vector<core::UnallocatedListing> sorted = r.unallocated_listings;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const core::UnallocatedListing& a,
+               const core::UnallocatedListing& b) {
+              return a.listed < b.listed;
+            });
+  util::CsvWriter csv(std::cout);
+  csv.header({"date", "prefix", "rir", "after_as0_policy"});
+  for (const core::UnallocatedListing& l : sorted) {
+    csv.values(l.listed.to_string(), l.prefix.to_string(),
+               std::string(rir::display_name(l.rir)),
+               l.after_rir_as0_policy ? 1 : 0);
+  }
+  return 0;
+}

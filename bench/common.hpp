@@ -1,0 +1,73 @@
+// Shared scaffolding for the per-figure bench binaries: world generation,
+// the Study view, and paper-vs-measured row printing.
+#pragma once
+
+#include <cstring>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "core/drop_index.hpp"
+#include "core/study.hpp"
+#include "sim/generator.hpp"
+#include "util/text_table.hpp"
+
+namespace droplens::bench {
+
+struct Harness {
+  std::unique_ptr<sim::World> world;
+  std::unique_ptr<core::Study> study;
+  core::DropIndex index;
+
+  static Harness make(int argc, char** argv) {
+    bool small = false;
+    uint64_t seed = 0;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strcmp(argv[i], "--small") == 0) small = true;
+      if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+        seed = std::stoull(argv[i] + 7);
+      }
+    }
+    sim::ScenarioConfig config =
+        small ? sim::ScenarioConfig::small() : sim::ScenarioConfig{};
+    if (seed) config.seed = seed;
+    Harness h;
+    std::cerr << "[generating " << (small ? "small" : "paper-scale")
+              << " world...]\n";
+    h.world = sim::generate(config);
+    h.study = std::make_unique<core::Study>(core::Study{
+        h.world->registry, h.world->fleet, h.world->irr, h.world->roas,
+        h.world->drop, h.world->sbl, config.window_begin, config.window_end});
+    h.index = core::DropIndex::build(*h.study);
+    return h;
+  }
+};
+
+/// Paper-vs-measured comparison table.
+class Comparison {
+ public:
+  explicit Comparison(std::string title)
+      : title_(std::move(title)),
+        table_({"quantity", "paper", "measured"}) {}
+
+  void row(const std::string& what, const std::string& paper,
+           const std::string& measured) {
+    table_.add_row({what, paper, measured});
+  }
+  void row(const std::string& what, double paper, double measured,
+           int digits = 1) {
+    row(what, util::fixed(paper, digits), util::fixed(measured, digits));
+  }
+  void rule() { table_.add_rule(); }
+
+  void print() const {
+    std::cout << "\n=== " << title_ << " ===\n";
+    table_.print(std::cout);
+  }
+
+ private:
+  std::string title_;
+  util::TextTable table_;
+};
+
+}  // namespace droplens::bench

@@ -1,0 +1,28 @@
+// Full study report: one call regenerates the whole paper as a text
+// document (all sections, the Fig 4 timeline, extension analyses).
+//
+//   $ ./full_report [--full] [--series] > report.md
+#include <cstring>
+#include <iostream>
+
+#include "core/report.hpp"
+#include "sim/generator.hpp"
+
+using namespace droplens;
+
+int main(int argc, char** argv) {
+  bool full = false;
+  core::ReportOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--full") == 0) full = true;
+    if (std::strcmp(argv[i], "--series") == 0) options.include_series = true;
+  }
+  sim::ScenarioConfig config =
+      full ? sim::ScenarioConfig{} : sim::ScenarioConfig::small();
+  std::unique_ptr<sim::World> world = sim::generate(config);
+  core::Study study{world->registry, world->fleet,  world->irr,
+                    world->roas,     world->drop,   world->sbl,
+                    config.window_begin, config.window_end};
+  core::write_report(std::cout, study, options);
+  return 0;
+}

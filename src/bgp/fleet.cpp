@@ -1,0 +1,207 @@
+#include "bgp/fleet.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace droplens::bgp {
+
+const std::vector<Episode> CollectorFleet::kNoEpisodes;
+
+uint32_t CollectorFleet::add_collector(std::string name) {
+  uint32_t id = static_cast<uint32_t>(collectors_.size());
+  collectors_.push_back(Collector{id, std::move(name), {}});
+  return id;
+}
+
+PeerId CollectorFleet::add_peer(uint32_t collector, net::Asn asn,
+                                bool full_table, RejectPolicy reject,
+                                std::string name) {
+  if (collector >= collectors_.size()) {
+    throw InvariantError("unknown collector id");
+  }
+  PeerId id = static_cast<PeerId>(peers_.size());
+  peers_.push_back(
+      Peer{id, asn, collector, full_table, std::move(reject), std::move(name)});
+  collectors_[collector].peers.push_back(id);
+  return id;
+}
+
+void CollectorFleet::announce(const net::Prefix& prefix, AsPath path,
+                              net::DateRange range) {
+  if (path.empty()) throw InvariantError("announcement with empty AS path");
+  if (range.begin >= range.end) {
+    throw InvariantError("announcement with empty date range");
+  }
+  episodes_[prefix].push_back(
+      Episode{range, std::make_shared<const AsPath>(std::move(path))});
+}
+
+const std::vector<Episode>& CollectorFleet::episodes(
+    const net::Prefix& prefix) const {
+  const auto* v = episodes_.find(prefix);
+  return v ? *v : kNoEpisodes;
+}
+
+std::vector<std::pair<net::Prefix, Episode>> CollectorFleet::episodes_covered_by(
+    const net::Prefix& prefix) const {
+  std::vector<std::pair<net::Prefix, Episode>> out;
+  episodes_.for_each_covered(
+      prefix, [&](const net::Prefix& p, const std::vector<Episode>& eps) {
+        for (const Episode& e : eps) out.emplace_back(p, e);
+      });
+  return out;
+}
+
+bool CollectorFleet::announced_on(const net::Prefix& prefix,
+                                  net::Date d) const {
+  for (const Episode& e : episodes(prefix)) {
+    if (e.range.contains(d)) return true;
+  }
+  return false;
+}
+
+bool CollectorFleet::routed_on(const net::Prefix& prefix, net::Date d) const {
+  bool routed = false;
+  episodes_.for_each_covered(
+      prefix, [&](const net::Prefix&, const std::vector<Episode>& eps) {
+        if (routed) return;
+        for (const Episode& e : eps) {
+          if (e.range.contains(d)) {
+            routed = true;
+            return;
+          }
+        }
+      });
+  return routed;
+}
+
+std::optional<net::Date> CollectorFleet::first_announced(
+    const net::Prefix& prefix) const {
+  std::optional<net::Date> best;
+  for (const Episode& e : episodes(prefix)) {
+    if (!best || e.range.begin < *best) best = e.range.begin;
+  }
+  return best;
+}
+
+std::optional<net::Date> CollectorFleet::last_announced(
+    const net::Prefix& prefix) const {
+  std::optional<net::Date> best;
+  for (const Episode& e : episodes(prefix)) {
+    net::Date last = e.range.end - 1;
+    if (!best || last > *best) best = last;
+  }
+  return best;
+}
+
+std::vector<net::Asn> CollectorFleet::origins_on(const net::Prefix& prefix,
+                                                 net::Date d) const {
+  std::vector<net::Asn> out;
+  for (const Episode& e : episodes(prefix)) {
+    if (e.range.contains(d) &&
+        std::find(out.begin(), out.end(), e.origin()) == out.end()) {
+      out.push_back(e.origin());
+    }
+  }
+  return out;
+}
+
+size_t CollectorFleet::observing_peers(const net::Prefix& prefix,
+                                       net::Date d) const {
+  if (!announced_on(prefix, d)) return 0;
+  size_t n = 0;
+  for (const Peer& p : peers_) {
+    if (p.full_table && !p.rejects(prefix, d)) ++n;
+  }
+  return n;
+}
+
+size_t CollectorFleet::full_table_peer_count() const {
+  return static_cast<size_t>(
+      std::count_if(peers_.begin(), peers_.end(),
+                    [](const Peer& p) { return p.full_table; }));
+}
+
+bool CollectorFleet::peer_observes(PeerId id, const net::Prefix& prefix,
+                                   net::Date d) const {
+  return announced_on(prefix, d) && !peers_.at(id).rejects(prefix, d);
+}
+
+std::vector<Route> CollectorFleet::peer_table(PeerId id, net::Date d) const {
+  const Peer& peer = peers_.at(id);
+  std::vector<Route> out;
+  episodes_.for_each(
+      [&](const net::Prefix& p, const std::vector<Episode>& eps) {
+        for (const Episode& e : eps) {
+          if (e.range.contains(d) && !peer.rejects(p, d)) {
+            out.push_back(Route{p, *e.path, e.range.begin});
+            break;  // one best route per prefix
+          }
+        }
+      });
+  return out;
+}
+
+std::vector<Update> CollectorFleet::update_stream(PeerId id) const {
+  const Peer& peer = peers_.at(id);
+  std::vector<Update> out;
+  episodes_.for_each(
+      [&](const net::Prefix& p, const std::vector<Episode>& eps) {
+        for (const Episode& e : eps) {
+          // A policy-filtered prefix never reaches this peer's stream. Filter
+          // decisions are evaluated at announce time.
+          if (peer.rejects(p, e.range.begin)) continue;
+          out.push_back(
+              Update{e.range.begin, id, UpdateType::kAnnounce, p, *e.path});
+          if (e.range.end != net::DateRange::unbounded()) {
+            out.push_back(
+                Update{e.range.end, id, UpdateType::kWithdraw, p, AsPath{}});
+          }
+        }
+      });
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Update& a, const Update& b) {
+                     return a.date < b.date;
+                   });
+  return out;
+}
+
+std::vector<net::Prefix> CollectorFleet::announced_prefixes_on(
+    net::Date d) const {
+  std::vector<net::Prefix> out;
+  episodes_.for_each(
+      [&](const net::Prefix& p, const std::vector<Episode>& eps) {
+        for (const Episode& e : eps) {
+          if (e.range.contains(d)) {
+            out.push_back(p);
+            return;
+          }
+        }
+      });
+  return out;
+}
+
+net::IntervalSet CollectorFleet::routed_space(net::Date d) const {
+  net::IntervalSet out;
+  episodes_.for_each(
+      [&](const net::Prefix& p, const std::vector<Episode>& eps) {
+        for (const Episode& e : eps) {
+          if (e.range.contains(d)) {
+            out.insert(p);
+            return;
+          }
+        }
+      });
+  return out;
+}
+
+std::vector<net::Prefix> CollectorFleet::announced_prefixes() const {
+  std::vector<net::Prefix> out;
+  episodes_.for_each([&](const net::Prefix& p, const std::vector<Episode>&) {
+    out.push_back(p);
+  });
+  return out;
+}
+
+}  // namespace droplens::bgp

@@ -1,0 +1,102 @@
+#include "bgp/mrt.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <istream>
+#include <ostream>
+
+#include "util/error.hpp"
+
+namespace droplens::bgp {
+
+namespace {
+
+constexpr char kMagic[4] = {'M', 'R', 'T', 'L'};
+constexpr uint16_t kVersion = 1;
+
+template <typename T>
+void put(std::ostream& out, T v) {
+  // Serialize little-endian byte by byte for portability.
+  unsigned char buf[sizeof(T)];
+  using U = std::make_unsigned_t<T>;
+  U u = static_cast<U>(v);
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    buf[i] = static_cast<unsigned char>(u >> (8 * i));
+  }
+  out.write(reinterpret_cast<const char*>(buf), sizeof buf);
+}
+
+template <typename T>
+T get(std::istream& in) {
+  unsigned char buf[sizeof(T)];
+  if (!in.read(reinterpret_cast<char*>(buf), sizeof buf)) {
+    throw ParseError("MRTL: truncated stream");
+  }
+  using U = std::make_unsigned_t<T>;
+  U u = 0;
+  for (size_t i = 0; i < sizeof(T); ++i) {
+    u |= static_cast<U>(buf[i]) << (8 * i);
+  }
+  return static_cast<T>(u);
+}
+
+}  // namespace
+
+void write_mrtl(std::ostream& out, const std::vector<Update>& updates) {
+  out.write(kMagic, sizeof kMagic);
+  put<uint16_t>(out, kVersion);
+  put<uint64_t>(out, updates.size());
+  for (const Update& u : updates) {
+    put<int32_t>(out, u.date.days());
+    put<uint32_t>(out, u.peer);
+    put<uint8_t>(out, u.type == UpdateType::kWithdraw ? 1 : 0);
+    put<uint32_t>(out, u.prefix.network().value());
+    put<uint8_t>(out, static_cast<uint8_t>(u.prefix.length()));
+    put<uint16_t>(out, static_cast<uint16_t>(u.path.length()));
+    for (net::Asn a : u.path.hops()) put<uint32_t>(out, a.value());
+  }
+}
+
+std::vector<Update> read_mrtl(std::istream& in) {
+  char magic[4];
+  if (!in.read(magic, sizeof magic) || std::memcmp(magic, kMagic, 4) != 0) {
+    throw ParseError("MRTL: bad magic");
+  }
+  uint16_t version = get<uint16_t>(in);
+  if (version != kVersion) {
+    throw ParseError("MRTL: unsupported version " + std::to_string(version));
+  }
+  uint64_t count = get<uint64_t>(in);
+  std::vector<Update> out;
+  // The count is untrusted input: a corrupt header must not drive a huge
+  // allocation. A lying count is caught as a truncated stream below.
+  out.reserve(static_cast<size_t>(std::min<uint64_t>(count, 1 << 16)));
+  for (uint64_t i = 0; i < count; ++i) {
+    Update u;
+    u.date = net::Date(get<int32_t>(in));
+    u.peer = get<uint32_t>(in);
+    uint8_t type = get<uint8_t>(in);
+    if (type > 1) throw ParseError("MRTL: bad update type");
+    u.type = type ? UpdateType::kWithdraw : UpdateType::kAnnounce;
+    uint32_t net = get<uint32_t>(in);
+    uint8_t len = get<uint8_t>(in);
+    if (len > 32) throw ParseError("MRTL: bad prefix length");
+    try {
+      u.prefix = net::Prefix(net::Ipv4(net), len);
+    } catch (const InvariantError& e) {
+      throw ParseError(std::string("MRTL: ") + e.what());
+    }
+    uint16_t hops = get<uint16_t>(in);
+    std::vector<net::Asn> path;
+    path.reserve(hops);
+    for (uint16_t h = 0; h < hops; ++h) path.emplace_back(get<uint32_t>(in));
+    u.path = AsPath(std::move(path));
+    if (u.type == UpdateType::kAnnounce && u.path.empty()) {
+      throw ParseError("MRTL: announce with empty path");
+    }
+    out.push_back(std::move(u));
+  }
+  return out;
+}
+
+}  // namespace droplens::bgp

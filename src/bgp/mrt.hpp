@@ -1,0 +1,28 @@
+// MRT-lite: a compact binary serialization for BGP update streams.
+//
+// RouteViews publishes MRT archives; we define a simplified, self-describing
+// binary format ("MRTL") so update streams can be persisted and replayed
+// across runs — the moral equivalent of the paper's BGP archive inputs.
+//
+// Layout (all integers little-endian):
+//   magic   "MRTL"            4 bytes
+//   version u16               currently 1
+//   count   u64               number of records
+//   record: date i32, peer u32, type u8 (0=announce, 1=withdraw),
+//           prefix u32 + len u8, hops u16, hop u32 * hops
+#pragma once
+
+#include <iosfwd>
+#include <vector>
+
+#include "bgp/route.hpp"
+
+namespace droplens::bgp {
+
+/// Serialize `updates` to `out`. Throws std::ios_base::failure on I/O error.
+void write_mrtl(std::ostream& out, const std::vector<Update>& updates);
+
+/// Parse an MRTL stream. Throws ParseError on malformed input.
+std::vector<Update> read_mrtl(std::istream& in);
+
+}  // namespace droplens::bgp

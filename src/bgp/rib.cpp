@@ -1,0 +1,21 @@
+#include "bgp/rib.hpp"
+
+namespace droplens::bgp {
+
+void PeerRib::apply(const Update& u) {
+  if (u.type == UpdateType::kWithdraw) {
+    routes_.erase(u.prefix);
+    return;
+  }
+  routes_.insert_or_assign(u.prefix, Route{u.prefix, u.path, u.date});
+}
+
+std::vector<Route> PeerRib::snapshot() const {
+  std::vector<Route> out;
+  out.reserve(routes_.size());
+  routes_.for_each(
+      [&](const net::Prefix&, const Route& r) { out.push_back(r); });
+  return out;
+}
+
+}  // namespace droplens::bgp

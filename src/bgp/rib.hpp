@@ -1,0 +1,36 @@
+// Per-peer Routing Information Base.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "bgp/route.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace droplens::bgp {
+
+/// The routes one peer currently advertises to a collector. Applies
+/// announce/withdraw updates and answers exact and longest-prefix queries.
+class PeerRib {
+ public:
+  /// Apply an update for this peer. Re-announcement replaces the path.
+  void apply(const Update& u);
+
+  /// The installed route for exactly `p`, if any.
+  const Route* find(const net::Prefix& p) const { return routes_.find(p); }
+
+  /// Longest-prefix match for `p` (what a forwarding decision would use).
+  const Route* longest_match(const net::Prefix& p) const {
+    return routes_.longest_match(p);
+  }
+
+  size_t size() const { return routes_.size(); }
+
+  /// All installed routes, in prefix order.
+  std::vector<Route> snapshot() const;
+
+ private:
+  net::PrefixMap<Route> routes_;
+};
+
+}  // namespace droplens::bgp

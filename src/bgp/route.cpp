@@ -1,0 +1,14 @@
+#include "bgp/route.hpp"
+
+namespace droplens::bgp {
+
+std::string AsPath::to_string() const {
+  std::string out;
+  for (size_t i = 0; i < hops_.size(); ++i) {
+    if (i) out += ' ';
+    out += std::to_string(hops_[i].value());
+  }
+  return out;
+}
+
+}  // namespace droplens::bgp

@@ -1,0 +1,70 @@
+// BGP route model: AS paths, routes, and update messages.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "net/date.hpp"
+#include "net/prefix.hpp"
+
+namespace droplens::bgp {
+
+/// An AS path as announced, collector-side first: path.front() is the peer's
+/// own AS, path.back() is the origin AS. (Prepending is representable but the
+/// analyses only care about membership and the origin.)
+class AsPath {
+ public:
+  AsPath() = default;
+  explicit AsPath(std::vector<net::Asn> hops) : hops_(std::move(hops)) {}
+  AsPath(std::initializer_list<net::Asn> hops) : hops_(hops) {}
+
+  bool empty() const { return hops_.empty(); }
+  size_t length() const { return hops_.size(); }
+
+  /// Origin AS: the network that (claims to) originate the prefix.
+  net::Asn origin() const { return hops_.back(); }
+
+  bool contains(net::Asn asn) const {
+    for (net::Asn a : hops_) {
+      if (a == asn) return true;
+    }
+    return false;
+  }
+
+  const std::vector<net::Asn>& hops() const { return hops_; }
+
+  /// "50509 34665 263692" rendering.
+  std::string to_string() const;
+
+  friend bool operator==(const AsPath&, const AsPath&) = default;
+
+ private:
+  std::vector<net::Asn> hops_;
+};
+
+/// Identifies one BGP peer of the collector fleet.
+using PeerId = uint32_t;
+
+enum class UpdateType : uint8_t { kAnnounce, kWithdraw };
+
+/// One BGP update as a collector records it.
+struct Update {
+  net::Date date;
+  PeerId peer = 0;
+  UpdateType type = UpdateType::kAnnounce;
+  net::Prefix prefix;
+  AsPath path;  // empty for withdrawals
+};
+
+/// A route installed in a peer RIB.
+struct Route {
+  net::Prefix prefix;
+  AsPath path;
+  net::Date learned;
+};
+
+}  // namespace droplens::bgp

@@ -1,0 +1,56 @@
+#include "bgp/table_dump.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace droplens::bgp {
+
+std::string write_table_dump(const CollectorFleet& fleet, PeerId peer,
+                             net::Date d) {
+  const Peer& p = fleet.peer(peer);
+  std::string out;
+  for (const Route& r : fleet.peer_table(peer, d)) {
+    out += "TABLE_DUMP2|";
+    out += d.to_string();
+    out += "|B|";
+    out += p.name.empty() ? "peer" + std::to_string(p.id) : p.name;
+    out += '|';
+    out += std::to_string(p.asn.value());
+    out += '|';
+    out += r.prefix.to_string();
+    out += '|';
+    out += r.path.to_string();
+    out += "|IGP\n";
+  }
+  return out;
+}
+
+std::vector<TableDumpEntry> parse_table_dump(std::string_view text) {
+  std::vector<TableDumpEntry> out;
+  for (std::string_view line : util::split(text, '\n')) {
+    line = util::trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    std::vector<std::string_view> f = util::split(line, '|');
+    if (f.size() < 7 || f[0] != "TABLE_DUMP2" || f[2] != "B") {
+      throw ParseError("TABLE_DUMP: bad line: '" + std::string(line) + "'");
+    }
+    TableDumpEntry e;
+    e.date = net::Date::parse(f[1]);
+    e.peer_name = std::string(f[3]);
+    e.peer_asn = net::Asn(static_cast<uint32_t>(util::parse_u64(f[4])));
+    e.prefix = net::Prefix::parse(f[5]);
+    std::vector<net::Asn> hops;
+    for (std::string_view hop : util::split_ws(f[6])) {
+      hops.emplace_back(static_cast<uint32_t>(util::parse_u64(hop)));
+    }
+    if (hops.empty()) {
+      throw ParseError("TABLE_DUMP: empty AS path: '" + std::string(line) +
+                       "'");
+    }
+    e.path = AsPath(std::move(hops));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+}  // namespace droplens::bgp

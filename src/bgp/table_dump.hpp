@@ -1,0 +1,38 @@
+// TABLE_DUMP-lite: a bgpdump-style text serialization of RIB snapshots.
+//
+// RouteViews RIBs are conventionally inspected as `bgpdump -m` pipe-format
+// lines. We implement the subset the analyses need:
+//
+//   TABLE_DUMP2|2022-03-30|B|peer42|64512|10.0.0.0/8|3356 15169|IGP
+//
+// so peer tables can be persisted and re-read across runs.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bgp/fleet.hpp"
+#include "bgp/route.hpp"
+
+namespace droplens::bgp {
+
+struct TableDumpEntry {
+  net::Date date;
+  std::string peer_name;
+  net::Asn peer_asn;
+  net::Prefix prefix;
+  AsPath path;
+
+  friend bool operator==(const TableDumpEntry&,
+                         const TableDumpEntry&) = default;
+};
+
+/// Render `peer`'s table on day `d` as TABLE_DUMP-lite lines.
+std::string write_table_dump(const CollectorFleet& fleet, PeerId peer,
+                             net::Date d);
+
+/// Parse TABLE_DUMP-lite text. Throws ParseError on malformed lines.
+std::vector<TableDumpEntry> parse_table_dump(std::string_view text);
+
+}  // namespace droplens::bgp

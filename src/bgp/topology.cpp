@@ -1,0 +1,196 @@
+#include "bgp/topology.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace droplens::bgp {
+
+const std::vector<net::Asn> AsGraph::kNone;
+
+AsGraph::Node& AsGraph::node(net::Asn as) {
+  auto [it, inserted] = index_.try_emplace(as, data_.size());
+  if (inserted) {
+    nodes_.push_back(as);
+    data_.emplace_back();
+  }
+  return data_[it->second];
+}
+
+const AsGraph::Node* AsGraph::find(net::Asn as) const {
+  auto it = index_.find(as);
+  return it == index_.end() ? nullptr : &data_[it->second];
+}
+
+void AsGraph::add_provider_customer(net::Asn provider, net::Asn customer) {
+  node(provider).customers.push_back(customer);
+  node(customer).providers.push_back(provider);
+}
+
+void AsGraph::add_peering(net::Asn a, net::Asn b) {
+  node(a).peers.push_back(b);
+  node(b).peers.push_back(a);
+}
+
+const std::vector<net::Asn>& AsGraph::providers(net::Asn as) const {
+  const Node* n = find(as);
+  return n ? n->providers : kNone;
+}
+const std::vector<net::Asn>& AsGraph::customers(net::Asn as) const {
+  const Node* n = find(as);
+  return n ? n->customers : kNone;
+}
+const std::vector<net::Asn>& AsGraph::peers(net::Asn as) const {
+  const Node* n = find(as);
+  return n ? n->peers : kNone;
+}
+
+size_t PropagationResult::believers(net::Asn origin) const {
+  size_t n = 0;
+  for (const auto& [as, route] : routes) n += route.origin == origin;
+  return n;
+}
+
+namespace {
+
+/// Is candidate (len_a, origin_a) better than incumbent (len_b, origin_b)
+/// within the same preference class? Shorter path wins; ties break to the
+/// lower origin ASN for determinism.
+bool better(int len_a, net::Asn origin_a, int len_b, net::Asn origin_b) {
+  if (len_a != len_b) return len_a < len_b;
+  return origin_a < origin_b;
+}
+
+struct Candidate {
+  int length;
+  net::Asn origin;
+  net::Asn at;
+
+  bool operator>(const Candidate& other) const {
+    if (length != other.length) return length > other.length;
+    return origin.value() > other.origin.value();
+  }
+};
+
+using Queue =
+    std::priority_queue<Candidate, std::vector<Candidate>, std::greater<>>;
+
+}  // namespace
+
+PropagationResult propagate(
+    const AsGraph& graph, const std::vector<Origination>& originations,
+    const std::unordered_set<net::Asn>& rov_enforcers) {
+  PropagationResult result;
+
+  auto accepts = [&](net::Asn as, const Origination& o) {
+    return !(o.rov_invalid && rov_enforcers.contains(as));
+  };
+  auto origination_of = [&](net::Asn origin) -> const Origination* {
+    for (const Origination& o : originations) {
+      if (o.origin == origin) return &o;
+    }
+    return nullptr;
+  };
+
+  // --- Stage 1: customer routes flow upward --------------------------------
+  // best[as] per stage; stage-1 entries are routes learned from a customer
+  // (or self-originated).
+  std::unordered_map<net::Asn, ChosenRoute> customer_route;
+  Queue queue;
+  for (const Origination& o : originations) {
+    if (!graph.contains(o.origin) || !accepts(o.origin, o)) continue;
+    queue.push(Candidate{0, o.origin, o.origin});
+  }
+  auto relax_customer = [&](const Candidate& c) {
+    auto it = customer_route.find(c.at);
+    if (it != customer_route.end() &&
+        !better(c.length, c.origin, it->second.path_length,
+                it->second.origin)) {
+      return false;
+    }
+    customer_route[c.at] = ChosenRoute{
+        c.origin, c.length == 0 ? RouteSource::kOrigin : RouteSource::kCustomer,
+        c.length};
+    return true;
+  };
+  while (!queue.empty()) {
+    Candidate c = queue.top();
+    queue.pop();
+    const Origination* o = origination_of(c.origin);
+    if (!o || !accepts(c.at, *o)) continue;
+    if (!relax_customer(c)) continue;
+    for (net::Asn provider : graph.providers(c.at)) {
+      queue.push(Candidate{c.length + 1, c.origin, provider});
+    }
+  }
+
+  // --- Stage 2: one peer hop ------------------------------------------------
+  // An AS with a customer (or origin) route exports it to its peers; a peer
+  // route is only used by ASes lacking a customer route.
+  std::unordered_map<net::Asn, ChosenRoute> peer_route;
+  for (const auto& [as, route] : customer_route) {
+    for (net::Asn peer : graph.peers(as)) {
+      if (customer_route.contains(peer)) continue;
+      const Origination* o = origination_of(route.origin);
+      if (!o || !accepts(peer, *o)) continue;
+      int length = route.path_length + 1;
+      auto it = peer_route.find(peer);
+      if (it == peer_route.end() ||
+          better(length, route.origin, it->second.path_length,
+                 it->second.origin)) {
+        peer_route[peer] =
+            ChosenRoute{route.origin, RouteSource::kPeer, length};
+      }
+    }
+  }
+
+  // Merge stages 1+2 into the per-AS best so far.
+  for (const auto& [as, route] : customer_route) result.routes[as] = route;
+  for (const auto& [as, route] : peer_route) result.routes[as] = route;
+
+  // --- Stage 3: provider routes flow downward -------------------------------
+  // Any routed AS exports its best route to its customers; customers without
+  // a customer/peer route adopt the best provider route (Dijkstra order).
+  Queue down;
+  for (const auto& [as, route] : result.routes) {
+    down.push(Candidate{route.path_length, route.origin, as});
+  }
+  std::unordered_map<net::Asn, ChosenRoute> provider_route;
+  while (!down.empty()) {
+    Candidate c = down.top();
+    down.pop();
+    // The exporting AS's current best must still match this entry.
+    auto best = result.routes.find(c.at);
+    bool is_provider_entry = false;
+    if (best == result.routes.end() ||
+        best->second.origin != c.origin ||
+        best->second.path_length != c.length) {
+      auto pr = provider_route.find(c.at);
+      if (pr == provider_route.end() || pr->second.origin != c.origin ||
+          pr->second.path_length != c.length) {
+        continue;  // stale queue entry
+      }
+      is_provider_entry = true;
+    }
+    (void)is_provider_entry;
+    for (net::Asn customer : graph.customers(c.at)) {
+      if (result.routes.contains(customer)) continue;  // has cust/peer route
+      const Origination* o = origination_of(c.origin);
+      if (!o || !accepts(customer, *o)) continue;
+      int length = c.length + 1;
+      auto it = provider_route.find(customer);
+      if (it == provider_route.end() ||
+          better(length, c.origin, it->second.path_length,
+                 it->second.origin)) {
+        provider_route[customer] =
+            ChosenRoute{c.origin, RouteSource::kProvider, length};
+        down.push(Candidate{length, c.origin, customer});
+      }
+    }
+  }
+  for (const auto& [as, route] : provider_route) {
+    result.routes.emplace(as, route);
+  }
+  return result;
+}
+
+}  // namespace droplens::bgp

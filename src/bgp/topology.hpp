@@ -1,0 +1,86 @@
+// AS-level topology and Gao–Rexford route propagation.
+//
+// The collector fleet records *what was announced*; this module models *who
+// believes it*. An AsGraph holds customer-provider and peer links; propagate()
+// floods competing originations through the graph under the standard
+// valley-free export rules and local-preference order
+// (customer > peer > provider, then shortest AS path), optionally with a set
+// of ASes enforcing route origin validation. The result answers the question
+// the paper's defense discussion leaves quantitative: how much of the
+// Internet does a given hijack actually capture?
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "net/asn.hpp"
+
+namespace droplens::bgp {
+
+class AsGraph {
+ public:
+  /// Add `customer` as a customer of `provider` (both added implicitly).
+  void add_provider_customer(net::Asn provider, net::Asn customer);
+
+  /// Add a settlement-free peering link.
+  void add_peering(net::Asn a, net::Asn b);
+
+  size_t as_count() const { return nodes_.size(); }
+  const std::vector<net::Asn>& ases() const { return nodes_; }
+  bool contains(net::Asn as) const { return index_.contains(as); }
+
+  const std::vector<net::Asn>& providers(net::Asn as) const;
+  const std::vector<net::Asn>& customers(net::Asn as) const;
+  const std::vector<net::Asn>& peers(net::Asn as) const;
+
+ private:
+  struct Node {
+    std::vector<net::Asn> providers;
+    std::vector<net::Asn> customers;
+    std::vector<net::Asn> peers;
+  };
+  Node& node(net::Asn as);
+  const Node* find(net::Asn as) const;
+
+  std::vector<net::Asn> nodes_;
+  std::unordered_map<net::Asn, size_t> index_;
+  std::vector<Node> data_;
+  static const std::vector<net::Asn> kNone;
+};
+
+/// How a route was learned — the local-preference order.
+enum class RouteSource : uint8_t { kOrigin = 3, kCustomer = 2, kPeer = 1,
+                                   kProvider = 0 };
+
+/// One AS's chosen route for the contested prefix.
+struct ChosenRoute {
+  net::Asn origin;             // which origination it believes
+  RouteSource source = RouteSource::kOrigin;
+  int path_length = 0;         // AS hops from the origin
+};
+
+struct Origination {
+  net::Asn origin;
+  /// A validator that has this origination as invalid drops it. nullopt =
+  /// route passes ROV everywhere (valid or not-found).
+  bool rov_invalid = false;
+};
+
+struct PropagationResult {
+  std::unordered_map<net::Asn, ChosenRoute> routes;
+
+  /// Number of ASes whose chosen route leads to `origin`.
+  size_t believers(net::Asn origin) const;
+};
+
+/// Propagate competing originations through `graph` with Gao–Rexford
+/// semantics. `rov_enforcers` drop rov_invalid originations entirely.
+PropagationResult propagate(
+    const AsGraph& graph, const std::vector<Origination>& originations,
+    const std::unordered_set<net::Asn>& rov_enforcers = {});
+
+}  // namespace droplens::bgp

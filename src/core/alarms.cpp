@@ -1,0 +1,122 @@
+#include "core/alarms.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace droplens::core {
+
+std::string_view to_string(AlarmKind k) {
+  switch (k) {
+    case AlarmKind::kNewOrigin: return "new-origin";
+    case AlarmKind::kMoas: return "moas";
+    case AlarmKind::kNewSubPrefix: return "new-sub-prefix";
+  }
+  return "?";
+}
+
+AlarmResult analyze_alarms(const Study& study, const DropIndex& index) {
+  AlarmResult r;
+
+  // Gather every episode, date-ordered, so the monitor replays history.
+  struct Event {
+    net::Prefix prefix;
+    bgp::Episode episode;
+  };
+  std::vector<Event> events;
+  for (const net::Prefix& p : study.fleet.announced_prefixes()) {
+    for (const bgp::Episode& e : study.fleet.episodes(p)) {
+      events.push_back(Event{p, e});
+    }
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    return a.episode.range.begin < b.episode.range.begin;
+  });
+
+  // Monitor state: per prefix, the set of origins ever seen.
+  std::unordered_map<net::Prefix, std::unordered_set<uint32_t>> seen_origins;
+  // Monitored "covering" prefixes: everything announced before the window
+  // is a baseline route whose more-specifics we watch.
+  net::PrefixMap<char> baseline;
+
+  std::unordered_set<net::Prefix> alarmed_prefixes;
+
+  for (const Event& ev : events) {
+    net::Date begin = ev.episode.range.begin;
+    net::Asn origin = ev.episode.origin();
+    auto& origins = seen_origins[ev.prefix];
+    bool in_window = begin >= study.window_begin && begin < study.window_end;
+
+    if (in_window) {
+      // New-origin alarm.
+      if (!origins.empty() && !origins.contains(origin.value())) {
+        Alarm a;
+        a.kind = AlarmKind::kNewOrigin;
+        a.prefix = ev.prefix;
+        a.monitored = ev.prefix;
+        a.when = begin;
+        a.new_origin = origin;
+        a.on_drop = study.drop.first_listed(ev.prefix).has_value();
+        if (a.on_drop) alarmed_prefixes.insert(ev.prefix);
+        r.alarms.push_back(std::move(a));
+      }
+      // MOAS alarm: another origin is announcing right now.
+      for (const bgp::Episode& other : study.fleet.episodes(ev.prefix)) {
+        if (other.range.contains(begin) && other.origin() != origin &&
+            other.range.begin < begin) {
+          Alarm a;
+          a.kind = AlarmKind::kMoas;
+          a.prefix = ev.prefix;
+          a.monitored = ev.prefix;
+          a.when = begin;
+          a.new_origin = origin;
+          a.on_drop = study.drop.first_listed(ev.prefix).has_value();
+          if (a.on_drop) alarmed_prefixes.insert(ev.prefix);
+          r.alarms.push_back(std::move(a));
+          break;
+        }
+      }
+      // New-sub-prefix alarm: the announced prefix is a fresh more-specific
+      // of a baseline route announced by someone else.
+      if (origins.empty()) {
+        bool alarmed = false;
+        baseline.for_each_covering(
+            ev.prefix, [&](const net::Prefix& mon, char) {
+              if (alarmed || mon == ev.prefix) return;
+              Alarm a;
+              a.kind = AlarmKind::kNewSubPrefix;
+              a.prefix = ev.prefix;
+              a.monitored = mon;
+              a.when = begin;
+              a.new_origin = origin;
+              a.on_drop = study.drop.first_listed(ev.prefix).has_value();
+              if (a.on_drop) alarmed_prefixes.insert(ev.prefix);
+              r.alarms.push_back(std::move(a));
+              alarmed = true;
+            });
+      }
+    } else if (begin < study.window_begin) {
+      baseline.insert_or_assign(ev.prefix, 1);
+    }
+    origins.insert(origin.value());
+  }
+
+  // Coverage over the DROP hijack population.
+  for (const DropEntry* e : index.non_incident()) {
+    bool is_hijack = e->is(drop::Category::kHijacked) ||
+                     e->is(drop::Category::kUnallocated);
+    if (!is_hijack) continue;
+    if (!study.fleet.first_announced(e->prefix)) continue;
+    ++r.drop_hijacks_total;
+    if (alarmed_prefixes.contains(e->prefix)) {
+      ++r.drop_hijacks_alarmed;
+    } else {
+      // Stealthy iff the in-window announcement re-used an origin the
+      // monitor had already seen for this prefix.
+      ++r.drop_hijacks_stealthy;
+    }
+  }
+  return r;
+}
+
+}  // namespace droplens::core

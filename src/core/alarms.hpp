@@ -1,0 +1,58 @@
+// PHAS-style hijack alarms (extension; §1's "route hijack detection" class).
+//
+// Monitors such as PHAS (Lad et al.) alert when a monitored prefix gains a
+// new origin AS (MOAS), or when a new more-specific of it appears. Replaying
+// the study window through such a monitor shows which DROP hijacks would
+// have tripped an alarm — and which were *stealthy*: re-originations with
+// the historic origin ASN raise no MOAS alarm at all, Vervier et al.'s
+// observation that the Fig 4 hijacker exploited.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "core/drop_index.hpp"
+#include "core/study.hpp"
+
+namespace droplens::core {
+
+enum class AlarmKind : uint8_t {
+  kNewOrigin,      // prefix originated by an ASN never seen originating it
+  kMoas,           // two origins announce the prefix simultaneously
+  kNewSubPrefix,   // a new more-specific of a monitored prefix appears
+};
+
+std::string_view to_string(AlarmKind k);
+
+struct Alarm {
+  AlarmKind kind = AlarmKind::kNewOrigin;
+  net::Prefix prefix;        // the announced prefix
+  net::Prefix monitored;     // the covering prefix being watched (for
+                             // kNewSubPrefix; equals `prefix` otherwise)
+  net::Date when;
+  net::Asn new_origin;
+  bool on_drop = false;      // the announced prefix was later blocklisted
+};
+
+struct AlarmResult {
+  std::vector<Alarm> alarms;
+  int drop_hijacks_total = 0;      // hijack/unallocated entries announced
+  int drop_hijacks_alarmed = 0;    // ... that raised any alarm
+  // No alarm: the attacker announced previously-unannounced space (nothing
+  // was monitoring it) or re-used the prefix's historic origin ASN.
+  int drop_hijacks_stealthy = 0;
+
+  double alarm_coverage() const {
+    return drop_hijacks_total
+               ? static_cast<double>(drop_hijacks_alarmed) /
+                     drop_hijacks_total
+               : 0;
+  }
+};
+
+/// Replay every origination episode in date order through the monitor.
+/// Pre-window episodes seed the baseline (known origins) silently; alarms
+/// are only raised inside the study window.
+AlarmResult analyze_alarms(const Study& study, const DropIndex& index);
+
+}  // namespace droplens::core

@@ -1,0 +1,79 @@
+#include "core/as0_analysis.hpp"
+
+#include "rpki/as0_policy.hpp"
+
+namespace droplens::core {
+
+As0Result analyze_as0(const Study& study, const DropIndex& index) {
+  As0Result r;
+
+  // --- Fig 6: unallocated prefixes appearing on DROP ---------------------
+  for (const DropEntry* e : index.non_incident()) {
+    if (!study.registry.is_fully_unallocated(e->prefix, e->listed)) continue;
+    auto rir = study.registry.rir_of(e->prefix);
+    if (!rir) continue;
+    UnallocatedListing l;
+    l.prefix = e->prefix;
+    l.listed = e->listed;
+    l.rir = *rir;
+    auto policy = rpki::as0_policy_date(*rir);
+    l.after_rir_as0_policy = policy && e->listed >= *policy;
+    if (l.after_rir_as0_policy) ++r.listed_after_policy;
+    ++r.unallocated_by_rir[static_cast<size_t>(*rir)];
+    r.unallocated_listings.push_back(l);
+  }
+
+  // --- Fig 7: free pools over time ----------------------------------------
+  rpki::TalSet as0_tals;
+  as0_tals.add(rpki::Tal::kApnicAs0);
+  as0_tals.add(rpki::Tal::kLacnicAs0);
+  auto sample = [&](net::Date d) {
+    FreePoolSample s;
+    s.date = d;
+    net::IntervalSet as0_space = study.roas.signed_space(
+        d, as0_tals, rpki::RoaArchive::Filter::kAs0Only);
+    for (rir::Rir rir : rir::kAllRirs) {
+      net::IntervalSet pool = study.registry.free_pool(rir, d);
+      s.pool_slash8[static_cast<size_t>(rir)] = pool.slash8_equivalents();
+      s.pool_as0_covered[static_cast<size_t>(rir)] =
+          net::IntervalSet::set_intersection(pool, as0_space)
+              .slash8_equivalents();
+    }
+    return s;
+  };
+  for (net::Date d = study.window_begin; d < study.window_end; d += 30) {
+    r.pool_series.push_back(sample(d));
+  }
+  r.pool_series.push_back(sample(study.window_end));
+
+  // --- §6.2.2: would any peer have filtered with the AS0 TALs? -----------
+  net::Date end = study.window_end;
+  std::vector<net::Prefix> rejectable;
+  for (const net::Prefix& p : study.fleet.announced_prefixes_on(end)) {
+    // An AS0-TAL ROA covering the prefix makes every announcement of it
+    // invalid for a validator that has those TALs configured.
+    bool covered_by_as0 = false;
+    for (const rpki::Roa& roa : study.roas.covering(p, end, as0_tals)) {
+      if (roa.is_as0()) covered_by_as0 = true;
+    }
+    if (covered_by_as0) rejectable.push_back(p);
+  }
+  size_t total = 0;
+  for (const bgp::Peer& peer : study.fleet.peers()) {
+    if (!peer.full_table) continue;
+    size_t carried = 0;
+    for (const net::Prefix& p : rejectable) {
+      if (study.fleet.peer_observes(peer.id, p, end)) ++carried;
+    }
+    r.peer_as0_rejectable.push_back(carried);
+    total += carried;
+    if (carried == 0) ++r.peers_apparently_filtering_as0;
+  }
+  r.mean_as0_rejectable =
+      r.peer_as0_rejectable.empty()
+          ? 0
+          : static_cast<double>(total) / r.peer_as0_rejectable.size();
+  return r;
+}
+
+}  // namespace droplens::core

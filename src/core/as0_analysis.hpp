@@ -1,0 +1,47 @@
+// Fig 6 + Fig 7 + §6.2.2: unallocated address space — hijacks of it, how
+// much remains in each RIR free pool, and whether anyone filters with the
+// AS0 TALs.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "core/drop_index.hpp"
+#include "core/study.hpp"
+#include "rir/rir.hpp"
+
+namespace droplens::core {
+
+struct UnallocatedListing {
+  net::Prefix prefix;
+  net::Date listed;
+  rir::Rir rir;                       // whose free pool it squats in
+  bool after_rir_as0_policy = false;  // listed after that RIR's AS0 policy
+};
+
+struct FreePoolSample {
+  net::Date date;
+  std::array<double, 5> pool_slash8{};      // per RIR
+  std::array<double, 5> pool_as0_covered{}; // portion under an AS0-TAL ROA
+};
+
+struct As0Result {
+  // Fig 6.
+  std::vector<UnallocatedListing> unallocated_listings;  // the paper's 40
+  std::array<int, 5> unallocated_by_rir{};
+  int listed_after_policy = 0;
+
+  // Fig 7.
+  std::vector<FreePoolSample> pool_series;
+
+  // §6.2.2: per full-table peer, how many of its routes at window end would
+  // an AS0-TAL-validating router have rejected.
+  std::vector<size_t> peer_as0_rejectable;
+  double mean_as0_rejectable = 0;
+  int peers_apparently_filtering_as0 = 0;  // peers carrying none of them
+};
+
+As0Result analyze_as0(const Study& study, const DropIndex& index);
+
+}  // namespace droplens::core

@@ -1,0 +1,129 @@
+#include "core/case_study.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace droplens::core {
+
+namespace {
+
+/// The hijack transit of an episode: its first hop (the AS adjacent to the
+/// collector peers), used to group announcements by upstream.
+net::Asn first_hop(const bgp::Episode& e) { return e.path->hops().front(); }
+
+/// Other prefixes originated with the hijack's ASN through the same
+/// upstream — Fig 4's sibling rows.
+void find_siblings(const Study& study, RpkiValidHijack& hijack,
+                   net::Asn upstream, const net::Prefix& self) {
+  for (const net::Prefix& p : study.fleet.announced_prefixes()) {
+    if (p == self || self.contains(p)) continue;
+    for (const bgp::Episode& ep : study.fleet.episodes(p)) {
+      if (ep.origin() == hijack.roa_asn && ep.path->contains(upstream)) {
+        hijack.siblings.push_back(p);
+        if (study.drop.first_listed(p)) ++hijack.siblings_on_drop;
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CaseStudyResult analyze_case_study(const Study& study,
+                                   const DropIndex& index) {
+  CaseStudyResult r;
+
+  for (const DropEntry* e : index.non_incident()) {
+    if (!e->is(drop::Category::kHijacked)) continue;
+    ++r.hijacked_prefixes;
+    if (!study.roas.signed_on(e->prefix, e->listed)) continue;
+    ++r.signed_before_listing;
+
+    // Did the ROA's ASN track the BGP origin over the two years before the
+    // listing? That pattern means the hijacker controls the ROA itself.
+    std::vector<rpki::RoaRecord> records =
+        study.roas.records_covering(e->prefix);
+    std::set<uint32_t> recent_roa_asns;
+    int tracked = 0;
+    for (const rpki::RoaRecord& rec : records) {
+      if (rec.lifetime.begin < e->listed - 730 ||
+          rec.lifetime.begin > e->listed) {
+        continue;
+      }
+      recent_roa_asns.insert(rec.roa.asn.value());
+      std::vector<net::Asn> origins =
+          study.fleet.origins_on(e->prefix, rec.lifetime.begin + 1);
+      if (std::find(origins.begin(), origins.end(), rec.roa.asn) !=
+          origins.end()) {
+        ++tracked;
+      }
+    }
+    if (recent_roa_asns.size() >= 2 && tracked >= 2) {
+      ++r.attacker_controlled_roas;
+      continue;
+    }
+
+    // Otherwise: look for the 132.255.0.0/22 pattern — a long-stable ROA, an
+    // unrouted gap, then a re-origination with the ROA's ASN through a new
+    // upstream, RPKI-valid the whole time.
+    std::vector<bgp::Episode> eps = study.fleet.episodes(e->prefix);
+    std::sort(eps.begin(), eps.end(),
+              [](const bgp::Episode& a, const bgp::Episode& b) {
+                return a.range.begin < b.range.begin;
+              });
+    for (size_t i = 0; i + 1 < eps.size(); ++i) {
+      const bgp::Episode& before = eps[i];
+      const bgp::Episode& after = eps[i + 1];
+      if (before.range.end == net::DateRange::unbounded()) continue;
+      if (after.range.begin - before.range.end < 30) continue;  // real gap?
+      if (before.origin() != after.origin()) continue;
+      if (first_hop(before) == first_hop(after)) continue;
+      if (study.roas.validate_route(e->prefix, after.origin(),
+                                    after.range.begin) !=
+          rpki::Validity::kValid) {
+        continue;
+      }
+      RpkiValidHijack hijack;
+      hijack.prefix = e->prefix;
+      hijack.roa_asn = after.origin();
+      hijack.unrouted_since = before.range.end;
+      hijack.rehijacked_on = after.range.begin;
+
+      // Siblings: other prefixes originated with the same ASN through the
+      // same (hijack-era) upstream.
+      net::Asn upstream = first_hop(after);
+      find_siblings(study, hijack, upstream, e->prefix);
+
+      // Timeline (Fig 4): the prefix, its more-specifics, and siblings.
+      auto add_rows = [&](const net::Prefix& p) {
+        for (const auto& [pp, ep] : study.fleet.episodes_covered_by(p)) {
+          TimelineRow row;
+          row.prefix = pp;
+          row.begin = ep.range.begin;
+          row.end = ep.range.end;
+          row.path = ep.path->to_string();
+          row.rpki_valid =
+              study.roas.validate_route(pp, ep.origin(), ep.range.begin) ==
+              rpki::Validity::kValid;
+          if (auto first = study.drop.first_listed(pp)) {
+            row.on_drop = true;
+            row.drop_date = *first;
+          }
+          hijack.timeline.push_back(std::move(row));
+        }
+      };
+      add_rows(e->prefix);
+      for (const net::Prefix& s : hijack.siblings) add_rows(s);
+      std::sort(hijack.timeline.begin(), hijack.timeline.end(),
+                [](const TimelineRow& a, const TimelineRow& b) {
+                  return a.prefix < b.prefix ||
+                         (a.prefix == b.prefix && a.begin < b.begin);
+                });
+      r.valid_hijacks.push_back(std::move(hijack));
+      break;
+    }
+  }
+  return r;
+}
+
+}  // namespace droplens::core

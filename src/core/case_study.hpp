@@ -1,0 +1,45 @@
+// Fig 4 + §6.1: detect RPKI-valid hijacks among DROP prefixes and
+// reconstruct the case-study timeline, including sibling prefixes that share
+// the hijacker's origin/transit pattern.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/drop_index.hpp"
+#include "core/study.hpp"
+
+namespace droplens::core {
+
+struct TimelineRow {
+  net::Prefix prefix;
+  net::Date begin;
+  net::Date end;               // DateRange::unbounded() if still announced
+  std::string path;            // "50509 34665 263692"
+  bool rpki_valid = false;     // validity of this episode at its start
+  bool on_drop = false;
+  net::Date drop_date;
+};
+
+struct RpkiValidHijack {
+  net::Prefix prefix;          // the signed, hijacked prefix
+  net::Asn roa_asn;            // the ROA's (forged-origin) ASN
+  net::Date unrouted_since;    // owner withdrew here
+  net::Date rehijacked_on;     // hijacker re-originated here
+  std::vector<net::Prefix> siblings;  // same origin+transit pattern
+  int siblings_on_drop = 0;
+  std::vector<TimelineRow> timeline;  // Fig 4's rows
+};
+
+struct CaseStudyResult {
+  int hijacked_prefixes = 0;                 // HJ-labeled, non-incident
+  int signed_before_listing = 0;             // §6.1: 3
+  // Of those, ones where the ROA ASN tracked the changing BGP origin —
+  // i.e. the attacker appears to control the ROA (§6.1: 2).
+  int attacker_controlled_roas = 0;
+  std::vector<RpkiValidHijack> valid_hijacks;  // the 132.255.0.0/22 pattern
+};
+
+CaseStudyResult analyze_case_study(const Study& study, const DropIndex& index);
+
+}  // namespace droplens::core

@@ -1,0 +1,54 @@
+#include "core/classification.hpp"
+
+namespace droplens::core {
+
+ClassificationResult analyze_classification(const Study& study,
+                                            const DropIndex& index) {
+  (void)study;
+  ClassificationResult r;
+  for (size_t i = 0; i < drop::kAllCategories.size(); ++i) {
+    r.per_category[i].category = drop::kAllCategories[i];
+  }
+
+  for (const DropEntry& e : index.entries()) {
+    ++r.total_prefixes;
+    r.total_space.insert(e.prefix);
+    if (e.has_record) {
+      ++r.with_record;
+      if (e.cls.malicious_asn) {
+        ++r.with_asn_annotation;
+        if (e.is(drop::Category::kHijacked)) ++r.hijacked_with_asn;
+      }
+      size_t keywords = e.cls.matched_keywords.size();
+      if (keywords == 0) {
+        ++r.records_no_keyword;
+      } else if (keywords == 1) {
+        ++r.records_one_keyword;
+      } else {
+        ++r.records_two_keywords;
+      }
+    }
+    if (e.categories.count() > 1) ++r.multi_label;
+    if (e.incident) {
+      ++r.incident_prefixes;
+      r.incident_space.insert(e.prefix);
+    }
+    for (drop::Category c : drop::kAllCategories) {
+      if (!e.is(c)) continue;
+      CategoryStats& stats = r.per_category[static_cast<size_t>(c)];
+      if (e.categories.exclusive(c)) {
+        ++stats.exclusive_prefixes;
+      } else {
+        ++stats.additional_prefixes;
+      }
+      stats.space.insert(e.prefix);
+      if (e.incident) {
+        ++stats.incident_prefixes;
+        stats.incident_space.insert(e.prefix);
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace droplens::core

@@ -1,0 +1,44 @@
+// Fig 1: classification of DROP entries by prefix count and address space.
+#pragma once
+
+#include <array>
+
+#include "core/drop_index.hpp"
+#include "core/study.hpp"
+#include "net/interval_set.hpp"
+
+namespace droplens::core {
+
+struct CategoryStats {
+  drop::Category category;
+  int exclusive_prefixes = 0;   // only this label
+  int additional_prefixes = 0;  // this label plus others
+  net::IntervalSet space;       // address space of all prefixes carrying it
+  int incident_prefixes = 0;    // hijack prefixes from the AFRINIC incidents
+  net::IntervalSet incident_space;
+
+  int total_prefixes() const {
+    return exclusive_prefixes + additional_prefixes;
+  }
+};
+
+struct ClassificationResult {
+  std::array<CategoryStats, 6> per_category;  // indexed by drop::Category
+  int total_prefixes = 0;
+  int with_record = 0;
+  int with_asn_annotation = 0;           // §3.1: 190 of 526
+  int hijacked_with_asn = 0;             // §3.1: 130
+  int multi_label = 0;                   // prefixes with >1 category
+  net::IntervalSet total_space;
+  net::IntervalSet incident_space;       // §3.1: 48.8% of DROP space
+  int incident_prefixes = 0;
+  // Appendix A keyword statistics over available SBL records.
+  int records_one_keyword = 0;
+  int records_two_keywords = 0;
+  int records_no_keyword = 0;
+};
+
+ClassificationResult analyze_classification(const Study& study,
+                                            const DropIndex& index);
+
+}  // namespace droplens::core

@@ -1,0 +1,162 @@
+#include "core/defenses.hpp"
+
+#include <algorithm>
+
+namespace droplens::core {
+
+std::string_view to_string(HijackKind k) {
+  switch (k) {
+    case HijackKind::kOriginSquat: return "origin-squat";
+    case HijackKind::kForgedOrigin: return "forged-origin";
+    case HijackKind::kUnallocated: return "unallocated";
+  }
+  return "?";
+}
+
+std::string_view to_string(Defense d) {
+  switch (d) {
+    case Defense::kRov: return "ROV";
+    case Defense::kRovOperatorAs0: return "ROV+opAS0";
+    case Defense::kRovRirAs0: return "ROV+rirAS0";
+    case Defense::kPathEnd: return "path-end";
+    case Defense::kBgpsec: return "BGPsec";
+  }
+  return "?";
+}
+
+namespace {
+
+void set_blocked(HijackEvent& e, Defense d) {
+  e.blocked[static_cast<size_t>(d)] = true;
+}
+
+}  // namespace
+
+DefenseMatrixResult analyze_defenses(const Study& study,
+                                     const DropIndex& index) {
+  DefenseMatrixResult r;
+
+  for (const DropEntry* entry : index.non_incident()) {
+    bool is_hijack = entry->is(drop::Category::kHijacked) ||
+                     entry->is(drop::Category::kUnallocated);
+    if (!is_hijack) continue;
+
+    // The hijack announcement: the episode active at (or starting closest
+    // before) the listing date.
+    const bgp::Episode* hijack = nullptr;
+    for (const bgp::Episode& e : study.fleet.episodes(entry->prefix)) {
+      if (e.range.begin <= entry->listed &&
+          (!hijack || e.range.begin > hijack->range.begin)) {
+        hijack = &e;
+      }
+    }
+    if (!hijack) continue;  // never announced — nothing for BGP defenses
+
+    HijackEvent ev;
+    ev.prefix = entry->prefix;
+    ev.begin = hijack->range.begin;
+    ev.origin = hijack->origin();
+
+    // --- Classify -------------------------------------------------------
+    bool unallocated =
+        study.registry.is_fully_unallocated(entry->prefix, entry->listed);
+    // "Forged origin": the same origin announced this prefix in a clearly
+    // separate earlier life (abandoned, then resurrected via a different
+    // upstream), or the origin matches a covering ROA the attacker did not
+    // create (the 132.255.0.0/22 pattern).
+    const bgp::Episode* historic = nullptr;
+    for (const bgp::Episode& e : study.fleet.episodes(entry->prefix)) {
+      if (e.range.end != net::DateRange::unbounded() &&
+          e.range.end + 180 < hijack->range.begin &&
+          (!historic || e.range.end > historic->range.end)) {
+        historic = &e;
+      }
+    }
+    bool origin_matches_roa = false;
+    for (const rpki::Roa& roa :
+         study.roas.covering(entry->prefix, hijack->range.begin)) {
+      if (roa.asn == ev.origin) origin_matches_roa = true;
+    }
+    bool same_origin_resurrected =
+        historic && historic->origin() == ev.origin &&
+        historic->path->hops().front() != hijack->path->hops().front();
+    ev.forged_origin = origin_matches_roa || same_origin_resurrected;
+    ev.kind = unallocated ? HijackKind::kUnallocated
+              : ev.forged_origin ? HijackKind::kForgedOrigin
+                                 : HijackKind::kOriginSquat;
+
+    // --- Defense verdicts ------------------------------------------------
+    net::Date when = hijack->range.begin;
+    // ROV as deployed.
+    bool rov_blocks = study.roas.validate_route(entry->prefix, ev.origin,
+                                                when) ==
+                      rpki::Validity::kInvalid;
+    if (rov_blocks) set_blocked(ev, Defense::kRov);
+
+    // ROV + operator AS0: additionally blocked if the prefix was signed and
+    // the covered space had been unrouted for the 90 days before the hijack
+    // — a diligent owner following §6.2.1 would have had AS0 there.
+    bool signed_then = study.roas.signed_on(entry->prefix, when);
+    bool unrouted_before = !study.fleet.routed_on(entry->prefix, when - 30) &&
+                           !study.fleet.routed_on(entry->prefix, when - 90);
+    if (rov_blocks || (signed_then && unrouted_before)) {
+      set_blocked(ev, Defense::kRovOperatorAs0);
+    }
+
+    // ROV + enforced RIR AS0: unallocated space is always covered.
+    if (rov_blocks || unallocated) set_blocked(ev, Defense::kRovRirAs0);
+
+    // Path-end validation: only the legitimate origin can publish the
+    // neighbor list, so it protects prefixes whose (historic) owner
+    // participates; the hijack is caught when its adjacency to the origin
+    // differs from every adjacency the owner ever used.
+    if (ev.forged_origin) {
+      std::vector<uint32_t> legit_adjacencies;
+      for (const bgp::Episode& e : study.fleet.episodes(entry->prefix)) {
+        if (&e == hijack || e.origin() != ev.origin) continue;
+        if (e.range.begin >= hijack->range.begin) continue;
+        const auto& hops = e.path->hops();
+        if (hops.size() >= 2) {
+          legit_adjacencies.push_back(hops[hops.size() - 2].value());
+        }
+      }
+      const auto& hops = hijack->path->hops();
+      uint32_t hijack_adjacent =
+          hops.size() >= 2 ? hops[hops.size() - 2].value() : 0;
+      bool adjacency_known = !legit_adjacencies.empty();
+      bool adjacency_matches =
+          std::find(legit_adjacencies.begin(), legit_adjacencies.end(),
+                    hijack_adjacent) != legit_adjacencies.end();
+      if (adjacency_known && !adjacency_matches) {
+        set_blocked(ev, Defense::kPathEnd);
+      }
+    }
+    if (rov_blocks) set_blocked(ev, Defense::kPathEnd);
+
+    // BGPsec (+ROV): a forged origin cannot produce valid path signatures;
+    // an attacker announcing with its own AS is caught only where ROV is.
+    if (rov_blocks || ev.forged_origin) set_blocked(ev, Defense::kBgpsec);
+
+    // Bookkeeping.
+    size_t kind = static_cast<size_t>(ev.kind);
+    ++r.events_by_kind[kind];
+    bool any_non_as0 = ev.blocked[static_cast<size_t>(Defense::kRov)] ||
+                       ev.blocked[static_cast<size_t>(Defense::kPathEnd)] ||
+                       ev.blocked[static_cast<size_t>(Defense::kBgpsec)];
+    bool any_as0 =
+        ev.blocked[static_cast<size_t>(Defense::kRovOperatorAs0)] ||
+        ev.blocked[static_cast<size_t>(Defense::kRovRirAs0)];
+    if (!any_non_as0 && any_as0) ++r.unstoppable_without_as0;
+    if (!any_non_as0 && !any_as0) ++r.blocked_by_nothing;
+    for (Defense d : kAllDefenses) {
+      if (ev.blocked[static_cast<size_t>(d)]) {
+        ++r.blocked_by_defense[static_cast<size_t>(d)];
+        ++r.blocked_by_kind[kind][static_cast<size_t>(d)];
+      }
+    }
+    r.events.push_back(std::move(ev));
+  }
+  return r;
+}
+
+}  // namespace droplens::core

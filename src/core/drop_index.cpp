@@ -1,0 +1,98 @@
+#include "core/drop_index.hpp"
+
+#include <map>
+#include <string>
+
+namespace droplens::core {
+
+namespace {
+
+// Incident detection (§3.1): the two AFRINIC incidents are hijack-labeled
+// prefix clusters that share an IRR ORG-ID, sit in AFRINIC space, and cover
+// an outsized amount of address space. Thresholds are relative to the whole
+// DROP population so they separate the incidents from the serial-hijacker
+// ORG clusters of §5 (many prefixes, little space) at any scenario scale.
+constexpr double kIncidentSpaceShare = 0.10;   // >= 10% of DROP space
+constexpr double kIncidentPrefixShare = 0.025; // >= 2.5% of DROP prefixes
+
+}  // namespace
+
+DropIndex DropIndex::build(const Study& study) {
+  DropIndex index;
+  drop::Classifier classifier;
+
+  for (const net::Prefix& p : study.drop.all_prefixes()) {
+    const std::vector<drop::Listing> stints = study.drop.listings_of(p);
+    DropEntry e;
+    e.prefix = p;
+    e.listed = stints.front().listed.begin;
+    const drop::Listing& last = stints.back();
+    if (last.listed.end != net::DateRange::unbounded() &&
+        last.listed.end <= study.window_end) {
+      e.removed = true;
+      e.removed_on = last.listed.end;
+    }
+    if (const drop::SblRecord* rec = study.sbl.find_by_prefix(p)) {
+      e.has_record = true;
+      e.cls = classifier.classify(rec->text);
+      e.categories = e.cls.categories;
+    } else {
+      e.categories.add(drop::Category::kNoRecord);
+    }
+    index.entries_.push_back(std::move(e));
+  }
+
+  // Cluster hijack-labeled entries by the ORG-ID of their route objects.
+  struct Cluster {
+    std::vector<size_t> members;
+    uint64_t space = 0;
+    bool afrinic = true;
+  };
+  std::map<std::string, Cluster> clusters;
+  for (size_t i = 0; i < index.entries_.size(); ++i) {
+    const DropEntry& e = index.entries_[i];
+    if (!e.is(drop::Category::kHijacked)) continue;
+    for (const irr::Registration& reg :
+         study.irr.exact_or_more_specific(e.prefix, e.listed)) {
+      const std::string& org = reg.object.org_id;
+      if (org.empty()) continue;
+      Cluster& c = clusters[org];
+      c.members.push_back(i);
+      c.space += e.prefix.size();
+      if (study.registry.rir_of(e.prefix) != rir::Rir::kAfrinic) {
+        c.afrinic = false;
+      }
+      break;  // one route object is enough to attribute the ORG
+    }
+  }
+  uint64_t total_space = 0;
+  for (const DropEntry& e : index.entries_) total_space += e.prefix.size();
+  double min_space = kIncidentSpaceShare * static_cast<double>(total_space);
+  double min_prefixes =
+      kIncidentPrefixShare * static_cast<double>(index.entries_.size());
+  for (const auto& [org, c] : clusters) {
+    if (c.afrinic &&
+        static_cast<double>(c.members.size()) >= min_prefixes &&
+        static_cast<double>(c.space) >= min_space) {
+      for (size_t i : c.members) index.entries_[i].incident = true;
+    }
+  }
+  return index;
+}
+
+std::vector<const DropEntry*> DropIndex::non_incident() const {
+  std::vector<const DropEntry*> out;
+  out.reserve(entries_.size());
+  for (const DropEntry& e : entries_) {
+    if (!e.incident) out.push_back(&e);
+  }
+  return out;
+}
+
+size_t DropIndex::incident_count() const {
+  size_t n = 0;
+  for (const DropEntry& e : entries_) n += e.incident;
+  return n;
+}
+
+}  // namespace droplens::core

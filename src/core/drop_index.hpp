@@ -1,0 +1,44 @@
+// Enriched per-prefix view of the DROP list: classification, listing dates,
+// and the AFRINIC-incident carve-out that §3.1 applies before every analysis.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/study.hpp"
+#include "drop/category.hpp"
+#include "drop/sbl.hpp"
+
+namespace droplens::core {
+
+struct DropEntry {
+  net::Prefix prefix;
+  net::Date listed;               // first listing
+  bool removed = false;           // delisted before window end
+  net::Date removed_on;
+  bool has_record = false;
+  drop::Classification cls;       // empty categories if no record
+  drop::CategorySet categories;   // cls.categories, or {NR} if no record
+  bool incident = false;          // one of the two AFRINIC incidents
+
+  bool is(drop::Category c) const { return categories.has(c); }
+};
+
+/// One entry per unique prefix ever listed, in prefix order.
+class DropIndex {
+ public:
+  static DropIndex build(const Study& study);
+
+  const std::vector<DropEntry>& entries() const { return entries_; }
+
+  /// Entries excluding the AFRINIC incidents — the population every §4–§6
+  /// analysis runs on.
+  std::vector<const DropEntry*> non_incident() const;
+
+  size_t incident_count() const;
+
+ private:
+  std::vector<DropEntry> entries_;
+};
+
+}  // namespace droplens::core

@@ -1,0 +1,150 @@
+#include "core/impact.hpp"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace droplens::core {
+
+bgp::AsGraph build_graph_from_fleet(const bgp::CollectorFleet& fleet) {
+  bgp::AsGraph graph;
+  std::set<std::pair<uint32_t, uint32_t>> edges;
+  std::unordered_set<uint32_t> has_provider;
+  std::unordered_set<uint32_t> all;
+  for (const net::Prefix& p : fleet.announced_prefixes()) {
+    for (const bgp::Episode& e : fleet.episodes(p)) {
+      const std::vector<net::Asn>& hops = e.path->hops();
+      for (size_t i = 0; i < hops.size(); ++i) {
+        all.insert(hops[i].value());
+        if (i + 1 == hops.size()) continue;
+        // Collector-adjacent side is the provider of the next hop.
+        auto edge = std::make_pair(hops[i].value(), hops[i + 1].value());
+        if (edge.first == edge.second) continue;  // prepending
+        if (edges.insert(edge).second) {
+          graph.add_provider_customer(net::Asn(edge.first),
+                                      net::Asn(edge.second));
+          has_provider.insert(edge.second);
+        }
+      }
+    }
+  }
+  // Provider-less ASes are the top tier: mesh them so routes can cross.
+  std::vector<uint32_t> top;
+  for (uint32_t as : all) {
+    if (!has_provider.contains(as)) top.push_back(as);
+  }
+  std::sort(top.begin(), top.end());
+  for (size_t i = 0; i < top.size(); ++i) {
+    for (size_t j = i + 1; j < top.size(); ++j) {
+      graph.add_peering(net::Asn(top[i]), net::Asn(top[j]));
+    }
+  }
+  return graph;
+}
+
+namespace {
+
+/// Enforcer sets by "largest networks first": customer degree descending,
+/// ASN ascending as the tiebreak (deterministic).
+std::vector<net::Asn> enforcer_order(const bgp::AsGraph& graph) {
+  std::vector<net::Asn> order = graph.ases();
+  std::sort(order.begin(), order.end(), [&](net::Asn a, net::Asn b) {
+    size_t da = graph.customers(a).size();
+    size_t db = graph.customers(b).size();
+    if (da != db) return da > db;
+    return a < b;
+  });
+  return order;
+}
+
+struct Contest {
+  net::Asn victim;
+  net::Asn attacker;
+};
+
+}  // namespace
+
+ImpactResult analyze_rov_adoption(const Study& study, const DropIndex& index,
+                                  const std::vector<double>& adoption_levels) {
+  ImpactResult result;
+  bgp::AsGraph graph = build_graph_from_fleet(study.fleet);
+  result.graph_ases = graph.as_count();
+
+  // Collect contested hijacks: the hijack origination at listing plus the
+  // prefix's most recent earlier origination (the victim).
+  std::vector<Contest> contests;
+  for (const DropEntry* e : index.non_incident()) {
+    bool is_hijack = e->is(drop::Category::kHijacked) ||
+                     e->is(drop::Category::kUnallocated);
+    if (!is_hijack) continue;
+    const bgp::Episode* hijack = nullptr;
+    for (const bgp::Episode& ep : study.fleet.episodes(e->prefix)) {
+      if (ep.range.begin <= e->listed &&
+          (!hijack || ep.range.begin > hijack->range.begin)) {
+        hijack = &ep;
+      }
+    }
+    if (!hijack) continue;
+    const bgp::Episode* victim = nullptr;
+    for (const bgp::Episode& ep : study.fleet.episodes(e->prefix)) {
+      if (ep.range.end != net::DateRange::unbounded() &&
+          ep.range.end <= hijack->range.begin &&
+          (!victim || ep.range.end > victim->range.end)) {
+        victim = &ep;
+      }
+    }
+    if (!victim) continue;  // abandoned space with no known victim adjacency
+    net::Asn victim_origin = victim->origin();
+    net::Asn attacker_origin = hijack->origin();
+    if (victim_origin == attacker_origin) {
+      // Forged-origin re-use: the "attacker" is indistinguishable at the
+      // origination level; model it as the attacker announcing from its
+      // upstream (the first hop) instead.
+      attacker_origin = hijack->path->hops().front();
+    }
+    if (!graph.contains(victim_origin) || !graph.contains(attacker_origin)) {
+      continue;
+    }
+    contests.push_back(Contest{victim_origin, attacker_origin});
+  }
+  result.hijacks_evaluated = contests.size();
+  if (contests.empty()) return result;
+
+  // The unsigned prefix passes ROV everywhere, so its capture does not
+  // depend on adoption: propagate each contest once.
+  double total = static_cast<double>(graph.as_count());
+  double capture_unsigned = 0;
+  for (const Contest& c : contests) {
+    bgp::PropagationResult plain = bgp::propagate(
+        graph, {{c.victim, false}, {c.attacker, false}}, {});
+    capture_unsigned +=
+        static_cast<double>(plain.believers(c.attacker)) / total;
+  }
+  capture_unsigned /= static_cast<double>(contests.size());
+
+  std::vector<net::Asn> order = enforcer_order(graph);
+  for (double adoption : adoption_levels) {
+    std::unordered_set<net::Asn> enforcers;
+    size_t n = static_cast<size_t>(adoption *
+                                   static_cast<double>(order.size()));
+    for (size_t i = 0; i < n && i < order.size(); ++i) {
+      enforcers.insert(order[i]);
+    }
+    double sum_signed = 0;
+    for (const Contest& c : contests) {
+      // Signed prefix: the hijacked origination validates invalid.
+      bgp::PropagationResult protected_world = bgp::propagate(
+          graph, {{c.victim, false}, {c.attacker, true}}, enforcers);
+      sum_signed += static_cast<double>(
+                        protected_world.believers(c.attacker)) /
+                    total;
+    }
+    result.points.push_back(AdoptionPoint{
+        adoption, capture_unsigned,
+        sum_signed / static_cast<double>(contests.size())});
+  }
+  return result;
+}
+
+}  // namespace droplens::core

@@ -1,0 +1,47 @@
+// Hijack impact and the ROV-adoption what-if (extension).
+//
+// The defense matrix says which mechanism *would reject* a hijacked route;
+// this analysis asks how much of the Internet the hijack *captures* when the
+// route is contested, by propagating victim and attacker originations
+// through an AS graph derived from the observed AS paths (Gao–Rexford
+// semantics, bgp/topology.hpp). Sweeping the fraction of ASes that enforce
+// ROV quantifies the paper's implicit argument: ROV adoption only protects
+// space that is actually signed — for the unsigned majority of DROP
+// prefixes, adoption changes nothing.
+#pragma once
+
+#include <vector>
+
+#include "bgp/topology.hpp"
+#include "core/drop_index.hpp"
+#include "core/study.hpp"
+
+namespace droplens::core {
+
+/// Derive an AS graph from every episode the collectors saw: consecutive
+/// AS-path hops become provider->customer edges (collector side is the
+/// provider); ASes that never appear as customers form the full-mesh top
+/// tier.
+bgp::AsGraph build_graph_from_fleet(const bgp::CollectorFleet& fleet);
+
+struct AdoptionPoint {
+  double adoption = 0;             // fraction of ASes enforcing ROV
+  double capture_unsigned = 0;     // mean attacker capture, prefix unsigned
+  double capture_signed = 0;       // mean capture if the prefix had a ROA
+                                   // (attacker route ROV-invalid)
+};
+
+struct ImpactResult {
+  std::vector<AdoptionPoint> points;
+  size_t hijacks_evaluated = 0;    // contested hijacks with a known victim
+  size_t graph_ases = 0;
+};
+
+/// Replay every DROP hijack whose victim adjacency is known (the prefix had
+/// a pre-hijack origination) as a contest between victim and attacker, at
+/// each ROV adoption level. Enforcers are picked by customer-cone degree,
+/// largest first — "big networks deploy first".
+ImpactResult analyze_rov_adoption(const Study& study, const DropIndex& index,
+                                  const std::vector<double>& adoption_levels);
+
+}  // namespace droplens::core

@@ -1,0 +1,55 @@
+// §5 + Fig 3: how operators and attackers used the IRR for DROP prefixes.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/drop_index.hpp"
+#include "core/study.hpp"
+#include "net/asn.hpp"
+#include "net/interval_set.hpp"
+
+namespace droplens::core {
+
+struct ForgedIrrCase {
+  net::Prefix prefix;
+  net::Asn hijacking_asn;     // the ASN the SBL record named
+  std::string org_id;         // ORG-ID of the forged route object
+  net::Date irr_created;
+  int days_irr_to_bgp = 0;    // negative if BGP predates the record
+  int days_irr_to_drop = 0;
+  bool preexisting_entry = false;  // an older owner object existed
+};
+
+struct IrrResult {
+  // Route-object presence in the 7-day window before listing (all DROP
+  // prefixes, incidents included — the paper's 226 / 31.7% / 68.8%).
+  int prefixes_with_route_object = 0;
+  int drop_prefix_count = 0;
+  net::IntervalSet route_object_space;
+  net::IntervalSet drop_space;
+  int created_within_month_before = 0;   // 32% of those with objects
+  int removed_within_month_after = 0;    // 43%
+
+  // The hijacker-ASN matching (§5's 130 / 57 / 69).
+  int hijacked_with_asn = 0;
+  int hijacker_asn_in_route_object = 0;      // 57
+  int no_object_or_different_asn = 0;        // 69
+  std::vector<ForgedIrrCase> forged_cases;
+  int distinct_hijacking_asns = 0;           // 13
+  std::map<std::string, int> forged_org_histogram;  // ORG-ID -> prefixes
+  int top3_org_prefixes = 0;                 // 49
+  int late_records = 0;                      // 2: record >1yr after BGP
+  int preexisting_entries = 0;               // 5
+  // The serial ORG's common transit AS (AS50509 in the paper), if one ORG's
+  // announcements consistently share a transit hop.
+  std::optional<net::Asn> serial_common_transit;
+  std::string serial_org;
+
+  int unallocated_with_route_object = 0;     // 1
+};
+
+IrrResult analyze_irr(const Study& study, const DropIndex& index);
+
+}  // namespace droplens::core

@@ -1,0 +1,49 @@
+#include "core/irr_whatif.hpp"
+
+#include "core/drop_index.hpp"
+#include "drop/sbl.hpp"
+
+namespace droplens::core {
+
+irr::AuthorizationCheck holder_authorization(const rir::Registry& registry) {
+  return [&registry](const irr::RouteObject& obj) {
+    const rir::Allocation* alloc =
+        registry.allocation_on(obj.prefix, obj.created);
+    return alloc != nullptr && alloc->holder == obj.org_id;
+  };
+}
+
+IrrWhatIfResult analyze_irr_whatif(const Study& study) {
+  IrrWhatIfResult r;
+  irr::Database authenticated("AUTH-IRR",
+                              holder_authorization(study.registry));
+  drop::Classifier classifier;
+
+  for (const irr::Registration& reg : study.irr.all_history()) {
+    ++r.registrations_replayed;
+    if (authenticated.register_object(reg.object)) {
+      ++r.accepted;
+      // Fraudulently *allocated* space sails through holder checks — the
+      // AFRINIC-incident lesson: authorization is only as good as the
+      // registry data behind it.
+      if (reg.object.org_id.starts_with("ORG-INCIDENT")) {
+        ++r.accepted_incident;
+      }
+      continue;
+    }
+    ++r.rejected;
+    // Was the rejected object part of the §5 hijack tooling? Check the SBL
+    // record of the prefix, as the paper would.
+    if (const drop::SblRecord* rec = study.sbl.find_by_prefix(reg.object.prefix)) {
+      drop::Classification c = classifier.classify(rec->text);
+      if (c.categories.has(drop::Category::kHijacked) && c.malicious_asn &&
+          *c.malicious_asn == reg.object.origin) {
+        ++r.rejected_forged;
+      }
+    }
+    r.rejected_objects.push_back(reg.object);
+  }
+  return r;
+}
+
+}  // namespace droplens::core

@@ -1,0 +1,42 @@
+// IRR authorization what-if (extension; §2.2 / §5).
+//
+// RADb accepts route objects with no authorization at all — §5 shows
+// attackers exploiting exactly that. This what-if replays every
+// registration ever made against an *authenticated* IRR whose rule is the
+// one RPKI enforces administratively: the registering ORG must be the
+// registry-recorded holder of the prefix at registration time. The result
+// quantifies how much of the §5 abuse an IRRd-with-RPKI-auth deployment
+// would have prevented — and what it would not have (the AFRINIC incidents
+// were fraudulently *allocated*, so holder checks pass).
+#pragma once
+
+#include <vector>
+
+#include "core/study.hpp"
+#include "irr/database.hpp"
+
+namespace droplens::core {
+
+struct IrrWhatIfResult {
+  int registrations_replayed = 0;
+  int accepted = 0;
+  int rejected = 0;
+  int rejected_forged = 0;     // rejected objects on hijack-labeled prefixes
+  int accepted_incident = 0;   // fraud-allocated space that still passes
+  std::vector<irr::RouteObject> rejected_objects;
+
+  double rejection_rate() const {
+    return registrations_replayed
+               ? static_cast<double>(rejected) / registrations_replayed
+               : 0;
+  }
+};
+
+/// Build the holder-verification hook: accept a route object only if its
+/// `org` matches the holder of a live allocation covering the prefix.
+irr::AuthorizationCheck holder_authorization(const rir::Registry& registry);
+
+/// Replay the study's IRR history through an authenticated database.
+IrrWhatIfResult analyze_irr_whatif(const Study& study);
+
+}  // namespace droplens::core

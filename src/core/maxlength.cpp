@@ -1,0 +1,37 @@
+#include "core/maxlength.hpp"
+
+namespace droplens::core {
+
+bool maxlength_vulnerable(const Study& study, const rpki::Roa& roa,
+                          net::Date d) {
+  if (roa.max_length <= roa.prefix.length() || roa.is_as0()) return false;
+  // The attacker forges roa.asn and announces a /maxLength sub-prefix. A
+  // destination is protected only where the owner itself announces at the
+  // maximum allowed specificity: any point of the prefix covered solely by
+  // shorter owner announcements loses longest-prefix match to the forger.
+  net::IntervalSet protected_space;
+  for (const auto& [p, e] : study.fleet.episodes_covered_by(roa.prefix)) {
+    if (p.length() == roa.max_length && e.range.contains(d) &&
+        e.origin() == roa.asn) {
+      protected_space.insert(p);
+    }
+  }
+  return protected_space.size() < roa.prefix.size();
+}
+
+MaxLengthResult analyze_maxlength(const Study& study, net::Date d) {
+  MaxLengthResult r;
+  r.date = d;
+  for (const rpki::Roa& roa : study.roas.live_roas(d)) {
+    ++r.roas_total;
+    if (roa.is_as0() || roa.max_length <= roa.prefix.length()) continue;
+    ++r.roas_with_maxlength;
+    if (maxlength_vulnerable(study, roa, d)) {
+      ++r.vulnerable;
+      r.vulnerable_space.insert(roa.prefix);
+    }
+  }
+  return r;
+}
+
+}  // namespace droplens::core

@@ -1,0 +1,48 @@
+// maxLength vulnerability analysis (extension; §2.3 background).
+//
+// Gilad, Sagga & Goldberg (CoNEXT'17) showed that a ROA whose maxLength
+// exceeds its prefix length is vulnerable to forged-origin *sub-prefix*
+// hijacks whenever the owner does not announce every covered more-specific:
+// the attacker forges the ROA's ASN, announces an unannounced sub-prefix
+// (still RPKI-valid), and wins longest-prefix match everywhere. They
+// measured 84% of maxLength ROAs vulnerable; the current IETF BCP draft
+// consequently recommends avoiding maxLength. This analysis quantifies that
+// attack surface in our world — the sub-prefix sibling of the paper's
+// unrouted-space findings.
+#pragma once
+
+#include "core/study.hpp"
+#include "net/interval_set.hpp"
+
+namespace droplens::core {
+
+struct MaxLengthResult {
+  net::Date date;
+  int roas_total = 0;
+  int roas_with_maxlength = 0;
+  int vulnerable = 0;  // some /maxLength sub-prefix is not owner-announced
+  // Space an attacker could attract with forged-origin sub-prefix
+  // announcements that ROV validates.
+  net::IntervalSet vulnerable_space;
+
+  double maxlength_share() const {
+    return roas_total ? static_cast<double>(roas_with_maxlength) / roas_total
+                      : 0;
+  }
+  double vulnerable_rate() const {
+    return roas_with_maxlength
+               ? static_cast<double>(vulnerable) / roas_with_maxlength
+               : 0;
+  }
+};
+
+/// Evaluate every ROA live on `d` under the production TALs.
+MaxLengthResult analyze_maxlength(const Study& study, net::Date d);
+
+/// Is this single ROA vulnerable on day `d`? (Exposed for targeted checks:
+/// vulnerable iff maxLength > prefix length and the owner's announcements
+/// at exactly maxLength do not cover the whole prefix.)
+bool maxlength_vulnerable(const Study& study, const rpki::Roa& roa,
+                          net::Date d);
+
+}  // namespace droplens::core

@@ -1,0 +1,22 @@
+// One-call study report: runs every analysis and renders the results as a
+// structured text document — the whole paper, regenerated.
+#pragma once
+
+#include <iosfwd>
+
+#include "core/study.hpp"
+
+namespace droplens::core {
+
+struct ReportOptions {
+  bool include_extensions = true;   // defense matrix, maxLength, profiling
+  bool include_case_timeline = true;
+  bool include_series = false;      // monthly CSV series (Fig 5/7)
+};
+
+/// Run the full DROP-lens pipeline on `study` and write the report to
+/// `out`. Returns the number of sections rendered.
+int write_report(std::ostream& out, const Study& study,
+                 const ReportOptions& options = {});
+
+}  // namespace droplens::core

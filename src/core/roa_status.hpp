@@ -1,0 +1,45 @@
+// Fig 5 + §6.2.1: routing status of RPKI-signed address space over time,
+// and who holds the signed-but-unrouted space.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/study.hpp"
+#include "net/interval_set.hpp"
+
+namespace droplens::core {
+
+struct RoaStatusSample {
+  net::Date date;
+  double signed_slash8 = 0;             // allocated ROAs (non-AS0 TALs)
+  double signed_routed_slash8 = 0;
+  double signed_unrouted_nonas0_slash8 = 0;
+  double alloc_unrouted_no_roa_slash8 = 0;
+
+  double percent_roas_routed() const {
+    return signed_slash8 > 0 ? 100.0 * signed_routed_slash8 / signed_slash8
+                             : 0.0;
+  }
+};
+
+struct HolderSpace {
+  std::string holder;
+  double slash8 = 0;
+};
+
+struct RoaStatusResult {
+  std::vector<RoaStatusSample> series;  // monthly samples over the window
+
+  // End-of-window facts.
+  std::vector<HolderSpace> top_signed_unrouted_holders;  // Amazon et al.
+  double top3_share = 0;                   // §6.2.1's 70.1%
+  double arin_share_of_unrouted_unsigned = 0;  // §6.1's 60.8%
+
+  const RoaStatusSample& first() const { return series.front(); }
+  const RoaStatusSample& last() const { return series.back(); }
+};
+
+RoaStatusResult analyze_roa_status(const Study& study);
+
+}  // namespace droplens::core

@@ -1,0 +1,90 @@
+#include "core/rpki_uptake.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace droplens::core {
+
+RpkiUptakeResult analyze_rpki_uptake(const Study& study,
+                                     const DropIndex& index) {
+  RpkiUptakeResult r;
+
+  std::unordered_set<net::Prefix> on_drop;
+  for (const DropEntry& e : index.entries()) on_drop.insert(e.prefix);
+
+  // --- "Never on DROP": the routed prefix population ---------------------
+  for (const net::Prefix& p : study.fleet.announced_prefixes()) {
+    if (on_drop.contains(p)) continue;
+    if (study.roas.signed_on(p, study.window_begin)) continue;
+    auto rir = study.registry.rir_of(p);
+    if (!rir) continue;
+    SigningCell& cell = r.never_on_drop[static_cast<size_t>(*rir)];
+    ++cell.total;
+    ++r.never_total.total;
+    auto first = study.roas.first_signed(p);
+    if (first && *first > study.window_begin && *first <= study.window_end) {
+      ++cell.signed_;
+      ++r.never_total.signed_;
+    }
+  }
+
+  // --- Listed prefixes: removed vs. present ------------------------------
+  for (const DropEntry* e : index.non_incident()) {
+    bool signed_at_listing = study.roas.signed_on(e->prefix, e->listed);
+    if (signed_at_listing) {
+      if (e->is(drop::Category::kHijacked)) {
+        ++r.hijacked_signed_before_listing;
+      }
+      continue;  // Table 1 only covers prefixes without a ROA when added
+    }
+    auto rir = study.registry.rir_of(e->prefix);
+    if (!rir) continue;
+    size_t i_r = static_cast<size_t>(*rir);
+    auto first = study.roas.first_signed(e->prefix);
+    bool signed_after = first && *first >= e->listed &&
+                        *first <= study.window_end;
+    if (e->removed) {
+      ++r.removed_from_drop[i_r].total;
+      ++r.removed_total.total;
+      if (signed_after) {
+        ++r.removed_from_drop[i_r].signed_;
+        ++r.removed_total.signed_;
+        ++r.removed_signed;
+        // §4.2: compare the new ROA's ASN with the origin at listing time.
+        std::vector<net::Asn> origins =
+            study.fleet.origins_on(e->prefix, e->listed);
+        if (origins.empty()) {
+          // Also look shortly before listing (withdrawn-just-before cases).
+          origins = study.fleet.origins_on(e->prefix, e->listed - 3);
+        }
+        net::Asn roa_asn;
+        net::Date best = net::DateRange::unbounded();
+        for (const rpki::RoaRecord& rec :
+             study.roas.records_covering(e->prefix)) {
+          if (rec.lifetime.begin >= e->listed && rec.lifetime.begin < best) {
+            best = rec.lifetime.begin;
+            roa_asn = rec.roa.asn;
+          }
+        }
+        if (origins.empty()) {
+          ++r.removed_signed_unannounced;
+        } else if (std::find(origins.begin(), origins.end(), roa_asn) !=
+                   origins.end()) {
+          ++r.removed_signed_same_asn;
+        } else {
+          ++r.removed_signed_different_asn;
+        }
+      }
+    } else {
+      ++r.present_on_drop[i_r].total;
+      ++r.present_total.total;
+      if (signed_after) {
+        ++r.present_on_drop[i_r].signed_;
+        ++r.present_total.signed_;
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace droplens::core

@@ -1,0 +1,43 @@
+// Table 1 + §4.2: RPKI signing rates of unsigned prefixes, split by their
+// relationship with DROP (never listed / listed and removed / still listed).
+#pragma once
+
+#include <array>
+
+#include "core/drop_index.hpp"
+#include "core/study.hpp"
+#include "rir/rir.hpp"
+
+namespace droplens::core {
+
+struct SigningCell {
+  int total = 0;    // prefixes without a ROA at the reference date
+  int signed_ = 0;  // of those, signed by window end
+
+  double rate() const {
+    return total ? static_cast<double>(signed_) / total : 0.0;
+  }
+};
+
+struct RpkiUptakeResult {
+  // Rows: the five RIRs; columns: never on DROP / removed / present.
+  std::array<SigningCell, 5> never_on_drop;
+  std::array<SigningCell, 5> removed_from_drop;
+  std::array<SigningCell, 5> present_on_drop;
+  SigningCell never_total, removed_total, present_total;
+
+  // §4.2: of prefixes removed from DROP and signed during the window, how
+  // the ROA's ASN compares with the BGP origin at listing time.
+  int removed_signed = 0;
+  int removed_signed_same_asn = 0;
+  int removed_signed_different_asn = 0;
+  int removed_signed_unannounced = 0;
+
+  // §6.1 context: hijack-labeled prefixes signed before they were listed.
+  int hijacked_signed_before_listing = 0;
+};
+
+RpkiUptakeResult analyze_rpki_uptake(const Study& study,
+                                     const DropIndex& index);
+
+}  // namespace droplens::core

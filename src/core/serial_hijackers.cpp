@@ -1,0 +1,82 @@
+#include "core/serial_hijackers.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/drop_index.hpp"
+
+namespace droplens::core {
+
+SerialHijackerResult analyze_serial_hijackers(const Study& study,
+                                              const DropIndex& index) {
+  struct Accum {
+    std::unordered_set<net::Prefix> prefixes;
+    std::vector<int32_t> durations;
+    int short_lived = 0;
+    int on_drop = 0;
+    uint64_t span = 0;
+  };
+  std::unordered_map<net::Asn, Accum> by_origin;
+
+  std::unordered_set<net::Prefix> drop_prefixes;
+  for (const DropEntry& e : index.entries()) drop_prefixes.insert(e.prefix);
+
+  // One pass over every episode the collectors saw during the window.
+  for (const net::Prefix& p : study.fleet.announced_prefixes()) {
+    for (const bgp::Episode& e : study.fleet.episodes(p)) {
+      // Only behaviour observable inside the study window counts.
+      net::Date begin = std::max(e.range.begin, study.window_begin);
+      net::Date end = e.range.end == net::DateRange::unbounded()
+                          ? study.window_end
+                          : std::min(e.range.end, study.window_end);
+      if (begin >= end) continue;
+      Accum& acc = by_origin[e.origin()];
+      if (acc.prefixes.insert(p).second) {
+        acc.span += p.size();
+        if (drop_prefixes.contains(p)) ++acc.on_drop;
+      }
+      int32_t days = end - begin;
+      acc.durations.push_back(days);
+      // An episode is short-lived if the announcement was actually
+      // withdrawn (window truncation does not count) after at most ~400
+      // days — hijackers pull their routes once they stop being useful;
+      // legitimate operators keep announcing.
+      if (e.range.end != net::DateRange::unbounded() &&
+          e.range.end <= study.window_end &&
+          e.range.end - e.range.begin < 400) {
+        ++acc.short_lived;
+      }
+    }
+  }
+
+  SerialHijackerResult r;
+  for (auto& [asn, acc] : by_origin) {
+    ++r.origins_profiled;
+    if (acc.on_drop > 0) ++r.origins_with_drop_prefix;
+    OriginProfile profile;
+    profile.asn = asn;
+    profile.prefixes_originated = static_cast<int>(acc.prefixes.size());
+    profile.episodes = static_cast<int>(acc.durations.size());
+    profile.short_lived_episodes = acc.short_lived;
+    profile.prefixes_on_drop = acc.on_drop;
+    profile.address_span = acc.span;
+    if (!acc.durations.empty()) {
+      std::nth_element(acc.durations.begin(),
+                       acc.durations.begin() + acc.durations.size() / 2,
+                       acc.durations.end());
+      profile.median_episode_days =
+          acc.durations[acc.durations.size() / 2];
+    }
+    if (profile.flagged_serial_hijacker()) {
+      r.flagged.push_back(std::move(profile));
+    }
+  }
+  std::sort(r.flagged.begin(), r.flagged.end(),
+            [](const OriginProfile& a, const OriginProfile& b) {
+              return a.prefixes_originated > b.prefixes_originated;
+            });
+  return r;
+}
+
+}  // namespace droplens::core

@@ -1,0 +1,57 @@
+// Serial-hijacker profiling (baseline; Testart et al., IMC'19).
+//
+// The paper's related work profiles "serial hijackers" — ASes that
+// repeatedly originate prefixes they do not hold. We implement the
+// feature-based detector as a baseline: per origin AS, compute the
+// behavioural features Testart et al. found discriminative (short-lived
+// announcements, many distinct prefixes, a large fraction of announced
+// space ending up blocklisted, intermittent presence) and flag the ASes
+// whose profile matches. On the synthetic world this recovers the §5
+// hijacking ASNs and the Fig 4 actors without using ground truth.
+#pragma once
+
+#include <vector>
+
+#include "core/drop_index.hpp"
+#include "core/study.hpp"
+#include "net/asn.hpp"
+
+namespace droplens::core {
+
+struct OriginProfile {
+  net::Asn asn;
+  int prefixes_originated = 0;
+  int episodes = 0;
+  int short_lived_episodes = 0;   // shorter than 90 days
+  int prefixes_on_drop = 0;
+  double median_episode_days = 0;
+  uint64_t address_span = 0;      // total distinct address space originated
+
+  double short_lived_rate() const {
+    return episodes ? static_cast<double>(short_lived_episodes) / episodes
+                    : 0;
+  }
+  double drop_rate() const {
+    return prefixes_originated
+               ? static_cast<double>(prefixes_on_drop) / prefixes_originated
+               : 0;
+  }
+  /// The classifier: several prefixes, mostly short-lived announcements,
+  /// and a large share of them blocklisted.
+  bool flagged_serial_hijacker() const {
+    return prefixes_originated >= 3 && short_lived_rate() >= 0.5 &&
+           drop_rate() >= 0.5;
+  }
+};
+
+struct SerialHijackerResult {
+  std::vector<OriginProfile> flagged;      // sorted by prefixes_originated
+  int origins_profiled = 0;
+  int origins_with_drop_prefix = 0;
+};
+
+/// Profile every origin AS observed during the study window.
+SerialHijackerResult analyze_serial_hijackers(const Study& study,
+                                              const DropIndex& index);
+
+}  // namespace droplens::core

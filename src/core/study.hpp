@@ -1,0 +1,27 @@
+// The study context: references to the five data sets plus the measurement
+// window. Analyses take a Study and nothing else — exactly the inputs the
+// paper had (§3).
+#pragma once
+
+#include "bgp/fleet.hpp"
+#include "drop/drop_list.hpp"
+#include "drop/sbl.hpp"
+#include "irr/database.hpp"
+#include "net/date.hpp"
+#include "rir/registry.hpp"
+#include "rpki/archive.hpp"
+
+namespace droplens::core {
+
+struct Study {
+  const rir::Registry& registry;
+  const bgp::CollectorFleet& fleet;
+  const irr::Database& irr;
+  const rpki::RoaArchive& roas;
+  const drop::DropList& drop;
+  const drop::SblDatabase& sbl;
+  net::Date window_begin;
+  net::Date window_end;
+};
+
+}  // namespace droplens::core

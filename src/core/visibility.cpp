@@ -1,0 +1,111 @@
+#include "core/visibility.hpp"
+
+#include <algorithm>
+
+namespace droplens::core {
+
+VisibilityResult analyze_visibility(const Study& study,
+                                    const DropIndex& index) {
+  VisibilityResult r;
+  const std::vector<const DropEntry*> entries = index.non_incident();
+
+  // --- Fig 2 left: withdrawal relative to listing ------------------------
+  // A prefix enters the population if it was BGP-observed the day before
+  // listing; it counts as withdrawn at offset k if no announcement covers
+  // listing + k.
+  std::array<int, 32> withdrawn_at{};  // offsets -1..30 -> index 0..31
+  for (const DropEntry* e : entries) {
+    bool routed_before = false;
+    for (int k = 1; k <= 7 && !routed_before; ++k) {
+      routed_before = study.fleet.announced_on(e->prefix, e->listed - k);
+    }
+    if (!routed_before) continue;
+    ++r.routed_at_listing;
+    for (drop::Category c : drop::kAllCategories) {
+      if (e->is(c)) ++r.routed_by_category[static_cast<size_t>(c)];
+    }
+    int withdrawn_offset = -2;  // sentinel: never withdrew in the window
+    for (int k = -1; k <= 30; ++k) {
+      if (!study.fleet.announced_on(e->prefix, e->listed + k)) {
+        withdrawn_offset = k;
+        break;
+      }
+    }
+    if (withdrawn_offset >= -1) {
+      ++withdrawn_at[static_cast<size_t>(withdrawn_offset + 1)];
+      ++r.withdrawn_within_30d;
+      for (drop::Category c : drop::kAllCategories) {
+        if (e->is(c)) ++r.withdrawn_30d_by_category[static_cast<size_t>(c)];
+      }
+    }
+  }
+  int cumulative = 0;
+  for (int k = -1; k <= 30; ++k) {
+    cumulative += withdrawn_at[static_cast<size_t>(k + 1)];
+    r.withdrawal_cdf.push_back(WithdrawalCdfPoint{
+        k, r.routed_at_listing
+               ? static_cast<double>(cumulative) / r.routed_at_listing
+               : 0.0});
+  }
+
+  // --- Fig 2 right: fraction of peers observing each DROP prefix ---------
+  size_t full_table = study.fleet.full_table_peer_count();
+  std::vector<PeerFilterStat> stats;
+  for (const bgp::Peer& p : study.fleet.peers()) {
+    if (p.full_table) stats.push_back(PeerFilterStat{p.id, 0, 0, false});
+  }
+  for (const DropEntry* e : entries) {
+    net::Date probe = e->listed + 2;
+    if (!study.fleet.announced_on(e->prefix, probe)) continue;
+    size_t observing = study.fleet.observing_peers(e->prefix, probe);
+    r.peer_visibility_fractions.push_back(
+        static_cast<double>(observing) / static_cast<double>(full_table));
+    for (PeerFilterStat& s : stats) {
+      if (study.fleet.peer_observes(s.peer, e->prefix, probe)) {
+        ++s.drop_prefixes_carried;
+      } else {
+        ++s.drop_prefixes_missing;
+      }
+    }
+  }
+  std::sort(r.peer_visibility_fractions.begin(),
+            r.peer_visibility_fractions.end());
+  for (PeerFilterStat& s : stats) {
+    size_t total = s.drop_prefixes_carried + s.drop_prefixes_missing;
+    s.appears_to_filter =
+        total >= 10 && s.drop_prefixes_missing * 2 > total;
+    if (s.appears_to_filter) ++r.filtering_peers;
+  }
+  r.peer_stats = std::move(stats);
+
+  // --- §4.1: RIR deallocation after listing -------------------------------
+  for (const DropEntry* e : entries) {
+    bool allocated_at_listing =
+        study.registry.is_allocated(e->prefix, e->listed);
+    bool allocated_at_end =
+        study.registry.is_allocated(e->prefix, study.window_end);
+    bool deallocated = allocated_at_listing && !allocated_at_end;
+    if (e->is(drop::Category::kMaliciousHosting)) {
+      if (allocated_at_listing) ++r.mh_allocated_at_listing;
+      if (deallocated) ++r.mh_deallocated;
+    }
+    if (e->removed) {
+      ++r.removed_prefixes;
+      if (deallocated) {
+        ++r.removed_deallocated;
+        // When did the deallocation happen relative to the DROP removal?
+        for (const rir::Allocation& a : study.registry.history(e->prefix)) {
+          if (a.lifetime.end == net::DateRange::unbounded()) continue;
+          net::Date dealloc = a.lifetime.end;
+          if (dealloc <= e->removed_on && e->removed_on - dealloc <= 7) {
+            ++r.removed_within_week_of_dealloc;
+            break;
+          }
+        }
+      }
+    }
+  }
+  return r;
+}
+
+}  // namespace droplens::core

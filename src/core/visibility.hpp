@@ -1,0 +1,56 @@
+// Fig 2 + §4.1: what blocklisting correlates with in BGP and in the
+// registries — route withdrawal, peer-level filtering, RIR deallocation.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "bgp/fleet.hpp"
+#include "core/drop_index.hpp"
+#include "core/study.hpp"
+
+namespace droplens::core {
+
+struct WithdrawalCdfPoint {
+  int day_offset;        // days relative to listing, -1 .. +30
+  double fraction;       // fraction of routed-at-listing prefixes withdrawn
+};
+
+struct PeerFilterStat {
+  bgp::PeerId peer;
+  size_t drop_prefixes_carried;  // of the listed-and-announced population
+  size_t drop_prefixes_missing;
+  bool appears_to_filter;        // misses the vast majority of them
+};
+
+struct VisibilityResult {
+  // Fig 2 left.
+  std::vector<WithdrawalCdfPoint> withdrawal_cdf;
+  int routed_at_listing = 0;
+  int withdrawn_within_30d = 0;
+  std::array<int, 6> routed_by_category{};          // denominator per label
+  std::array<int, 6> withdrawn_30d_by_category{};   // numerator per label
+
+  // Fig 2 right.
+  std::vector<double> peer_visibility_fractions;  // one per measured prefix
+  std::vector<PeerFilterStat> peer_stats;
+  int filtering_peers = 0;
+
+  // §4.1 deallocation findings.
+  int mh_allocated_at_listing = 0;
+  int mh_deallocated = 0;
+  int removed_prefixes = 0;
+  int removed_deallocated = 0;
+  int removed_within_week_of_dealloc = 0;
+
+  double withdrawn_30d_rate() const {
+    return routed_at_listing ? static_cast<double>(withdrawn_within_30d) /
+                                   routed_at_listing
+                             : 0.0;
+  }
+};
+
+VisibilityResult analyze_visibility(const Study& study,
+                                    const DropIndex& index);
+
+}  // namespace droplens::core

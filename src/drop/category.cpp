@@ -1,0 +1,48 @@
+#include "drop/category.hpp"
+
+#include <bit>
+
+namespace droplens::drop {
+
+std::string_view abbrev(Category c) {
+  switch (c) {
+    case Category::kHijacked: return "HJ";
+    case Category::kSnowshoe: return "SS";
+    case Category::kKnownSpamOp: return "KS";
+    case Category::kMaliciousHosting: return "MH";
+    case Category::kUnallocated: return "UA";
+    case Category::kNoRecord: return "NR";
+  }
+  return "?";
+}
+
+std::string_view full_name(Category c) {
+  switch (c) {
+    case Category::kHijacked: return "Hijacked";
+    case Category::kSnowshoe: return "Snowshoe Spam";
+    case Category::kKnownSpamOp: return "Known Spam Operation";
+    case Category::kMaliciousHosting: return "Malicious Hosting";
+    case Category::kUnallocated: return "Unallocated";
+    case Category::kNoRecord: return "No SBL Record";
+  }
+  return "?";
+}
+
+int CategorySet::count() const { return std::popcount(bits_); }
+
+bool CategorySet::exclusive(Category c) const {
+  return bits_ == (uint8_t{1} << static_cast<int>(c));
+}
+
+std::string CategorySet::to_string() const {
+  std::string out;
+  for (Category c : kAllCategories) {
+    if (has(c)) {
+      if (!out.empty()) out += '+';
+      out += abbrev(c);
+    }
+  }
+  return out.empty() ? "-" : out;
+}
+
+}  // namespace droplens::drop

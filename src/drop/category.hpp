@@ -1,0 +1,52 @@
+// DROP prefix categories (§3.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace droplens::drop {
+
+enum class Category : uint8_t {
+  kHijacked,         // HJ: obtained through fraud or announced without right
+  kSnowshoe,         // SS: spam spread thinly across many addresses
+  kKnownSpamOp,      // KS: connected with a known spam operation (ROKSO)
+  kMaliciousHosting, // MH: bulletproof hosting and the like
+  kUnallocated,      // UA: used by attackers while allocated by no RIR
+  kNoRecord,         // NR: SBL record gone (holder remediated)
+};
+
+inline constexpr std::array<Category, 6> kAllCategories = {
+    Category::kHijacked,     Category::kSnowshoe,
+    Category::kKnownSpamOp,  Category::kMaliciousHosting,
+    Category::kUnallocated,  Category::kNoRecord,
+};
+
+std::string_view abbrev(Category c);      // "HJ", "SS", ...
+std::string_view full_name(Category c);   // "Hijacked", ...
+
+/// A set of categories (one prefix can carry several labels).
+class CategorySet {
+ public:
+  constexpr CategorySet() = default;
+
+  constexpr void add(Category c) { bits_ |= uint8_t{1} << static_cast<int>(c); }
+  constexpr bool has(Category c) const {
+    return bits_ & (uint8_t{1} << static_cast<int>(c));
+  }
+  constexpr bool empty() const { return bits_ == 0; }
+  int count() const;
+
+  /// True if `c` is the only category present.
+  bool exclusive(Category c) const;
+
+  std::string to_string() const;  // "HJ+SS"
+
+  friend constexpr bool operator==(CategorySet, CategorySet) = default;
+
+ private:
+  uint8_t bits_ = 0;
+};
+
+}  // namespace droplens::drop

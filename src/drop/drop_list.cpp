@@ -1,0 +1,104 @@
+#include "drop/drop_list.hpp"
+
+#include "util/error.hpp"
+
+namespace droplens::drop {
+
+void DropList::add(const net::Prefix& prefix, net::Date d,
+                   std::string sbl_id) {
+  auto& stints = by_prefix_[prefix];
+  for (const Listing& l : stints) {
+    if (l.listed.contains(d)) {
+      throw InvariantError(prefix.to_string() + " already on DROP");
+    }
+  }
+  stints.push_back(Listing{prefix, std::move(sbl_id),
+                           net::DateRange{d, net::DateRange::unbounded()}});
+  ++total_;
+}
+
+bool DropList::remove(const net::Prefix& prefix, net::Date d) {
+  auto* stints = by_prefix_.find(prefix);
+  if (!stints) return false;
+  for (Listing& l : *stints) {
+    if (l.listed.contains(d)) {
+      l.listed.end = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool DropList::listed_on(const net::Prefix& prefix, net::Date d) const {
+  const auto* stints = by_prefix_.find(prefix);
+  if (!stints) return false;
+  for (const Listing& l : *stints) {
+    if (l.listed.contains(d)) return true;
+  }
+  return false;
+}
+
+bool DropList::covered_on(const net::Prefix& prefix, net::Date d) const {
+  bool hit = false;
+  by_prefix_.for_each_covering(
+      prefix, [&](const net::Prefix&, const std::vector<Listing>& stints) {
+        if (hit) return;
+        for (const Listing& l : stints) {
+          if (l.listed.contains(d)) {
+            hit = true;
+            return;
+          }
+        }
+      });
+  return hit;
+}
+
+std::vector<Listing> DropList::listings_of(const net::Prefix& prefix) const {
+  const auto* stints = by_prefix_.find(prefix);
+  return stints ? *stints : std::vector<Listing>{};
+}
+
+std::vector<Listing> DropList::all_listings() const {
+  std::vector<Listing> out;
+  out.reserve(total_);
+  by_prefix_.for_each(
+      [&](const net::Prefix&, const std::vector<Listing>& stints) {
+        out.insert(out.end(), stints.begin(), stints.end());
+      });
+  return out;
+}
+
+std::vector<net::Prefix> DropList::all_prefixes() const {
+  std::vector<net::Prefix> out;
+  by_prefix_.for_each([&](const net::Prefix& p, const std::vector<Listing>&) {
+    out.push_back(p);
+  });
+  return out;
+}
+
+std::vector<net::Prefix> DropList::snapshot(net::Date d) const {
+  std::vector<net::Prefix> out;
+  by_prefix_.for_each(
+      [&](const net::Prefix& p, const std::vector<Listing>& stints) {
+        for (const Listing& l : stints) {
+          if (l.listed.contains(d)) {
+            out.push_back(p);
+            return;
+          }
+        }
+      });
+  return out;
+}
+
+std::optional<net::Date> DropList::first_listed(
+    const net::Prefix& prefix) const {
+  const auto* stints = by_prefix_.find(prefix);
+  if (!stints || stints->empty()) return std::nullopt;
+  net::Date best = stints->front().listed.begin;
+  for (const Listing& l : *stints) {
+    if (l.listed.begin < best) best = l.listed.begin;
+  }
+  return best;
+}
+
+}  // namespace droplens::drop

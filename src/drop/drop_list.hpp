@@ -1,0 +1,61 @@
+// The Don't Route Or Peer list: a day-indexed blocklist of IPv4 prefixes.
+//
+// Mirrors the Firehol daily snapshots the paper consumed (§3.1): for every
+// prefix, when it was added and (possibly) removed. Re-listing after removal
+// is supported (each stint is a separate Listing).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/date.hpp"
+#include "net/prefix_trie.hpp"
+
+namespace droplens::drop {
+
+struct Listing {
+  net::Prefix prefix;
+  std::string sbl_id;       // may be empty (record removed / never captured)
+  net::DateRange listed;    // [added, removed); unbounded while on the list
+};
+
+class DropList {
+ public:
+  /// Add `prefix` on `d`. Throws InvariantError if it is already listed.
+  void add(const net::Prefix& prefix, net::Date d, std::string sbl_id = {});
+
+  /// Remove `prefix` on `d` (Spamhaus delisting). Returns false if not
+  /// currently listed.
+  bool remove(const net::Prefix& prefix, net::Date d);
+
+  /// Is exactly `prefix` on the list on day `d`?
+  bool listed_on(const net::Prefix& prefix, net::Date d) const;
+
+  /// Is `prefix` covered by any listing on day `d` (exact or less specific)?
+  /// This is the test a DROP-filtering BGP peer applies to announcements.
+  bool covered_on(const net::Prefix& prefix, net::Date d) const;
+
+  /// All listing stints of `prefix` (possibly several), oldest first.
+  std::vector<Listing> listings_of(const net::Prefix& prefix) const;
+
+  /// Every listing stint ever, in prefix order.
+  std::vector<Listing> all_listings() const;
+
+  /// Unique prefixes that ever appeared, in prefix order.
+  std::vector<net::Prefix> all_prefixes() const;
+
+  /// The daily snapshot (what Firehol would archive for day `d`).
+  std::vector<net::Prefix> snapshot(net::Date d) const;
+
+  /// First day `prefix` appeared; nullopt if never listed.
+  std::optional<net::Date> first_listed(const net::Prefix& prefix) const;
+
+  size_t total_listings() const { return total_; }
+
+ private:
+  net::PrefixMap<std::vector<Listing>> by_prefix_;
+  size_t total_ = 0;
+};
+
+}  // namespace droplens::drop

@@ -1,0 +1,66 @@
+#include "drop/feed.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace droplens::drop {
+
+std::string write_drop_feed(const DropList& list, net::Date d) {
+  std::string out = "; Spamhaus DROP List " + d.to_string() + "\n";
+  out += "; Expires: " + (d + 1).to_string() + "\n";
+  for (const net::Prefix& p : list.snapshot(d)) {
+    out += p.to_string();
+    for (const Listing& l : list.listings_of(p)) {
+      if (l.listed.contains(d) && !l.sbl_id.empty()) {
+        out += " ; " + l.sbl_id;
+        break;
+      }
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::vector<FeedEntry> parse_drop_feed(std::string_view text) {
+  std::vector<FeedEntry> out;
+  for (std::string_view line : util::split(text, '\n')) {
+    line = util::trim(line);
+    if (line.empty() || line.front() == ';' || line.front() == '#') continue;
+    FeedEntry entry;
+    size_t semi = line.find(';');
+    std::string_view prefix_part =
+        util::trim(semi == std::string_view::npos ? line
+                                                  : line.substr(0, semi));
+    entry.prefix = net::Prefix::parse(prefix_part);
+    if (semi != std::string_view::npos) {
+      entry.sbl_id = std::string(util::trim(line.substr(semi + 1)));
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+DropList from_daily_feeds(
+    const std::vector<std::pair<net::Date, std::vector<FeedEntry>>>& days) {
+  DropList list;
+  std::map<net::Prefix, std::string> live;  // prefix -> sbl id
+  for (const auto& [date, entries] : days) {
+    std::map<net::Prefix, std::string> today;
+    for (const FeedEntry& e : entries) today[e.prefix] = e.sbl_id;
+    // Removals: live yesterday, absent today.
+    for (const auto& [prefix, id] : live) {
+      if (!today.contains(prefix)) list.remove(prefix, date);
+    }
+    // Additions: present today, not live yesterday.
+    for (const auto& [prefix, id] : today) {
+      if (!live.contains(prefix)) list.add(prefix, date, id);
+    }
+    live = std::move(today);
+  }
+  return list;
+}
+
+}  // namespace droplens::drop

@@ -1,0 +1,46 @@
+// The DROP feed text format.
+//
+// Spamhaus publishes DROP as a plain-text file (which Firehol archives
+// daily — the paper's actual input, §3.1):
+//
+//   ; Spamhaus DROP List 2022/03/30
+//   ; Last-Modified: Wed, 30 Mar 2022 04:00:00 GMT
+//   1.2.3.0/24 ; SBL123456
+//
+// This module renders a DropList snapshot in that format and parses such
+// feeds back, so archived snapshots round-trip through the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "drop/drop_list.hpp"
+#include "drop/sbl.hpp"
+#include "net/date.hpp"
+
+namespace droplens::drop {
+
+struct FeedEntry {
+  net::Prefix prefix;
+  std::string sbl_id;  // may be empty
+
+  friend bool operator==(const FeedEntry&, const FeedEntry&) = default;
+};
+
+/// Render the DROP snapshot of day `d` as a feed file. Entries are emitted
+/// in prefix order with their SBL ids.
+std::string write_drop_feed(const DropList& list, net::Date d);
+
+/// Parse a feed file. Comment lines (leading ';' or '#') are skipped;
+/// malformed prefix lines throw ParseError.
+std::vector<FeedEntry> parse_drop_feed(std::string_view text);
+
+/// Reconstruct a DropList from a date-ordered sequence of daily snapshots —
+/// the paper's method of recovering add/remove dates from the Firehol
+/// archive. Prefixes first seen in snapshot k are recorded as added on that
+/// snapshot's date; prefixes that disappear are recorded as removed.
+DropList from_daily_feeds(
+    const std::vector<std::pair<net::Date, std::vector<FeedEntry>>>& days);
+
+}  // namespace droplens::drop

@@ -1,0 +1,176 @@
+#include "drop/sbl.hpp"
+
+#include <cctype>
+
+#include "util/strings.hpp"
+
+namespace droplens::drop {
+
+namespace {
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '_';
+}
+
+/// True if `needle` occurs in `text` as a whole word (not embedded in a
+/// longer alphanumeric token). `text` must already be lowercase.
+bool contains_word(std::string_view text, std::string_view needle) {
+  size_t pos = 0;
+  while ((pos = text.find(needle, pos)) != std::string_view::npos) {
+    bool left_ok = pos == 0 || !is_word_char(text[pos - 1]);
+    size_t end = pos + needle.size();
+    bool right_ok = end == text.size() || !is_word_char(text[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// The whitespace-delimited token of `text` containing position `pos`.
+std::string_view token_at(std::string_view text, size_t pos) {
+  size_t b = pos;
+  while (b > 0 && !std::isspace(static_cast<unsigned char>(text[b - 1]))) --b;
+  size_t e = pos;
+  while (e < text.size() && !std::isspace(static_cast<unsigned char>(text[e])))
+    ++e;
+  return text.substr(b, e - b);
+}
+
+/// Words that mark 'hosting' as describing malicious activity — the
+/// codification of the paper's manual verification step.
+constexpr std::string_view kHostingContext[] = {
+    "spam",    "spammer", "spammers",  "bulletproof", "botnet",
+    "malware", "phish",   "malicious", "criminal",    "abusive",
+};
+
+/// True if the token looks like an email address or domain name: contains
+/// '@', or a '.' with word characters on both sides ("networxhosting.com").
+/// A sentence-final period ("spam hosting.") does not count.
+bool email_or_domain_token(std::string_view tok) {
+  if (tok.find('@') != std::string_view::npos) return true;
+  for (size_t i = 1; i + 1 < tok.size(); ++i) {
+    if (tok[i] == '.' && is_word_char(tok[i - 1]) && is_word_char(tok[i + 1])) {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// MH test: some occurrence of "hosting" that is (a) a whole word, (b) not
+/// inside an email address / domain-name token, and (c) accompanied by a
+/// malicious context word in the record.
+bool hosting_in_malicious_context(std::string_view lower) {
+  bool clean_occurrence = false;
+  size_t pos = 0;
+  while ((pos = lower.find("hosting", pos)) != std::string_view::npos) {
+    size_t end = pos + 7;
+    bool word_bounded =
+        (pos == 0 || !is_word_char(lower[pos - 1])) &&
+        (end == lower.size() || !is_word_char(lower[end]));
+    if (word_bounded && !email_or_domain_token(token_at(lower, pos))) {
+      clean_occurrence = true;
+      break;
+    }
+    pos += 7;
+  }
+  if (!clean_occurrence) return false;
+  for (std::string_view ctx : kHostingContext) {
+    if (lower.find(ctx) != std::string_view::npos) return true;
+  }
+  return false;
+}
+
+/// Extract the first "AS<digits>" token, skipping tokens embedded in email
+/// addresses. `lower` is lowercase.
+std::optional<net::Asn> extract_asn(std::string_view lower) {
+  size_t pos = 0;
+  while ((pos = lower.find("as", pos)) != std::string_view::npos) {
+    size_t digits = pos + 2;
+    bool left_ok = pos == 0 || !is_word_char(lower[pos - 1]);
+    if (!left_ok || digits >= lower.size() ||
+        !std::isdigit(static_cast<unsigned char>(lower[digits]))) {
+      pos += 2;
+      continue;
+    }
+    size_t end = digits;
+    uint64_t value = 0;
+    while (end < lower.size() &&
+           std::isdigit(static_cast<unsigned char>(lower[end]))) {
+      value = value * 10 + static_cast<uint64_t>(lower[end] - '0');
+      ++end;
+    }
+    if (value > 0 && value <= 0xffffffffULL &&
+        (end == lower.size() || !is_word_char(lower[end]))) {
+      return net::Asn(static_cast<uint32_t>(value));
+    }
+    pos = end;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+Classification Classifier::classify(std::string_view sbl_text) const {
+  Classification out;
+  std::string lower = util::to_lower(sbl_text);
+
+  if (contains_word(lower, "hijack") || contains_word(lower, "hijacked") ||
+      contains_word(lower, "hijacking") || contains_word(lower, "stolen")) {
+    out.categories.add(Category::kHijacked);
+    out.matched_keywords.push_back("hijack/stolen");
+  }
+  if (contains_word(lower, "snowshoe")) {
+    out.categories.add(Category::kSnowshoe);
+    out.matched_keywords.push_back("snowshoe");
+  }
+  if (lower.find("known spam operation") != std::string::npos) {
+    out.categories.add(Category::kKnownSpamOp);
+    out.matched_keywords.push_back("known spam operation");
+  }
+  if (hosting_in_malicious_context(lower)) {
+    out.categories.add(Category::kMaliciousHosting);
+    out.matched_keywords.push_back("hosting");
+  }
+  if (contains_word(lower, "unallocated") || contains_word(lower, "bogon")) {
+    out.categories.add(Category::kUnallocated);
+    out.matched_keywords.push_back("unallocated/bogon");
+  }
+
+  if (out.categories.empty()) {
+    // Manual-inference fallback (App. A): Spamhaus wording for ranges "used
+    // or about to be used for the purpose of high volume spam emission".
+    if (lower.find("high volume spam") != std::string::npos ||
+        lower.find("spam emission") != std::string::npos) {
+      out.categories.add(Category::kSnowshoe);
+      out.inferred = true;
+    }
+  }
+
+  out.malicious_asn = extract_asn(lower);
+  return out;
+}
+
+void SblDatabase::add(SblRecord record) {
+  id_by_prefix_[record.prefix] = record.id;
+  by_id_[record.id] = std::move(record);
+}
+
+bool SblDatabase::remove(std::string_view id) {
+  auto it = by_id_.find(std::string(id));
+  if (it == by_id_.end()) return false;
+  id_by_prefix_.erase(it->second.prefix);
+  by_id_.erase(it);
+  return true;
+}
+
+const SblRecord* SblDatabase::find(std::string_view id) const {
+  auto it = by_id_.find(std::string(id));
+  return it == by_id_.end() ? nullptr : &it->second;
+}
+
+const SblRecord* SblDatabase::find_by_prefix(const net::Prefix& p) const {
+  auto it = id_by_prefix_.find(p);
+  return it == id_by_prefix_.end() ? nullptr : find(it->second);
+}
+
+}  // namespace droplens::drop

@@ -1,0 +1,67 @@
+// Spamhaus Block List (SBL) records and the Appendix-A classifier.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "drop/category.hpp"
+#include "net/asn.hpp"
+#include "net/prefix.hpp"
+
+namespace droplens::drop {
+
+/// An SBL entry: the free-form investigator text documenting why a prefix
+/// was listed. Spamhaus deletes the record once the holder remediates, which
+/// is why some DROP prefixes end up with "No SBL Record".
+struct SblRecord {
+  std::string id;  // "SBL502548"
+  net::Prefix prefix;
+  std::string text;
+};
+
+/// Result of classifying one SBL record.
+struct Classification {
+  CategorySet categories;
+  std::vector<std::string> matched_keywords;
+  std::optional<net::Asn> malicious_asn;
+  bool inferred = false;  // no keyword hit; fell back to contextual inference
+};
+
+/// The semi-automated categorization of Appendix A: keyword search over the
+/// SBL text ('hijack'/'stolen', 'snowshoe', 'known spam operation',
+/// 'hosting', 'unallocated'/'bogon'), with the paper's manual checks encoded
+/// as rules:
+///   - 'hosting' only counts when used in a malicious-activity context, not
+///     when it merely appears inside an email address or domain name;
+///   - records with no keyword are classified by contextual inference where
+///     possible ("high volume spam emission" -> snowshoe), else left empty
+///     (the paper had two such prefixes).
+/// Also extracts the "malicious ASN" annotation (first ASN named in the
+/// record, as Spamhaus lists it).
+class Classifier {
+ public:
+  Classification classify(std::string_view sbl_text) const;
+};
+
+/// The SBL database: id -> record, with per-prefix lookup. Removal models
+/// Spamhaus deleting records after remediation.
+class SblDatabase {
+ public:
+  void add(SblRecord record);
+
+  /// Delete the record (post-remediation). Returns false if unknown id.
+  bool remove(std::string_view id);
+
+  const SblRecord* find(std::string_view id) const;
+  const SblRecord* find_by_prefix(const net::Prefix& p) const;
+  size_t size() const { return by_id_.size(); }
+
+ private:
+  std::unordered_map<std::string, SblRecord> by_id_;
+  std::unordered_map<net::Prefix, std::string> id_by_prefix_;
+};
+
+}  // namespace droplens::drop

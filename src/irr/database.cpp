@@ -1,0 +1,111 @@
+#include "irr/database.hpp"
+
+#include "util/error.hpp"
+
+namespace droplens::irr {
+
+bool Database::register_object(RouteObject obj) {
+  if (auth_ && !auth_(obj)) return false;
+  obj.source = source_;
+  net::Prefix prefix = obj.prefix;
+  net::Date created = obj.created;
+  by_prefix_[prefix].push_back(
+      Registration{std::move(obj),
+                   net::DateRange{created, net::DateRange::unbounded()}});
+  ++total_;
+  return true;
+}
+
+bool Database::remove_object(const net::Prefix& prefix, net::Asn origin,
+                             net::Date d) {
+  auto* regs = by_prefix_.find(prefix);
+  if (!regs) return false;
+  for (Registration& r : *regs) {
+    if (r.object.origin == origin && r.live_on(d)) {
+      r.lifetime.end = d;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<Registration> Database::exact(const net::Prefix& p,
+                                          net::Date d) const {
+  std::vector<Registration> out;
+  if (const auto* regs = by_prefix_.find(p)) {
+    for (const Registration& r : *regs) {
+      if (r.live_on(d)) out.push_back(r);
+    }
+  }
+  return out;
+}
+
+std::vector<Registration> Database::exact_or_more_specific(
+    const net::Prefix& p, net::Date d) const {
+  std::vector<Registration> out;
+  by_prefix_.for_each_covered(
+      p, [&](const net::Prefix&, const std::vector<Registration>& regs) {
+        for (const Registration& r : regs) {
+          if (r.live_on(d)) out.push_back(r);
+        }
+      });
+  return out;
+}
+
+std::vector<Registration> Database::covering(const net::Prefix& p,
+                                             net::Date d) const {
+  std::vector<Registration> out;
+  by_prefix_.for_each_covering(
+      p, [&](const net::Prefix&, const std::vector<Registration>& regs) {
+        for (const Registration& r : regs) {
+          if (r.live_on(d)) out.push_back(r);
+        }
+      });
+  return out;
+}
+
+std::vector<Registration> Database::history(const net::Prefix& p) const {
+  std::vector<Registration> out;
+  by_prefix_.for_each_covered(
+      p, [&](const net::Prefix&, const std::vector<Registration>& regs) {
+        out.insert(out.end(), regs.begin(), regs.end());
+      });
+  return out;
+}
+
+std::vector<Registration> Database::all_history() const {
+  std::vector<Registration> out;
+  out.reserve(total_);
+  by_prefix_.for_each(
+      [&](const net::Prefix&, const std::vector<Registration>& regs) {
+        out.insert(out.end(), regs.begin(), regs.end());
+      });
+  return out;
+}
+
+size_t Database::live_count(net::Date d) const {
+  size_t n = 0;
+  by_prefix_.for_each(
+      [&](const net::Prefix&, const std::vector<Registration>& regs) {
+        for (const Registration& r : regs) {
+          if (r.live_on(d)) ++n;
+        }
+      });
+  return n;
+}
+
+std::string Database::snapshot_rpsl(net::Date d) const {
+  std::string out;
+  by_prefix_.for_each(
+      [&](const net::Prefix&, const std::vector<Registration>& regs) {
+        for (const Registration& r : regs) {
+          if (r.live_on(d)) {
+            out += r.object.to_rpsl();
+            out += '\n';
+          }
+        }
+      });
+  return out;
+}
+
+}  // namespace droplens::irr

@@ -1,0 +1,61 @@
+// RPSL (Routing Policy Specification Language) object model and parser.
+//
+// IRR databases exchange objects as "attribute: value" text blocks (RFC
+// 2622). We parse the generic form, plus the typed `route:` object the paper
+// analyzes in §5.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "net/date.hpp"
+#include "net/prefix.hpp"
+
+namespace droplens::irr {
+
+/// A generic RPSL object: ordered attribute/value pairs. The first attribute
+/// names the object class ("route", "mntner", ...).
+struct RpslObject {
+  std::vector<std::pair<std::string, std::string>> attributes;
+
+  std::string_view cls() const {
+    return attributes.empty() ? std::string_view{} : attributes.front().first;
+  }
+
+  /// First value of `name`, if present.
+  std::optional<std::string_view> get(std::string_view name) const;
+
+  std::string to_string() const;
+};
+
+/// Parse one or more whitespace-separated RPSL objects. Handles continuation
+/// lines (leading whitespace or '+') and '#' comments. Throws ParseError.
+std::vector<RpslObject> parse_rpsl(std::string_view text);
+
+/// The `route:` object: the prefix and origin AS a network intends to
+/// announce in BGP — the record attackers forge to make hijacks look
+/// legitimate (§5).
+struct RouteObject {
+  net::Prefix prefix;
+  net::Asn origin;
+  std::string maintainer;  // mnt-by
+  std::string org_id;      // org — §5 clusters fraudulent records by ORG-ID
+  std::string descr;
+  net::Date created;
+  std::string source = "RADB";
+
+  /// Render as an RPSL text block.
+  std::string to_rpsl() const;
+
+  /// Build from a parsed RPSL object; throws ParseError if not a valid
+  /// route object.
+  static RouteObject from_rpsl(const RpslObject& obj);
+
+  friend bool operator==(const RouteObject&, const RouteObject&) = default;
+};
+
+}  // namespace droplens::irr

@@ -1,0 +1,80 @@
+#include "irr/sets.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace droplens::irr {
+
+AsSet AsSet::from_rpsl(const RpslObject& obj) {
+  if (obj.cls() != "as-set") {
+    throw ParseError("RPSL: not an as-set (class '" + std::string(obj.cls()) +
+                     "')");
+  }
+  AsSet out;
+  out.name = std::string(*obj.get("as-set"));
+  for (const auto& [attr, value] : obj.attributes) {
+    if (attr != "members") continue;
+    for (std::string_view token : util::split(value, ',')) {
+      token = util::trim(token);
+      if (token.empty()) continue;
+      if (token.size() > 2 && (token.substr(0, 2) == "AS") &&
+          std::isdigit(static_cast<unsigned char>(token[2]))) {
+        out.members.emplace_back(
+            static_cast<uint32_t>(util::parse_u64(token.substr(2))));
+      } else {
+        out.set_members.emplace_back(token);
+      }
+    }
+  }
+  return out;
+}
+
+std::string AsSet::to_rpsl() const {
+  RpslObject obj;
+  obj.attributes.emplace_back("as-set", name);
+  std::vector<std::string> parts;
+  for (net::Asn a : members) parts.push_back(a.to_string());
+  for (const std::string& s : set_members) parts.push_back(s);
+  obj.attributes.emplace_back("members", util::join(parts, ", "));
+  obj.attributes.emplace_back("source", "RADB");
+  return obj.to_string();
+}
+
+std::vector<net::Asn> expand_as_set(const std::map<std::string, AsSet>& sets,
+                                    const std::string& root) {
+  std::set<uint32_t> asns;
+  std::set<std::string> visited;
+  std::vector<std::string> stack{root};
+  while (!stack.empty()) {
+    std::string name = std::move(stack.back());
+    stack.pop_back();
+    if (!visited.insert(name).second) continue;  // cycle / duplicate
+    auto it = sets.find(name);
+    if (it == sets.end()) continue;  // unknown nested set: skip
+    for (net::Asn a : it->second.members) asns.insert(a.value());
+    for (const std::string& nested : it->second.set_members) {
+      stack.push_back(nested);
+    }
+  }
+  std::vector<net::Asn> out;
+  for (uint32_t a : asns) out.emplace_back(a);
+  return out;
+}
+
+std::vector<net::Prefix> build_prefix_filter(
+    const Database& db, const std::vector<net::Asn>& asns, net::Date d) {
+  std::set<net::Prefix> prefixes;
+  for (const Registration& reg : db.all_history()) {
+    if (!reg.live_on(d)) continue;
+    if (std::find(asns.begin(), asns.end(), reg.object.origin) !=
+        asns.end()) {
+      prefixes.insert(reg.object.prefix);
+    }
+  }
+  return std::vector<net::Prefix>(prefixes.begin(), prefixes.end());
+}
+
+}  // namespace droplens::irr

@@ -1,0 +1,40 @@
+// RPSL as-set objects and filter building.
+//
+// Operators derive BGP prefix filters from the IRR: expand a customer's
+// as-set to its member ASNs, then collect the route objects those ASNs
+// registered. This is the workflow that makes unauthenticated route objects
+// dangerous — a forged object (§5) flows straight into someone's filters.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "irr/database.hpp"
+#include "irr/rpsl.hpp"
+
+namespace droplens::irr {
+
+/// The `as-set:` RPSL object: named group of ASNs and nested sets.
+struct AsSet {
+  std::string name;                       // "AS-EXAMPLE"
+  std::vector<net::Asn> members;          // direct ASN members
+  std::vector<std::string> set_members;   // nested as-set names
+
+  static AsSet from_rpsl(const RpslObject& obj);
+  std::string to_rpsl() const;
+
+  friend bool operator==(const AsSet&, const AsSet&) = default;
+};
+
+/// Recursively expand `root` to its member ASNs. Unknown nested sets are
+/// skipped (IRR data is messy); cycles terminate. Result sorted, deduped.
+std::vector<net::Asn> expand_as_set(
+    const std::map<std::string, AsSet>& sets, const std::string& root);
+
+/// The prefixes an operator would allow from `asns`: every route object
+/// live on `d` whose origin is in the list. Sorted, deduped.
+std::vector<net::Prefix> build_prefix_filter(
+    const Database& db, const std::vector<net::Asn>& asns, net::Date d);
+
+}  // namespace droplens::irr

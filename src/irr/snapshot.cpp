@@ -1,0 +1,59 @@
+#include "irr/snapshot.hpp"
+
+#include <map>
+
+namespace droplens::irr {
+
+namespace {
+
+using Key = std::pair<net::Prefix, net::Asn>;
+
+std::map<Key, RouteObject> index_dump(std::string_view text) {
+  std::map<Key, RouteObject> out;
+  for (const RpslObject& obj : parse_rpsl(text)) {
+    if (obj.cls() != "route") continue;
+    RouteObject route = RouteObject::from_rpsl(obj);
+    out[{route.prefix, route.origin}] = std::move(route);
+  }
+  return out;
+}
+
+}  // namespace
+
+SnapshotDiff diff_snapshots(std::string_view older, std::string_view newer) {
+  std::map<Key, RouteObject> before = index_dump(older);
+  std::map<Key, RouteObject> after = index_dump(newer);
+  SnapshotDiff diff;
+  for (const auto& [key, obj] : after) {
+    if (!before.contains(key)) diff.created.push_back(obj);
+  }
+  for (const auto& [key, obj] : before) {
+    if (!after.contains(key)) diff.removed.push_back(obj);
+  }
+  return diff;
+}
+
+Database from_daily_snapshots(
+    const std::vector<std::pair<net::Date, std::string>>& days) {
+  Database db;
+  std::map<Key, RouteObject> live;
+  for (const auto& [date, text] : days) {
+    std::map<Key, RouteObject> today = index_dump(text);
+    for (const auto& [key, obj] : live) {
+      if (!today.contains(key)) {
+        db.remove_object(key.first, key.second, date);
+      }
+    }
+    for (auto& [key, obj] : today) {
+      if (!live.contains(key)) {
+        RouteObject created = obj;
+        created.created = date;  // archive granularity: first-seen day
+        db.register_object(std::move(created));
+      }
+    }
+    live = std::move(today);
+  }
+  return db;
+}
+
+}  // namespace droplens::irr

@@ -1,0 +1,33 @@
+// Daily-snapshot machinery for the IRR.
+//
+// Merit archives RADb as daily dumps; the paper recovers route-object
+// creation and removal dates by diffing consecutive snapshots (§3, §5).
+// This module implements that: diff two RPSL dumps, and rebuild a
+// day-indexed Database from a dated snapshot series.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "irr/database.hpp"
+
+namespace droplens::irr {
+
+struct SnapshotDiff {
+  std::vector<RouteObject> created;  // in `newer` but not `older`
+  std::vector<RouteObject> removed;  // in `older` but not `newer`
+
+  bool empty() const { return created.empty() && removed.empty(); }
+};
+
+/// Diff two RPSL dumps by (prefix, origin) identity.
+SnapshotDiff diff_snapshots(std::string_view older, std::string_view newer);
+
+/// Rebuild a Database from date-ordered daily dumps: objects first seen on
+/// day k are recorded as created then; objects that disappear are recorded
+/// as removed. This loses sub-day timing exactly the way the paper's
+/// archive-based method does.
+Database from_daily_snapshots(
+    const std::vector<std::pair<net::Date, std::string>>& days);
+
+}  // namespace droplens::irr

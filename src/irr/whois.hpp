@@ -1,0 +1,44 @@
+// IRRd-style whois query interface.
+//
+// Operators and researchers query IRR databases over the whois protocol;
+// IRRd's terse command set is the de-facto API. We implement the subset the
+// tooling around this paper would use:
+//
+//   !rPREFIX        route objects exactly matching PREFIX
+//   !rPREFIX,l      objects for PREFIX and less-specifics (covering)
+//   !rPREFIX,M      objects for more-specifics of PREFIX
+//   !gAS64500       prefixes originated by an ASN
+//   !iAS-SET        expand an as-set to its member ASNs
+//
+// Responses use IRRd framing: "A<len>\n<payload>C\n" for data, "C\n" for
+// success with no data, "D\n" for no entries, "F <msg>\n" for errors.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "irr/database.hpp"
+#include "irr/sets.hpp"
+
+namespace droplens::irr {
+
+class WhoisServer {
+ public:
+  /// Serve `db` as of day `today`; `sets` backs !i expansion.
+  WhoisServer(const Database& db, net::Date today,
+              std::map<std::string, AsSet> sets = {});
+
+  /// Handle one query line (without trailing newline); returns the framed
+  /// response. Unknown or malformed queries return an F response.
+  std::string handle(std::string_view query) const;
+
+ private:
+  std::string frame(const std::string& payload) const;
+
+  const Database& db_;
+  net::Date today_;
+  std::map<std::string, AsSet> sets_;
+};
+
+}  // namespace droplens::irr

@@ -1,0 +1,40 @@
+// Autonomous System Number strong type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace droplens::net {
+
+/// An AS number. AS0 (`Asn::kAs0`) is reserved: in a ROA it asserts that the
+/// covered prefix must not be routed (RFC 6483 / RFC 7607).
+class Asn {
+ public:
+  constexpr Asn() = default;
+  constexpr explicit Asn(uint32_t value) : value_(value) {}
+
+  static constexpr uint32_t kAs0Value = 0;
+  static constexpr Asn as0() { return Asn(kAs0Value); }
+
+  constexpr uint32_t value() const { return value_; }
+  constexpr bool is_as0() const { return value_ == kAs0Value; }
+
+  /// "AS65536" style rendering.
+  std::string to_string() const { return "AS" + std::to_string(value_); }
+
+  friend constexpr auto operator<=>(Asn, Asn) = default;
+
+ private:
+  uint32_t value_ = 0;
+};
+
+}  // namespace droplens::net
+
+template <>
+struct std::hash<droplens::net::Asn> {
+  size_t operator()(droplens::net::Asn a) const noexcept {
+    return std::hash<uint32_t>()(a.value());
+  }
+};

@@ -1,0 +1,38 @@
+#include "net/cidr_cover.hpp"
+
+#include <bit>
+
+#include "util/error.hpp"
+
+namespace droplens::net {
+
+std::vector<Prefix> cidr_cover(uint64_t begin, uint64_t end) {
+  if (begin > end || end > (uint64_t{1} << 32)) {
+    throw InvariantError("cidr_cover: bad range");
+  }
+  std::vector<Prefix> out;
+  while (begin < end) {
+    // Largest power-of-two block that starts at `begin` (alignment limit)
+    // and fits in the remaining range (size limit).
+    int align_zeros =
+        begin == 0 ? 32 : std::countr_zero(static_cast<uint32_t>(begin));
+    uint64_t remaining = end - begin;
+    int size_bits = 63 - std::countl_zero(remaining);  // floor(log2)
+    int block_bits = std::min(align_zeros, std::min(size_bits, 32));
+    int length = 32 - block_bits;
+    out.push_back(Prefix(Ipv4(static_cast<uint32_t>(begin)), length));
+    begin += uint64_t{1} << block_bits;
+  }
+  return out;
+}
+
+std::vector<Prefix> cidr_cover(const IntervalSet& set) {
+  std::vector<Prefix> out;
+  for (const IntervalSet::Interval& iv : set.intervals()) {
+    std::vector<Prefix> part = cidr_cover(iv.begin, iv.end);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  return out;
+}
+
+}  // namespace droplens::net

@@ -1,0 +1,22 @@
+// Minimal CIDR cover: decompose address ranges into the fewest prefixes.
+//
+// Used by the AS0 policy engine (an RIR signs its *free pool* — an arbitrary
+// union of ranges — as AS0 ROAs, which must be CIDR blocks) and by the
+// delegation-file writer (RIR stats use start+count ranges).
+#pragma once
+
+#include <vector>
+
+#include "net/interval_set.hpp"
+#include "net/prefix.hpp"
+
+namespace droplens::net {
+
+/// The unique minimal set of prefixes exactly covering [begin, end).
+/// Requires begin <= end <= 2^32.
+std::vector<Prefix> cidr_cover(uint64_t begin, uint64_t end);
+
+/// Minimal prefix cover of a whole interval set, in address order.
+std::vector<Prefix> cidr_cover(const IntervalSet& set);
+
+}  // namespace droplens::net

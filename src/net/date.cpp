@@ -1,0 +1,81 @@
+#include "net/date.hpp"
+
+#include <cstdio>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace droplens::net {
+
+namespace {
+
+// Howard Hinnant's days_from_civil / civil_from_days algorithms.
+constexpr int32_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);          // [0, 399]
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;         // [0, 146096]
+  return era * 146097 + static_cast<int32_t>(doe) - 719468;
+}
+
+constexpr bool is_leap(int y) {
+  return y % 4 == 0 && (y % 100 != 0 || y % 400 == 0);
+}
+
+constexpr int days_in_month(int y, int m) {
+  constexpr int lengths[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  return m == 2 && is_leap(y) ? 29 : lengths[m - 1];
+}
+
+}  // namespace
+
+Date Date::from_ymd(int year, int month, int day) {
+  if (month < 1 || month > 12 || day < 1 || day > days_in_month(year, month)) {
+    throw InvariantError("invalid civil date");
+  }
+  return Date(days_from_civil(year, month, day));
+}
+
+Date Date::parse(std::string_view text) {
+  int y = 0, m = 0, d = 0;
+  if (text.size() == 10 && text[4] == '-' && text[7] == '-') {
+    y = static_cast<int>(util::parse_u64(text.substr(0, 4)));
+    m = static_cast<int>(util::parse_u64(text.substr(5, 2)));
+    d = static_cast<int>(util::parse_u64(text.substr(8, 2)));
+  } else if (text.size() == 8) {
+    y = static_cast<int>(util::parse_u64(text.substr(0, 4)));
+    m = static_cast<int>(util::parse_u64(text.substr(4, 2)));
+    d = static_cast<int>(util::parse_u64(text.substr(6, 2)));
+  } else {
+    throw ParseError("bad date: '" + std::string(text) + "'");
+  }
+  try {
+    return from_ymd(y, m, d);
+  } catch (const InvariantError&) {
+    throw ParseError("bad date: '" + std::string(text) + "'");
+  }
+}
+
+Date::Ymd Date::ymd() const {
+  // civil_from_days
+  int32_t z = days_ + 719468;
+  const int32_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);  // [0, 146096]
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int y = static_cast<int>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);  // [0, 365]
+  const unsigned mp = (5 * doy + 2) / 153;                       // [0, 11]
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;               // [1, 31]
+  const unsigned m = mp + (mp < 10 ? 3 : -9);                    // [1, 12]
+  return Ymd{y + (m <= 2), static_cast<int>(m), static_cast<int>(d)};
+}
+
+std::string Date::to_string() const {
+  Ymd c = ymd();
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02d", c.year, c.month, c.day);
+  return buf;
+}
+
+}  // namespace droplens::net

@@ -1,0 +1,70 @@
+// Calendar date as days since 1970-01-01 (proleptic Gregorian). The study
+// window is June 2019 – March 2022, so a day-granularity clock is exactly
+// what the paper's data sets use (daily DROP/IRR/ROA/RIR-stats snapshots).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace droplens::net {
+
+class Date {
+ public:
+  constexpr Date() = default;
+  constexpr explicit Date(int32_t days_since_epoch) : days_(days_since_epoch) {}
+
+  /// From a civil date; throws InvariantError on out-of-range month/day.
+  static Date from_ymd(int year, int month, int day);
+
+  /// Parse "YYYY-MM-DD" (also accepts "YYYYMMDD", the RIR-stats form).
+  static Date parse(std::string_view text);
+
+  constexpr int32_t days() const { return days_; }
+
+  /// Civil components.
+  struct Ymd {
+    int year;
+    int month;
+    int day;
+  };
+  Ymd ymd() const;
+
+  std::string to_string() const;  // "YYYY-MM-DD"
+
+  constexpr Date operator+(int32_t d) const { return Date(days_ + d); }
+  constexpr Date operator-(int32_t d) const { return Date(days_ - d); }
+  constexpr int32_t operator-(Date other) const { return days_ - other.days_; }
+  Date& operator+=(int32_t d) { days_ += d; return *this; }
+  Date& operator++() { ++days_; return *this; }
+
+  friend constexpr auto operator<=>(Date, Date) = default;
+
+ private:
+  int32_t days_ = 0;
+};
+
+/// Half-open date interval [begin, end). `end == Date::max()` means "still
+/// open" in the history stores.
+struct DateRange {
+  Date begin;
+  Date end;
+
+  static constexpr Date unbounded() { return Date(INT32_MAX); }
+
+  bool contains(Date d) const { return begin <= d && d < end; }
+  int32_t length() const { return end - begin; }
+
+  friend constexpr auto operator<=>(const DateRange&, const DateRange&) = default;
+};
+
+}  // namespace droplens::net
+
+template <>
+struct std::hash<droplens::net::Date> {
+  size_t operator()(droplens::net::Date d) const noexcept {
+    return std::hash<int32_t>()(d.days());
+  }
+};

@@ -1,0 +1,105 @@
+#include "net/interval_set.hpp"
+
+#include <algorithm>
+
+namespace droplens::net {
+
+void IntervalSet::insert(uint64_t begin, uint64_t end) {
+  if (begin >= end) return;
+  // Find the first interval whose end >= begin (candidate for merging).
+  auto first = std::lower_bound(
+      intervals_.begin(), intervals_.end(), begin,
+      [](const Interval& iv, uint64_t b) { return iv.end < b; });
+  // Find one past the last interval whose begin <= end.
+  auto last = std::upper_bound(
+      first, intervals_.end(), end,
+      [](uint64_t e, const Interval& iv) { return e < iv.begin; });
+  if (first != last) {
+    begin = std::min(begin, first->begin);
+    end = std::max(end, std::prev(last)->end);
+  }
+  auto it = intervals_.erase(first, last);
+  intervals_.insert(it, Interval{begin, end});
+}
+
+void IntervalSet::erase(uint64_t begin, uint64_t end) {
+  if (begin >= end) return;
+  std::vector<Interval> out;
+  out.reserve(intervals_.size() + 1);
+  for (const Interval& iv : intervals_) {
+    if (iv.end <= begin || iv.begin >= end) {
+      out.push_back(iv);
+      continue;
+    }
+    if (iv.begin < begin) out.push_back(Interval{iv.begin, begin});
+    if (iv.end > end) out.push_back(Interval{end, iv.end});
+  }
+  intervals_ = std::move(out);
+}
+
+bool IntervalSet::contains(Ipv4 addr) const {
+  uint64_t a = addr.value();
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), a,
+      [](uint64_t v, const Interval& iv) { return v < iv.begin; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return a < it->end;
+}
+
+bool IntervalSet::covers(const Prefix& p) const {
+  uint64_t b = p.first(), e = p.end();
+  auto it = std::upper_bound(
+      intervals_.begin(), intervals_.end(), b,
+      [](uint64_t v, const Interval& iv) { return v < iv.begin; });
+  if (it == intervals_.begin()) return false;
+  --it;
+  return b >= it->begin && e <= it->end;
+}
+
+bool IntervalSet::intersects(const Prefix& p) const {
+  uint64_t b = p.first(), e = p.end();
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), b,
+      [](const Interval& iv, uint64_t v) { return iv.end <= v; });
+  return it != intervals_.end() && it->begin < e;
+}
+
+uint64_t IntervalSet::size() const {
+  uint64_t total = 0;
+  for (const Interval& iv : intervals_) total += iv.size();
+  return total;
+}
+
+IntervalSet IntervalSet::set_union(const IntervalSet& a, const IntervalSet& b) {
+  IntervalSet out = a;
+  for (const Interval& iv : b.intervals_) out.insert(iv.begin, iv.end);
+  return out;
+}
+
+IntervalSet IntervalSet::set_intersection(const IntervalSet& a,
+                                          const IntervalSet& b) {
+  IntervalSet out;
+  auto ia = a.intervals_.begin();
+  auto ib = b.intervals_.begin();
+  while (ia != a.intervals_.end() && ib != b.intervals_.end()) {
+    uint64_t lo = std::max(ia->begin, ib->begin);
+    uint64_t hi = std::min(ia->end, ib->end);
+    if (lo < hi) out.intervals_.push_back(Interval{lo, hi});
+    if (ia->end < ib->end) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return out;
+}
+
+IntervalSet IntervalSet::set_difference(const IntervalSet& a,
+                                        const IntervalSet& b) {
+  IntervalSet out = a;
+  for (const Interval& iv : b.intervals_) out.erase(iv.begin, iv.end);
+  return out;
+}
+
+}  // namespace droplens::net

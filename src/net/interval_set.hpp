@@ -1,0 +1,71 @@
+// Disjoint half-open interval set over the IPv4 address space.
+//
+// The paper repeatedly accounts address space in "/8 equivalents" (Fig 1,
+// Fig 5, Fig 7): unions of prefixes with overlap collapsed. IntervalSet is
+// that accounting primitive. Bounds are uint64 so the end of 255/8 (2^32)
+// is representable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace droplens::net {
+
+class IntervalSet {
+ public:
+  struct Interval {
+    uint64_t begin;
+    uint64_t end;  // half-open
+
+    uint64_t size() const { return end - begin; }
+    friend auto operator<=>(const Interval&, const Interval&) = default;
+  };
+
+  IntervalSet() = default;
+
+  /// Insert; overlapping/adjacent intervals coalesce. Empty ranges ignored.
+  void insert(uint64_t begin, uint64_t end);
+  void insert(const Prefix& p) { insert(p.first(), p.end()); }
+
+  /// Remove [begin, end) from the set.
+  void erase(uint64_t begin, uint64_t end);
+  void erase(const Prefix& p) { erase(p.first(), p.end()); }
+
+  bool contains(Ipv4 addr) const;
+
+  /// True if every address of `p` is in the set.
+  bool covers(const Prefix& p) const;
+
+  /// True if any address of `p` is in the set.
+  bool intersects(const Prefix& p) const;
+
+  /// Total number of addresses.
+  uint64_t size() const;
+
+  /// size() / 2^24 — the paper's "/8 equivalents" unit.
+  double slash8_equivalents() const {
+    return static_cast<double>(size()) /
+           static_cast<double>(uint64_t{1} << 24);
+  }
+
+  bool empty() const { return intervals_.empty(); }
+  size_t interval_count() const { return intervals_.size(); }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  /// Set algebra; results are canonical (disjoint, sorted, coalesced).
+  static IntervalSet set_union(const IntervalSet& a, const IntervalSet& b);
+  static IntervalSet set_intersection(const IntervalSet& a,
+                                      const IntervalSet& b);
+  static IntervalSet set_difference(const IntervalSet& a,
+                                    const IntervalSet& b);
+
+  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+
+ private:
+  // Invariant: sorted by begin, non-empty, non-overlapping, non-adjacent.
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace droplens::net

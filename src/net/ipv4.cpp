@@ -1,0 +1,44 @@
+#include "net/ipv4.hpp"
+
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace droplens::net {
+
+Ipv4 Ipv4::parse(std::string_view text) {
+  uint32_t value = 0;
+  const char* p = text.data();
+  const char* end = text.data() + text.size();
+  for (int octet = 0; octet < 4; ++octet) {
+    if (octet > 0) {
+      if (p == end || *p != '.') {
+        throw ParseError("bad IPv4 address: '" + std::string(text) + "'");
+      }
+      ++p;
+    }
+    unsigned v = 0;
+    auto [next, ec] = std::from_chars(p, end, v);
+    if (ec != std::errc() || next == p || v > 255) {
+      throw ParseError("bad IPv4 address: '" + std::string(text) + "'");
+    }
+    value = (value << 8) | v;
+    p = next;
+  }
+  if (p != end) {
+    throw ParseError("bad IPv4 address: '" + std::string(text) + "'");
+  }
+  return Ipv4(value);
+}
+
+std::string Ipv4::to_string() const {
+  std::string out;
+  out.reserve(15);
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    if (!out.empty()) out += '.';
+    out += std::to_string((value_ >> shift) & 0xff);
+  }
+  return out;
+}
+
+}  // namespace droplens::net

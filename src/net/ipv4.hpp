@@ -1,0 +1,31 @@
+// IPv4 address value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace droplens::net {
+
+/// An IPv4 address as a host-order 32-bit value. Plain value type: copyable,
+/// totally ordered, hashable via value().
+class Ipv4 {
+ public:
+  constexpr Ipv4() = default;
+  constexpr explicit Ipv4(uint32_t value) : value_(value) {}
+
+  /// Parse dotted-quad ("192.0.2.1"); throws ParseError on malformed input.
+  static Ipv4 parse(std::string_view text);
+
+  constexpr uint32_t value() const { return value_; }
+
+  std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4, Ipv4) = default;
+
+ private:
+  uint32_t value_ = 0;
+};
+
+}  // namespace droplens::net

@@ -1,0 +1,73 @@
+#include "net/prefix.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace droplens::net {
+
+namespace {
+
+constexpr uint32_t mask_for(int length) {
+  return length == 0 ? 0 : ~uint32_t{0} << (32 - length);
+}
+
+}  // namespace
+
+Prefix::Prefix(Ipv4 network, int length) : network_(network), length_(length) {
+  if (length < 0 || length > 32) {
+    throw InvariantError("prefix length out of range: " +
+                         std::to_string(length));
+  }
+  if ((network.value() & ~mask_for(length)) != 0) {
+    throw InvariantError("prefix has host bits set: " + network.to_string() +
+                         "/" + std::to_string(length));
+  }
+}
+
+Prefix Prefix::parse(std::string_view text) {
+  size_t slash = text.find('/');
+  if (slash == std::string_view::npos) {
+    throw ParseError("prefix missing '/': '" + std::string(text) + "'");
+  }
+  Ipv4 addr = Ipv4::parse(text.substr(0, slash));
+  unsigned long len = util::parse_u64(text.substr(slash + 1));
+  if (len > 32) {
+    throw ParseError("prefix length out of range: '" + std::string(text) + "'");
+  }
+  return Prefix(addr, static_cast<int>(len));
+}
+
+Prefix Prefix::containing(Ipv4 addr, int length) {
+  if (length < 0 || length > 32) {
+    throw InvariantError("prefix length out of range: " +
+                         std::to_string(length));
+  }
+  return Prefix(Ipv4(addr.value() & mask_for(length)), length);
+}
+
+bool Prefix::contains(const Prefix& other) const {
+  if (other.length_ < length_) return false;
+  return (other.network_.value() & mask_for(length_)) == network_.value();
+}
+
+bool Prefix::contains(Ipv4 addr) const {
+  return (addr.value() & mask_for(length_)) == network_.value();
+}
+
+Prefix Prefix::parent() const {
+  if (length_ == 0) throw InvariantError("/0 has no parent");
+  return containing(network_, length_ - 1);
+}
+
+Prefix Prefix::child(int bit) const {
+  if (length_ == 32) throw InvariantError("/32 has no children");
+  uint32_t net = network_.value();
+  if (bit) net |= uint32_t{1} << (31 - length_);
+  return Prefix(Ipv4(net), length_ + 1);
+}
+
+std::string Prefix::to_string() const {
+  return network_.to_string() + "/" + std::to_string(length_);
+}
+
+}  // namespace droplens::net

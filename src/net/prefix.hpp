@@ -1,0 +1,80 @@
+// IPv4 prefix (CIDR block) value type.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "net/ipv4.hpp"
+
+namespace droplens::net {
+
+/// An IPv4 CIDR prefix. The network address is always canonical (host bits
+/// zero); constructing with stray host bits throws InvariantError.
+class Prefix {
+ public:
+  /// Default: 0.0.0.0/0.
+  constexpr Prefix() = default;
+
+  /// Throws InvariantError if `length` > 32 or `network` has host bits set.
+  Prefix(Ipv4 network, int length);
+
+  /// Parse "a.b.c.d/len"; throws ParseError.
+  static Prefix parse(std::string_view text);
+
+  /// The prefix containing `addr` at length `length` (host bits masked off).
+  static Prefix containing(Ipv4 addr, int length);
+
+  Ipv4 network() const { return network_; }
+  int length() const { return length_; }
+
+  /// First address after the block; 2^32 for blocks ending at the top.
+  uint64_t first() const { return network_.value(); }
+  uint64_t end() const { return first() + size(); }
+
+  /// Number of addresses covered (2^(32-length)).
+  uint64_t size() const { return uint64_t{1} << (32 - length_); }
+
+  /// Address space expressed in /8 equivalents (size / 2^24).
+  double slash8_equivalents() const {
+    return static_cast<double>(size()) / static_cast<double>(uint64_t{1} << 24);
+  }
+
+  /// True if this prefix covers `other` (equal or less-specific).
+  bool contains(const Prefix& other) const;
+  bool contains(Ipv4 addr) const;
+
+  /// The immediate parent (one bit shorter); throws InvariantError on /0.
+  Prefix parent() const;
+
+  /// The two immediate children; throws InvariantError on /32.
+  Prefix child(int bit) const;
+
+  /// Value of the bit at position `pos` (0 = most significant) — used by the
+  /// radix trie. Requires pos < 32.
+  int bit(int pos) const { return (network_.value() >> (31 - pos)) & 1; }
+
+  std::string to_string() const;
+
+  friend auto operator<=>(const Prefix&, const Prefix&) = default;
+
+ private:
+  Ipv4 network_;
+  int length_ = 0;
+};
+
+}  // namespace droplens::net
+
+template <>
+struct std::hash<droplens::net::Prefix> {
+  size_t operator()(const droplens::net::Prefix& p) const noexcept {
+    uint64_t key = (uint64_t{p.network().value()} << 6) | uint64_t(p.length());
+    // splitmix64 finalizer
+    key += 0x9e3779b97f4a7c15ULL;
+    key = (key ^ (key >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    key = (key ^ (key >> 27)) * 0x94d049bb133111ebULL;
+    return static_cast<size_t>(key ^ (key >> 31));
+  }
+};

@@ -1,0 +1,160 @@
+// Binary radix trie keyed by IPv4 prefix.
+//
+// This is the lookup structure behind route-origin validation (find all ROAs
+// covering an announced prefix), IRR queries (exact-or-more-specific route
+// objects, §5), and allocation lookups. Three traversals matter:
+//   - exact:    value stored at precisely this prefix
+//   - covering: entries on the path from the root to the prefix (all
+//               less-specific-or-equal keys that contain it)
+//   - covered:  entries in the subtree under the prefix (all
+//               more-specific-or-equal keys it contains)
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "net/prefix.hpp"
+
+namespace droplens::net {
+
+template <typename T>
+class PrefixMap {
+ public:
+  PrefixMap() = default;
+
+  PrefixMap(const PrefixMap&) = delete;
+  PrefixMap& operator=(const PrefixMap&) = delete;
+  PrefixMap(PrefixMap&&) = default;
+  PrefixMap& operator=(PrefixMap&&) = default;
+
+  /// Insert or overwrite the value at `key`. Returns a reference to it.
+  T& insert_or_assign(const Prefix& key, T value) {
+    Node* n = descend_create(key);
+    if (!n->value) {
+      n->value = std::make_unique<T>(std::move(value));
+      ++size_;
+    } else {
+      *n->value = std::move(value);
+    }
+    return *n->value;
+  }
+
+  /// Value at `key`, default-constructing it if absent.
+  T& operator[](const Prefix& key) {
+    Node* n = descend_create(key);
+    if (!n->value) {
+      n->value = std::make_unique<T>();
+      ++size_;
+    }
+    return *n->value;
+  }
+
+  /// Exact-match lookup; nullptr if no value stored at `key`.
+  const T* find(const Prefix& key) const {
+    const Node* n = &root_;
+    for (int pos = 0; pos < key.length(); ++pos) {
+      n = n->child[key.bit(pos)].get();
+      if (!n) return nullptr;
+    }
+    return n->value.get();
+  }
+  T* find(const Prefix& key) {
+    return const_cast<T*>(std::as_const(*this).find(key));
+  }
+
+  /// Remove the value at `key`. Returns true if a value was removed.
+  /// (Empty interior nodes are retained; negligible for our workloads.)
+  bool erase(const Prefix& key) {
+    Node* n = &root_;
+    for (int pos = 0; pos < key.length(); ++pos) {
+      n = n->child[key.bit(pos)].get();
+      if (!n) return false;
+    }
+    if (!n->value) return false;
+    n->value.reset();
+    --size_;
+    return true;
+  }
+
+  /// Visit every (prefix, value) whose prefix contains `key` (path walk),
+  /// from least specific to most specific, including `key` itself.
+  template <typename Fn>
+  void for_each_covering(const Prefix& key, Fn&& fn) const {
+    const Node* n = &root_;
+    Prefix at;  // 0.0.0.0/0
+    if (n->value) fn(at, *n->value);
+    for (int pos = 0; pos < key.length(); ++pos) {
+      int b = key.bit(pos);
+      n = n->child[b].get();
+      if (!n) return;
+      at = at.child(b);
+      if (n->value) fn(at, *n->value);
+    }
+  }
+
+  /// Visit every (prefix, value) whose prefix is contained in `key`
+  /// (subtree walk), including `key` itself, in prefix order.
+  template <typename Fn>
+  void for_each_covered(const Prefix& key, Fn&& fn) const {
+    const Node* n = &root_;
+    Prefix at;
+    for (int pos = 0; pos < key.length(); ++pos) {
+      int b = key.bit(pos);
+      n = n->child[b].get();
+      if (!n) return;
+      at = at.child(b);
+    }
+    walk(n, at, fn);
+  }
+
+  /// Visit every stored (prefix, value).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    walk(&root_, Prefix(), fn);
+  }
+
+  /// The most specific entry containing `key`, or nullptr — longest-prefix
+  /// match as a router's FIB would do it.
+  const T* longest_match(const Prefix& key, Prefix* matched = nullptr) const {
+    const T* best = nullptr;
+    for_each_covering(key, [&](const Prefix& p, const T& v) {
+      best = &v;
+      if (matched) *matched = p;
+    });
+    return best;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+ private:
+  struct Node {
+    std::unique_ptr<T> value;
+    std::unique_ptr<Node> child[2];
+  };
+
+  Node* descend_create(const Prefix& key) {
+    Node* n = &root_;
+    for (int pos = 0; pos < key.length(); ++pos) {
+      auto& c = n->child[key.bit(pos)];
+      if (!c) c = std::make_unique<Node>();
+      n = c.get();
+    }
+    return n;
+  }
+
+  template <typename Fn>
+  static void walk(const Node* n, Prefix at, Fn& fn) {
+    if (n->value) fn(at, *n->value);
+    if (at.length() == 32) return;
+    for (int b = 0; b < 2; ++b) {
+      if (n->child[b]) walk(n->child[b].get(), at.child(b), fn);
+    }
+  }
+
+  Node root_;
+  size_t size_ = 0;
+};
+
+}  // namespace droplens::net

@@ -1,0 +1,57 @@
+// RIR statistics exchange format ("RIR stats" / delegation files).
+//
+// Each RIR publishes daily snapshots of its number resources in a
+// pipe-separated format:
+//   registry|cc|type|start|value|date|status[|opaque-id]
+// e.g. "apnic|CN|ipv4|1.0.0.0|256|20110414|allocated|A91872ED"
+// The paper uses these archives to track the allocation status of DROP
+// addresses (§3). We parse and emit the ipv4 records (header and summary
+// lines are recognized and skipped/produced).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/date.hpp"
+#include "net/ipv4.hpp"
+#include "rir/rir.hpp"
+
+namespace droplens::rir {
+
+enum class DelegationStatus : uint8_t {
+  kAllocated,
+  kAssigned,
+  kAvailable,
+  kReserved,
+};
+
+std::string_view to_string(DelegationStatus s);
+DelegationStatus parse_status(std::string_view s);
+
+/// One ipv4 record. `value` is an address count — not necessarily a CIDR
+/// block in real files, though our writer always emits CIDR-aligned ranges.
+struct DelegationRecord {
+  Rir registry = Rir::kArin;
+  std::string country;  // ISO 3166 code, or "ZZ" for none
+  net::Ipv4 start;
+  uint64_t value = 0;
+  net::Date date;  // allocation date; epoch (day 0) encodes the format's
+                   // empty-date convention for available/reserved space
+  DelegationStatus status = DelegationStatus::kAvailable;
+  std::string opaque_id;
+
+  friend bool operator==(const DelegationRecord&,
+                         const DelegationRecord&) = default;
+};
+
+/// Parse a delegation file body; skips the version header, summary lines,
+/// comments, and non-ipv4 records. Throws ParseError on malformed lines.
+std::vector<DelegationRecord> parse_delegation_file(std::string_view text);
+
+/// Emit a delegation file: version header, ipv4 summary, records.
+/// `registry` names the publishing RIR; `snapshot` is the file date.
+std::string write_delegation_file(Rir registry, net::Date snapshot,
+                                  const std::vector<DelegationRecord>& records);
+
+}  // namespace droplens::rir

@@ -1,0 +1,184 @@
+#include "rir/registry.hpp"
+
+#include <algorithm>
+
+#include "net/cidr_cover.hpp"
+#include "util/error.hpp"
+
+namespace droplens::rir {
+
+namespace {
+size_t idx(Rir r) { return static_cast<size_t>(r); }
+}  // namespace
+
+void Registry::administer(Rir rir, const net::Prefix& block) {
+  for (Rir other : kAllRirs) {
+    if (other != rir && administered_[idx(other)].intersects(block)) {
+      throw InvariantError("administered blocks overlap across RIRs: " +
+                           block.to_string());
+    }
+  }
+  administered_[idx(rir)].insert(block);
+}
+
+const net::IntervalSet& Registry::administered(Rir rir) const {
+  return administered_[idx(rir)];
+}
+
+std::optional<Rir> Registry::rir_of(const net::Prefix& p) const {
+  for (Rir rir : kAllRirs) {
+    if (administered_[idx(rir)].covers(p)) return rir;
+  }
+  return std::nullopt;
+}
+
+void Registry::allocate(const net::Prefix& prefix, Rir rir, std::string holder,
+                        net::Date date, std::string country) {
+  if (!administered_[idx(rir)].covers(prefix)) {
+    throw InvariantError(prefix.to_string() + " is not administered by " +
+                         std::string(display_name(rir)));
+  }
+  // Overlap check: any live allocation covering or covered by `prefix`.
+  const Allocation* clash = allocation_on(prefix, date);
+  if (!clash) {
+    allocations_.for_each_covered(
+        prefix, [&](const net::Prefix&, const std::vector<Allocation>& v) {
+          for (const Allocation& a : v) {
+            if (a.live_on(date)) clash = &a;
+          }
+        });
+  }
+  if (clash) {
+    throw InvariantError(prefix.to_string() + " overlaps live allocation " +
+                         clash->prefix.to_string());
+  }
+  allocations_[prefix].push_back(
+      Allocation{prefix, rir, std::move(holder), std::move(country),
+                 net::DateRange{date, net::DateRange::unbounded()}});
+}
+
+void Registry::deallocate(const net::Prefix& prefix, net::Date date) {
+  auto* v = allocations_.find(prefix);
+  if (v) {
+    for (Allocation& a : *v) {
+      if (a.live_on(date)) {
+        a.lifetime.end = date;
+        return;
+      }
+    }
+  }
+  throw InvariantError("no live allocation of " + prefix.to_string());
+}
+
+const Allocation* Registry::allocation_on(const net::Prefix& p,
+                                          net::Date d) const {
+  const Allocation* best = nullptr;
+  allocations_.for_each_covering(
+      p, [&](const net::Prefix&, const std::vector<Allocation>& v) {
+        for (const Allocation& a : v) {
+          if (a.live_on(d)) best = &a;  // covering walk goes root-down: the
+                                        // last hit is the most specific
+        }
+      });
+  return best;
+}
+
+bool Registry::is_fully_unallocated(const net::Prefix& p, net::Date d) const {
+  if (allocation_on(p, d)) return false;
+  bool overlap = false;
+  allocations_.for_each_covered(
+      p, [&](const net::Prefix&, const std::vector<Allocation>& v) {
+        for (const Allocation& a : v) {
+          if (a.live_on(d)) overlap = true;
+        }
+      });
+  return !overlap;
+}
+
+std::vector<Allocation> Registry::history(const net::Prefix& p) const {
+  std::vector<Allocation> out;
+  allocations_.for_each_covered(
+      p, [&](const net::Prefix&, const std::vector<Allocation>& v) {
+        out.insert(out.end(), v.begin(), v.end());
+      });
+  return out;
+}
+
+net::IntervalSet Registry::allocated_space(Rir rir, net::Date d) const {
+  net::IntervalSet out;
+  allocations_.for_each(
+      [&](const net::Prefix& p, const std::vector<Allocation>& v) {
+        for (const Allocation& a : v) {
+          if (a.rir == rir && a.live_on(d)) out.insert(p);
+        }
+      });
+  return out;
+}
+
+net::IntervalSet Registry::allocated_space(net::Date d) const {
+  net::IntervalSet out;
+  allocations_.for_each(
+      [&](const net::Prefix& p, const std::vector<Allocation>& v) {
+        for (const Allocation& a : v) {
+          if (a.live_on(d)) out.insert(p);
+        }
+      });
+  return out;
+}
+
+net::IntervalSet Registry::free_pool(Rir rir, net::Date d) const {
+  return net::IntervalSet::set_difference(administered_[idx(rir)],
+                                          allocated_space(rir, d));
+}
+
+std::vector<Allocation> Registry::live_allocations(net::Date d) const {
+  std::vector<Allocation> out;
+  allocations_.for_each(
+      [&](const net::Prefix&, const std::vector<Allocation>& v) {
+        for (const Allocation& a : v) {
+          if (a.live_on(d)) out.push_back(a);
+        }
+      });
+  return out;
+}
+
+std::vector<Allocation> Registry::live_allocations(Rir rir,
+                                                   net::Date d) const {
+  std::vector<Allocation> out;
+  for (Allocation& a : live_allocations(d)) {
+    if (a.rir == rir) out.push_back(std::move(a));
+  }
+  return out;
+}
+
+std::vector<DelegationRecord> Registry::snapshot(Rir rir, net::Date d) const {
+  std::vector<DelegationRecord> out;
+  for (const Allocation& a : live_allocations(rir, d)) {
+    DelegationRecord rec;
+    rec.registry = rir;
+    rec.country = a.country;
+    rec.start = a.prefix.network();
+    rec.value = a.prefix.size();
+    rec.date = a.lifetime.begin;
+    rec.status = DelegationStatus::kAllocated;
+    rec.opaque_id = a.holder;
+    out.push_back(std::move(rec));
+  }
+  for (const net::Prefix& p : net::cidr_cover(free_pool(rir, d))) {
+    DelegationRecord rec;
+    rec.registry = rir;
+    rec.country = "ZZ";
+    rec.start = p.network();
+    rec.value = p.size();
+    rec.date = net::Date(0);
+    rec.status = DelegationStatus::kAvailable;
+    out.push_back(std::move(rec));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DelegationRecord& a, const DelegationRecord& b) {
+              return a.start < b.start;
+            });
+  return out;
+}
+
+}  // namespace droplens::rir

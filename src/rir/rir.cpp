@@ -1,0 +1,40 @@
+#include "rir/rir.hpp"
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace droplens::rir {
+
+std::string_view delegation_name(Rir rir) {
+  switch (rir) {
+    case Rir::kAfrinic: return "afrinic";
+    case Rir::kApnic: return "apnic";
+    case Rir::kArin: return "arin";
+    case Rir::kLacnic: return "lacnic";
+    case Rir::kRipe: return "ripencc";
+  }
+  return "?";
+}
+
+std::string_view display_name(Rir rir) {
+  switch (rir) {
+    case Rir::kAfrinic: return "AFRINIC";
+    case Rir::kApnic: return "APNIC";
+    case Rir::kArin: return "ARIN";
+    case Rir::kLacnic: return "LACNIC";
+    case Rir::kRipe: return "RIPE NCC";
+  }
+  return "?";
+}
+
+Rir parse_rir(std::string_view name) {
+  std::string n = util::to_lower(name);
+  if (n == "afrinic") return Rir::kAfrinic;
+  if (n == "apnic") return Rir::kApnic;
+  if (n == "arin") return Rir::kArin;
+  if (n == "lacnic") return Rir::kLacnic;
+  if (n == "ripencc" || n == "ripe" || n == "ripe ncc") return Rir::kRipe;
+  throw ParseError("unknown RIR: '" + std::string(name) + "'");
+}
+
+}  // namespace droplens::rir

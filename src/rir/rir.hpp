@@ -1,0 +1,24 @@
+// The five Regional Internet Registries.
+#pragma once
+
+#include <array>
+#include <string>
+#include <string_view>
+
+namespace droplens::rir {
+
+enum class Rir : uint8_t { kAfrinic, kApnic, kArin, kLacnic, kRipe };
+
+inline constexpr std::array<Rir, 5> kAllRirs = {
+    Rir::kAfrinic, Rir::kApnic, Rir::kArin, Rir::kLacnic, Rir::kRipe};
+
+/// Lowercase registry name as used in delegation files ("ripencc" for RIPE).
+std::string_view delegation_name(Rir rir);
+
+/// Display name as the paper's tables use ("RIPE NCC").
+std::string_view display_name(Rir rir);
+
+/// Parse either form; throws ParseError on unknown registry.
+Rir parse_rir(std::string_view name);
+
+}  // namespace droplens::rir

@@ -1,0 +1,53 @@
+#include "rpki/as0_policy.hpp"
+
+#include <algorithm>
+
+#include "net/cidr_cover.hpp"
+
+namespace droplens::rpki {
+
+std::optional<net::Date> as0_policy_date(rir::Rir rir) {
+  switch (rir) {
+    case rir::Rir::kApnic: return net::Date::from_ymd(2020, 9, 2);
+    case rir::Rir::kLacnic: return net::Date::from_ymd(2021, 6, 23);
+    default: return std::nullopt;
+  }
+}
+
+size_t As0PolicyEngine::sync(rir::Rir rir, net::Date d) {
+  std::optional<Tal> tal = as0_tal(rir);
+  std::optional<net::Date> start = as0_policy_date(rir);
+  if (!tal || !start || d < *start) return 0;
+
+  TalSet only;
+  only.add(*tal);
+
+  std::vector<net::Prefix> want = net::cidr_cover(registry_.free_pool(rir, d));
+  std::vector<Roa> have = archive_.live_roas(d, only);
+
+  size_t ops = 0;
+  for (const Roa& roa : have) {
+    if (!std::binary_search(want.begin(), want.end(), roa.prefix)) {
+      archive_.revoke(roa, d);
+      ++ops;
+    }
+  }
+  for (const net::Prefix& p : want) {
+    bool present = std::any_of(have.begin(), have.end(), [&](const Roa& r) {
+      return r.prefix == p;
+    });
+    if (!present) {
+      archive_.publish(Roa(p, net::Asn::as0(), *tal), d);
+      ++ops;
+    }
+  }
+  return ops;
+}
+
+size_t As0PolicyEngine::sync_all(net::Date d) {
+  size_t ops = 0;
+  for (rir::Rir r : rir::kAllRirs) ops += sync(r, d);
+  return ops;
+}
+
+}  // namespace droplens::rpki

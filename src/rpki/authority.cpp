@@ -1,0 +1,102 @@
+#include "rpki/authority.hpp"
+
+#include "util/error.hpp"
+
+namespace droplens::rpki {
+
+CertificateAuthority CertificateAuthority::trust_anchor(
+    std::string name, uint64_t secret, net::IntervalSet resources,
+    net::DateRange validity) {
+  CertificateAuthority ca;
+  ca.name_ = std::move(name);
+  ca.key_ = KeyPair::derive(secret);
+  ca.cert_.serial = 0;
+  ca.cert_.subject = ca.name_;
+  ca.cert_.subject_key = ca.key_.public_id;
+  ca.cert_.issuer_key = ca.key_.public_id;  // self-signed
+  ca.cert_.resources = std::move(resources);
+  ca.cert_.validity = validity;
+  ca.cert_.signature = sign(ca.key_.secret, ca.cert_.to_be_signed());
+  return ca;
+}
+
+CertificateAuthority CertificateAuthority::delegate(
+    std::string name, uint64_t secret, net::IntervalSet resources,
+    net::DateRange validity) {
+  net::IntervalSet excess =
+      net::IntervalSet::set_difference(resources, cert_.resources);
+  if (!excess.empty()) {
+    throw InvariantError("delegation overclaims parent resources");
+  }
+  return delegate_unchecked(std::move(name), secret, std::move(resources),
+                            validity);
+}
+
+CertificateAuthority CertificateAuthority::delegate_unchecked(
+    std::string name, uint64_t secret, net::IntervalSet resources,
+    net::DateRange validity) {
+  CertificateAuthority child;
+  child.name_ = std::move(name);
+  child.key_ = KeyPair::derive(secret);
+  child.cert_.serial = next_serial_++;
+  child.cert_.subject = child.name_;
+  child.cert_.subject_key = child.key_.public_id;
+  child.cert_.issuer_key = key_.public_id;
+  child.cert_.resources = std::move(resources);
+  child.cert_.validity = validity;
+  child.cert_.signature = sign(key_.secret, child.cert_.to_be_signed());
+  child_certs_.push_back(child.cert_);
+  return child;
+}
+
+uint64_t CertificateAuthority::issue_roa(const Roa& payload,
+                                         net::DateRange validity) {
+  SignedRoa obj;
+  obj.serial = next_serial_++;
+  obj.payload = payload;
+  // One-time EE certificate bound to exactly the ROA's resources.
+  KeyPair ee = KeyPair::derive(key_.secret ^ (obj.serial * 0x9e37ULL));
+  obj.ee_cert.serial = obj.serial;
+  obj.ee_cert.subject = name_ + "-ee-" + std::to_string(obj.serial);
+  obj.ee_cert.subject_key = ee.public_id;
+  obj.ee_cert.issuer_key = key_.public_id;
+  obj.ee_cert.resources.insert(payload.prefix);
+  obj.ee_cert.validity = validity;
+  obj.ee_cert.signature = sign(key_.secret, obj.ee_cert.to_be_signed());
+  obj.signature = sign(ee.secret, obj.to_be_signed());
+  roas_.push_back(std::move(obj));
+  return roas_.back().serial;
+}
+
+void CertificateAuthority::revoke(uint64_t serial) {
+  revoked_.push_back(serial);
+}
+
+PublicationPoint CertificateAuthority::publish(net::Date now) const {
+  PublicationPoint point;
+  point.ca_cert = cert_;
+  point.roas = roas_;
+  point.child_certs = child_certs_;
+
+  point.crl.revoked_serials = revoked_;
+  point.crl.this_update = now;
+  point.crl.signature = sign(key_.secret, point.crl.to_be_signed());
+
+  point.manifest.manifest_number = manifest_number_;
+  for (const SignedRoa& r : point.roas) {
+    point.manifest.object_digests.push_back(digest(r.to_be_signed()));
+  }
+  for (const ResourceCert& c : point.child_certs) {
+    point.manifest.object_digests.push_back(digest(c.to_be_signed()));
+  }
+  point.manifest.validity = net::DateRange{now, now + 7};  // weekly refresh
+  point.manifest.signature =
+      sign(key_.secret, point.manifest.to_be_signed());
+  return point;
+}
+
+TrustAnchorLocator CertificateAuthority::tal() const {
+  return TrustAnchorLocator{name_, key_.public_id, name_};
+}
+
+}  // namespace droplens::rpki

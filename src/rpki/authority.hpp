@@ -1,0 +1,64 @@
+// Certificate-authority builder: constructs publication points the way an
+// RIR or delegated CA would — issuing child certificates, signing ROAs,
+// maintaining the manifest and CRL.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpki/cert.hpp"
+
+namespace droplens::rpki {
+
+class CertificateAuthority {
+ public:
+  /// A self-signed trust anchor (an RIR root).
+  static CertificateAuthority trust_anchor(std::string name, uint64_t secret,
+                                           net::IntervalSet resources,
+                                           net::DateRange validity);
+
+  /// Issue a child CA certificate over a subset of this CA's resources.
+  /// Throws InvariantError if `resources` are not contained in this CA's
+  /// (use issue_overclaiming_child in tests to build bad trees).
+  CertificateAuthority delegate(std::string name, uint64_t secret,
+                                net::IntervalSet resources,
+                                net::DateRange validity);
+
+  /// Like delegate() but skips the containment check — for building the
+  /// malformed trees a validator must reject.
+  CertificateAuthority delegate_unchecked(std::string name, uint64_t secret,
+                                          net::IntervalSet resources,
+                                          net::DateRange validity);
+
+  /// Sign a ROA (issues a one-time EE certificate). Returns its serial.
+  uint64_t issue_roa(const Roa& payload, net::DateRange validity);
+
+  /// Revoke a previously issued object by serial (lands on the CRL).
+  void revoke(uint64_t serial);
+
+  /// Assemble this CA's publication point: manifest over all current
+  /// objects, CRL, certificates, ROAs.
+  PublicationPoint publish(net::Date now) const;
+
+  /// The TAL a validator would configure for this (root) CA.
+  TrustAnchorLocator tal() const;
+
+  const std::string& name() const { return name_; }
+  uint64_t public_key() const { return key_.public_id; }
+  const net::IntervalSet& resources() const { return cert_.resources; }
+
+ private:
+  CertificateAuthority() = default;
+
+  std::string name_;
+  KeyPair key_;
+  ResourceCert cert_;        // this CA's own certificate
+  std::vector<SignedRoa> roas_;
+  std::vector<ResourceCert> child_certs_;
+  std::vector<uint64_t> revoked_;
+  uint64_t next_serial_ = 1;
+  uint64_t manifest_number_ = 1;
+};
+
+}  // namespace droplens::rpki

@@ -1,0 +1,80 @@
+#include "rpki/cert.hpp"
+
+#include <algorithm>
+
+namespace droplens::rpki {
+
+namespace {
+
+void append_u64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>(v >> (8 * i)));
+  }
+}
+
+void append_intervals(std::string& out, const net::IntervalSet& set) {
+  for (const net::IntervalSet::Interval& iv : set.intervals()) {
+    append_u64(out, iv.begin);
+    append_u64(out, iv.end);
+  }
+}
+
+}  // namespace
+
+std::string ResourceCert::to_be_signed() const {
+  std::string out = "cert:" + subject + ":";
+  append_u64(out, serial);
+  append_u64(out, subject_key);
+  append_u64(out, issuer_key);
+  append_u64(out, static_cast<uint64_t>(validity.begin.days()));
+  append_u64(out, static_cast<uint64_t>(validity.end.days()));
+  append_intervals(out, resources);
+  return out;
+}
+
+std::string SignedRoa::to_be_signed() const {
+  std::string out = "roa:";
+  append_u64(out, serial);
+  append_u64(out, payload.prefix.network().value());
+  append_u64(out, static_cast<uint64_t>(payload.prefix.length()));
+  append_u64(out, static_cast<uint64_t>(payload.max_length));
+  append_u64(out, payload.asn.value());
+  return out;
+}
+
+std::string Manifest::to_be_signed() const {
+  std::string out = "mft:";
+  append_u64(out, manifest_number);
+  append_u64(out, static_cast<uint64_t>(validity.begin.days()));
+  append_u64(out, static_cast<uint64_t>(validity.end.days()));
+  for (uint64_t d : object_digests) append_u64(out, d);
+  return out;
+}
+
+std::string Crl::to_be_signed() const {
+  std::string out = "crl:";
+  append_u64(out, static_cast<uint64_t>(this_update.days()));
+  for (uint64_t s : revoked_serials) append_u64(out, s);
+  return out;
+}
+
+bool Crl::revoked(uint64_t serial) const {
+  return std::find(revoked_serials.begin(), revoked_serials.end(), serial) !=
+         revoked_serials.end();
+}
+
+const PublicationPoint* RpkiRepository::find(const std::string& name) const {
+  for (const auto& [n, p] : points) {
+    if (n == name) return &p;
+  }
+  return nullptr;
+}
+
+PublicationPoint* RpkiRepository::find(const std::string& name) {
+  for (auto& [n, p] : points) {
+    if (n == name) return &p;
+  }
+  return nullptr;
+}
+
+}  // namespace droplens::rpki

@@ -1,0 +1,88 @@
+// RPKI object model: resource certificates, signed ROA objects, manifests,
+// and CRLs (RFC 6480/6487/6482/6486 — structurally faithful, with the
+// simulated signature scheme of crypto.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/date.hpp"
+#include "net/interval_set.hpp"
+#include "rpki/crypto.hpp"
+#include "rpki/roa.hpp"
+
+namespace droplens::rpki {
+
+/// An X.509-style resource certificate with RFC 3779 IPv4 resources.
+struct ResourceCert {
+  uint64_t serial = 0;
+  std::string subject;       // CA name ("APNIC", "example-isp", ...)
+  uint64_t subject_key = 0;  // the subject's public key id
+  uint64_t issuer_key = 0;   // who signed this cert
+  net::IntervalSet resources;  // IPv4 space the subject may sub-delegate/sign
+  net::DateRange validity;
+  Signature signature = 0;
+
+  /// Canonical byte string the signature covers.
+  std::string to_be_signed() const;
+
+  bool valid_on(net::Date d) const { return validity.contains(d); }
+};
+
+/// A ROA as published: payload + one-time EE certificate, CMS-style.
+struct SignedRoa {
+  uint64_t serial = 0;        // EE certificate serial (CRL target)
+  Roa payload;
+  ResourceCert ee_cert;       // issued by the publishing CA
+  Signature signature = 0;    // by the EE key over the payload
+
+  std::string to_be_signed() const;
+};
+
+/// The per-CA manifest: names every current object so a validator can
+/// detect withheld or replayed objects (RFC 6486).
+struct Manifest {
+  uint64_t manifest_number = 0;
+  std::vector<uint64_t> object_digests;
+  net::DateRange validity;
+  Signature signature = 0;    // by the CA key
+
+  std::string to_be_signed() const;
+};
+
+/// Certificate revocation list (RFC 6487 §5): serials the CA has revoked.
+struct Crl {
+  std::vector<uint64_t> revoked_serials;
+  net::Date this_update;
+  Signature signature = 0;    // by the CA key
+
+  std::string to_be_signed() const;
+  bool revoked(uint64_t serial) const;
+};
+
+/// Everything one certificate authority publishes.
+struct PublicationPoint {
+  ResourceCert ca_cert;       // this CA's certificate (issued by parent)
+  std::vector<SignedRoa> roas;
+  std::vector<ResourceCert> child_certs;  // delegations to child CAs
+  Manifest manifest;
+  Crl crl;
+};
+
+/// A trust anchor locator: the root key a validator is configured with.
+struct TrustAnchorLocator {
+  std::string name;
+  uint64_t public_key = 0;
+  std::string repository;     // name of the root publication point
+};
+
+/// The repository a validator fetches from: publication points by name.
+struct RpkiRepository {
+  std::vector<std::pair<std::string, PublicationPoint>> points;
+
+  const PublicationPoint* find(const std::string& name) const;
+  PublicationPoint* find(const std::string& name);
+};
+
+}  // namespace droplens::rpki

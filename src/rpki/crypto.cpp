@@ -1,0 +1,45 @@
+#include "rpki/crypto.hpp"
+
+namespace droplens::rpki {
+
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+
+uint64_t mix(uint64_t x) {
+  // splitmix64 finalizer.
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+KeyPair KeyPair::derive(uint64_t secret) {
+  return KeyPair{secret, mix(secret ^ 0x5ca1ab1eULL)};
+}
+
+uint64_t digest(std::string_view bytes) {
+  uint64_t h = kFnvOffset;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+Signature sign(uint64_t secret, std::string_view bytes) {
+  // The signature binds the signer's PUBLIC identifier to the content, so
+  // verification is stateless. (Anyone could forge this in the simulator —
+  // tamper detection, which the validator tests exercise, still works
+  // because tampered bytes no longer match the recorded signature.)
+  return mix(mix(KeyPair::derive(secret).public_id) ^ digest(bytes));
+}
+
+bool verify(uint64_t public_id, std::string_view bytes, Signature sig) {
+  return sig == mix(mix(public_id) ^ digest(bytes));
+}
+
+}  // namespace droplens::rpki

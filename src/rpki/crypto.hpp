@@ -1,0 +1,38 @@
+// Simulated signatures for the RPKI object model.
+//
+// SUBSTITUTION NOTE (see DESIGN.md): real RPKI objects are CMS-signed with
+// RSA keys. This library models the *structure* of the PKI — who signed
+// what, over which bytes, with which key — with a deterministic keyed hash
+// instead of real asymmetric cryptography. Validation logic (signature
+// checks, resource containment, expiry, revocation, manifest completeness)
+// is exercised exactly as in a real validator; only the hardness of forging
+// differs, which no analysis here depends on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace droplens::rpki {
+
+/// A key pair. The public identifier is a one-way-ish function of the
+/// secret so holders can prove possession by signing.
+struct KeyPair {
+  uint64_t secret = 0;
+  uint64_t public_id = 0;
+
+  static KeyPair derive(uint64_t secret);
+};
+
+using Signature = uint64_t;
+
+/// Deterministic content hash (FNV-1a over the bytes).
+uint64_t digest(std::string_view bytes);
+
+/// Sign `bytes` with the secret key.
+Signature sign(uint64_t secret, std::string_view bytes);
+
+/// Verify a signature against the signer's public identifier.
+bool verify(uint64_t public_id, std::string_view bytes, Signature sig);
+
+}  // namespace droplens::rpki

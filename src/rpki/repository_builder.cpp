@@ -1,0 +1,56 @@
+#include "rpki/repository_builder.hpp"
+
+#include <string>
+
+#include "rpki/authority.hpp"
+
+namespace droplens::rpki {
+
+std::vector<TrustAnchorLocator> BuiltRepository::all_tals() const {
+  std::vector<TrustAnchorLocator> out = production_tals;
+  out.insert(out.end(), as0_tals.begin(), as0_tals.end());
+  return out;
+}
+
+BuiltRepository build_repository(const RoaArchive& archive,
+                                 const rir::Registry& registry, net::Date d) {
+  BuiltRepository built;
+  net::DateRange ta_validity{d - 3650, d + 3650};
+  net::DateRange roa_validity{d - 1, d + 366};
+
+  for (Tal tal : kAllTals) {
+    // The trust anchor's resources: the administered space of the RIR
+    // behind this TAL (the AS0 TALs cover the same space; their ROAs only
+    // ever name free-pool prefixes inside it).
+    rir::Rir rir = rir::Rir::kArin;
+    for (rir::Rir r : rir::kAllRirs) {
+      if (production_tal(r) == tal || as0_tal(r) == tal) rir = r;
+    }
+    net::IntervalSet resources = registry.administered(rir);
+    if (resources.empty()) continue;
+
+    std::string name(to_string(tal));
+    uint64_t secret = 0x7a1'0000 + static_cast<uint64_t>(tal);
+    CertificateAuthority ta = CertificateAuthority::trust_anchor(
+        name, secret, std::move(resources), ta_validity);
+
+    TalSet only;
+    only.add(tal);
+    size_t issued = 0;
+    for (const Roa& roa : archive.live_roas(d, only)) {
+      ta.issue_roa(roa, roa_validity);
+      ++issued;
+    }
+    if (issued == 0 && is_as0_tal(tal)) continue;  // policy not live yet
+
+    built.repository.points.emplace_back(name, ta.publish(d));
+    if (is_as0_tal(tal)) {
+      built.as0_tals.push_back(ta.tal());
+    } else {
+      built.production_tals.push_back(ta.tal());
+    }
+  }
+  return built;
+}
+
+}  // namespace droplens::rpki

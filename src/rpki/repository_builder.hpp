@@ -1,0 +1,29 @@
+// Build a full RPKI repository (CA trees, manifests, CRLs) from a day's
+// live ROA set — the bridge between the archive-level world model and the
+// object-level validator/RTR pipeline.
+#pragma once
+
+#include <vector>
+
+#include "rir/registry.hpp"
+#include "rpki/archive.hpp"
+#include "rpki/cert.hpp"
+
+namespace droplens::rpki {
+
+struct BuiltRepository {
+  RpkiRepository repository;
+  std::vector<TrustAnchorLocator> production_tals;  // the five RIR roots
+  std::vector<TrustAnchorLocator> as0_tals;         // APNIC/LACNIC AS0 roots
+
+  std::vector<TrustAnchorLocator> all_tals() const;
+};
+
+/// Materialize the ROAs live on `d` as publication points: one trust anchor
+/// per production TAL over that RIR's administered space, plus the separate
+/// AS0 trust anchors. Every ROA is issued with a fresh EE certificate and
+/// listed on its TA's manifest (validity [d, d+7]).
+BuiltRepository build_repository(const RoaArchive& archive,
+                                 const rir::Registry& registry, net::Date d);
+
+}  // namespace droplens::rpki

@@ -1,0 +1,44 @@
+// Route Origin Authorization.
+#pragma once
+
+#include <string>
+
+#include "net/asn.hpp"
+#include "net/prefix.hpp"
+#include "rpki/tal.hpp"
+
+namespace droplens::rpki {
+
+/// A ROA: "prefix (up to maxLength) may be originated by asn", published
+/// under a trust anchor. An AS0 ROA (asn == AS0) asserts the opposite — the
+/// prefix and everything under it must not be routed (RFC 6483 §4 / RFC
+/// 7607).
+struct Roa {
+  net::Prefix prefix;
+  int max_length = 0;  // normalized to >= prefix.length() at construction
+  net::Asn asn;
+  Tal tal = Tal::kRipe;
+
+  Roa() = default;
+  /// `max_length` of 0 means "not present" = prefix length (RFC 6482).
+  /// Throws InvariantError if max_length is outside [prefix length, 32].
+  Roa(net::Prefix prefix, net::Asn asn, Tal tal, int max_length = 0);
+
+  /// Does this ROA cover `p` (regardless of origin/length match)?
+  bool covers(const net::Prefix& p) const { return prefix.contains(p); }
+
+  /// RFC 6811 match: covered, origin equal, announced length <= maxLength.
+  /// An AS0 ROA never matches anything (AS0 appears in no valid AS path).
+  bool matches(const net::Prefix& p, net::Asn origin) const {
+    return covers(p) && p.length() <= max_length && origin == asn &&
+           !asn.is_as0();
+  }
+
+  bool is_as0() const { return asn.is_as0(); }
+
+  std::string to_string() const;
+
+  friend bool operator==(const Roa&, const Roa&) = default;
+};
+
+}  // namespace droplens::rpki

@@ -1,0 +1,30 @@
+// RIPE-style roas.csv import/export.
+//
+// RIPE's daily RPKI archive (the paper's §3 source) ships validated ROA
+// payloads as CSV: `URI,ASN,IP Prefix,Max Length,Not Before,Not After`.
+// This module renders a day's live ROA set in that format and parses such
+// files back into (Roa, validity window) records.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rpki/archive.hpp"
+
+namespace droplens::rpki {
+
+/// Export every ROA live on `d` (under `tals`) as a roas.csv body.
+std::string write_roa_csv(const RoaArchive& archive, net::Date d,
+                          TalSet tals = TalSet::all());
+
+/// Parse a roas.csv body. The header line is optional. Throws ParseError on
+/// malformed rows. The TAL is recovered from the URI's first path element
+/// ("rsync://rpki.ripe.net/..." -> RIPE).
+std::vector<RoaRecord> parse_roa_csv(std::string_view text);
+
+/// Load parsed records into an archive (publish at lifetime.begin, revoke
+/// at lifetime.end when bounded). Returns the number of ROAs published.
+size_t load_roa_csv(RoaArchive& archive, std::string_view text);
+
+}  // namespace droplens::rpki

@@ -1,0 +1,123 @@
+// RPKI-to-Router protocol (RFC 8210, IPv4 subset).
+//
+// The delivery path between a relying-party validator and a router doing
+// ROV: the router opens a session, the cache streams validated ROA payloads
+// (VRPs) and incremental updates keyed by serial numbers. We implement the
+// PDU wire format (big-endian, version 1) and an in-memory cache/router
+// pair, so the full pipeline — CA tree → validator → VRPs → RTR → ROV —
+// runs end to end.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "net/prefix.hpp"
+#include "rpki/archive.hpp"
+
+namespace droplens::rpki {
+
+/// A validated ROA payload as carried on the wire.
+struct Vrp {
+  net::Prefix prefix;
+  int max_length = 0;
+  net::Asn asn;
+
+  static Vrp from_roa(const Roa& roa) {
+    return Vrp{roa.prefix, roa.max_length, roa.asn};
+  }
+  friend auto operator<=>(const Vrp&, const Vrp&) = default;
+};
+
+enum class PduType : uint8_t {
+  kSerialNotify = 0,
+  kSerialQuery = 1,
+  kResetQuery = 2,
+  kCacheResponse = 3,
+  kIpv4Prefix = 4,
+  kEndOfData = 7,
+  kCacheReset = 8,
+  kErrorReport = 10,
+};
+
+/// One parsed PDU (fields used depend on `type`).
+struct Pdu {
+  PduType type = PduType::kResetQuery;
+  uint16_t session_id = 0;
+  uint32_t serial = 0;          // serial notify/query, end of data
+  bool announce = true;         // ipv4 prefix flag
+  Vrp vrp;                      // ipv4 prefix payload
+  uint16_t error_code = 0;      // error report
+  std::string error_text;
+};
+
+/// Serialize one PDU to wire bytes (big-endian, protocol version 1).
+std::string serialize_pdu(const Pdu& pdu);
+
+/// Parse a buffer of concatenated PDUs. Throws ParseError on malformed
+/// input (bad version, bad length, unknown type).
+std::vector<Pdu> parse_pdus(std::string_view bytes);
+
+/// The cache side (validator): holds the current VRP set under a serial,
+/// remembers diffs so routers can sync incrementally.
+class RtrServer {
+ public:
+  explicit RtrServer(uint16_t session_id) : session_id_(session_id) {}
+
+  /// Install a new VRP snapshot; the serial increments and the diff from
+  /// the previous snapshot is retained for serial queries.
+  uint32_t update(std::vector<Vrp> vrps);
+
+  /// Handle one client PDU (reset query / serial query), returning the
+  /// response PDU stream as wire bytes.
+  std::string handle(const Pdu& query) const;
+
+  /// A Serial Notify PDU to push at clients after update().
+  std::string notify() const;
+
+  uint32_t serial() const { return serial_; }
+  uint16_t session_id() const { return session_id_; }
+
+ private:
+  struct Diff {
+    std::vector<Vrp> announced;
+    std::vector<Vrp> withdrawn;
+  };
+
+  uint16_t session_id_;
+  uint32_t serial_ = 0;
+  std::vector<Vrp> current_;
+  std::map<uint32_t, Diff> diffs_;  // serial s -> changes from s-1 to s
+};
+
+/// The router side: consumes PDU streams, maintains the VRP table, and
+/// answers RFC 6811 validation queries from it.
+class RtrClient {
+ public:
+  /// Bytes the client sends to start or refresh a session.
+  std::string poll() const;
+
+  /// Feed a server response; updates the table. Throws ParseError on a
+  /// protocol violation (wrong session id, data outside a cache response).
+  void consume(std::string_view bytes);
+
+  Validity validate(const net::Prefix& p, net::Asn origin) const;
+
+  size_t table_size() const { return table_.size(); }
+  std::optional<uint32_t> serial() const { return serial_; }
+  std::vector<Vrp> table() const {
+    return std::vector<Vrp>(table_.begin(), table_.end());
+  }
+
+ private:
+  std::optional<uint16_t> session_id_;
+  std::optional<uint32_t> serial_;
+  bool in_response_ = false;
+  std::set<Vrp> table_;
+};
+
+}  // namespace droplens::rpki

@@ -1,0 +1,18 @@
+#include "rpki/tal.hpp"
+
+namespace droplens::rpki {
+
+std::string_view to_string(Tal t) {
+  switch (t) {
+    case Tal::kAfrinic: return "AFRINIC";
+    case Tal::kApnic: return "APNIC";
+    case Tal::kArin: return "ARIN";
+    case Tal::kLacnic: return "LACNIC";
+    case Tal::kRipe: return "RIPE";
+    case Tal::kApnicAs0: return "APNIC-AS0";
+    case Tal::kLacnicAs0: return "LACNIC-AS0";
+  }
+  return "?";
+}
+
+}  // namespace droplens::rpki

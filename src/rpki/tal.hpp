@@ -1,0 +1,90 @@
+// Trust Anchor Locators.
+//
+// Each RIR operates a production trust anchor; APNIC and LACNIC additionally
+// publish *separate* AS0 TALs for their unallocated-space ROAs (§2.3.1).
+// Those AS0 TALs are not configured in any validator by default, and the
+// RIRs recommend alert-only use — which is why (§6.2.2) hijacks of
+// unallocated space kept working after the AS0 policies shipped.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "rir/rir.hpp"
+
+namespace droplens::rpki {
+
+enum class Tal : uint8_t {
+  kAfrinic,
+  kApnic,
+  kArin,
+  kLacnic,
+  kRipe,
+  kApnicAs0,   // APNIC AS0 policy TAL (prop-132, implemented 2020-09-02)
+  kLacnicAs0,  // LACNIC AS0 policy TAL (LAC-2019-12, implemented 2021-06-23)
+};
+
+inline constexpr std::array<Tal, 7> kAllTals = {
+    Tal::kAfrinic, Tal::kApnic,    Tal::kArin,     Tal::kLacnic,
+    Tal::kRipe,    Tal::kApnicAs0, Tal::kLacnicAs0};
+
+constexpr bool is_as0_tal(Tal t) {
+  return t == Tal::kApnicAs0 || t == Tal::kLacnicAs0;
+}
+
+/// Production TALs ship in validator software; AS0 TALs do not.
+constexpr bool configured_by_default(Tal t) { return !is_as0_tal(t); }
+
+constexpr Tal production_tal(rir::Rir r) {
+  switch (r) {
+    case rir::Rir::kAfrinic: return Tal::kAfrinic;
+    case rir::Rir::kApnic: return Tal::kApnic;
+    case rir::Rir::kArin: return Tal::kArin;
+    case rir::Rir::kLacnic: return Tal::kLacnic;
+    case rir::Rir::kRipe: return Tal::kRipe;
+  }
+  return Tal::kArin;
+}
+
+constexpr std::optional<Tal> as0_tal(rir::Rir r) {
+  switch (r) {
+    case rir::Rir::kApnic: return Tal::kApnicAs0;
+    case rir::Rir::kLacnic: return Tal::kLacnicAs0;
+    default: return std::nullopt;
+  }
+}
+
+std::string_view to_string(Tal t);
+
+/// The set of TALs a validator has configured, as a small bitmask.
+class TalSet {
+ public:
+  constexpr TalSet() = default;
+
+  static constexpr TalSet defaults() {
+    TalSet s;
+    for (Tal t : kAllTals) {
+      if (configured_by_default(t)) s.add(t);
+    }
+    return s;
+  }
+  static constexpr TalSet all() {
+    TalSet s;
+    for (Tal t : kAllTals) s.add(t);
+    return s;
+  }
+
+  constexpr void add(Tal t) { bits_ |= uint8_t{1} << static_cast<int>(t); }
+  constexpr bool has(Tal t) const {
+    return bits_ & (uint8_t{1} << static_cast<int>(t));
+  }
+
+  friend constexpr bool operator==(TalSet, TalSet) = default;
+
+ private:
+  uint8_t bits_ = 0;
+};
+
+}  // namespace droplens::rpki

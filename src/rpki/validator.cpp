@@ -1,0 +1,166 @@
+#include "rpki/validator.hpp"
+
+#include <algorithm>
+
+namespace droplens::rpki {
+
+bool ValidatorOutput::accepted(const Roa& roa) const {
+  return std::find(vrps.begin(), vrps.end(), roa) != vrps.end();
+}
+
+namespace {
+
+class Walk {
+ public:
+  Walk(const RpkiRepository& repo, net::Date now, ValidatorOutput& out)
+      : repo_(repo), now_(now), out_(out) {}
+
+  void from_tal(const TrustAnchorLocator& tal) {
+    const PublicationPoint* point = repo_.find(tal.repository);
+    if (!point) {
+      reject("tal:" + tal.name, "missing-publication-point");
+      return;
+    }
+    const ResourceCert& root = point->ca_cert;
+    if (root.subject_key != tal.public_key) {
+      reject("cert:" + root.subject, "key-mismatch-with-tal");
+      return;
+    }
+    if (!verify(tal.public_key, root.to_be_signed(), root.signature)) {
+      reject("cert:" + root.subject, "bad-signature");
+      return;
+    }
+    if (!root.valid_on(now_)) {
+      reject("cert:" + root.subject, "expired");
+      return;
+    }
+    visit(*point);
+  }
+
+ private:
+  void reject(std::string object, std::string reason) {
+    out_.rejected.push_back(
+        ValidationIssue{std::move(object), std::move(reason)});
+  }
+
+  /// Validate one publication point whose CA certificate has already been
+  /// accepted, then recurse into accepted children.
+  void visit(const PublicationPoint& point) {
+    ++out_.publication_points_visited;
+    const ResourceCert& ca = point.ca_cert;
+
+    // Manifest: signed by this CA, current.
+    if (!verify(ca.subject_key, point.manifest.to_be_signed(),
+                point.manifest.signature)) {
+      reject("mft:" + ca.subject, "bad-signature");
+      return;  // without a manifest nothing below is trustworthy
+    }
+    if (!point.manifest.validity.contains(now_)) {
+      reject("mft:" + ca.subject, "stale-manifest");
+      return;
+    }
+    // CRL: signed by this CA.
+    if (!verify(ca.subject_key, point.crl.to_be_signed(),
+                point.crl.signature)) {
+      reject("crl:" + ca.subject, "bad-signature");
+      return;
+    }
+    auto on_manifest = [&](uint64_t d) {
+      return std::find(point.manifest.object_digests.begin(),
+                       point.manifest.object_digests.end(),
+                       d) != point.manifest.object_digests.end();
+    };
+
+    // ROAs.
+    for (const SignedRoa& roa : point.roas) {
+      std::string label = "roa:" + std::to_string(roa.serial) + "@" +
+                          ca.subject;
+      if (!on_manifest(digest(roa.to_be_signed()))) {
+        reject(label, "not-in-manifest");
+        continue;
+      }
+      if (point.crl.revoked(roa.serial)) {
+        reject(label, "revoked");
+        continue;
+      }
+      const ResourceCert& ee = roa.ee_cert;
+      if (ee.issuer_key != ca.subject_key ||
+          !verify(ca.subject_key, ee.to_be_signed(), ee.signature)) {
+        reject(label, "bad-ee-signature");
+        continue;
+      }
+      if (!ee.valid_on(now_)) {
+        reject(label, "expired");
+        continue;
+      }
+      if (!net::IntervalSet::set_difference(ee.resources, ca.resources)
+               .empty()) {
+        reject(label, "overclaim");
+        continue;
+      }
+      if (!ee.resources.covers(roa.payload.prefix)) {
+        reject(label, "payload-outside-ee-resources");
+        continue;
+      }
+      if (!verify(ee.subject_key, roa.to_be_signed(), roa.signature)) {
+        reject(label, "bad-signature");
+        continue;
+      }
+      out_.vrps.push_back(roa.payload);
+    }
+
+    // Child CAs.
+    for (const ResourceCert& child : point.child_certs) {
+      std::string label = "cert:" + child.subject;
+      if (!on_manifest(digest(child.to_be_signed()))) {
+        reject(label, "not-in-manifest");
+        continue;
+      }
+      if (point.crl.revoked(child.serial)) {
+        reject(label, "revoked");
+        continue;
+      }
+      if (child.issuer_key != ca.subject_key ||
+          !verify(ca.subject_key, child.to_be_signed(), child.signature)) {
+        reject(label, "bad-signature");
+        continue;
+      }
+      if (!child.valid_on(now_)) {
+        reject(label, "expired");
+        continue;
+      }
+      if (!net::IntervalSet::set_difference(child.resources, ca.resources)
+               .empty()) {
+        reject(label, "overclaim");
+        continue;
+      }
+      const PublicationPoint* child_point = repo_.find(child.subject);
+      if (!child_point) {
+        reject(label, "missing-publication-point");
+        continue;
+      }
+      if (child_point->ca_cert.subject_key != child.subject_key) {
+        reject(label, "key-mismatch-at-publication-point");
+        continue;
+      }
+      visit(*child_point);
+    }
+  }
+
+  const RpkiRepository& repo_;
+  net::Date now_;
+  ValidatorOutput& out_;
+};
+
+}  // namespace
+
+ValidatorOutput run_validator(const RpkiRepository& repository,
+                              const std::vector<TrustAnchorLocator>& tals,
+                              net::Date now) {
+  ValidatorOutput out;
+  Walk walk(repository, now, out);
+  for (const TrustAnchorLocator& tal : tals) walk.from_tal(tal);
+  return out;
+}
+
+}  // namespace droplens::rpki

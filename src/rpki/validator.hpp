@@ -1,0 +1,33 @@
+// Top-down RPKI validator (relying-party software, e.g. Routinator/rpki-
+// client): walks the certificate tree from each configured TAL, checks
+// signatures, validity windows, RFC 3779 resource containment, manifest
+// completeness and CRL status, and emits the validated ROA payloads (VRPs)
+// that feed route origin validation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rpki/cert.hpp"
+
+namespace droplens::rpki {
+
+struct ValidationIssue {
+  std::string object;   // "cert:example-isp", "roa:42", "mft:APNIC", ...
+  std::string reason;   // "bad-signature", "overclaim", "expired", ...
+};
+
+struct ValidatorOutput {
+  std::vector<Roa> vrps;             // validated ROA payloads
+  std::vector<ValidationIssue> rejected;
+  int publication_points_visited = 0;
+
+  bool accepted(const Roa& roa) const;
+};
+
+/// Validate the repository from `tals` as of day `now`.
+ValidatorOutput run_validator(const RpkiRepository& repository,
+                              const std::vector<TrustAnchorLocator>& tals,
+                              net::Date now);
+
+}  // namespace droplens::rpki

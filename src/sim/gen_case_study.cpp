@@ -1,0 +1,166 @@
+// Hardcoded narratives: the Fig 4 RPKI-valid hijack of 132.255.0.0/22 and
+// its sibling prefixes, the two attacker-controlled-ROA hijacks (§6.1), and
+// the operator AS0 remediation of 45.65.112.0/22 (§6.2.1).
+#include "sim/generator_impl.hpp"
+
+namespace droplens::sim::detail {
+
+namespace {
+
+// The recurring actors of Fig 4.
+const net::Asn kPeruOrigin{263692};   // legitimate LACNIC origin of the /22
+const net::Asn kSaTransit{21575};     // South American transit provider
+const net::Asn kRuTransit1{50509};    // Russian transit (also §5's serial AS)
+const net::Asn kRuTransit2{34665};
+
+net::Date ymd(int y, int m, int d) { return net::Date::from_ymd(y, m, d); }
+
+}  // namespace
+
+void Generator::gen_case_study() {
+  auto administer_lacnic = [&](const net::Prefix& p, const char* holder,
+                               net::Date when) {
+    w_->registry.administer(rir::Rir::kLacnic, p);
+    w_->registry.allocate(p, rir::Rir::kLacnic, holder, when, "PE");
+  };
+
+  // --- 132.255.0.0/22: the RPKI-valid hijack ------------------------------
+  net::Prefix the22 = net::Prefix::parse("132.255.0.0/22");
+  administer_lacnic(the22, "Peruvian Network SAC", ymd(2014, 5, 20));
+  // ROA for AS263692, published well before the window.
+  w_->roas.publish(rpki::Roa(the22, kPeruOrigin, rpki::Tal::kLacnic),
+                   ymd(2018, 6, 1));
+  // Owner announces via the South American transit until July 2020.
+  w_->fleet.announce(the22, bgp::AsPath{kSaTransit, kPeruOrigin},
+                     net::DateRange{ymd(2015, 1, 10), ymd(2020, 7, 15)});
+  // December 2020: the hijacker re-originates the prefix with the ROA's ASN
+  // through Russian transit — RPKI-valid, yet a hijack.
+  w_->fleet.announce(
+      the22, bgp::AsPath{kRuTransit1, kRuTransit2, kPeruOrigin},
+      net::DateRange{ymd(2020, 12, 5), net::DateRange::unbounded()});
+  // June 2021: the hijacker adds the four /24s (invalid under the /22 ROA's
+  // maxLength, but announced regardless).
+  for (int i = 0; i < 4; ++i) {
+    net::Prefix sub = net::Prefix::parse("132.255." + std::to_string(i) +
+                                         ".0/24");
+    w_->fleet.announce(
+        sub, bgp::AsPath{kRuTransit1, kRuTransit2, kPeruOrigin},
+        net::DateRange{ymd(2021, 6, 10), net::DateRange::unbounded()});
+  }
+
+  // --- The six sibling prefixes (same origin + Russian transit pattern) ---
+  struct Sibling {
+    const char* cidr;
+    bool historic_origin;       // had a different origin AS years ago
+    net::Asn old_origin;
+    net::Asn old_transit;
+    net::Date old_begin, old_end;
+    net::Date hijack_begin;
+    bool on_drop;               // three of the six were listed Mar 4 2022
+  };
+  const Sibling siblings[] = {
+      {"187.19.64.0/20", true, net::Asn{19361}, net::Asn{3549},
+       ymd(2016, 2, 1), ymd(2018, 9, 1), ymd(2020, 12, 5), true},
+      {"187.110.192.0/20", false, {}, {}, {}, {}, ymd(2020, 12, 5), true},
+      {"191.7.224.0/19", true, net::Asn{263330}, net::Asn{16735},
+       ymd(2013, 4, 1), ymd(2019, 3, 1), ymd(2021, 6, 10), false},
+      {"200.150.240.0/20", false, {}, {}, {}, {}, ymd(2021, 6, 10), false},
+      {"200.189.64.0/20", true, net::Asn{28129}, net::Asn{3549},
+       ymd(2012, 1, 1), ymd(2018, 6, 1), ymd(2021, 6, 10), true},
+      {"200.202.80.0/20", false, {}, {}, {}, {}, ymd(2021, 6, 10), false},
+  };
+  net::Date drop_day = ymd(2022, 3, 4);
+  for (const Sibling& s : siblings) {
+    net::Prefix p = net::Prefix::parse(s.cidr);
+    administer_lacnic(p, "abandoned-br-org", ymd(2006, 3, 15));
+    if (s.historic_origin) {
+      w_->fleet.announce(p, bgp::AsPath{s.old_transit, s.old_origin},
+                         net::DateRange{s.old_begin, s.old_end});
+    }
+    w_->fleet.announce(
+        p, bgp::AsPath{kRuTransit1, kRuTransit2, kPeruOrigin},
+        net::DateRange{s.hijack_begin, net::DateRange::unbounded()});
+    if (s.on_drop) {
+      std::string id = "SBL" + std::to_string(sbl_counter_++);
+      w_->sbl.add(drop::SblRecord{
+          id, p,
+          "Hijacked netblock " + p.to_string() +
+              ", stolen routing via AS50509; announced with forged origin " +
+              kPeruOrigin.to_string() + "."});
+      w_->drop.add(p, drop_day, id);
+    }
+    w_->truth.case_study_siblings.push_back(p);
+  }
+
+  // The /22 itself joins DROP the same day — one of the three HJ prefixes
+  // that were RPKI-signed before listing (§6.1).
+  {
+    std::string id = "SBL" + std::to_string(sbl_counter_++);
+    w_->sbl.add(drop::SblRecord{
+        id, the22,
+        "Hijacked netblock 132.255.0.0/22, stolen " +
+            kPeruOrigin.to_string() +
+            " origin with RPKI-valid announcement via AS50509."});
+    w_->drop.add(the22, drop_day, id);
+  }
+  w_->truth.case_study_prefix = the22;
+  w_->truth.signed_before_listing.push_back(the22);
+}
+
+void Generator::gen_attacker_controlled_roas() {
+  // §6.1: two hijacked prefixes whose ROA the hijacker itself controls —
+  // the published ROA's ASN tracked the BGP origin as it changed during the
+  // two years before listing.
+  for (int i = 0; i < cfg_.attacker_controlled_roas; ++i) {
+    rir::Rir r = i % 2 == 0 ? rir::Rir::kRipe : rir::Rir::kApnic;
+    net::Prefix p = blocks_.take(r, 20);
+    w_->registry.allocate(p, r, "shell-org-" + std::to_string(i),
+                          pre_window_date(4, 9));
+    net::Asn origin_a = asns_.fresh_operator();
+    net::Asn origin_b = asns_.fresh_operator();
+    net::Date listed = in_window_date(60);
+    if (listed < cfg_.window_begin + 200) listed = cfg_.window_begin + 200;
+    // Both ROA changes land inside the two years before listing — that is
+    // the window §6.1 inspected for origin-tracking ROAs.
+    net::Date flip = listed - static_cast<int32_t>(rng_.range(100, 300));
+    net::Date start = flip - static_cast<int32_t>(rng_.range(100, 300));
+
+    rpki::Roa roa_a(p, origin_a, rpki::production_tal(r));
+    w_->roas.publish(roa_a, start);
+    w_->roas.revoke(roa_a, flip);
+    w_->roas.publish(rpki::Roa(p, origin_b, rpki::production_tal(r)), flip);
+
+    net::Asn transit = asns_.transit(rng_);
+    w_->fleet.announce(p, bgp::AsPath{transit, origin_a},
+                       net::DateRange{start, flip});
+    w_->fleet.announce(p, bgp::AsPath{transit, origin_b},
+                       net::DateRange{flip, net::DateRange::unbounded()});
+
+    std::string id = "SBL" + std::to_string(sbl_counter_++);
+    w_->sbl.add(drop::SblRecord{
+        id, p,
+        "Hijacked IP range " + p.to_string() + " on " + origin_b.to_string() +
+            "; resource records under criminal control."});
+    w_->drop.add(p, listed, id);
+    w_->truth.signed_before_listing.push_back(p);
+  }
+}
+
+void Generator::gen_operator_as0_case() {
+  // §6.2.1: Spamhaus added 45.65.112.0/22 on 2020-01-28; the operator signed
+  // it with AS0 on 2021-05-05; Spamhaus removed it on 2021-06-16.
+  net::Prefix p = net::Prefix::parse("45.65.112.0/22");
+  w_->registry.administer(rir::Rir::kLacnic, p);
+  w_->registry.allocate(p, rir::Rir::kLacnic, "remediated-operator",
+                        ymd(2016, 8, 1), "BR");
+  net::Asn origin = asns_.fresh_operator();
+  w_->fleet.announce(p, bgp::AsPath{asns_.transit(rng_), origin},
+                     net::DateRange{ymd(2019, 10, 1), ymd(2021, 4, 20)});
+  w_->drop.add(p, ymd(2020, 1, 28));  // record later deleted -> NR
+  w_->roas.publish(rpki::Roa(p, net::Asn::as0(), rpki::Tal::kLacnic),
+                   ymd(2021, 5, 5));
+  w_->drop.remove(p, ymd(2021, 6, 16));
+  w_->truth.removed_from_drop.push_back(p);
+}
+
+}  // namespace droplens::sim::detail

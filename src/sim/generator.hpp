@@ -1,0 +1,14 @@
+// Scenario generator: builds a World from a ScenarioConfig.
+#pragma once
+
+#include <memory>
+
+#include "sim/scenario.hpp"
+#include "sim/world.hpp"
+
+namespace droplens::sim {
+
+/// Generate the synthetic Internet. Deterministic in `config.seed`.
+std::unique_ptr<World> generate(const ScenarioConfig& config);
+
+}  // namespace droplens::sim

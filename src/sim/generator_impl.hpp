@@ -1,0 +1,200 @@
+// Internal machinery of the scenario generator. Not part of the public API.
+#pragma once
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/asn.hpp"
+#include "net/cidr_cover.hpp"
+#include "net/date.hpp"
+#include "net/prefix.hpp"
+#include "sim/generator.hpp"
+#include "sim/rng.hpp"
+#include "sim/world.hpp"
+
+namespace droplens::sim::detail {
+
+/// Hands out non-overlapping, CIDR-aligned address blocks per RIR from
+/// curated lists of /8s, administering exactly what it hands out. Pool
+/// space (the RIR free pools) lives in dedicated /8s so that unallocated
+/// space stays cleanly separated from allocated space.
+class BlockAllocator {
+ public:
+  explicit BlockAllocator(rir::Registry& registry);
+
+  /// Next free aligned block of 2^(32-len) addresses in `rir` general
+  /// space; administers it. Does NOT allocate it to a holder.
+  net::Prefix take(rir::Rir rir, int len);
+
+  /// Set up the RIR's free pool: administer `addresses` worth of space in
+  /// the pool /8 starting at its base. Must be called once per RIR.
+  void setup_pool(rir::Rir rir, uint64_t addresses);
+
+  /// Carve a block of the pool for an in-window allocation (pool drain).
+  /// Walks upward from the pool base.
+  net::Prefix take_from_pool(rir::Rir rir, int len);
+
+  /// Carve a block from the TOP of the pool — space that will never be
+  /// allocated (used for unallocated squatters and bogons).
+  net::Prefix squat_in_pool(rir::Rir rir, int len);
+
+  /// Unclaimed pool space remaining between the drain and squat cursors.
+  uint64_t pool_headroom(rir::Rir rir) const;
+
+ private:
+  struct Cursor {
+    std::vector<uint32_t> bases;  // /8 network addresses
+    size_t base_idx = 0;
+    uint64_t next = 0;  // absolute address of the next free address
+    // Per-length lanes for blocks smaller than a /16: each lane consumes
+    // whole /16 granules from the shared cursor, so mixing block sizes does
+    // not fragment the /8s (alignment waste nearly bankrupted small RIRs).
+    struct Lane {
+      uint64_t next = 0;
+      uint64_t end = 0;
+    };
+    std::array<Lane, 33> lanes{};
+  };
+
+  net::Prefix carve(Cursor& cur, int len);
+  uint64_t grab(Cursor& cur, uint64_t size);  // size-aligned shared carve
+
+  rir::Registry& registry_;
+  std::array<Cursor, 5> general_;
+  // Pool state: [base, top) administered; drain moves `drain_next` up,
+  // squatters move `squat_next` down.
+  struct Pool {
+    uint64_t base = 0;
+    uint64_t top = 0;
+    uint64_t drain_next = 0;
+    uint64_t squat_next = 0;
+  };
+  std::array<Pool, 5> pools_;
+};
+
+/// ASN handout plan. Operator ASNs are sequential from a high base so the
+/// hardcoded case-study ASNs (AS50509, AS263692, ...) never collide.
+class AsnPlan {
+ public:
+  explicit AsnPlan(Rng& rng);
+
+  net::Asn fresh_operator() { return net::Asn(next_operator_++); }
+  net::Asn transit(Rng& rng) {
+    return transits_[rng.below(transits_.size())];
+  }
+  /// The paper's 13 distinct hijacking ASNs seen in forged route objects.
+  const std::vector<net::Asn>& hijacking_asns() const { return hijackers_; }
+
+  void set_hijacker_count(int n);
+
+ private:
+  uint32_t next_operator_ = 100000;
+  std::vector<net::Asn> transits_;
+  std::vector<net::Asn> hijackers_;
+};
+
+/// Weighted prefix-length sampler.
+struct LengthDist {
+  std::vector<int> lengths;
+  std::vector<double> weights;
+
+  int sample(Rng& rng) const { return lengths[rng.weighted(weights)]; }
+};
+
+/// Everything one DROP entry needs before it is written into the data sets.
+struct DropPlan {
+  net::Prefix prefix;
+  rir::Rir rir = rir::Rir::kArin;
+  bool allocated = true;       // false for UA prefixes
+  drop::Category primary = drop::Category::kHijacked;
+  bool second_label_ks = false;  // snowshoe prefixes with a 2nd keyword
+  bool second_label_hj = false;
+  bool no_record = false;      // NR: record deleted after remediation
+  bool vague_text = false;     // App. A: inference-only wording
+  bool unclassifiable = false;
+  net::Date listed;
+  bool removed = false;
+  net::Date removed_on;
+  bool announced = true;
+  net::Asn origin;             // BGP origin at listing time
+  net::Asn transit;
+  net::Date announce_begin;
+  double withdraw_rate = 0;    // category withdrawal probability (quota'd)
+  bool withdrawn_30d = false;
+  net::Date announce_end = net::DateRange::unbounded();
+  bool asn_in_sbl = false;     // record names a malicious ASN
+  bool deallocated = false;
+  net::Date dealloc_date;
+  // IRR
+  bool forged_irr = false;     // §5's 57: hijacker ASN in the route object
+  bool legit_irr = false;
+  net::Date irr_created;
+  bool irr_removed_after = false;
+  std::string irr_org;
+  bool irr_preexisting = false;  // an old owner object exists too
+  // RPKI
+  bool signs_after = false;    // gets a ROA between listing and window end
+  net::Date sign_date;
+  bool sign_same_asn = false;
+  bool signed_before_listing = false;  // §6.1's attacker-controlled ROAs
+};
+
+class Generator {
+ public:
+  explicit Generator(const ScenarioConfig& cfg);
+
+  std::unique_ptr<World> run();
+
+ private:
+  // generator.cpp
+  void setup_fleet();
+  void setup_pools();
+  void gen_presigned();
+  void gen_mega_holders();
+  void gen_background_unsigned();
+  void gen_pool_drain();
+  void gen_bogons();
+  void run_as0_policies();
+
+  // gen_drop.cpp
+  void gen_drop_population();
+  std::vector<DropPlan> plan_drop_entries();
+  void plan_category(std::vector<DropPlan>& plans, drop::Category cat,
+                     int count);
+  void plan_incidents(std::vector<DropPlan>& plans);
+  void assign_forged_irr(std::vector<DropPlan>& plans);
+  void apply_quotas(std::vector<DropPlan>& plans);
+  void realize(DropPlan& plan, int index);
+  std::string sbl_text(const DropPlan& plan, int index) const;
+
+  // gen_case_study.cpp
+  void gen_case_study();
+  void gen_attacker_controlled_roas();
+  void gen_operator_as0_case();
+
+  // helpers (generator.cpp)
+  net::Date pre_window_date(int min_years_back = 1, int max_years_back = 12);
+  net::Date in_window_date(int margin_end = 0);
+  rir::Rir pick_rir(const std::array<double, 5>& weights);
+  void announce_simple(const net::Prefix& p, net::Asn origin, net::Asn transit,
+                       net::Date begin, net::Date end);
+  /// Allocate + announce + maybe pre-sign one background prefix; returns
+  /// space consumed.
+  uint64_t background_prefix(rir::Rir rir, int len, bool presign,
+                             bool withdraw_mid_window);
+  /// Decide a ROA's maxLength (0 = none); for the non-vulnerable minority
+  /// announces the covered sub-prefixes too.
+  int maxlength_for(const net::Prefix& p, net::Asn origin, net::Asn transit,
+                    net::Date begin, net::Date end, bool may_cover_subs);
+
+  ScenarioConfig cfg_;
+  Rng rng_;
+  std::unique_ptr<World> w_;
+  BlockAllocator blocks_;
+  AsnPlan asns_;
+  int sbl_counter_ = 300000;
+};
+
+}  // namespace droplens::sim::detail

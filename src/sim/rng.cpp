@@ -1,0 +1,75 @@
+#include "sim/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace droplens::sim {
+
+namespace {
+
+uint64_t splitmix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (uint64_t& s : s_) s = splitmix64(x);
+}
+
+uint64_t Rng::next() {
+  // xoshiro256++
+  uint64_t result = std::rotl(s_[0] + s_[3], 23) + s_[0];
+  uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::below(uint64_t bound) {
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::range(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+}
+
+double Rng::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+size_t Rng::weighted(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  double r = uniform() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r < 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+int Rng::geometric(double p, int cap) {
+  if (p >= 1.0) return 0;
+  int n = 0;
+  while (n < cap && !chance(p)) ++n;
+  return n;
+}
+
+Rng Rng::fork() { return Rng(next() ^ 0xd1b54a32d192ed03ULL); }
+
+}  // namespace droplens::sim

@@ -1,0 +1,56 @@
+// Deterministic PRNG for the scenario generator.
+//
+// Every figure must regenerate byte-identically, so the generator seeds a
+// xoshiro256++ stream from a single scenario seed (expanded via splitmix64).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace droplens::sim {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias. Requires bound > 0.
+  uint64_t below(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform();
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Pick an index according to `weights` (need not be normalized).
+  size_t weighted(const std::vector<double>& weights);
+
+  /// Geometric-ish count: number of failures before success at rate p,
+  /// capped at `cap`.
+  int geometric(double p, int cap);
+
+  /// Fork a decorrelated child stream (for per-subsystem determinism that
+  /// doesn't depend on call order elsewhere).
+  Rng fork();
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      using std::swap;
+      swap(v[i - 1], v[below(i)]);
+    }
+  }
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace droplens::sim

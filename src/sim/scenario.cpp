@@ -1,0 +1,40 @@
+#include "sim/scenario.hpp"
+
+namespace droplens::sim {
+
+ScenarioConfig ScenarioConfig::small() {
+  ScenarioConfig c;
+  c.full_table_peers = 20;
+  c.collectors = 4;
+  c.unsigned_background = {40, 420, 650, 150, 680};
+  c.presigned_space_slash8 = 0.5;
+  c.prudential_slash8 = 0.02;
+  c.alibaba_slash8 = 0.012;
+  c.amazon_unrouted_slash8 = 0.06;
+  c.amazon_routed_slash8 = 0.02;
+  c.signed_goes_unrouted_slash8 = 0.04;
+  c.unrouted_unsigned_start_slash8 = 0.52;
+  c.unrouted_unsigned_growth_slash8 = 0.08;
+  c.free_pool_start = {70'000, 50'000, 25'000, 26'000, 15'000};
+  c.hijacked_regular = 13;
+  c.afrinic_incident_prefixes = 6;
+  c.afrinic_incident_space = 240'000;
+  c.snowshoe = 22;
+  c.known_spam_op = 4;
+  c.malicious_hosting = 5;
+  c.unclassifiable = 1;
+  c.unallocated_drop = 8;
+  c.unallocated_by_rir = {2, 1, 1, 3, 1};
+  c.no_record = 18;
+  c.snowshoe_second_label = 2;
+  c.forged_irr_hijacks = 6;
+  c.forged_irr_other_orgs = 2;
+  c.hijacking_asn_count = 4;
+  c.forged_irr_late_records = 1;
+  c.forged_irr_preexisting = 1;
+  c.attacker_controlled_roas = 1;
+  c.background_bogons = 5;
+  return c;
+}
+
+}  // namespace droplens::sim

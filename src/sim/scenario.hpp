@@ -1,0 +1,167 @@
+// Scenario configuration: every calibration knob of the synthetic Internet.
+//
+// Defaults reproduce the paper's study (June 5, 2019 – March 30, 2022) at
+// full scale; `ScenarioConfig::small()` gives a fast, reduced world for unit
+// tests and the quickstart example. Knobs are annotated with the paper
+// statistic they calibrate.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "net/date.hpp"
+#include "rir/rir.hpp"
+
+namespace droplens::sim {
+
+struct ScenarioConfig {
+  uint64_t seed = 0x5d10'9222'd309'a001ULL;
+
+  // ---- Study window (§3.1) -------------------------------------------
+  net::Date window_begin = net::Date::from_ymd(2019, 6, 5);
+  net::Date window_end = net::Date::from_ymd(2022, 3, 30);
+  // BGP / IRR / allocation pre-history reaches back this far, so "no
+  // origination for 15 yrs" style statements are representable.
+  net::Date history_begin = net::Date::from_ymd(2005, 1, 1);
+
+  // ---- Collector fleet (§3, §4.1) ------------------------------------
+  int collectors = 36;             // all RouteViews collectors
+  int full_table_peers = 100;      // peers providing full tables
+  int drop_filtering_peers = 3;    // §4.1: three peers filter DROP prefixes
+
+  // ---- Background (never-on-DROP) prefix population (Table 1) --------
+  // Prefix counts without a ROA at window start, per RIR — Table 1 column 1
+  // denominators: AFRINIC 3901, APNIC 42.2K, ARIN 65.2K, LACNIC 15.1K,
+  // RIPE 68.2K. Scaled by `background_scale` (1.0 = paper scale).
+  std::array<int, 5> unsigned_background = {3901, 42200, 65200, 15100, 68200};
+  // Base RPKI signing rate during the window, per RIR — Table 1 column 1:
+  // 11.8% / 26.3% / 8.5% / 25.5% / 33.0%.
+  std::array<double, 5> base_signing_rate = {0.118, 0.263, 0.085, 0.255, 0.330};
+  // Pre-signed (ROA before window) routed space: together with the
+  // signed-goes-unrouted slice and the pre-signed organizations below this
+  // brings start-of-window signed space to Fig 5's 49.1 /8 equivalents.
+  double presigned_space_slash8 = 45.5;
+
+  // ---- Fig 5 space targets (/8 equivalents) --------------------------
+  // Signed-but-unrouted non-AS0 space at window start (~1.6 /8s): Prudential
+  // (1.0, ARIN legacy) + Alibaba (0.64, APNIC).
+  double prudential_slash8 = 1.0;
+  double alibaba_slash8 = 0.64;
+  // Amazon signs ~Sep 2020; 3.1 /8s of it stays unrouted (§6.2.1).
+  net::Date amazon_roa_date = net::Date::from_ymd(2020, 9, 1);
+  double amazon_unrouted_slash8 = 3.1;
+  double amazon_routed_slash8 = 1.0;
+  // Other signed space that goes unrouted during the window (takes the
+  // signed-unrouted series from 1.6 to 6.7 with the three orgs above).
+  double signed_goes_unrouted_slash8 = 1.96;
+  // Allocated, unrouted, never signed. The Fig 5 "no ROA" series runs
+  // 29.2 -> 30.0 /8s with ARIN holding 60.8%: at window start it is this
+  // static legacy space PLUS Amazon's 3.1 /8s (unsigned until Sep 2020);
+  // the growth slice (routed space withdrawn mid-window without signing)
+  // refills the series after Amazon's space moves to signed-unrouted.
+  double unrouted_unsigned_start_slash8 = 26.1;
+  double unrouted_unsigned_growth_slash8 = 3.9;
+  double unrouted_unsigned_arin_share = 0.65;
+
+  // ---- RIR free pools at window start, in addresses (Fig 7) ----------
+  std::array<uint64_t, 5> free_pool_start = {
+      7'000'000,   // AFRINIC
+      5'000'000,   // APNIC
+      2'500'000,   // ARIN
+      2'600'000,   // LACNIC
+      1'500'000};  // RIPE NCC
+  // Fraction of the start pool each RIR hands out during the window.
+  std::array<double, 5> pool_drain = {0.25, 0.30, 0.20, 0.70, 0.40};
+
+  // ---- DROP composition (§3.1, Fig 1) --------------------------------
+  int hijacked_regular = 131;       // + 3 RPKI-signed-before-listing = 134
+                                    //   non-incident HJ (§6.1); 45 incident
+                                    //   prefixes bring HJ to 179
+  int afrinic_incident_prefixes = 45;   // 6.3% of prefixes, 48.8% of space
+  uint64_t afrinic_incident_space = 2'640'000;
+  int snowshoe = 225;               // ~1/3 of prefix additions, 8.5% of space
+  int known_spam_op = 35;
+  int malicious_hosting = 45;
+  int unclassifiable = 2;           // App. A: two records too vague to label
+  int unallocated_drop = 40;        // §6.2.2: 40 unallocated prefixes
+  // Fig 6 clusters: LACNIC 19, AFRINIC 12; remainder spread over the rest.
+  std::array<int, 5> unallocated_by_rir = {12, 4, 3, 19, 2};
+  int no_record = 186;              // 712 - 526 with SBL records
+  int snowshoe_second_label = 15;   // SS prefixes with a second category
+
+  // ---- SBL text shape (Appendix A) ------------------------------------
+  double sbl_two_keyword_rate = 0.027;  // 2.7% of records have two keywords
+  double sbl_no_keyword_rate = 0.073;   // 7.3% need manual inference
+
+  // ---- Blocklisting effects (§4.1) ------------------------------------
+  // Planned rate over the generated hijack prefixes; slightly above the
+  // paper's 70.7% because the measured population also contains the
+  // case-study and attacker-controlled-ROA hijacks, which stay announced.
+  double withdraw_within_30d_hijacked = 0.765;
+  double withdraw_within_30d_unallocated = 0.548;
+  double withdraw_within_30d_other = 0.02;
+  double mh_deallocated_rate = 0.174;  // 17.4% of MH deallocated by RIR
+  // 8.8% of removed prefixes were deallocated; half removed within a week
+  // of deallocation.
+  double removed_deallocated_rate = 0.088;
+
+  // ---- DROP removal & RPKI uptake (Table 1, §4.2) ---------------------
+  // Per-RIR counts of unsigned-at-listing prefixes removed from DROP /
+  // still present (Table 1 columns 2-3 denominators: 7/18/40/37/83 and
+  // 11/37/169/9/172 — realized counts depend on category mix; see
+  // EXPERIMENTS.md).
+  std::array<double, 5> removed_fraction = {0.30, 0.33, 0.19, 0.80, 0.33};
+  std::array<double, 5> removed_signing_rate = {0.143, 0.444, 0.250, 0.351,
+                                                0.542};
+  std::array<double, 5> present_signing_rate = {0.000, 0.216, 0.006, 0.000,
+                                                0.198};
+  // §4.2: of removed-and-then-signed prefixes, 82.3% signed with an ASN
+  // different from the listing-time origin, 6.3% with the same ASN.
+  double removed_signed_same_asn = 0.063;
+  double removed_signed_unannounced = 0.114;
+
+  // ---- IRR behaviour (§5, Fig 3) ---------------------------------------
+  int forged_irr_hijacks = 57;   // hijacker ASN in the route object
+  int forged_irr_org_count = 3;  // 49 of 57 share three ORG-IDs
+  int forged_irr_other_orgs = 8;
+  int hijacking_asn_count = 13;
+  int forged_irr_late_records = 2;  // IRR record >1yr after BGP
+  int forged_irr_preexisting = 5;   // prefixes with an owner's older entry
+  // Non-forged route objects so ~31.7% of DROP prefixes have one, covering
+  // ~68.8% of DROP space (incident prefixes all carry route objects).
+  double legit_route_object_rate = 0.22;
+  double route_object_removed_month_after = 0.43;
+
+  // ---- Case study (Fig 4, §6.1) ----------------------------------------
+  bool include_case_study = true;
+  // Two further HJ prefixes whose ROA the hijacker itself controls.
+  int attacker_controlled_roas = 2;
+
+  // ---- maxLength usage (§2.3 context; Gilad et al. CoNEXT'17) ----------
+  // Fraction of operator ROAs that set maxLength beyond the prefix length,
+  // and of those, the fraction vulnerable to forged-origin sub-prefix
+  // hijacks (the owner does not announce every covered more-specific).
+  // Gilad et al. measured 84% of maxLength ROAs vulnerable in June 2017.
+  double maxlength_roa_rate = 0.12;
+  double maxlength_vulnerable_rate = 0.84;
+
+  // ---- §6.2.2: bogon announcements not on DROP -------------------------
+  // Announced-from-free-pool prefixes alive at window end, so every peer
+  // carries ~30 routes an AS0 TAL would reject.
+  int background_bogons = 26;
+
+  /// Reduced world: same mechanisms, ~1% the size; runs in milliseconds.
+  static ScenarioConfig small();
+
+  /// Derived: total DROP prefix count (the paper's defaults give 712).
+  /// The `snowshoe_second_label` prefixes are within the snowshoe count;
+  /// they only gain an extra keyword in their SBL text.
+  int total_drop_prefixes() const {
+    return hijacked_regular + (include_case_study ? 1 : 0) +
+           attacker_controlled_roas + afrinic_incident_prefixes + snowshoe +
+           known_spam_op + malicious_hosting + unclassifiable +
+           unallocated_drop + no_record;
+  }
+};
+
+}  // namespace droplens::sim

@@ -1,0 +1,57 @@
+// The synthetic Internet: every data set the paper consumes, plus ground
+// truth for tests. Analyses must only read the data sets (registry, fleet,
+// irr, roas, drop, sbl) — ground truth exists so tests can check that the
+// *analysis* recovers what the *generator* planted, never as an input.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "bgp/fleet.hpp"
+#include "drop/drop_list.hpp"
+#include "drop/sbl.hpp"
+#include "irr/database.hpp"
+#include "net/date.hpp"
+#include "net/prefix.hpp"
+#include "rir/registry.hpp"
+#include "rpki/archive.hpp"
+#include "sim/scenario.hpp"
+
+namespace droplens::sim {
+
+struct World {
+  ScenarioConfig config;
+
+  rir::Registry registry;
+  bgp::CollectorFleet fleet;
+  irr::Database irr{"RADB"};
+  rpki::RoaArchive roas;
+  drop::DropList drop;
+  drop::SblDatabase sbl;
+
+  /// What the generator planted (test oracle only).
+  struct GroundTruth {
+    std::vector<net::Prefix> incident_prefixes;      // two AFRINIC incidents
+    std::vector<net::Prefix> forged_irr_prefixes;    // §5's 57
+    std::vector<net::Prefix> unallocated_prefixes;   // §6.2.2's 40
+    std::vector<net::Prefix> withdrawn_within_30d;
+    std::vector<net::Prefix> removed_from_drop;
+    std::vector<net::Prefix> signed_before_listing;  // §6.1's 3 HJ prefixes
+    net::Prefix case_study_prefix;                   // 132.255.0.0/22
+    std::vector<net::Prefix> case_study_siblings;    // Fig 4's other rows
+    std::vector<bgp::PeerId> drop_filtering_peers;
+    std::vector<net::Prefix> background_bogons;      // announced, unallocated,
+                                                     // never listed
+    size_t background_unsigned_prefixes = 0;
+    size_t presigned_prefixes = 0;
+  } truth;
+
+  // Peer reject policies capture `&drop`; the object must never move.
+  World() = default;
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+  World(World&&) = delete;
+  World& operator=(World&&) = delete;
+};
+
+}  // namespace droplens::sim

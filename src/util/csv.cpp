@@ -1,0 +1,27 @@
+#include "util/csv.hpp"
+
+namespace droplens::util {
+
+std::string CsvWriter::escape(std::string_view field) const {
+  bool needs_quote = field.find(sep_) != std::string_view::npos ||
+                     field.find('"') != std::string_view::npos ||
+                     field.find('\n') != std::string_view::npos;
+  if (!needs_quote) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::row(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << sep_;
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace droplens::util

@@ -1,0 +1,44 @@
+// Minimal CSV/TSV writer used by the bench harnesses to dump figure series.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace droplens::util {
+
+/// Streams rows of RFC-4180-style CSV. Fields containing the separator,
+/// quotes, or newlines are quoted; everything else is written verbatim.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out, char sep = ',') : out_(out), sep_(sep) {}
+
+  void header(const std::vector<std::string>& names) { row(names); }
+  void row(const std::vector<std::string>& fields);
+
+  /// Convenience: format arbitrary streamable values into one row.
+  template <typename... Ts>
+  void values(const Ts&... vs) {
+    std::vector<std::string> fields;
+    (fields.push_back(to_field(vs)), ...);
+    row(fields);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_field(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return std::to_string(v);
+    }
+  }
+
+  std::string escape(std::string_view field) const;
+
+  std::ostream& out_;
+  char sep_;
+};
+
+}  // namespace droplens::util

@@ -1,0 +1,23 @@
+// Error types shared across droplens libraries.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace droplens {
+
+/// Raised when textual input (an address, a delegation line, an RPSL object,
+/// ...) cannot be parsed. The message names the offending input.
+class ParseError : public std::runtime_error {
+ public:
+  explicit ParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Raised when an operation would violate a data-set invariant (e.g. removing
+/// a prefix from DROP before it was added).
+class InvariantError : public std::logic_error {
+ public:
+  explicit InvariantError(const std::string& what) : std::logic_error(what) {}
+};
+
+}  // namespace droplens

@@ -1,0 +1,85 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+
+#include "util/error.hpp"
+
+namespace droplens::util {
+
+std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      return out;
+    }
+    out.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string_view> split_ws(std::string_view s) {
+  std::vector<std::string_view> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    size_t start = i;
+    while (i < s.size() && !std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    if (i > start) out.push_back(s.substr(start, i - start));
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+bool icontains(std::string_view haystack, std::string_view needle) {
+  if (needle.empty()) return true;
+  if (needle.size() > haystack.size()) return false;
+  auto ieq = [](char a, char b) {
+    return std::tolower(static_cast<unsigned char>(a)) ==
+           std::tolower(static_cast<unsigned char>(b));
+  };
+  auto it = std::search(haystack.begin(), haystack.end(), needle.begin(),
+                        needle.end(), ieq);
+  return it != haystack.end();
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+unsigned long parse_u64(std::string_view s) {
+  unsigned long value = 0;
+  const char* first = s.data();
+  const char* last = s.data() + s.size();
+  auto [ptr, ec] = std::from_chars(first, last, value);
+  if (ec != std::errc() || ptr != last || s.empty()) {
+    throw ParseError("not a non-negative integer: '" + std::string(s) + "'");
+  }
+  return value;
+}
+
+}  // namespace droplens::util

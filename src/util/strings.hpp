@@ -1,0 +1,31 @@
+// Small string helpers used by the parsers (RPSL, delegation files, SBL text).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace droplens::util {
+
+/// Split `s` on `sep`, keeping empty fields ("a||b" -> {"a","","b"}).
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Split `s` on runs of ASCII whitespace, dropping empty fields.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// Strip leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// True if `haystack` contains `needle` case-insensitively (ASCII).
+bool icontains(std::string_view haystack, std::string_view needle);
+
+/// Join `parts` with `sep`.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parse a non-negative integer; throws ParseError on junk or overflow.
+unsigned long parse_u64(std::string_view s);
+
+}  // namespace droplens::util

@@ -1,0 +1,67 @@
+#include "util/text_table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace droplens::util {
+
+TextTable::TextTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() > columns_.size()) {
+    throw std::invalid_argument("TextTable: row wider than header");
+  }
+  cells.resize(columns_.size());
+  rows_.push_back(Row{std::move(cells), false});
+}
+
+void TextTable::add_rule() { rows_.push_back(Row{{}, true}); }
+
+void TextTable::print(std::ostream& out) const {
+  std::vector<size_t> width(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) width[c] = columns_[c].size();
+  for (const Row& r : rows_) {
+    if (r.rule) continue;
+    for (size_t c = 0; c < r.cells.size(); ++c) {
+      width[c] = std::max(width[c], r.cells[c].size());
+    }
+  }
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out << "  " << cell;
+      out << std::string(width[c] - cell.size(), ' ');
+    }
+    out << '\n';
+  };
+  auto print_rule = [&] {
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      out << "  " << std::string(width[c], '-');
+    }
+    out << '\n';
+  };
+  print_cells(columns_);
+  print_rule();
+  for (const Row& r : rows_) {
+    if (r.rule) {
+      print_rule();
+    } else {
+      print_cells(r.cells);
+    }
+  }
+}
+
+std::string fixed(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+std::string percent(double num, double den, int digits) {
+  if (den == 0) return "n/a";
+  return fixed(100.0 * num / den, digits) + "%";
+}
+
+}  // namespace droplens::util

@@ -1,0 +1,41 @@
+// Fixed-width ASCII table printer: the bench binaries use it to print the
+// paper-vs-measured rows for each table/figure.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace droplens::util {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TextTable {
+ public:
+  /// `columns` are header names; column count is fixed from here on.
+  explicit TextTable(std::vector<std::string> columns);
+
+  /// Add a row. Missing cells render empty; extra cells are an error.
+  void add_row(std::vector<std::string> cells);
+
+  /// Insert a horizontal rule before the next added row.
+  void add_rule();
+
+  void print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  // A row is either cells, or empty-with-rule flag.
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule = false;
+  };
+  std::vector<Row> rows_;
+};
+
+/// Format a double with `digits` decimal places.
+std::string fixed(double v, int digits = 1);
+
+/// Format `num/den` as a percentage string like "42.5%".
+std::string percent(double num, double den, int digits = 1);
+
+}  // namespace droplens::util

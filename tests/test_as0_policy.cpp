@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "net/cidr_cover.hpp"
+#include "rpki/as0_policy.hpp"
+
+namespace droplens::rpki {
+namespace {
+
+net::Date D(const char* s) { return net::Date::parse(s); }
+net::Prefix P(const char* s) { return net::Prefix::parse(s); }
+
+TEST(As0PolicyDates, MatchThePaper) {
+  EXPECT_EQ(*as0_policy_date(rir::Rir::kApnic), D("2020-09-02"));
+  EXPECT_EQ(*as0_policy_date(rir::Rir::kLacnic), D("2021-06-23"));
+  EXPECT_FALSE(as0_policy_date(rir::Rir::kArin).has_value());
+  EXPECT_FALSE(as0_policy_date(rir::Rir::kRipe).has_value());
+  EXPECT_FALSE(as0_policy_date(rir::Rir::kAfrinic).has_value());
+}
+
+class As0EngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry.administer(rir::Rir::kApnic, P("1.0.0.0/8"));
+    registry.administer(rir::Rir::kArin, P("8.0.0.0/8"));
+  }
+  rir::Registry registry;
+  RoaArchive archive;
+};
+
+TEST_F(As0EngineTest, NoopBeforePolicyDate) {
+  As0PolicyEngine engine(registry, archive);
+  EXPECT_EQ(engine.sync(rir::Rir::kApnic, D("2020-09-01")), 0u);
+  EXPECT_EQ(archive.total_published(), 0u);
+}
+
+TEST_F(As0EngineTest, NoopForRirsWithoutPolicy) {
+  As0PolicyEngine engine(registry, archive);
+  EXPECT_EQ(engine.sync(rir::Rir::kArin, D("2022-01-01")), 0u);
+}
+
+TEST_F(As0EngineTest, CoversFreePoolUnderAs0Tal) {
+  As0PolicyEngine engine(registry, archive);
+  net::Date d = D("2020-09-02");
+  EXPECT_GT(engine.sync(rir::Rir::kApnic, d), 0u);
+  // The whole (unallocated) /8 is covered, but only under the AS0 TAL.
+  TalSet as0_only;
+  as0_only.add(Tal::kApnicAs0);
+  EXPECT_EQ(archive.signed_space(d, as0_only).slash8_equivalents(), 1.0);
+  EXPECT_FALSE(archive.signed_on(P("1.2.0.0/16"), d));  // default TALs
+  EXPECT_EQ(archive.validate_route(P("1.2.0.0/16"), net::Asn(5), d,
+                                   TalSet::all()),
+            Validity::kInvalid);
+}
+
+TEST_F(As0EngineTest, SyncIsIdempotent) {
+  As0PolicyEngine engine(registry, archive);
+  net::Date d = D("2020-10-01");
+  engine.sync(rir::Rir::kApnic, d);
+  EXPECT_EQ(engine.sync(rir::Rir::kApnic, d), 0u);
+}
+
+TEST_F(As0EngineTest, AllocationShrinksAs0Coverage) {
+  As0PolicyEngine engine(registry, archive);
+  net::Date d1 = D("2020-10-01");
+  engine.sync(rir::Rir::kApnic, d1);
+  // The RIR allocates a /16; the next sync must revoke and re-publish so
+  // the allocated space is no longer AS0-covered.
+  net::Date d2 = D("2021-02-01");
+  registry.allocate(P("1.2.0.0/16"), rir::Rir::kApnic, "org", d2);
+  EXPECT_GT(engine.sync(rir::Rir::kApnic, d2), 0u);
+  TalSet as0_only;
+  as0_only.add(Tal::kApnicAs0);
+  net::IntervalSet covered = archive.signed_space(d2, as0_only);
+  EXPECT_FALSE(covered.intersects(P("1.2.0.0/16")));
+  EXPECT_DOUBLE_EQ(covered.slash8_equivalents(),
+                   1.0 - net::Prefix::parse("1.2.0.0/16")
+                             .slash8_equivalents());
+}
+
+TEST_F(As0EngineTest, SyncAllCoversActivePoliciesOnly) {
+  registry.administer(rir::Rir::kLacnic, P("177.0.0.0/8"));
+  As0PolicyEngine engine(registry, archive);
+  // Between the APNIC and LACNIC policy dates only APNIC syncs.
+  EXPECT_GT(engine.sync_all(D("2021-01-01")), 0u);
+  TalSet lacnic_as0;
+  lacnic_as0.add(Tal::kLacnicAs0);
+  EXPECT_TRUE(archive.signed_space(D("2021-01-01"), lacnic_as0).empty());
+  // After June 23, 2021, LACNIC joins.
+  engine.sync_all(D("2021-07-01"));
+  EXPECT_FALSE(archive.signed_space(D("2021-07-01"), lacnic_as0).empty());
+}
+
+}  // namespace
+}  // namespace droplens::rpki

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "bgp/fleet.hpp"
+#include "bgp/rib.hpp"
+#include "util/error.hpp"
+
+namespace droplens::bgp {
+namespace {
+
+net::Date D(int d) { return net::Date(d); }
+net::Asn A(uint32_t a) { return net::Asn(a); }
+net::Prefix P(const char* s) { return net::Prefix::parse(s); }
+
+TEST(AsPath, OriginAndContains) {
+  AsPath path{A(100), A(200), A(300)};
+  EXPECT_EQ(path.origin(), A(300));
+  EXPECT_TRUE(path.contains(A(200)));
+  EXPECT_FALSE(path.contains(A(400)));
+  EXPECT_EQ(path.to_string(), "100 200 300");
+}
+
+TEST(PeerRib, AnnounceWithdrawLifecycle) {
+  PeerRib rib;
+  Update announce{D(10), 0, UpdateType::kAnnounce, P("10.0.0.0/8"),
+                  AsPath{A(1), A(2)}};
+  rib.apply(announce);
+  EXPECT_EQ(rib.size(), 1u);
+  ASSERT_NE(rib.find(P("10.0.0.0/8")), nullptr);
+  EXPECT_EQ(rib.find(P("10.0.0.0/8"))->path.origin(), A(2));
+
+  // Re-announcement replaces the path.
+  announce.path = AsPath{A(1), A(3)};
+  announce.date = D(11);
+  rib.apply(announce);
+  EXPECT_EQ(rib.size(), 1u);
+  EXPECT_EQ(rib.find(P("10.0.0.0/8"))->path.origin(), A(3));
+
+  rib.apply(Update{D(12), 0, UpdateType::kWithdraw, P("10.0.0.0/8"), {}});
+  EXPECT_EQ(rib.size(), 0u);
+  EXPECT_EQ(rib.find(P("10.0.0.0/8")), nullptr);
+}
+
+TEST(PeerRib, LongestMatchPrefersMoreSpecific) {
+  PeerRib rib;
+  rib.apply(Update{D(1), 0, UpdateType::kAnnounce, P("10.0.0.0/8"),
+                   AsPath{A(8)}});
+  rib.apply(Update{D(1), 0, UpdateType::kAnnounce, P("10.2.0.0/16"),
+                   AsPath{A(16)}});
+  const Route* r = rib.longest_match(P("10.2.3.0/24"));
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->path.origin(), A(16));
+}
+
+class FleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    uint32_t c = fleet.add_collector("rv0");
+    for (int i = 0; i < 10; ++i) {
+      fleet.add_peer(c, A(9000 + static_cast<uint32_t>(i)));
+    }
+  }
+  CollectorFleet fleet;
+};
+
+TEST_F(FleetTest, EpisodeQueries) {
+  fleet.announce(P("10.0.0.0/8"), AsPath{A(1), A(2)},
+                 {D(100), D(200)});
+  EXPECT_TRUE(fleet.announced_on(P("10.0.0.0/8"), D(100)));
+  EXPECT_TRUE(fleet.announced_on(P("10.0.0.0/8"), D(199)));
+  EXPECT_FALSE(fleet.announced_on(P("10.0.0.0/8"), D(200)));
+  EXPECT_FALSE(fleet.announced_on(P("10.0.0.0/8"), D(99)));
+  EXPECT_EQ(*fleet.first_announced(P("10.0.0.0/8")), D(100));
+  EXPECT_EQ(*fleet.last_announced(P("10.0.0.0/8")), D(199));
+  EXPECT_FALSE(fleet.first_announced(P("11.0.0.0/8")).has_value());
+}
+
+TEST_F(FleetTest, RoutedOnSeesMoreSpecifics) {
+  fleet.announce(P("10.2.0.0/16"), AsPath{A(1)}, {D(100), D(200)});
+  EXPECT_TRUE(fleet.routed_on(P("10.0.0.0/8"), D(150)));
+  EXPECT_FALSE(fleet.announced_on(P("10.0.0.0/8"), D(150)));
+  EXPECT_FALSE(fleet.routed_on(P("10.0.0.0/8"), D(250)));
+}
+
+TEST_F(FleetTest, MoasConflictReportsBothOrigins) {
+  fleet.announce(P("10.0.0.0/8"), AsPath{A(1), A(100)}, {D(100), D(300)});
+  fleet.announce(P("10.0.0.0/8"), AsPath{A(2), A(200)}, {D(150), D(250)});
+  auto origins = fleet.origins_on(P("10.0.0.0/8"), D(200));
+  EXPECT_EQ(origins.size(), 2u);
+  EXPECT_EQ(fleet.origins_on(P("10.0.0.0/8"), D(120)).size(), 1u);
+}
+
+TEST_F(FleetTest, RejectsBadAnnouncements) {
+  EXPECT_THROW(fleet.announce(P("10.0.0.0/8"), AsPath{}, {D(1), D(2)}),
+               InvariantError);
+  EXPECT_THROW(fleet.announce(P("10.0.0.0/8"), AsPath{A(1)}, {D(2), D(2)}),
+               InvariantError);
+}
+
+TEST_F(FleetTest, PeerFilterAffectsObservation) {
+  CollectorFleet f;
+  uint32_t c = f.add_collector("rv0");
+  f.add_peer(c, A(1));
+  f.add_peer(c, A(2), true, [](const net::Prefix& p, net::Date) {
+    return p == net::Prefix::parse("10.0.0.0/8");
+  });
+  f.announce(P("10.0.0.0/8"), AsPath{A(5), A(6)},
+             {D(0), net::DateRange::unbounded()});
+  f.announce(P("11.0.0.0/8"), AsPath{A(5), A(6)},
+             {D(0), net::DateRange::unbounded()});
+  EXPECT_EQ(f.observing_peers(P("10.0.0.0/8"), D(10)), 1u);
+  EXPECT_EQ(f.observing_peers(P("11.0.0.0/8"), D(10)), 2u);
+  EXPECT_FALSE(f.peer_observes(1, P("10.0.0.0/8"), D(10)));
+  EXPECT_TRUE(f.peer_observes(0, P("10.0.0.0/8"), D(10)));
+  auto table0 = f.peer_table(0, D(10));
+  auto table1 = f.peer_table(1, D(10));
+  EXPECT_EQ(table0.size(), 2u);
+  EXPECT_EQ(table1.size(), 1u);
+}
+
+TEST_F(FleetTest, RoutedSpaceCollapsesOverlap) {
+  fleet.announce(P("10.0.0.0/8"), AsPath{A(1)},
+                 {D(0), net::DateRange::unbounded()});
+  fleet.announce(P("10.2.0.0/16"), AsPath{A(2)},
+                 {D(0), net::DateRange::unbounded()});
+  EXPECT_EQ(fleet.routed_space(D(5)).size(), uint64_t{1} << 24);
+  EXPECT_EQ(fleet.routed_space(D(5)).slash8_equivalents(), 1.0);
+}
+
+TEST_F(FleetTest, UpdateStreamReplayMatchesPeerTable) {
+  fleet.announce(P("10.0.0.0/8"), AsPath{A(1), A(2)}, {D(100), D(200)});
+  fleet.announce(P("11.0.0.0/8"), AsPath{A(1), A(3)},
+                 {D(150), net::DateRange::unbounded()});
+  PeerRib rib;
+  for (const Update& u : fleet.update_stream(0)) {
+    if (u.date <= D(170)) rib.apply(u);
+  }
+  auto table = fleet.peer_table(0, D(170));
+  EXPECT_EQ(rib.size(), table.size());
+  for (const Route& r : table) {
+    const Route* in_rib = rib.find(r.prefix);
+    ASSERT_NE(in_rib, nullptr);
+    EXPECT_EQ(in_rib->path, r.path);
+  }
+}
+
+TEST_F(FleetTest, UpdateStreamIsDateOrdered) {
+  fleet.announce(P("11.0.0.0/8"), AsPath{A(1)}, {D(300), D(400)});
+  fleet.announce(P("10.0.0.0/8"), AsPath{A(1)}, {D(100), D(200)});
+  auto stream = fleet.update_stream(0);
+  for (size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_LE(stream[i - 1].date, stream[i].date);
+  }
+}
+
+TEST_F(FleetTest, AnnouncedPrefixesOnFiltersbyDate) {
+  fleet.announce(P("10.0.0.0/8"), AsPath{A(1)}, {D(100), D(200)});
+  fleet.announce(P("11.0.0.0/8"), AsPath{A(1)}, {D(300), D(400)});
+  EXPECT_EQ(fleet.announced_prefixes_on(D(150)).size(), 1u);
+  EXPECT_EQ(fleet.announced_prefixes_on(D(350)).size(), 1u);
+  EXPECT_EQ(fleet.announced_prefixes_on(D(250)).size(), 0u);
+  EXPECT_EQ(fleet.announced_prefixes().size(), 2u);
+}
+
+}  // namespace
+}  // namespace droplens::bgp

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "drop/sbl.hpp"
+
+namespace droplens::drop {
+namespace {
+
+class ClassifierTest : public ::testing::Test {
+ protected:
+  Classification classify(const char* text) {
+    return classifier_.classify(text);
+  }
+  Classifier classifier_;
+};
+
+// The six excerpts of the paper's Table 2 and their published labels.
+TEST_F(ClassifierTest, PaperTable2Excerpts) {
+  {
+    Classification c = classify("AS204139 spammer hosting");
+    EXPECT_TRUE(c.categories.exclusive(Category::kMaliciousHosting));
+    ASSERT_TRUE(c.malicious_asn.has_value());
+    EXPECT_EQ(c.malicious_asn->value(), 204139u);
+  }
+  {
+    Classification c =
+        classify("hijacked IP range ... billing@ahostinginc.com");
+    EXPECT_TRUE(c.categories.exclusive(Category::kHijacked));
+  }
+  {
+    Classification c = classify(
+        "Snowshoe IP block on Stolen AS62927 ... "
+        "james.johnson@networxhosting.com");
+    EXPECT_TRUE(c.categories.has(Category::kSnowshoe));
+    EXPECT_TRUE(c.categories.has(Category::kHijacked));
+    EXPECT_FALSE(c.categories.has(Category::kMaliciousHosting));
+    EXPECT_EQ(c.malicious_asn->value(), 62927u);
+  }
+  {
+    Classification c =
+        classify("Register Of Known Spam Operations ... snowshoe range");
+    EXPECT_TRUE(c.categories.has(Category::kKnownSpamOp));
+    EXPECT_TRUE(c.categories.has(Category::kSnowshoe));
+  }
+  {
+    Classification c = classify(
+        "Register Of Known Spam Operations ... illegal netblock hijacking "
+        "operation");
+    EXPECT_TRUE(c.categories.has(Category::kKnownSpamOp));
+    EXPECT_TRUE(c.categories.has(Category::kHijacked));
+  }
+  {
+    Classification c = classify(
+        "Department of Defense ... Spamhaus believes that this IP address "
+        "range is being used or is about to be used for the purpose of high "
+        "volume spam emission.");
+    EXPECT_TRUE(c.categories.exclusive(Category::kSnowshoe));
+    EXPECT_TRUE(c.inferred);
+  }
+}
+
+TEST_F(ClassifierTest, HostingInsideEmailDoesNotCount) {
+  EXPECT_FALSE(classify("hijacked range, contact billing@spamhosting.com")
+                   .categories.has(Category::kMaliciousHosting));
+  EXPECT_FALSE(classify("see www.bulletproofhosting.example for spam")
+                   .categories.has(Category::kMaliciousHosting));
+}
+
+TEST_F(ClassifierTest, HostingWithPunctuationStillCounts) {
+  EXPECT_TRUE(classify("AS1 spammer hosting; ignores abuse reports")
+                  .categories.has(Category::kMaliciousHosting));
+  EXPECT_TRUE(classify("known for spam hosting.")
+                  .categories.has(Category::kMaliciousHosting));
+  EXPECT_TRUE(classify("(bulletproof hosting)")
+                  .categories.has(Category::kMaliciousHosting));
+}
+
+TEST_F(ClassifierTest, HostingNeedsMaliciousContext) {
+  // Plain business language about hosting is not malicious hosting.
+  EXPECT_TRUE(classify("hosting provider received our notice")
+                  .categories.empty());
+  // With a malicious context word, it is.
+  EXPECT_TRUE(classify("bulletproof hosting for criminals")
+                  .categories.has(Category::kMaliciousHosting));
+  EXPECT_TRUE(classify("spam hosting operation")
+                  .categories.has(Category::kMaliciousHosting));
+}
+
+TEST_F(ClassifierTest, KeywordsAreWordBounded) {
+  EXPECT_TRUE(classify("prehijacked").categories.empty());
+  EXPECT_TRUE(classify("hijack in progress")
+                  .categories.has(Category::kHijacked));
+  EXPECT_TRUE(classify("hijacking operation")
+                  .categories.has(Category::kHijacked));
+  EXPECT_TRUE(classify("range was stolen")
+                  .categories.has(Category::kHijacked));
+}
+
+TEST_F(ClassifierTest, UnallocatedAndBogon) {
+  EXPECT_TRUE(classify("unallocated netblock in use")
+                  .categories.has(Category::kUnallocated));
+  EXPECT_TRUE(classify("bogon announcement detected")
+                  .categories.has(Category::kUnallocated));
+}
+
+TEST_F(ClassifierTest, AsnExtraction) {
+  EXPECT_EQ(classify("spam from AS123 daily").malicious_asn->value(), 123u);
+  EXPECT_EQ(classify("lowercase as456 works").malicious_asn->value(), 456u);
+  EXPECT_FALSE(classify("no asn here").malicious_asn.has_value());
+  EXPECT_FALSE(classify("alias99 is not an ASN").malicious_asn.has_value());
+  EXPECT_FALSE(classify("AS0 route").malicious_asn.has_value());  // AS0 ≠ actor
+  // First ASN wins.
+  EXPECT_EQ(classify("AS111 then AS222").malicious_asn->value(), 111u);
+}
+
+TEST_F(ClassifierTest, VagueRecordsStayUnclassified) {
+  Classification c = classify("Suspicious activity; investigation ongoing.");
+  EXPECT_TRUE(c.categories.empty());
+  EXPECT_FALSE(c.inferred);
+  EXPECT_TRUE(c.matched_keywords.empty());
+}
+
+TEST_F(ClassifierTest, MatchedKeywordsAreReported) {
+  Classification c = classify("snowshoe range on stolen AS1");
+  EXPECT_EQ(c.matched_keywords.size(), 2u);
+}
+
+}  // namespace
+}  // namespace droplens::drop

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "net/date.hpp"
+#include "util/error.hpp"
+
+namespace droplens::net {
+namespace {
+
+TEST(Date, EpochIsZero) {
+  EXPECT_EQ(Date::from_ymd(1970, 1, 1).days(), 0);
+  EXPECT_EQ(Date(0).to_string(), "1970-01-01");
+}
+
+TEST(Date, KnownDates) {
+  // The paper's study window endpoints.
+  EXPECT_EQ(Date::from_ymd(2019, 6, 5).to_string(), "2019-06-05");
+  EXPECT_EQ(Date::from_ymd(2022, 3, 30) - Date::from_ymd(2019, 6, 5), 1029);
+}
+
+TEST(Date, ParseBothForms) {
+  EXPECT_EQ(Date::parse("2020-09-02"), Date::from_ymd(2020, 9, 2));
+  EXPECT_EQ(Date::parse("20200902"), Date::from_ymd(2020, 9, 2));
+  EXPECT_THROW(Date::parse("2020/09/02"), ParseError);
+  EXPECT_THROW(Date::parse("2020-13-01"), ParseError);
+  EXPECT_THROW(Date::parse("2020-02-30"), ParseError);
+  EXPECT_THROW(Date::parse(""), ParseError);
+}
+
+TEST(Date, LeapYears) {
+  EXPECT_NO_THROW(Date::from_ymd(2020, 2, 29));
+  EXPECT_THROW(Date::from_ymd(2021, 2, 29), InvariantError);
+  EXPECT_NO_THROW(Date::from_ymd(2000, 2, 29));  // divisible by 400
+  EXPECT_THROW(Date::from_ymd(1900, 2, 29), InvariantError);
+}
+
+TEST(Date, Arithmetic) {
+  Date d = Date::from_ymd(2020, 12, 31);
+  EXPECT_EQ((d + 1).to_string(), "2021-01-01");
+  EXPECT_EQ((d - 366).to_string(), "2019-12-31");
+  EXPECT_EQ((d + 1) - d, 1);
+}
+
+TEST(Date, RoundTripSweep) {
+  // Every day across several decades converts days -> ymd -> days exactly.
+  Date start = Date::from_ymd(1999, 1, 1);
+  Date end = Date::from_ymd(2031, 1, 1);
+  for (Date d = start; d < end; d += 1) {
+    Date::Ymd c = d.ymd();
+    EXPECT_EQ(Date::from_ymd(c.year, c.month, c.day), d);
+  }
+}
+
+TEST(DateRange, Contains) {
+  DateRange r{Date(10), Date(20)};
+  EXPECT_FALSE(r.contains(Date(9)));
+  EXPECT_TRUE(r.contains(Date(10)));
+  EXPECT_TRUE(r.contains(Date(19)));
+  EXPECT_FALSE(r.contains(Date(20)));  // half-open
+  EXPECT_EQ(r.length(), 10);
+}
+
+TEST(DateRange, UnboundedMeansStillOpen) {
+  DateRange r{Date(10), DateRange::unbounded()};
+  EXPECT_TRUE(r.contains(Date(1000000)));
+}
+
+}  // namespace
+}  // namespace droplens::net

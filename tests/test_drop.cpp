@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include "drop/drop_list.hpp"
+#include "drop/sbl.hpp"
+#include "util/error.hpp"
+
+namespace droplens::drop {
+namespace {
+
+net::Date D(int d) { return net::Date(d); }
+net::Prefix P(const char* s) { return net::Prefix::parse(s); }
+
+TEST(CategorySet, BasicOperations) {
+  CategorySet s;
+  EXPECT_TRUE(s.empty());
+  s.add(Category::kHijacked);
+  s.add(Category::kSnowshoe);
+  EXPECT_TRUE(s.has(Category::kHijacked));
+  EXPECT_FALSE(s.has(Category::kUnallocated));
+  EXPECT_EQ(s.count(), 2);
+  EXPECT_FALSE(s.exclusive(Category::kHijacked));
+  EXPECT_EQ(s.to_string(), "HJ+SS");
+  CategorySet only;
+  only.add(Category::kNoRecord);
+  EXPECT_TRUE(only.exclusive(Category::kNoRecord));
+  EXPECT_EQ(CategorySet().to_string(), "-");
+}
+
+TEST(DropList, AddRemoveLifecycle) {
+  DropList list;
+  list.add(P("10.0.0.0/24"), D(100), "SBL1");
+  EXPECT_FALSE(list.listed_on(P("10.0.0.0/24"), D(99)));
+  EXPECT_TRUE(list.listed_on(P("10.0.0.0/24"), D(100)));
+  EXPECT_TRUE(list.remove(P("10.0.0.0/24"), D(200)));
+  EXPECT_FALSE(list.listed_on(P("10.0.0.0/24"), D(200)));
+  EXPECT_TRUE(list.listed_on(P("10.0.0.0/24"), D(199)));
+  EXPECT_FALSE(list.remove(P("10.0.0.0/24"), D(300)));  // already off
+  EXPECT_EQ(*list.first_listed(P("10.0.0.0/24")), D(100));
+}
+
+TEST(DropList, RelistingCreatesSecondStint) {
+  DropList list;
+  list.add(P("10.0.0.0/24"), D(100));
+  list.remove(P("10.0.0.0/24"), D(200));
+  list.add(P("10.0.0.0/24"), D(300));
+  EXPECT_EQ(list.listings_of(P("10.0.0.0/24")).size(), 2u);
+  EXPECT_TRUE(list.listed_on(P("10.0.0.0/24"), D(350)));
+  EXPECT_EQ(*list.first_listed(P("10.0.0.0/24")), D(100));
+  EXPECT_EQ(list.total_listings(), 2u);
+  EXPECT_EQ(list.all_prefixes().size(), 1u);
+}
+
+TEST(DropList, DoubleAddThrows) {
+  DropList list;
+  list.add(P("10.0.0.0/24"), D(100));
+  EXPECT_THROW(list.add(P("10.0.0.0/24"), D(150)), InvariantError);
+}
+
+TEST(DropList, CoveredOnSeesLessSpecificListings) {
+  DropList list;
+  list.add(P("10.0.0.0/16"), D(100));
+  EXPECT_TRUE(list.covered_on(P("10.0.3.0/24"), D(150)));
+  EXPECT_FALSE(list.covered_on(P("10.1.0.0/16"), D(150)));
+  EXPECT_FALSE(list.covered_on(P("10.0.0.0/8"), D(150)));
+  EXPECT_FALSE(list.covered_on(P("10.0.3.0/24"), D(50)));
+}
+
+TEST(DropList, SnapshotListsCurrentEntries) {
+  DropList list;
+  list.add(P("10.0.0.0/24"), D(100));
+  list.add(P("11.0.0.0/24"), D(150));
+  list.remove(P("10.0.0.0/24"), D(160));
+  EXPECT_EQ(list.snapshot(D(155)).size(), 2u);
+  EXPECT_EQ(list.snapshot(D(170)).size(), 1u);
+  EXPECT_EQ(list.snapshot(D(50)).size(), 0u);
+}
+
+TEST(SblDatabase, AddFindRemove) {
+  SblDatabase db;
+  db.add(SblRecord{"SBL1", P("10.0.0.0/24"), "hijacked range"});
+  ASSERT_NE(db.find("SBL1"), nullptr);
+  ASSERT_NE(db.find_by_prefix(P("10.0.0.0/24")), nullptr);
+  EXPECT_EQ(db.find_by_prefix(P("10.0.0.0/24"))->id, "SBL1");
+  EXPECT_TRUE(db.remove("SBL1"));
+  EXPECT_EQ(db.find("SBL1"), nullptr);
+  EXPECT_EQ(db.find_by_prefix(P("10.0.0.0/24")), nullptr);
+  EXPECT_FALSE(db.remove("SBL1"));
+  EXPECT_EQ(db.size(), 0u);
+}
+
+}  // namespace
+}  // namespace droplens::drop

@@ -1,0 +1,307 @@
+// Extension analyses: maxLength vulnerability, the defense matrix, and
+// serial-hijacker profiling — crafted unit cases plus small-world checks.
+#include <gtest/gtest.h>
+
+#include "core/alarms.hpp"
+#include "core/defenses.hpp"
+#include "core/irr_whatif.hpp"
+#include "core/maxlength.hpp"
+#include "core/serial_hijackers.hpp"
+#include "sim/generator.hpp"
+
+namespace droplens::core {
+namespace {
+
+net::Date D(const char* s) { return net::Date::parse(s); }
+net::Prefix P(const char* s) { return net::Prefix::parse(s); }
+
+/// A hand-built micro-world for targeted defense/maxLength checks.
+struct MicroWorld {
+  rir::Registry registry;
+  bgp::CollectorFleet fleet;
+  irr::Database irr;
+  rpki::RoaArchive roas;
+  drop::DropList drop;
+  drop::SblDatabase sbl;
+
+  Study study() {
+    return Study{registry, fleet,        irr,
+                 roas,     drop,         sbl,
+                 D("2019-06-05"), D("2022-03-30")};
+  }
+
+  MicroWorld() {
+    registry.administer(rir::Rir::kRipe, P("185.0.0.0/8"));
+    uint32_t c = fleet.add_collector("rv");
+    fleet.add_peer(c, net::Asn(9000));
+  }
+};
+
+TEST(MaxLength, RoaWithoutMaxLengthIsNotVulnerable) {
+  MicroWorld w;
+  w.roas.publish(rpki::Roa(P("185.1.0.0/16"), net::Asn(1), rpki::Tal::kRipe),
+                 D("2020-01-01"));
+  Study s = w.study();
+  MaxLengthResult r = analyze_maxlength(s, D("2021-01-01"));
+  EXPECT_EQ(r.roas_total, 1);
+  EXPECT_EQ(r.roas_with_maxlength, 0);
+  EXPECT_EQ(r.vulnerable, 0);
+}
+
+TEST(MaxLength, UnannouncedSubPrefixesAreVulnerable) {
+  MicroWorld w;
+  rpki::Roa roa(P("185.1.0.0/16"), net::Asn(1), rpki::Tal::kRipe, 18);
+  w.roas.publish(roa, D("2020-01-01"));
+  // Owner announces only the covering /16: every /18 wins LPM over it.
+  w.fleet.announce(P("185.1.0.0/16"), bgp::AsPath{net::Asn(2), net::Asn(1)},
+                   {D("2020-01-01"), net::DateRange::unbounded()});
+  Study s = w.study();
+  EXPECT_TRUE(maxlength_vulnerable(s, roa, D("2021-01-01")));
+  MaxLengthResult r = analyze_maxlength(s, D("2021-01-01"));
+  EXPECT_EQ(r.vulnerable, 1);
+  EXPECT_TRUE(r.vulnerable_space.covers(P("185.1.0.0/16")));
+}
+
+TEST(MaxLength, FullyAnnouncedAtMaxLengthIsProtected) {
+  MicroWorld w;
+  rpki::Roa roa(P("185.1.0.0/16"), net::Asn(1), rpki::Tal::kRipe, 17);
+  w.roas.publish(roa, D("2020-01-01"));
+  // The owner announces BOTH /17 halves: no more-specific room is left.
+  for (const char* sub : {"185.1.0.0/17", "185.1.128.0/17"}) {
+    w.fleet.announce(P(sub), bgp::AsPath{net::Asn(2), net::Asn(1)},
+                     {D("2020-01-01"), net::DateRange::unbounded()});
+  }
+  Study s = w.study();
+  EXPECT_FALSE(maxlength_vulnerable(s, roa, D("2021-01-01")));
+}
+
+TEST(MaxLength, PartialCoverageIsStillVulnerable) {
+  MicroWorld w;
+  rpki::Roa roa(P("185.1.0.0/16"), net::Asn(1), rpki::Tal::kRipe, 17);
+  w.roas.publish(roa, D("2020-01-01"));
+  w.fleet.announce(P("185.1.0.0/17"), bgp::AsPath{net::Asn(2), net::Asn(1)},
+                   {D("2020-01-01"), net::DateRange::unbounded()});
+  Study s = w.study();
+  EXPECT_TRUE(maxlength_vulnerable(s, roa, D("2021-01-01")));
+}
+
+TEST(MaxLength, As0RoaIsNeverVulnerable) {
+  MicroWorld w;
+  rpki::Roa roa(P("185.1.0.0/16"), net::Asn::as0(), rpki::Tal::kRipe, 24);
+  w.roas.publish(roa, D("2020-01-01"));
+  Study s = w.study();
+  EXPECT_FALSE(maxlength_vulnerable(s, roa, D("2021-01-01")));
+}
+
+// --- Defense matrix on the small world ------------------------------------
+
+class ExtensionWorldTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new sim::ScenarioConfig(sim::ScenarioConfig::small());
+    world_ = sim::generate(*config_).release();
+    study_ = new Study{world_->registry,    world_->fleet, world_->irr,
+                       world_->roas,        world_->drop,  world_->sbl,
+                       config_->window_begin, config_->window_end};
+    index_ = new DropIndex(DropIndex::build(*study_));
+  }
+  static void TearDownTestSuite() {
+    delete index_;
+    delete study_;
+    delete world_;
+    delete config_;
+  }
+  static sim::ScenarioConfig* config_;
+  static sim::World* world_;
+  static Study* study_;
+  static DropIndex* index_;
+};
+
+sim::ScenarioConfig* ExtensionWorldTest::config_ = nullptr;
+sim::World* ExtensionWorldTest::world_ = nullptr;
+Study* ExtensionWorldTest::study_ = nullptr;
+DropIndex* ExtensionWorldTest::index_ = nullptr;
+
+TEST_F(ExtensionWorldTest, DefenseMatrixShape) {
+  DefenseMatrixResult r = analyze_defenses(*study_, *index_);
+  ASSERT_GT(r.total(), 0);
+  size_t ua = static_cast<size_t>(HijackKind::kUnallocated);
+  // Every unallocated hijack is caught by enforced RIR AS0 and nothing
+  // in the ROV column (the space is unsigned under production TALs).
+  EXPECT_EQ(r.blocked_by_kind[ua][static_cast<size_t>(Defense::kRovRirAs0)],
+            r.events_by_kind[ua]);
+  EXPECT_EQ(r.blocked_by_kind[ua][static_cast<size_t>(Defense::kRov)], 0);
+  EXPECT_GT(r.events_by_kind[ua], 0);
+  // BGPsec catches every forged-origin hijack.
+  size_t fo = static_cast<size_t>(HijackKind::kForgedOrigin);
+  EXPECT_EQ(r.blocked_by_kind[fo][static_cast<size_t>(Defense::kBgpsec)],
+            r.events_by_kind[fo]);
+  // ...but origin squats with the attacker's own AS pass everything except
+  // allocation-based policies.
+  size_t sq = static_cast<size_t>(HijackKind::kOriginSquat);
+  EXPECT_EQ(r.blocked_by_kind[sq][static_cast<size_t>(Defense::kBgpsec)], 0);
+  // The AS0-only gap is non-empty — the paper's conclusion.
+  EXPECT_GT(r.unstoppable_without_as0, 0);
+}
+
+TEST_F(ExtensionWorldTest, DefenseVerdictsAreMonotone) {
+  DefenseMatrixResult r = analyze_defenses(*study_, *index_);
+  for (const HijackEvent& e : r.events) {
+    // Anything ROV blocks, the ROV-superset defenses block too.
+    if (e.blocked[static_cast<size_t>(Defense::kRov)]) {
+      EXPECT_TRUE(e.blocked[static_cast<size_t>(Defense::kRovOperatorAs0)]);
+      EXPECT_TRUE(e.blocked[static_cast<size_t>(Defense::kRovRirAs0)]);
+      EXPECT_TRUE(e.blocked[static_cast<size_t>(Defense::kBgpsec)]);
+      EXPECT_TRUE(e.blocked[static_cast<size_t>(Defense::kPathEnd)]);
+    }
+  }
+}
+
+TEST_F(ExtensionWorldTest, CaseStudyHijackEvadesRovButNotBgpsec) {
+  DefenseMatrixResult r = analyze_defenses(*study_, *index_);
+  const HijackEvent* case_event = nullptr;
+  for (const HijackEvent& e : r.events) {
+    if (e.prefix == world_->truth.case_study_prefix) case_event = &e;
+  }
+  ASSERT_NE(case_event, nullptr);
+  EXPECT_EQ(case_event->kind, HijackKind::kForgedOrigin);
+  EXPECT_FALSE(case_event->blocked[static_cast<size_t>(Defense::kRov)]);
+  EXPECT_TRUE(
+      case_event->blocked[static_cast<size_t>(Defense::kRovOperatorAs0)]);
+  EXPECT_TRUE(case_event->blocked[static_cast<size_t>(Defense::kPathEnd)]);
+  EXPECT_TRUE(case_event->blocked[static_cast<size_t>(Defense::kBgpsec)]);
+}
+
+TEST_F(ExtensionWorldTest, MaxLengthAnalysisRunsOnSmallWorld) {
+  MaxLengthResult r = analyze_maxlength(*study_, config_->window_end);
+  EXPECT_GT(r.roas_total, 0);
+  EXPECT_GT(r.roas_with_maxlength, 0);
+  EXPECT_LE(r.vulnerable, r.roas_with_maxlength);
+  EXPECT_GT(r.vulnerable, 0);
+}
+
+TEST_F(ExtensionWorldTest, SerialProfilerDoesNotFlagLegitOperators) {
+  SerialHijackerResult r = analyze_serial_hijackers(*study_, *index_);
+  // Small world: too few prefixes per hijacker ASN to flag, but crucially
+  // no legitimate operator may be flagged either.
+  for (const OriginProfile& p : r.flagged) {
+    bool planted = p.asn.value() >= 61000 && p.asn.value() <= 61100;
+    EXPECT_TRUE(planted) << p.asn.to_string();
+  }
+  EXPECT_GT(r.origins_profiled, 1000);
+  EXPECT_GT(r.origins_with_drop_prefix, 10);
+}
+
+TEST(Alarms, NewOriginAndMoasDetection) {
+  MicroWorld w;
+  // Baseline: owner announces pre-window.
+  w.fleet.announce(P("185.1.0.0/16"), bgp::AsPath{net::Asn(2), net::Asn(1)},
+                   {D("2015-01-01"), net::DateRange::unbounded()});
+  // In-window: a different origin appears while the owner still announces
+  // (MOAS + new-origin).
+  w.fleet.announce(P("185.1.0.0/16"), bgp::AsPath{net::Asn(9), net::Asn(6)},
+                   {D("2020-01-01"), D("2020-06-01")});
+  Study s = w.study();
+  DropIndex index = DropIndex::build(s);
+  AlarmResult r = analyze_alarms(s, index);
+  int new_origin = 0, moas = 0;
+  for (const Alarm& a : r.alarms) {
+    if (a.kind == AlarmKind::kNewOrigin) ++new_origin;
+    if (a.kind == AlarmKind::kMoas) ++moas;
+  }
+  EXPECT_EQ(new_origin, 1);
+  EXPECT_EQ(moas, 1);
+}
+
+TEST(Alarms, HistoricOriginReuseIsSilent) {
+  MicroWorld w;
+  // Owner announced years ago, withdrew, attacker re-uses the same origin.
+  w.fleet.announce(P("185.1.0.0/16"), bgp::AsPath{net::Asn(2), net::Asn(1)},
+                   {D("2015-01-01"), D("2018-01-01")});
+  w.fleet.announce(P("185.1.0.0/16"), bgp::AsPath{net::Asn(9), net::Asn(1)},
+                   {D("2020-01-01"), net::DateRange::unbounded()});
+  Study s = w.study();
+  DropIndex index = DropIndex::build(s);
+  AlarmResult r = analyze_alarms(s, index);
+  EXPECT_TRUE(r.alarms.empty());
+}
+
+TEST(Alarms, NewSubPrefixOfBaselineRoute) {
+  MicroWorld w;
+  w.fleet.announce(P("185.1.0.0/16"), bgp::AsPath{net::Asn(2), net::Asn(1)},
+                   {D("2015-01-01"), net::DateRange::unbounded()});
+  w.fleet.announce(P("185.1.7.0/24"), bgp::AsPath{net::Asn(9), net::Asn(6)},
+                   {D("2020-01-01"), net::DateRange::unbounded()});
+  Study s = w.study();
+  DropIndex index = DropIndex::build(s);
+  AlarmResult r = analyze_alarms(s, index);
+  bool sub = false;
+  for (const Alarm& a : r.alarms) {
+    if (a.kind == AlarmKind::kNewSubPrefix) {
+      sub = true;
+      EXPECT_EQ(a.monitored, P("185.1.0.0/16"));
+      EXPECT_EQ(a.prefix, P("185.1.7.0/24"));
+    }
+  }
+  EXPECT_TRUE(sub);
+}
+
+TEST(Alarms, UnmonitoredSpaceIsSilent) {
+  MicroWorld w;
+  // First-ever announcement of abandoned space inside the window: no
+  // baseline, no historic origin -> nothing to alarm on.
+  w.fleet.announce(P("185.1.0.0/16"), bgp::AsPath{net::Asn(9), net::Asn(6)},
+                   {D("2020-01-01"), net::DateRange::unbounded()});
+  Study s = w.study();
+  DropIndex index = DropIndex::build(s);
+  AlarmResult r = analyze_alarms(s, index);
+  EXPECT_TRUE(r.alarms.empty());
+}
+
+TEST_F(ExtensionWorldTest, AlarmCoverageIsPartial) {
+  AlarmResult r = analyze_alarms(*study_, *index_);
+  EXPECT_GT(r.drop_hijacks_total, 0);
+  EXPECT_GT(r.drop_hijacks_stealthy, 0);  // the paper's stealthy hijacks
+  EXPECT_EQ(r.drop_hijacks_alarmed + r.drop_hijacks_stealthy,
+            r.drop_hijacks_total);
+  // The case-study prefix re-used the ROA origin: it must be stealthy.
+  for (const Alarm& a : r.alarms) {
+    EXPECT_NE(a.prefix, world_->truth.case_study_prefix);
+  }
+}
+
+TEST(IrrWhatIf, HolderAuthorizationRules) {
+  MicroWorld w;
+  w.registry.allocate(P("185.1.0.0/16"), rir::Rir::kRipe, "ORG-GOOD",
+                      D("2010-01-01"));
+  irr::AuthorizationCheck auth = holder_authorization(w.registry);
+  irr::RouteObject obj;
+  obj.prefix = P("185.1.0.0/16");
+  obj.origin = net::Asn(1);
+  obj.org_id = "ORG-GOOD";
+  obj.created = D("2020-01-01");
+  EXPECT_TRUE(auth(obj));
+  obj.org_id = "ORG-EVIL";
+  EXPECT_FALSE(auth(obj));
+  obj.org_id = "ORG-GOOD";
+  obj.prefix = P("185.2.0.0/16");  // unallocated -> no holder -> reject
+  EXPECT_FALSE(auth(obj));
+}
+
+TEST_F(ExtensionWorldTest, IrrWhatIfRejectsForgeryAcceptsFraud) {
+  IrrWhatIfResult r = analyze_irr_whatif(*study_);
+  EXPECT_EQ(r.accepted + r.rejected, r.registrations_replayed);
+  // Every forged §5 object falls to the holder check...
+  EXPECT_EQ(r.rejected_forged, config_->forged_irr_hijacks);
+  // ...but the fraudulently *allocated* incident objects pass.
+  EXPECT_EQ(r.accepted_incident, config_->afrinic_incident_prefixes);
+  // Including the route object for unallocated space (no holder at all).
+  bool bogon_rejected = false;
+  for (const irr::RouteObject& o : r.rejected_objects) {
+    if (o.org_id == "ORG-BOGON-REG") bogon_rejected = true;
+  }
+  EXPECT_TRUE(bogon_rejected);
+}
+
+}  // namespace
+}  // namespace droplens::core

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "irr/database.hpp"
+#include "irr/rpsl.hpp"
+#include "util/error.hpp"
+
+namespace droplens::irr {
+namespace {
+
+net::Date D(int d) { return net::Date(d); }
+
+TEST(Rpsl, ParsesSingleObject) {
+  auto objects = parse_rpsl(
+      "route:   192.0.2.0/24\n"
+      "descr:   Example route\n"
+      "origin:  AS64500\n"
+      "mnt-by:  MAINT-EX\n"
+      "source:  RADB\n");
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(objects[0].cls(), "route");
+  EXPECT_EQ(*objects[0].get("origin"), "AS64500");
+  EXPECT_FALSE(objects[0].get("org").has_value());
+}
+
+TEST(Rpsl, SplitsObjectsOnBlankLines) {
+  auto objects = parse_rpsl(
+      "route: 10.0.0.0/8\norigin: AS1\n"
+      "\n"
+      "route: 11.0.0.0/8\norigin: AS2\n");
+  ASSERT_EQ(objects.size(), 2u);
+  EXPECT_EQ(*objects[1].get("origin"), "AS2");
+}
+
+TEST(Rpsl, ContinuationLines) {
+  auto objects = parse_rpsl(
+      "route: 10.0.0.0/8\n"
+      "descr: line one\n"
+      "       line two\n"
+      "+line three\n");
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(*objects[0].get("descr"), "line one line two line three");
+}
+
+TEST(Rpsl, StripsComments) {
+  auto objects = parse_rpsl("route: 10.0.0.0/8 # the whole /8\norigin: AS1\n");
+  EXPECT_EQ(*objects[0].get("route"), "10.0.0.0/8");
+}
+
+TEST(Rpsl, RejectsMalformed) {
+  EXPECT_THROW(parse_rpsl("  leading continuation\n"), ParseError);
+  EXPECT_THROW(parse_rpsl("no colon here\n"), ParseError);
+  EXPECT_THROW(parse_rpsl(": empty attribute\n"), ParseError);
+}
+
+TEST(RouteObject, RpslRoundTrip) {
+  RouteObject obj;
+  obj.prefix = net::Prefix::parse("192.0.2.0/24");
+  obj.origin = net::Asn(64500);
+  obj.maintainer = "MAINT-EX";
+  obj.org_id = "ORG-EX1";
+  obj.descr = "Example";
+  obj.created = net::Date::parse("2020-05-01");
+  std::string text = obj.to_rpsl();
+  auto parsed = parse_rpsl(text);
+  ASSERT_EQ(parsed.size(), 1u);
+  EXPECT_EQ(RouteObject::from_rpsl(parsed[0]), obj);
+}
+
+TEST(RouteObject, FromRpslValidation) {
+  EXPECT_THROW(RouteObject::from_rpsl(
+                   parse_rpsl("mntner: FOO\n")[0]),
+               ParseError);
+  EXPECT_THROW(RouteObject::from_rpsl(
+                   parse_rpsl("route: 10.0.0.0/8\norigin: banana\n")[0]),
+               ParseError);
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  RouteObject make(const char* prefix, uint32_t asn, int created,
+                   const char* org = "ORG-1") {
+    RouteObject obj;
+    obj.prefix = net::Prefix::parse(prefix);
+    obj.origin = net::Asn(asn);
+    obj.maintainer = "MAINT-X";
+    obj.org_id = org;
+    obj.created = D(created);
+    return obj;
+  }
+  Database db;
+};
+
+TEST_F(DatabaseTest, RegisterAndQueryByDate) {
+  ASSERT_TRUE(db.register_object(make("10.0.0.0/16", 100, 50)));
+  EXPECT_TRUE(db.exact(net::Prefix::parse("10.0.0.0/16"), D(49)).empty());
+  EXPECT_EQ(db.exact(net::Prefix::parse("10.0.0.0/16"), D(50)).size(), 1u);
+  EXPECT_EQ(db.live_count(D(60)), 1u);
+}
+
+TEST_F(DatabaseTest, RemovalEndsLifetime) {
+  db.register_object(make("10.0.0.0/16", 100, 50));
+  EXPECT_TRUE(db.remove_object(net::Prefix::parse("10.0.0.0/16"),
+                               net::Asn(100), D(80)));
+  EXPECT_EQ(db.exact(net::Prefix::parse("10.0.0.0/16"), D(79)).size(), 1u);
+  EXPECT_TRUE(db.exact(net::Prefix::parse("10.0.0.0/16"), D(80)).empty());
+  // History still remembers it.
+  EXPECT_EQ(db.history(net::Prefix::parse("10.0.0.0/16")).size(), 1u);
+  // Removing again fails (nothing live).
+  EXPECT_FALSE(db.remove_object(net::Prefix::parse("10.0.0.0/16"),
+                                net::Asn(100), D(90)));
+}
+
+TEST_F(DatabaseTest, ExactOrMoreSpecific) {
+  db.register_object(make("10.0.0.0/16", 100, 0));
+  db.register_object(make("10.0.3.0/24", 200, 0));
+  db.register_object(make("10.1.0.0/16", 300, 0));
+  auto regs = db.exact_or_more_specific(net::Prefix::parse("10.0.0.0/16"),
+                                        D(10));
+  EXPECT_EQ(regs.size(), 2u);
+  auto covering = db.covering(net::Prefix::parse("10.0.3.0/24"), D(10));
+  EXPECT_EQ(covering.size(), 2u);
+}
+
+TEST_F(DatabaseTest, RadbAcceptsConflictingOrigins) {
+  // The RADb behaviour the paper pivots on: no authorization whatsoever —
+  // a second ORG can register the same prefix with a different origin.
+  db.register_object(make("10.0.0.0/16", 100, 0, "ORG-OWNER"));
+  EXPECT_TRUE(db.register_object(make("10.0.0.0/16", 666, 10, "ORG-EVIL")));
+  EXPECT_EQ(db.exact(net::Prefix::parse("10.0.0.0/16"), D(20)).size(), 2u);
+}
+
+TEST_F(DatabaseTest, AuthorizationHookCanReject) {
+  Database strict("STRICT", [](const RouteObject& obj) {
+    return obj.origin != net::Asn(666);
+  });
+  EXPECT_TRUE(strict.register_object(make("10.0.0.0/16", 100, 0)));
+  EXPECT_FALSE(strict.register_object(make("10.0.0.0/16", 666, 0)));
+  EXPECT_EQ(strict.total_registrations(), 1u);
+}
+
+TEST_F(DatabaseTest, SnapshotContainsOnlyLiveObjects) {
+  db.register_object(make("10.0.0.0/16", 100, 0));
+  db.register_object(make("11.0.0.0/16", 200, 0));
+  db.remove_object(net::Prefix::parse("11.0.0.0/16"), net::Asn(200), D(5));
+  std::string snapshot = db.snapshot_rpsl(D(10));
+  EXPECT_NE(snapshot.find("10.0.0.0/16"), std::string::npos);
+  EXPECT_EQ(snapshot.find("11.0.0.0/16"), std::string::npos);
+  // The snapshot parses back as RPSL.
+  auto objects = parse_rpsl(snapshot);
+  ASSERT_EQ(objects.size(), 1u);
+  EXPECT_EQ(RouteObject::from_rpsl(objects[0]).source, "RADB");
+}
+
+TEST_F(DatabaseTest, RemoveBeforeCreateIsRejected) {
+  db.register_object(make("10.0.0.0/16", 100, 50));
+  EXPECT_FALSE(db.remove_object(net::Prefix::parse("10.0.0.0/16"),
+                                net::Asn(100), D(40)));
+  // Still live afterwards.
+  EXPECT_EQ(db.exact(net::Prefix::parse("10.0.0.0/16"), D(60)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace droplens::irr

@@ -1,0 +1,143 @@
+// IRR snapshot diffing, database reconstruction, and as-set filters.
+#include <gtest/gtest.h>
+
+#include "irr/sets.hpp"
+#include "irr/snapshot.hpp"
+
+namespace droplens::irr {
+namespace {
+
+net::Date D(const char* s) { return net::Date::parse(s); }
+net::Prefix P(const char* s) { return net::Prefix::parse(s); }
+
+std::string dump(std::initializer_list<std::pair<const char*, uint32_t>>
+                     routes) {
+  std::string out;
+  for (const auto& [prefix, asn] : routes) {
+    out += "route: " + std::string(prefix) + "\norigin: AS" +
+           std::to_string(asn) + "\nsource: RADB\n\n";
+  }
+  return out;
+}
+
+TEST(SnapshotDiff, DetectsCreationsAndRemovals) {
+  std::string day1 = dump({{"10.0.0.0/16", 1}, {"11.0.0.0/16", 2}});
+  std::string day2 = dump({{"10.0.0.0/16", 1}, {"12.0.0.0/16", 3}});
+  SnapshotDiff diff = diff_snapshots(day1, day2);
+  ASSERT_EQ(diff.created.size(), 1u);
+  ASSERT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.created[0].prefix, P("12.0.0.0/16"));
+  EXPECT_EQ(diff.removed[0].prefix, P("11.0.0.0/16"));
+}
+
+TEST(SnapshotDiff, OriginChangeIsRemovePlusCreate) {
+  // Same prefix, new origin: identity is (prefix, origin).
+  SnapshotDiff diff = diff_snapshots(dump({{"10.0.0.0/16", 1}}),
+                                     dump({{"10.0.0.0/16", 666}}));
+  EXPECT_EQ(diff.created.size(), 1u);
+  EXPECT_EQ(diff.removed.size(), 1u);
+  EXPECT_EQ(diff.created[0].origin, net::Asn(666));
+}
+
+TEST(SnapshotDiff, IdenticalDumpsAreEmpty) {
+  std::string day = dump({{"10.0.0.0/16", 1}});
+  EXPECT_TRUE(diff_snapshots(day, day).empty());
+}
+
+TEST(SnapshotReconstruction, RecoversLifetimes) {
+  std::vector<std::pair<net::Date, std::string>> days = {
+      {D("2020-01-01"), dump({{"10.0.0.0/16", 1}})},
+      {D("2020-01-02"), dump({{"10.0.0.0/16", 1}, {"11.0.0.0/16", 666}})},
+      {D("2020-01-03"), dump({{"10.0.0.0/16", 1}})},
+  };
+  Database db = from_daily_snapshots(days);
+  // 10/16 live throughout.
+  EXPECT_EQ(db.exact(P("10.0.0.0/16"), D("2020-01-03")).size(), 1u);
+  // 11/16 created on day 2, removed on day 3 — the §5 register-then-vanish
+  // pattern, recovered from archives only.
+  auto history = db.history(P("11.0.0.0/16"));
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_EQ(history[0].lifetime.begin, D("2020-01-02"));
+  EXPECT_EQ(history[0].lifetime.end, D("2020-01-03"));
+}
+
+TEST(SnapshotReconstruction, RoundTripsAgainstLiveDatabase) {
+  // Build a database with known lifetimes, dump daily, reconstruct, and
+  // compare the recovered lifetimes.
+  Database original;
+  RouteObject obj;
+  obj.prefix = P("10.0.0.0/16");
+  obj.origin = net::Asn(1);
+  obj.created = D("2020-01-02");
+  original.register_object(obj);
+  obj.prefix = P("11.0.0.0/16");
+  obj.origin = net::Asn(2);
+  obj.created = D("2020-01-04");
+  original.register_object(obj);
+  original.remove_object(P("11.0.0.0/16"), net::Asn(2), D("2020-01-06"));
+
+  std::vector<std::pair<net::Date, std::string>> days;
+  for (net::Date d = D("2020-01-01"); d < D("2020-01-08"); d += 1) {
+    days.emplace_back(d, original.snapshot_rpsl(d));
+  }
+  Database rebuilt = from_daily_snapshots(days);
+  EXPECT_EQ(rebuilt.total_registrations(), 2u);
+  auto h11 = rebuilt.history(P("11.0.0.0/16"));
+  ASSERT_EQ(h11.size(), 1u);
+  EXPECT_EQ(h11[0].lifetime.begin, D("2020-01-04"));
+  EXPECT_EQ(h11[0].lifetime.end, D("2020-01-06"));
+  EXPECT_EQ(rebuilt.history(P("10.0.0.0/16"))[0].lifetime.end,
+            net::DateRange::unbounded());
+}
+
+TEST(AsSets, ParseAndSerialize) {
+  auto objects = parse_rpsl(
+      "as-set: AS-EXAMPLE\n"
+      "members: AS64500, AS64501, AS-CUSTOMERS\n"
+      "source: RADB\n");
+  AsSet set = AsSet::from_rpsl(objects[0]);
+  EXPECT_EQ(set.name, "AS-EXAMPLE");
+  ASSERT_EQ(set.members.size(), 2u);
+  ASSERT_EQ(set.set_members.size(), 1u);
+  EXPECT_EQ(set.set_members[0], "AS-CUSTOMERS");
+  // Round trip.
+  AsSet again = AsSet::from_rpsl(parse_rpsl(set.to_rpsl())[0]);
+  EXPECT_EQ(again, set);
+}
+
+TEST(AsSets, ExpansionHandlesNestingAndCycles) {
+  std::map<std::string, AsSet> sets;
+  sets["AS-A"] = AsSet{"AS-A", {net::Asn(1)}, {"AS-B", "AS-MISSING"}};
+  sets["AS-B"] = AsSet{"AS-B", {net::Asn(2), net::Asn(3)}, {"AS-A"}};  // cycle
+  std::vector<net::Asn> asns = expand_as_set(sets, "AS-A");
+  ASSERT_EQ(asns.size(), 3u);
+  EXPECT_EQ(asns[0], net::Asn(1));
+  EXPECT_EQ(asns[2], net::Asn(3));
+  EXPECT_TRUE(expand_as_set(sets, "AS-NONE").empty());
+}
+
+TEST(AsSets, FilterBuilderPicksUpForgedObjects) {
+  // The operational hazard of §5: a transit provider expanding a customer
+  // as-set imports whatever route objects the customer registered —
+  // including forged ones.
+  Database db;
+  RouteObject good;
+  good.prefix = P("10.0.0.0/16");
+  good.origin = net::Asn(64500);
+  good.created = D("2020-01-01");
+  db.register_object(good);
+  RouteObject forged;
+  forged.prefix = P("203.0.0.0/16");  // someone else's abandoned space
+  forged.origin = net::Asn(64500);    // same customer ASN
+  forged.created = D("2021-01-01");
+  db.register_object(forged);
+
+  auto filter = build_prefix_filter(db, {net::Asn(64500)}, D("2021-06-01"));
+  ASSERT_EQ(filter.size(), 2u);  // the forged prefix rides along
+  // Before the forgery existed the filter was clean.
+  EXPECT_EQ(build_prefix_filter(db, {net::Asn(64500)}, D("2020-06-01")).size(),
+            1u);
+}
+
+}  // namespace
+}  // namespace droplens::irr

@@ -1,0 +1,143 @@
+// Targeted coverage of smaller public surfaces not exercised elsewhere.
+#include <gtest/gtest.h>
+
+#include "bgp/fleet.hpp"
+#include "drop/category.hpp"
+#include "irr/database.hpp"
+#include "rir/rir.hpp"
+#include "rpki/roa.hpp"
+#include "rpki/roa_csv.hpp"
+#include "sim/rng.hpp"
+#include "util/error.hpp"
+
+namespace droplens {
+namespace {
+
+net::Date D(int d) { return net::Date(d); }
+net::Prefix P(const char* s) { return net::Prefix::parse(s); }
+
+TEST(RngExtras, GeometricIsCappedAndNonNegative) {
+  sim::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    int g = rng.geometric(0.3, 10);
+    EXPECT_GE(g, 0);
+    EXPECT_LE(g, 10);
+  }
+  EXPECT_EQ(rng.geometric(1.0, 10), 0);
+}
+
+TEST(RngExtras, ForkDecorrelates) {
+  sim::Rng a(7);
+  sim::Rng b = a.fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(CategorySet, AllAbbreviationsAndNamesDistinct) {
+  std::set<std::string> abbrevs, names;
+  for (drop::Category c : drop::kAllCategories) {
+    abbrevs.insert(std::string(drop::abbrev(c)));
+    names.insert(std::string(drop::full_name(c)));
+  }
+  EXPECT_EQ(abbrevs.size(), drop::kAllCategories.size());
+  EXPECT_EQ(names.size(), drop::kAllCategories.size());
+}
+
+TEST(IrrDatabase, LiveCountTracksLifetimes) {
+  irr::Database db;
+  irr::RouteObject obj;
+  obj.prefix = P("10.0.0.0/16");
+  obj.origin = net::Asn(1);
+  obj.created = D(10);
+  db.register_object(obj);
+  obj.prefix = P("11.0.0.0/16");
+  obj.created = D(20);
+  db.register_object(obj);
+  db.remove_object(P("10.0.0.0/16"), net::Asn(1), D(30));
+  EXPECT_EQ(db.live_count(D(5)), 0u);
+  EXPECT_EQ(db.live_count(D(15)), 1u);
+  EXPECT_EQ(db.live_count(D(25)), 2u);
+  EXPECT_EQ(db.live_count(D(35)), 1u);
+  EXPECT_EQ(db.total_registrations(), 2u);
+}
+
+TEST(Fleet, EpisodesCoveredByWalksSubtree) {
+  bgp::CollectorFleet fleet;
+  uint32_t c = fleet.add_collector("rv");
+  fleet.add_peer(c, net::Asn(1));
+  fleet.announce(P("10.0.0.0/8"), bgp::AsPath{net::Asn(8)}, {D(0), D(10)});
+  fleet.announce(P("10.2.0.0/16"), bgp::AsPath{net::Asn(16)}, {D(0), D(10)});
+  fleet.announce(P("11.0.0.0/8"), bgp::AsPath{net::Asn(11)}, {D(0), D(10)});
+  auto covered = fleet.episodes_covered_by(P("10.0.0.0/8"));
+  EXPECT_EQ(covered.size(), 2u);
+  auto all = fleet.episodes_covered_by(net::Prefix());  // 0.0.0.0/0
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(Fleet, CollectorBookkeeping) {
+  bgp::CollectorFleet fleet;
+  uint32_t c0 = fleet.add_collector("rv0");
+  uint32_t c1 = fleet.add_collector("rv1");
+  fleet.add_peer(c0, net::Asn(1));
+  fleet.add_peer(c1, net::Asn(2));
+  fleet.add_peer(c1, net::Asn(3), /*full_table=*/false);
+  EXPECT_EQ(fleet.collector_count(), 2u);
+  EXPECT_EQ(fleet.peer_count(), 3u);
+  EXPECT_EQ(fleet.full_table_peer_count(), 2u);
+  EXPECT_EQ(fleet.collectors()[1].peers.size(), 2u);
+  EXPECT_THROW(fleet.add_peer(99, net::Asn(4)), InvariantError);
+}
+
+TEST(Fleet, PartialTablePeersDoNotCountTowardObservers) {
+  bgp::CollectorFleet fleet;
+  uint32_t c = fleet.add_collector("rv");
+  fleet.add_peer(c, net::Asn(1));
+  fleet.add_peer(c, net::Asn(2), /*full_table=*/false);
+  fleet.announce(P("10.0.0.0/8"), bgp::AsPath{net::Asn(5)},
+                 {D(0), net::DateRange::unbounded()});
+  EXPECT_EQ(fleet.observing_peers(P("10.0.0.0/8"), D(1)), 1u);
+}
+
+TEST(RirNames, DisplayAndDelegationNamesDiffer) {
+  EXPECT_EQ(rir::display_name(rir::Rir::kRipe), "RIPE NCC");
+  EXPECT_EQ(rir::delegation_name(rir::Rir::kRipe), "ripencc");
+}
+
+TEST(Roa, ToStringShowsMaxLengthAndTal) {
+  rpki::Roa roa(P("10.0.0.0/16"), net::Asn(64500), rpki::Tal::kApnic, 24);
+  std::string s = roa.to_string();
+  EXPECT_NE(s.find("10.0.0.0/16-24"), std::string::npos);
+  EXPECT_NE(s.find("AS64500"), std::string::npos);
+  EXPECT_NE(s.find("APNIC"), std::string::npos);
+  rpki::Roa plain(P("10.0.0.0/16"), net::Asn(1), rpki::Tal::kRipe);
+  EXPECT_EQ(plain.to_string().find("-16"), std::string::npos);
+}
+
+TEST(RoaCsv, EveryTalHostRoundTrips) {
+  rpki::RoaArchive archive;
+  net::Date d = D(18000);
+  int i = 0;
+  for (rpki::Tal tal : rpki::kAllTals) {
+    net::Prefix p = net::Prefix::containing(
+        net::Ipv4(static_cast<uint32_t>((i + 1) << 24)), 16);
+    archive.publish(
+        rpki::Roa(p, tal == rpki::Tal::kApnicAs0 || tal == rpki::Tal::kLacnicAs0
+                         ? net::Asn::as0()
+                         : net::Asn(100 + static_cast<uint32_t>(i)),
+                  tal),
+        d);
+    ++i;
+  }
+  std::string csv = rpki::write_roa_csv(archive, d + 1, rpki::TalSet::all());
+  auto records = rpki::parse_roa_csv(csv);
+  ASSERT_EQ(records.size(), rpki::kAllTals.size());
+  std::set<rpki::Tal> tals;
+  for (const rpki::RoaRecord& r : records) tals.insert(r.roa.tal);
+  EXPECT_EQ(tals.size(), rpki::kAllTals.size());
+}
+
+}  // namespace
+}  // namespace droplens

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgp/mrt.hpp"
+#include "util/error.hpp"
+
+namespace droplens::bgp {
+namespace {
+
+std::vector<Update> sample_updates() {
+  return {
+      Update{net::Date(18000), 3, UpdateType::kAnnounce,
+             net::Prefix::parse("10.0.0.0/8"),
+             AsPath{net::Asn(100), net::Asn(4200000000u)}},
+      Update{net::Date(18001), 3, UpdateType::kWithdraw,
+             net::Prefix::parse("10.0.0.0/8"), AsPath{}},
+      Update{net::Date(-5), 0, UpdateType::kAnnounce,
+             net::Prefix::parse("255.255.255.255/32"),
+             AsPath{net::Asn(1)}},
+  };
+}
+
+TEST(Mrtl, RoundTrip) {
+  std::stringstream buf;
+  std::vector<Update> in = sample_updates();
+  write_mrtl(buf, in);
+  std::vector<Update> out = read_mrtl(buf);
+  ASSERT_EQ(out.size(), in.size());
+  for (size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].date, in[i].date);
+    EXPECT_EQ(out[i].peer, in[i].peer);
+    EXPECT_EQ(out[i].type, in[i].type);
+    EXPECT_EQ(out[i].prefix, in[i].prefix);
+    EXPECT_EQ(out[i].path, in[i].path);
+  }
+}
+
+TEST(Mrtl, EmptyStreamRoundTrips) {
+  std::stringstream buf;
+  write_mrtl(buf, {});
+  EXPECT_TRUE(read_mrtl(buf).empty());
+}
+
+TEST(Mrtl, RejectsBadMagic) {
+  std::stringstream buf("XXXX rest");
+  EXPECT_THROW(read_mrtl(buf), ParseError);
+}
+
+TEST(Mrtl, RejectsTruncation) {
+  std::stringstream buf;
+  write_mrtl(buf, sample_updates());
+  std::string bytes = buf.str();
+  for (size_t cut : {bytes.size() - 1, bytes.size() / 2, size_t{5}}) {
+    std::stringstream truncated(bytes.substr(0, cut));
+    EXPECT_THROW(read_mrtl(truncated), ParseError) << "cut at " << cut;
+  }
+}
+
+TEST(Mrtl, RejectsCorruptRecords) {
+  // Corrupt the update-type byte of the first record: offset =
+  // 4 (magic) + 2 (version) + 8 (count) + 4 (date) + 4 (peer) = 22.
+  std::stringstream buf;
+  write_mrtl(buf, sample_updates());
+  std::string bytes = buf.str();
+  bytes[22] = 7;
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(read_mrtl(corrupt), ParseError);
+}
+
+TEST(Mrtl, RejectsHostBitsInPrefix) {
+  // Hand-craft a record with host bits set beyond the prefix length.
+  std::stringstream buf;
+  write_mrtl(buf, {Update{net::Date(0), 0, UpdateType::kAnnounce,
+                          net::Prefix::parse("10.0.0.1/32"),
+                          AsPath{net::Asn(1)}}});
+  std::string bytes = buf.str();
+  // Prefix length byte follows date(4)+peer(4)+type(1)+addr(4) after header.
+  bytes[14 + 4 + 4 + 1 + 4] = 8;  // now 10.0.0.1/8 -> host bits set
+  std::stringstream corrupt(bytes);
+  EXPECT_THROW(read_mrtl(corrupt), ParseError);
+}
+
+}  // namespace
+}  // namespace droplens::bgp

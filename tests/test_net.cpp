@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include "net/asn.hpp"
+#include "net/ipv4.hpp"
+#include "net/prefix.hpp"
+#include "sim/rng.hpp"
+#include "util/error.hpp"
+
+namespace droplens::net {
+namespace {
+
+TEST(Ipv4, ParseAndFormat) {
+  EXPECT_EQ(Ipv4::parse("0.0.0.0").value(), 0u);
+  EXPECT_EQ(Ipv4::parse("255.255.255.255").value(), 0xffffffffu);
+  EXPECT_EQ(Ipv4::parse("192.0.2.1").value(), 0xc0000201u);
+  EXPECT_EQ(Ipv4(0xc0000201u).to_string(), "192.0.2.1");
+}
+
+TEST(Ipv4, RejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.0.0.1", "1.2.3.x",
+                          "1..2.3", " 1.2.3.4", "1.2.3.4 "}) {
+    EXPECT_THROW(Ipv4::parse(bad), ParseError) << bad;
+  }
+}
+
+TEST(Ipv4, Ordering) {
+  EXPECT_LT(Ipv4::parse("9.0.0.0"), Ipv4::parse("10.0.0.0"));
+}
+
+TEST(Asn, As0IsSpecial) {
+  EXPECT_TRUE(Asn::as0().is_as0());
+  EXPECT_FALSE(Asn(64500).is_as0());
+  EXPECT_EQ(Asn(64500).to_string(), "AS64500");
+}
+
+TEST(Prefix, ParseFormatRoundTrip) {
+  for (const char* s : {"0.0.0.0/0", "10.0.0.0/8", "192.0.2.0/24",
+                        "132.255.0.0/22", "255.255.255.255/32"}) {
+    EXPECT_EQ(Prefix::parse(s).to_string(), s);
+  }
+}
+
+TEST(Prefix, RejectsHostBits) {
+  EXPECT_THROW(Prefix::parse("10.0.0.1/8"), InvariantError);
+  EXPECT_THROW(Prefix(Ipv4::parse("192.0.2.1"), 24), InvariantError);
+}
+
+TEST(Prefix, RejectsBadLength) {
+  EXPECT_THROW(Prefix::parse("10.0.0.0/33"), ParseError);
+  EXPECT_THROW(Prefix::parse("10.0.0.0"), ParseError);
+  EXPECT_THROW(Prefix(Ipv4(0), 33), InvariantError);
+}
+
+TEST(Prefix, ContainingMasksHostBits) {
+  EXPECT_EQ(Prefix::containing(Ipv4::parse("192.0.2.77"), 24).to_string(),
+            "192.0.2.0/24");
+  EXPECT_EQ(Prefix::containing(Ipv4::parse("192.0.2.77"), 32).to_string(),
+            "192.0.2.77/32");
+}
+
+TEST(Prefix, SizeAndSlash8) {
+  EXPECT_EQ(Prefix::parse("10.0.0.0/8").size(), uint64_t{1} << 24);
+  EXPECT_EQ(Prefix::parse("0.0.0.0/0").size(), uint64_t{1} << 32);
+  EXPECT_DOUBLE_EQ(Prefix::parse("10.0.0.0/8").slash8_equivalents(), 1.0);
+  EXPECT_DOUBLE_EQ(Prefix::parse("10.0.0.0/10").slash8_equivalents(), 0.25);
+}
+
+TEST(Prefix, Contains) {
+  Prefix p = Prefix::parse("192.0.0.0/16");
+  EXPECT_TRUE(p.contains(Prefix::parse("192.0.2.0/24")));
+  EXPECT_TRUE(p.contains(p));
+  EXPECT_FALSE(p.contains(Prefix::parse("192.0.0.0/8")));
+  EXPECT_FALSE(p.contains(Prefix::parse("192.1.0.0/24")));
+  EXPECT_TRUE(p.contains(Ipv4::parse("192.0.255.255")));
+  EXPECT_FALSE(p.contains(Ipv4::parse("192.1.0.0")));
+}
+
+TEST(Prefix, ParentChildRoundTrip) {
+  Prefix p = Prefix::parse("192.0.2.0/24");
+  EXPECT_EQ(p.child(0).parent(), p);
+  EXPECT_EQ(p.child(1).parent(), p);
+  EXPECT_NE(p.child(0), p.child(1));
+  EXPECT_TRUE(p.contains(p.child(0)));
+  EXPECT_TRUE(p.contains(p.child(1)));
+  EXPECT_THROW(Prefix().parent(), InvariantError);
+  EXPECT_THROW(Prefix::parse("1.2.3.4/32").child(0), InvariantError);
+}
+
+TEST(Prefix, ChildrenPartitionParent) {
+  Prefix p = Prefix::parse("10.0.0.0/8");
+  EXPECT_EQ(p.child(0).size() + p.child(1).size(), p.size());
+  EXPECT_EQ(p.child(0).first(), p.first());
+  EXPECT_EQ(p.child(1).end(), p.end());
+}
+
+TEST(Prefix, BitExtraction) {
+  Prefix p = Prefix::parse("128.0.0.0/1");
+  EXPECT_EQ(p.bit(0), 1);
+  Prefix q = Prefix::parse("64.0.0.0/2");
+  EXPECT_EQ(q.bit(0), 0);
+  EXPECT_EQ(q.bit(1), 1);
+}
+
+// Property sweep: parse∘format identity, containment partial order, and
+// power-of-two sizes over random prefixes.
+class PrefixPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PrefixPropertyTest, RandomInvariants) {
+  sim::Rng rng(GetParam());
+  for (int i = 0; i < 500; ++i) {
+    int len = static_cast<int>(rng.below(33));
+    Prefix p = Prefix::containing(
+        Ipv4(static_cast<uint32_t>(rng.next())), len);
+    // parse∘format = id
+    EXPECT_EQ(Prefix::parse(p.to_string()), p);
+    // size is a power of two
+    EXPECT_EQ(p.size() & (p.size() - 1), 0u);
+    // containment is reflexive and antisymmetric w.r.t. different lengths
+    EXPECT_TRUE(p.contains(p));
+    if (len > 0) {
+      EXPECT_TRUE(p.parent().contains(p));
+      EXPECT_FALSE(p.contains(p.parent()));
+    }
+    // transitivity up the chain
+    if (len >= 2) {
+      EXPECT_TRUE(p.parent().parent().contains(p));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PrefixPropertyTest,
+                         ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace droplens::net

@@ -1,0 +1,156 @@
+// Parser robustness: every text/binary parser must either succeed or throw
+// ParseError on arbitrary input — never crash, hang, or throw anything else.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "bgp/mrt.hpp"
+#include "bgp/table_dump.hpp"
+#include "drop/feed.hpp"
+#include "irr/rpsl.hpp"
+#include "net/date.hpp"
+#include "net/prefix.hpp"
+#include "rir/delegation.hpp"
+#include "rpki/roa_csv.hpp"
+#include "rpki/rtr.hpp"
+#include "sim/rng.hpp"
+#include "util/error.hpp"
+
+namespace droplens {
+namespace {
+
+std::string random_bytes(sim::Rng& rng, size_t max_len) {
+  size_t len = rng.below(max_len + 1);
+  std::string out(len, '\0');
+  for (char& c : out) c = static_cast<char>(rng.below(256));
+  return out;
+}
+
+std::string random_texty(sim::Rng& rng, size_t max_len) {
+  // Bias toward the characters the parsers care about.
+  static const char kAlphabet[] =
+      "0123456789./:,|;!@ \n\tASroutemfignrs-ORGRADB";
+  size_t len = rng.below(max_len + 1);
+  std::string out(len, '\0');
+  for (char& c : out) {
+    c = kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+template <typename Fn>
+void fuzz(uint64_t seed, int rounds, size_t max_len, bool texty, Fn&& parse) {
+  sim::Rng rng(seed);
+  for (int i = 0; i < rounds; ++i) {
+    std::string input =
+        texty ? random_texty(rng, max_len) : random_bytes(rng, max_len);
+    try {
+      parse(input);
+    } catch (const ParseError&) {
+      // expected for malformed input
+    } catch (const std::exception& e) {
+      FAIL() << "non-ParseError exception (" << e.what() << ") on round "
+             << i;
+    }
+  }
+}
+
+TEST(ParserFuzz, Prefix) {
+  fuzz(1, 2000, 40, true,
+       [](const std::string& s) { (void)net::Prefix::parse(s); });
+}
+
+TEST(ParserFuzz, Date) {
+  fuzz(2, 2000, 16, true,
+       [](const std::string& s) { (void)net::Date::parse(s); });
+}
+
+TEST(ParserFuzz, Rpsl) {
+  fuzz(3, 1000, 400, true,
+       [](const std::string& s) { (void)irr::parse_rpsl(s); });
+}
+
+TEST(ParserFuzz, DelegationFile) {
+  fuzz(4, 1000, 400, true, [](const std::string& s) {
+    (void)rir::parse_delegation_file(s);
+  });
+}
+
+TEST(ParserFuzz, DropFeed) {
+  fuzz(5, 1000, 400, true,
+       [](const std::string& s) { (void)drop::parse_drop_feed(s); });
+}
+
+TEST(ParserFuzz, RoaCsv) {
+  fuzz(6, 1000, 400, true,
+       [](const std::string& s) { (void)rpki::parse_roa_csv(s); });
+}
+
+TEST(ParserFuzz, TableDump) {
+  fuzz(7, 1000, 400, true,
+       [](const std::string& s) { (void)bgp::parse_table_dump(s); });
+}
+
+TEST(ParserFuzz, MrtlBinary) {
+  fuzz(8, 1000, 200, false, [](const std::string& s) {
+    std::stringstream buf(s);
+    (void)bgp::read_mrtl(buf);
+  });
+}
+
+TEST(ParserFuzz, RtrBinary) {
+  fuzz(9, 2000, 120, false,
+       [](const std::string& s) { (void)rpki::parse_pdus(s); });
+}
+
+TEST(ParserFuzz, MutatedValidMrtl) {
+  // Flip bytes in a valid stream: parse must still never crash.
+  std::vector<bgp::Update> updates = {
+      bgp::Update{net::Date(100), 1, bgp::UpdateType::kAnnounce,
+                  net::Prefix::parse("10.0.0.0/8"),
+                  bgp::AsPath{net::Asn(1), net::Asn(2)}},
+  };
+  std::stringstream buf;
+  bgp::write_mrtl(buf, updates);
+  std::string bytes = buf.str();
+  sim::Rng rng(10);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = bytes;
+    mutated[rng.below(mutated.size())] =
+        static_cast<char>(rng.below(256));
+    std::stringstream in(mutated);
+    try {
+      (void)bgp::read_mrtl(in);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(ParserFuzz, MutatedValidRtr) {
+  rpki::Pdu pdu;
+  pdu.type = rpki::PduType::kIpv4Prefix;
+  pdu.vrp = rpki::Vrp{net::Prefix::parse("10.0.0.0/16"), 24, net::Asn(1)};
+  std::string bytes = rpki::serialize_pdu(pdu);
+  sim::Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = bytes;
+    mutated[rng.below(mutated.size())] =
+        static_cast<char>(rng.below(256));
+    try {
+      (void)rpki::parse_pdus(mutated);
+    } catch (const ParseError&) {
+    }
+  }
+}
+
+TEST(ParserFuzz, ClassifierNeverThrows) {
+  drop::Classifier classifier;
+  sim::Rng rng(12);
+  for (int i = 0; i < 2000; ++i) {
+    std::string text = random_bytes(rng, 300);
+    EXPECT_NO_THROW((void)classifier.classify(text));
+  }
+}
+
+}  // namespace
+}  // namespace droplens

@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/report.hpp"
+#include "sim/generator.hpp"
+
+namespace droplens::core {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new sim::ScenarioConfig(sim::ScenarioConfig::small());
+    world_ = sim::generate(*config_).release();
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    delete config_;
+  }
+  Study study() const {
+    return Study{world_->registry,    world_->fleet, world_->irr,
+                 world_->roas,        world_->drop,  world_->sbl,
+                 config_->window_begin, config_->window_end};
+  }
+  static sim::ScenarioConfig* config_;
+  static sim::World* world_;
+};
+
+sim::ScenarioConfig* ReportTest::config_ = nullptr;
+sim::World* ReportTest::world_ = nullptr;
+
+TEST_F(ReportTest, RendersAllSections) {
+  std::ostringstream out;
+  Study s = study();
+  int sections = write_report(out, s);
+  EXPECT_EQ(sections, 6);
+  std::string text = out.str();
+  for (const char* marker :
+       {"# DROP-lens study report", "## The DROP list",
+        "## Effects of blocklisting", "## Effectiveness of the IRR",
+        "## Effectiveness of RPKI", "## AS0 policies", "## Extensions",
+        "RPKI-VALID HIJACK: 132.255.0.0/22"}) {
+    EXPECT_NE(text.find(marker), std::string::npos) << marker;
+  }
+}
+
+TEST_F(ReportTest, OptionsControlContent) {
+  Study s = study();
+  ReportOptions no_ext;
+  no_ext.include_extensions = false;
+  no_ext.include_case_timeline = false;
+  std::ostringstream out;
+  int sections = write_report(out, s, no_ext);
+  EXPECT_EQ(sections, 5);
+  std::string text = out.str();
+  EXPECT_EQ(text.find("## Extensions"), std::string::npos);
+  EXPECT_EQ(text.find("50509 34665 263692"), std::string::npos);
+
+  ReportOptions with_series;
+  with_series.include_series = true;
+  std::ostringstream out2;
+  write_report(out2, s, with_series);
+  EXPECT_NE(out2.str().find("date,signed,pct_routed"), std::string::npos);
+}
+
+TEST_F(ReportTest, ReportIsDeterministic) {
+  Study s = study();
+  std::ostringstream a, b;
+  write_report(a, s);
+  write_report(b, s);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+}  // namespace
+}  // namespace droplens::core

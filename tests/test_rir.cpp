@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "rir/delegation.hpp"
+#include "rir/registry.hpp"
+#include "util/error.hpp"
+
+namespace droplens::rir {
+namespace {
+
+net::Date D(int d) { return net::Date(d); }
+net::Prefix P(const char* s) { return net::Prefix::parse(s); }
+
+TEST(RirNames, RoundTrip) {
+  for (Rir r : kAllRirs) {
+    EXPECT_EQ(parse_rir(delegation_name(r)), r);
+    EXPECT_EQ(parse_rir(display_name(r)), r);
+  }
+  EXPECT_THROW(parse_rir("iana"), ParseError);
+}
+
+TEST(Delegation, ParsesRealisticFile) {
+  auto records = parse_delegation_file(
+      "2|apnic|20220330|3|19830613|20220330|+1000\n"
+      "apnic|*|ipv4|*|2|summary\n"
+      "apnic|CN|ipv4|1.0.0.0|256|20110414|allocated|A91872ED\n"
+      "apnic|AU|ipv4|1.0.4.0|1024|20110412|assigned\n"
+      "apnic||ipv4|1.4.0.0|4096||available\n"
+      "apnic|JP|asn|173|1|20020801|allocated\n"  // skipped (asn)
+      "# trailing comment\n");
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].registry, Rir::kApnic);
+  EXPECT_EQ(records[0].country, "CN");
+  EXPECT_EQ(records[0].start, net::Ipv4::parse("1.0.0.0"));
+  EXPECT_EQ(records[0].value, 256u);
+  EXPECT_EQ(records[0].status, DelegationStatus::kAllocated);
+  EXPECT_EQ(records[0].opaque_id, "A91872ED");
+  EXPECT_EQ(records[1].status, DelegationStatus::kAssigned);
+  EXPECT_EQ(records[2].status, DelegationStatus::kAvailable);
+  EXPECT_EQ(records[2].date, net::Date(0));  // empty date convention
+}
+
+TEST(Delegation, WriteParseRoundTrip) {
+  std::vector<DelegationRecord> in = {
+      {Rir::kRipe, "NL", net::Ipv4::parse("185.0.0.0"), 65536,
+       net::Date::parse("2013-07-01"), DelegationStatus::kAllocated, "org1"},
+      {Rir::kRipe, "ZZ", net::Ipv4::parse("188.0.0.0"), 2048, net::Date(0),
+       DelegationStatus::kAvailable, ""},
+  };
+  std::string text =
+      write_delegation_file(Rir::kRipe, net::Date::parse("2022-03-30"), in);
+  EXPECT_NE(text.find("2|ripencc|20220330|2|"), std::string::npos);
+  EXPECT_NE(text.find("ripencc|*|ipv4|*|2|summary"), std::string::npos);
+  auto out = parse_delegation_file(text);
+  ASSERT_EQ(out.size(), in.size());
+  EXPECT_EQ(out[0], in[0]);
+  EXPECT_EQ(out[1], in[1]);
+}
+
+TEST(Delegation, RejectsMalformed) {
+  EXPECT_THROW(parse_delegation_file("apnic|CN|ipv4|1.0.0.0|256\n"),
+               droplens::ParseError);
+  EXPECT_THROW(
+      parse_delegation_file("apnic|CN|ipv4|1.0.0.0|0|20110414|allocated\n"),
+      droplens::ParseError);
+  EXPECT_THROW(
+      parse_delegation_file(
+          "apnic|CN|ipv4|255.255.255.0|512|20110414|allocated\n"),
+      droplens::ParseError);
+  EXPECT_THROW(
+      parse_delegation_file("apnic|CN|ipv4|1.0.0.0|256|20110414|banana\n"),
+      droplens::ParseError);
+}
+
+class RegistryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    registry.administer(Rir::kRipe, P("185.0.0.0/8"));
+    registry.administer(Rir::kApnic, P("1.0.0.0/8"));
+  }
+  Registry registry;
+};
+
+TEST_F(RegistryTest, AdministeredLookup) {
+  EXPECT_EQ(*registry.rir_of(P("185.1.0.0/16")), Rir::kRipe);
+  EXPECT_EQ(*registry.rir_of(P("1.2.3.0/24")), Rir::kApnic);
+  EXPECT_FALSE(registry.rir_of(P("8.0.0.0/8")).has_value());
+}
+
+TEST_F(RegistryTest, AdministerRejectsCrossRirOverlap) {
+  EXPECT_THROW(registry.administer(Rir::kArin, P("185.0.0.0/16")),
+               droplens::InvariantError);
+}
+
+TEST_F(RegistryTest, AllocateLifecycle) {
+  registry.allocate(P("185.1.0.0/16"), Rir::kRipe, "org-a", D(100));
+  EXPECT_FALSE(registry.is_allocated(P("185.1.0.0/16"), D(99)));
+  EXPECT_TRUE(registry.is_allocated(P("185.1.0.0/16"), D(100)));
+  EXPECT_TRUE(registry.is_allocated(P("185.1.2.0/24"), D(100)));  // covered
+  const Allocation* a = registry.allocation_on(P("185.1.2.0/24"), D(150));
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->holder, "org-a");
+
+  registry.deallocate(P("185.1.0.0/16"), D(200));
+  EXPECT_FALSE(registry.is_allocated(P("185.1.0.0/16"), D(200)));
+  EXPECT_TRUE(registry.is_allocated(P("185.1.0.0/16"), D(199)));
+  // Reallocation to someone else afterwards.
+  registry.allocate(P("185.1.0.0/16"), Rir::kRipe, "org-b", D(300));
+  EXPECT_EQ(registry.allocation_on(P("185.1.0.0/16"), D(300))->holder,
+            "org-b");
+  EXPECT_EQ(registry.history(P("185.1.0.0/16")).size(), 2u);
+}
+
+TEST_F(RegistryTest, AllocationErrors) {
+  EXPECT_THROW(
+      registry.allocate(P("8.0.0.0/16"), Rir::kRipe, "x", D(0)),
+      droplens::InvariantError);  // outside administered space
+  registry.allocate(P("185.1.0.0/16"), Rir::kRipe, "x", D(0));
+  EXPECT_THROW(
+      registry.allocate(P("185.1.2.0/24"), Rir::kRipe, "y", D(10)),
+      droplens::InvariantError);  // nested live allocation
+  EXPECT_THROW(
+      registry.allocate(P("185.0.0.0/9"), Rir::kRipe, "y", D(10)),
+      droplens::InvariantError);  // covering live allocation
+  EXPECT_THROW(registry.deallocate(P("185.9.0.0/16"), D(10)),
+               droplens::InvariantError);
+}
+
+TEST_F(RegistryTest, UnallocatedChecks) {
+  registry.allocate(P("185.1.0.0/16"), Rir::kRipe, "x", D(0));
+  EXPECT_TRUE(registry.is_fully_unallocated(P("185.2.0.0/16"), D(10)));
+  EXPECT_FALSE(registry.is_fully_unallocated(P("185.1.0.0/16"), D(10)));
+  // Partially covered: the /15 contains the allocated /16.
+  EXPECT_FALSE(registry.is_fully_unallocated(P("185.0.0.0/15"), D(10)));
+  EXPECT_FALSE(registry.is_allocated(P("185.0.0.0/15"), D(10)));
+}
+
+TEST_F(RegistryTest, FreePoolArithmetic) {
+  // free ∪ allocated = administered, disjoint — the DESIGN.md invariant.
+  registry.allocate(P("185.1.0.0/16"), Rir::kRipe, "x", D(0));
+  registry.allocate(P("185.44.0.0/16"), Rir::kRipe, "y", D(0));
+  net::IntervalSet free = registry.free_pool(Rir::kRipe, D(10));
+  net::IntervalSet allocated = registry.allocated_space(Rir::kRipe, D(10));
+  EXPECT_EQ(net::IntervalSet::set_union(free, allocated),
+            registry.administered(Rir::kRipe));
+  EXPECT_TRUE(net::IntervalSet::set_intersection(free, allocated).empty());
+  EXPECT_EQ(allocated.size(), 2 * (uint64_t{1} << 16));
+  // Deallocation returns space to the pool.
+  registry.deallocate(P("185.1.0.0/16"), D(20));
+  EXPECT_EQ(registry.free_pool(Rir::kRipe, D(20)).size(),
+            free.size() + (uint64_t{1} << 16));
+}
+
+TEST_F(RegistryTest, SnapshotRoundTripsThroughDelegationFormat) {
+  registry.allocate(P("185.1.0.0/16"), Rir::kRipe, "org-a", D(100), "NL");
+  auto records = registry.snapshot(Rir::kRipe, D(200));
+  // One allocated record + the free-pool cover.
+  size_t allocated = 0;
+  uint64_t total = 0;
+  for (const DelegationRecord& r : records) {
+    total += r.value;
+    if (r.status == DelegationStatus::kAllocated) {
+      ++allocated;
+      EXPECT_EQ(r.country, "NL");
+      EXPECT_EQ(r.opaque_id, "org-a");
+    }
+  }
+  EXPECT_EQ(allocated, 1u);
+  EXPECT_EQ(total, uint64_t{1} << 24);  // the whole administered /8
+  std::string text = write_delegation_file(Rir::kRipe, D(200), records);
+  EXPECT_EQ(parse_delegation_file(text).size(), records.size());
+}
+
+TEST_F(RegistryTest, LiveAllocationsFilter) {
+  registry.allocate(P("185.1.0.0/16"), Rir::kRipe, "a", D(0));
+  registry.allocate(P("1.1.0.0/16"), Rir::kApnic, "b", D(0));
+  EXPECT_EQ(registry.live_allocations(D(5)).size(), 2u);
+  EXPECT_EQ(registry.live_allocations(Rir::kRipe, D(5)).size(), 1u);
+}
+
+}  // namespace
+}  // namespace droplens::rir

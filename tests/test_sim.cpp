@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "sim/generator.hpp"
+#include "sim/rng.hpp"
+
+namespace droplens::sim {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42), c(43);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+  bool differs = false;
+  Rng a2(42);
+  for (int i = 0; i < 100; ++i) differs |= a2.next() != c.next();
+  EXPECT_TRUE(differs);
+}
+
+TEST(Rng, BelowIsInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.range(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(8);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(9);
+  std::vector<double> w = {1, 0, 3};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[rng.weighted(w)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 4000, 0.75, 0.05);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(10);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+class SmallWorldTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    config_ = new ScenarioConfig(ScenarioConfig::small());
+    world_ = generate(*config_).release();
+  }
+  static void TearDownTestSuite() {
+    delete world_;
+    delete config_;
+  }
+  static ScenarioConfig* config_;
+  static World* world_;
+};
+
+ScenarioConfig* SmallWorldTest::config_ = nullptr;
+World* SmallWorldTest::world_ = nullptr;
+
+TEST_F(SmallWorldTest, DropPopulationMatchesConfig) {
+  EXPECT_EQ(world_->drop.all_prefixes().size(),
+            static_cast<size_t>(config_->total_drop_prefixes()));
+}
+
+TEST_F(SmallWorldTest, FleetShapeMatchesConfig) {
+  EXPECT_EQ(world_->fleet.collector_count(),
+            static_cast<size_t>(config_->collectors));
+  EXPECT_EQ(world_->fleet.full_table_peer_count(),
+            static_cast<size_t>(config_->full_table_peers));
+  EXPECT_EQ(world_->truth.drop_filtering_peers.size(),
+            static_cast<size_t>(config_->drop_filtering_peers));
+}
+
+TEST_F(SmallWorldTest, UnallocatedPrefixesAreTrulyUnallocated) {
+  ASSERT_EQ(world_->truth.unallocated_prefixes.size(),
+            static_cast<size_t>(config_->unallocated_drop));
+  for (const net::Prefix& p : world_->truth.unallocated_prefixes) {
+    net::Date listed = *world_->drop.first_listed(p);
+    EXPECT_TRUE(world_->registry.is_fully_unallocated(p, listed))
+        << p.to_string();
+    EXPECT_TRUE(world_->registry.rir_of(p).has_value());
+  }
+}
+
+TEST_F(SmallWorldTest, ForgedIrrPrefixesHaveMatchingRouteObjects) {
+  ASSERT_EQ(world_->truth.forged_irr_prefixes.size(),
+            static_cast<size_t>(config_->forged_irr_hijacks));
+  for (const net::Prefix& p : world_->truth.forged_irr_prefixes) {
+    net::Date listed = *world_->drop.first_listed(p);
+    // The SBL record names the hijacking ASN...
+    const drop::SblRecord* rec = world_->sbl.find_by_prefix(p);
+    ASSERT_NE(rec, nullptr) << p.to_string();
+    drop::Classification c = drop::Classifier().classify(rec->text);
+    ASSERT_TRUE(c.malicious_asn.has_value());
+    // ...and a route object with exactly that origin existed.
+    bool found = false;
+    for (const irr::Registration& reg : world_->irr.history(p)) {
+      found |= reg.object.origin == *c.malicious_asn;
+    }
+    EXPECT_TRUE(found) << p.to_string();
+    (void)listed;
+  }
+}
+
+TEST_F(SmallWorldTest, RemovedPrefixesAreOffTheListAtWindowEnd) {
+  for (const net::Prefix& p : world_->truth.removed_from_drop) {
+    EXPECT_FALSE(world_->drop.listed_on(p, config_->window_end))
+        << p.to_string();
+    EXPECT_TRUE(world_->drop.first_listed(p).has_value());
+  }
+}
+
+TEST_F(SmallWorldTest, CaseStudyPlanted) {
+  EXPECT_EQ(world_->truth.case_study_prefix.to_string(), "132.255.0.0/22");
+  EXPECT_EQ(world_->truth.case_study_siblings.size(), 6u);
+  // The /22 is signed and hijack-announced with the ROA ASN at listing.
+  net::Date listed = *world_->drop.first_listed(world_->truth.case_study_prefix);
+  EXPECT_TRUE(world_->roas.signed_on(world_->truth.case_study_prefix, listed));
+  auto origins =
+      world_->fleet.origins_on(world_->truth.case_study_prefix, listed);
+  ASSERT_EQ(origins.size(), 1u);
+  EXPECT_EQ(world_->roas.validate_route(world_->truth.case_study_prefix,
+                                        origins[0], listed),
+            rpki::Validity::kValid);
+}
+
+TEST_F(SmallWorldTest, WithdrawnPrefixesAreGoneWithin30Days) {
+  for (const net::Prefix& p : world_->truth.withdrawn_within_30d) {
+    net::Date listed = *world_->drop.first_listed(p);
+    EXPECT_FALSE(world_->fleet.announced_on(p, listed + 31))
+        << p.to_string();
+  }
+}
+
+TEST_F(SmallWorldTest, FilteringPeersRejectListedPrefixes) {
+  for (bgp::PeerId id : world_->truth.drop_filtering_peers) {
+    const bgp::Peer& peer = world_->fleet.peer(id);
+    ASSERT_TRUE(static_cast<bool>(peer.reject));
+    net::Prefix listed_prefix = world_->truth.unallocated_prefixes.front();
+    net::Date listed = *world_->drop.first_listed(listed_prefix);
+    EXPECT_TRUE(peer.rejects(listed_prefix, listed + 1));
+    EXPECT_FALSE(peer.rejects(listed_prefix, listed - 10));
+  }
+}
+
+TEST(Determinism, SameSeedSameWorld) {
+  ScenarioConfig config = ScenarioConfig::small();
+  auto w1 = generate(config);
+  auto w2 = generate(config);
+  auto p1 = w1->drop.all_prefixes();
+  auto p2 = w2->drop.all_prefixes();
+  ASSERT_EQ(p1, p2);
+  EXPECT_EQ(w1->roas.total_published(), w2->roas.total_published());
+  EXPECT_EQ(w1->irr.total_registrations(), w2->irr.total_registrations());
+}
+
+TEST(Determinism, DifferentSeedDifferentWorld) {
+  ScenarioConfig a = ScenarioConfig::small();
+  ScenarioConfig b = ScenarioConfig::small();
+  b.seed ^= 1;
+  auto w1 = generate(a);
+  auto w2 = generate(b);
+  EXPECT_NE(w1->drop.all_prefixes(), w2->drop.all_prefixes());
+}
+
+}  // namespace
+}  // namespace droplens::sim

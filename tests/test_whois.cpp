@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "irr/whois.hpp"
+
+namespace droplens::irr {
+namespace {
+
+net::Date D(const char* s) { return net::Date::parse(s); }
+net::Prefix P(const char* s) { return net::Prefix::parse(s); }
+
+class WhoisTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RouteObject obj;
+    obj.prefix = P("10.1.0.0/16");
+    obj.origin = net::Asn(64500);
+    obj.org_id = "ORG-A";
+    obj.created = D("2020-01-01");
+    db.register_object(obj);
+    obj.prefix = P("10.1.2.0/24");
+    obj.origin = net::Asn(64501);
+    db.register_object(obj);
+    obj.prefix = P("99.0.0.0/16");
+    obj.origin = net::Asn(64500);
+    obj.created = D("2021-05-01");
+    db.register_object(obj);
+    db.remove_object(P("99.0.0.0/16"), net::Asn(64500), D("2021-06-01"));
+
+    sets["AS-EX"] = AsSet{"AS-EX", {net::Asn(64500)}, {"AS-SUB"}};
+    sets["AS-SUB"] = AsSet{"AS-SUB", {net::Asn(64501)}, {}};
+  }
+
+  Database db;
+  std::map<std::string, AsSet> sets;
+};
+
+TEST_F(WhoisTest, ExactRouteQuery) {
+  WhoisServer server(db, D("2021-01-01"), sets);
+  std::string resp = server.handle("!r10.1.0.0/16");
+  EXPECT_EQ(resp.front(), 'A');
+  EXPECT_NE(resp.find("route:"), std::string::npos);
+  EXPECT_NE(resp.find("AS64500"), std::string::npos);
+  EXPECT_EQ(resp.find("10.1.2.0/24"), std::string::npos);
+  EXPECT_EQ(resp.substr(resp.size() - 2), "C\n");
+}
+
+TEST_F(WhoisTest, MoreSpecificAndCoveringQueries) {
+  WhoisServer server(db, D("2021-01-01"), sets);
+  std::string more = server.handle("!r10.1.0.0/16,M");
+  EXPECT_NE(more.find("10.1.2.0/24"), std::string::npos);
+  std::string covering = server.handle("!r10.1.2.0/24,l");
+  EXPECT_NE(covering.find("10.1.0.0/16"), std::string::npos);
+}
+
+TEST_F(WhoisTest, QueriesRespectTheDate) {
+  // The removed 99/16 object answers before removal, not after.
+  WhoisServer before(db, D("2021-05-15"), sets);
+  EXPECT_EQ(before.handle("!r99.0.0.0/16").front(), 'A');
+  WhoisServer after(db, D("2021-07-01"), sets);
+  EXPECT_EQ(after.handle("!r99.0.0.0/16"), "D\n");
+}
+
+TEST_F(WhoisTest, OriginQuery) {
+  WhoisServer server(db, D("2021-01-01"), sets);
+  std::string resp = server.handle("!gAS64500");
+  EXPECT_NE(resp.find("10.1.0.0/16"), std::string::npos);
+  EXPECT_EQ(resp.find("10.1.2.0/24"), std::string::npos);
+  EXPECT_EQ(server.handle("!gAS9999"), "D\n");
+}
+
+TEST_F(WhoisTest, AsSetExpansion) {
+  WhoisServer server(db, D("2021-01-01"), sets);
+  std::string resp = server.handle("!iAS-EX");
+  EXPECT_NE(resp.find("AS64500"), std::string::npos);
+  EXPECT_NE(resp.find("AS64501"), std::string::npos);
+  EXPECT_EQ(server.handle("!iAS-NONE"), "D\n");
+}
+
+TEST_F(WhoisTest, ErrorsAreFrames) {
+  WhoisServer server(db, D("2021-01-01"), sets);
+  EXPECT_EQ(server.handle("hello").front(), 'F');
+  EXPECT_EQ(server.handle("!x").front(), 'F');
+  EXPECT_EQ(server.handle("!rnot-a-prefix").front(), 'F');
+  EXPECT_EQ(server.handle("!r10.0.0.0/16,Z").front(), 'F');
+  EXPECT_EQ(server.handle("!gbanana").front(), 'F');
+}
+
+TEST_F(WhoisTest, PayloadLengthIsAccurate) {
+  WhoisServer server(db, D("2021-01-01"), sets);
+  std::string resp = server.handle("!r10.1.0.0/16");
+  // Frame: A<len>\n<payload>C\n
+  size_t newline = resp.find('\n');
+  size_t len = std::stoul(resp.substr(1, newline - 1));
+  EXPECT_EQ(resp.size(), 1 + (newline - 1) + 1 + len + 2);
+}
+
+}  // namespace
+}  // namespace droplens::irr
