@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_alarms.dir/bench_ext_alarms.cpp.o"
+  "CMakeFiles/bench_ext_alarms.dir/bench_ext_alarms.cpp.o.d"
+  "bench_ext_alarms"
+  "bench_ext_alarms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_alarms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_defenses.dir/bench_ext_defenses.cpp.o"
+  "CMakeFiles/bench_ext_defenses.dir/bench_ext_defenses.cpp.o.d"
+  "bench_ext_defenses"
+  "bench_ext_defenses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_defenses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

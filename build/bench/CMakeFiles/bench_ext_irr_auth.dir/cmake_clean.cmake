@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_irr_auth.dir/bench_ext_irr_auth.cpp.o"
+  "CMakeFiles/bench_ext_irr_auth.dir/bench_ext_irr_auth.cpp.o.d"
+  "bench_ext_irr_auth"
+  "bench_ext_irr_auth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_irr_auth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

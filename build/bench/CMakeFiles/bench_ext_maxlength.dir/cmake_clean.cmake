@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_maxlength.dir/bench_ext_maxlength.cpp.o"
+  "CMakeFiles/bench_ext_maxlength.dir/bench_ext_maxlength.cpp.o.d"
+  "bench_ext_maxlength"
+  "bench_ext_maxlength.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_maxlength.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

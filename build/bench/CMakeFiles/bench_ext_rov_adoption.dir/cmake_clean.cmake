@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_rov_adoption.dir/bench_ext_rov_adoption.cpp.o"
+  "CMakeFiles/bench_ext_rov_adoption.dir/bench_ext_rov_adoption.cpp.o.d"
+  "bench_ext_rov_adoption"
+  "bench_ext_rov_adoption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_rov_adoption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

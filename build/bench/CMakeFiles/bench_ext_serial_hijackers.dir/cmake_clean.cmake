@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_serial_hijackers.dir/bench_ext_serial_hijackers.cpp.o"
+  "CMakeFiles/bench_ext_serial_hijackers.dir/bench_ext_serial_hijackers.cpp.o.d"
+  "bench_ext_serial_hijackers"
+  "bench_ext_serial_hijackers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_serial_hijackers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

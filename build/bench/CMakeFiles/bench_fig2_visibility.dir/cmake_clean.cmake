@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_visibility.dir/bench_fig2_visibility.cpp.o"
+  "CMakeFiles/bench_fig2_visibility.dir/bench_fig2_visibility.cpp.o.d"
+  "bench_fig2_visibility"
+  "bench_fig2_visibility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_visibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

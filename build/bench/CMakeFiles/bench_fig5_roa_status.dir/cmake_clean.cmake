@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_roa_status.dir/bench_fig5_roa_status.cpp.o"
+  "CMakeFiles/bench_fig5_roa_status.dir/bench_fig5_roa_status.cpp.o.d"
+  "bench_fig5_roa_status"
+  "bench_fig5_roa_status.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_roa_status.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_unallocated.dir/bench_fig6_unallocated.cpp.o"
+  "CMakeFiles/bench_fig6_unallocated.dir/bench_fig6_unallocated.cpp.o.d"
+  "bench_fig6_unallocated"
+  "bench_fig6_unallocated.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_unallocated.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_free_pools.cpp" "bench/CMakeFiles/bench_fig7_free_pools.dir/bench_fig7_free_pools.cpp.o" "gcc" "bench/CMakeFiles/bench_fig7_free_pools.dir/bench_fig7_free_pools.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/droplens_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/droplens_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droplens_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/droplens_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/irr/CMakeFiles/droplens_irr.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/droplens_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/rir/CMakeFiles/droplens_rir.dir/DependInfo.cmake"
+  "/root/repo/build/src/drop/CMakeFiles/droplens_drop.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/droplens_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

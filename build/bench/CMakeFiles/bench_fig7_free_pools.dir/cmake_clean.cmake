@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_free_pools.dir/bench_fig7_free_pools.cpp.o"
+  "CMakeFiles/bench_fig7_free_pools.dir/bench_fig7_free_pools.cpp.o.d"
+  "bench_fig7_free_pools"
+  "bench_fig7_free_pools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_free_pools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_rpki_uptake.dir/bench_table1_rpki_uptake.cpp.o"
+  "CMakeFiles/bench_table1_rpki_uptake.dir/bench_table1_rpki_uptake.cpp.o.d"
+  "bench_table1_rpki_uptake"
+  "bench_table1_rpki_uptake.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_rpki_uptake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/as0_whatif.dir/as0_whatif.cpp.o"
+  "CMakeFiles/as0_whatif.dir/as0_whatif.cpp.o.d"
+  "as0_whatif"
+  "as0_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/as0_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hijack_forensics.dir/hijack_forensics.cpp.o"
+  "CMakeFiles/hijack_forensics.dir/hijack_forensics.cpp.o.d"
+  "hijack_forensics"
+  "hijack_forensics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hijack_forensics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/irr_hygiene.dir/irr_hygiene.cpp.o"
+  "CMakeFiles/irr_hygiene.dir/irr_hygiene.cpp.o.d"
+  "irr_hygiene"
+  "irr_hygiene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/irr_hygiene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rov_monitor.dir/rov_monitor.cpp.o"
+  "CMakeFiles/rov_monitor.dir/rov_monitor.cpp.o.d"
+  "rov_monitor"
+  "rov_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rov_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

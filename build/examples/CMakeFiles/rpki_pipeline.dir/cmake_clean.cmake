@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rpki_pipeline.dir/rpki_pipeline.cpp.o"
+  "CMakeFiles/rpki_pipeline.dir/rpki_pipeline.cpp.o.d"
+  "rpki_pipeline"
+  "rpki_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rpki_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgp/fleet.cpp" "src/bgp/CMakeFiles/droplens_bgp.dir/fleet.cpp.o" "gcc" "src/bgp/CMakeFiles/droplens_bgp.dir/fleet.cpp.o.d"
+  "/root/repo/src/bgp/mrt.cpp" "src/bgp/CMakeFiles/droplens_bgp.dir/mrt.cpp.o" "gcc" "src/bgp/CMakeFiles/droplens_bgp.dir/mrt.cpp.o.d"
+  "/root/repo/src/bgp/rib.cpp" "src/bgp/CMakeFiles/droplens_bgp.dir/rib.cpp.o" "gcc" "src/bgp/CMakeFiles/droplens_bgp.dir/rib.cpp.o.d"
+  "/root/repo/src/bgp/route.cpp" "src/bgp/CMakeFiles/droplens_bgp.dir/route.cpp.o" "gcc" "src/bgp/CMakeFiles/droplens_bgp.dir/route.cpp.o.d"
+  "/root/repo/src/bgp/table_dump.cpp" "src/bgp/CMakeFiles/droplens_bgp.dir/table_dump.cpp.o" "gcc" "src/bgp/CMakeFiles/droplens_bgp.dir/table_dump.cpp.o.d"
+  "/root/repo/src/bgp/topology.cpp" "src/bgp/CMakeFiles/droplens_bgp.dir/topology.cpp.o" "gcc" "src/bgp/CMakeFiles/droplens_bgp.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/droplens_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droplens_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droplens_bgp.dir/fleet.cpp.o"
+  "CMakeFiles/droplens_bgp.dir/fleet.cpp.o.d"
+  "CMakeFiles/droplens_bgp.dir/mrt.cpp.o"
+  "CMakeFiles/droplens_bgp.dir/mrt.cpp.o.d"
+  "CMakeFiles/droplens_bgp.dir/rib.cpp.o"
+  "CMakeFiles/droplens_bgp.dir/rib.cpp.o.d"
+  "CMakeFiles/droplens_bgp.dir/route.cpp.o"
+  "CMakeFiles/droplens_bgp.dir/route.cpp.o.d"
+  "CMakeFiles/droplens_bgp.dir/table_dump.cpp.o"
+  "CMakeFiles/droplens_bgp.dir/table_dump.cpp.o.d"
+  "CMakeFiles/droplens_bgp.dir/topology.cpp.o"
+  "CMakeFiles/droplens_bgp.dir/topology.cpp.o.d"
+  "libdroplens_bgp.a"
+  "libdroplens_bgp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droplens_bgp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/alarms.cpp" "src/core/CMakeFiles/droplens_core.dir/alarms.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/alarms.cpp.o.d"
+  "/root/repo/src/core/as0_analysis.cpp" "src/core/CMakeFiles/droplens_core.dir/as0_analysis.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/as0_analysis.cpp.o.d"
+  "/root/repo/src/core/case_study.cpp" "src/core/CMakeFiles/droplens_core.dir/case_study.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/case_study.cpp.o.d"
+  "/root/repo/src/core/classification.cpp" "src/core/CMakeFiles/droplens_core.dir/classification.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/classification.cpp.o.d"
+  "/root/repo/src/core/defenses.cpp" "src/core/CMakeFiles/droplens_core.dir/defenses.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/defenses.cpp.o.d"
+  "/root/repo/src/core/drop_index.cpp" "src/core/CMakeFiles/droplens_core.dir/drop_index.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/drop_index.cpp.o.d"
+  "/root/repo/src/core/impact.cpp" "src/core/CMakeFiles/droplens_core.dir/impact.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/impact.cpp.o.d"
+  "/root/repo/src/core/irr_analysis.cpp" "src/core/CMakeFiles/droplens_core.dir/irr_analysis.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/irr_analysis.cpp.o.d"
+  "/root/repo/src/core/irr_whatif.cpp" "src/core/CMakeFiles/droplens_core.dir/irr_whatif.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/irr_whatif.cpp.o.d"
+  "/root/repo/src/core/maxlength.cpp" "src/core/CMakeFiles/droplens_core.dir/maxlength.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/maxlength.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/droplens_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/roa_status.cpp" "src/core/CMakeFiles/droplens_core.dir/roa_status.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/roa_status.cpp.o.d"
+  "/root/repo/src/core/rpki_uptake.cpp" "src/core/CMakeFiles/droplens_core.dir/rpki_uptake.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/rpki_uptake.cpp.o.d"
+  "/root/repo/src/core/serial_hijackers.cpp" "src/core/CMakeFiles/droplens_core.dir/serial_hijackers.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/serial_hijackers.cpp.o.d"
+  "/root/repo/src/core/visibility.cpp" "src/core/CMakeFiles/droplens_core.dir/visibility.cpp.o" "gcc" "src/core/CMakeFiles/droplens_core.dir/visibility.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/droplens_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/droplens_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/irr/CMakeFiles/droplens_irr.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/droplens_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/rir/CMakeFiles/droplens_rir.dir/DependInfo.cmake"
+  "/root/repo/build/src/drop/CMakeFiles/droplens_drop.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droplens_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droplens_core.dir/alarms.cpp.o"
+  "CMakeFiles/droplens_core.dir/alarms.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/as0_analysis.cpp.o"
+  "CMakeFiles/droplens_core.dir/as0_analysis.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/case_study.cpp.o"
+  "CMakeFiles/droplens_core.dir/case_study.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/classification.cpp.o"
+  "CMakeFiles/droplens_core.dir/classification.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/defenses.cpp.o"
+  "CMakeFiles/droplens_core.dir/defenses.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/drop_index.cpp.o"
+  "CMakeFiles/droplens_core.dir/drop_index.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/impact.cpp.o"
+  "CMakeFiles/droplens_core.dir/impact.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/irr_analysis.cpp.o"
+  "CMakeFiles/droplens_core.dir/irr_analysis.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/irr_whatif.cpp.o"
+  "CMakeFiles/droplens_core.dir/irr_whatif.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/maxlength.cpp.o"
+  "CMakeFiles/droplens_core.dir/maxlength.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/report.cpp.o"
+  "CMakeFiles/droplens_core.dir/report.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/roa_status.cpp.o"
+  "CMakeFiles/droplens_core.dir/roa_status.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/rpki_uptake.cpp.o"
+  "CMakeFiles/droplens_core.dir/rpki_uptake.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/serial_hijackers.cpp.o"
+  "CMakeFiles/droplens_core.dir/serial_hijackers.cpp.o.d"
+  "CMakeFiles/droplens_core.dir/visibility.cpp.o"
+  "CMakeFiles/droplens_core.dir/visibility.cpp.o.d"
+  "libdroplens_core.a"
+  "libdroplens_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droplens_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

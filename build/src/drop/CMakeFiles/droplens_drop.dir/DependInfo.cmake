@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/drop/category.cpp" "src/drop/CMakeFiles/droplens_drop.dir/category.cpp.o" "gcc" "src/drop/CMakeFiles/droplens_drop.dir/category.cpp.o.d"
+  "/root/repo/src/drop/drop_list.cpp" "src/drop/CMakeFiles/droplens_drop.dir/drop_list.cpp.o" "gcc" "src/drop/CMakeFiles/droplens_drop.dir/drop_list.cpp.o.d"
+  "/root/repo/src/drop/feed.cpp" "src/drop/CMakeFiles/droplens_drop.dir/feed.cpp.o" "gcc" "src/drop/CMakeFiles/droplens_drop.dir/feed.cpp.o.d"
+  "/root/repo/src/drop/sbl.cpp" "src/drop/CMakeFiles/droplens_drop.dir/sbl.cpp.o" "gcc" "src/drop/CMakeFiles/droplens_drop.dir/sbl.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/droplens_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droplens_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droplens_drop.dir/category.cpp.o"
+  "CMakeFiles/droplens_drop.dir/category.cpp.o.d"
+  "CMakeFiles/droplens_drop.dir/drop_list.cpp.o"
+  "CMakeFiles/droplens_drop.dir/drop_list.cpp.o.d"
+  "CMakeFiles/droplens_drop.dir/feed.cpp.o"
+  "CMakeFiles/droplens_drop.dir/feed.cpp.o.d"
+  "CMakeFiles/droplens_drop.dir/sbl.cpp.o"
+  "CMakeFiles/droplens_drop.dir/sbl.cpp.o.d"
+  "libdroplens_drop.a"
+  "libdroplens_drop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droplens_drop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droplens_irr.dir/database.cpp.o"
+  "CMakeFiles/droplens_irr.dir/database.cpp.o.d"
+  "CMakeFiles/droplens_irr.dir/rpsl.cpp.o"
+  "CMakeFiles/droplens_irr.dir/rpsl.cpp.o.d"
+  "CMakeFiles/droplens_irr.dir/sets.cpp.o"
+  "CMakeFiles/droplens_irr.dir/sets.cpp.o.d"
+  "CMakeFiles/droplens_irr.dir/snapshot.cpp.o"
+  "CMakeFiles/droplens_irr.dir/snapshot.cpp.o.d"
+  "CMakeFiles/droplens_irr.dir/whois.cpp.o"
+  "CMakeFiles/droplens_irr.dir/whois.cpp.o.d"
+  "libdroplens_irr.a"
+  "libdroplens_irr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droplens_irr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

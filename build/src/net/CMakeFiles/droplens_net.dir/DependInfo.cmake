@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/cidr_cover.cpp" "src/net/CMakeFiles/droplens_net.dir/cidr_cover.cpp.o" "gcc" "src/net/CMakeFiles/droplens_net.dir/cidr_cover.cpp.o.d"
+  "/root/repo/src/net/date.cpp" "src/net/CMakeFiles/droplens_net.dir/date.cpp.o" "gcc" "src/net/CMakeFiles/droplens_net.dir/date.cpp.o.d"
+  "/root/repo/src/net/interval_set.cpp" "src/net/CMakeFiles/droplens_net.dir/interval_set.cpp.o" "gcc" "src/net/CMakeFiles/droplens_net.dir/interval_set.cpp.o.d"
+  "/root/repo/src/net/ipv4.cpp" "src/net/CMakeFiles/droplens_net.dir/ipv4.cpp.o" "gcc" "src/net/CMakeFiles/droplens_net.dir/ipv4.cpp.o.d"
+  "/root/repo/src/net/prefix.cpp" "src/net/CMakeFiles/droplens_net.dir/prefix.cpp.o" "gcc" "src/net/CMakeFiles/droplens_net.dir/prefix.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/droplens_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

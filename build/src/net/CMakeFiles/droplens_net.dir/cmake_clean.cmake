@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droplens_net.dir/cidr_cover.cpp.o"
+  "CMakeFiles/droplens_net.dir/cidr_cover.cpp.o.d"
+  "CMakeFiles/droplens_net.dir/date.cpp.o"
+  "CMakeFiles/droplens_net.dir/date.cpp.o.d"
+  "CMakeFiles/droplens_net.dir/interval_set.cpp.o"
+  "CMakeFiles/droplens_net.dir/interval_set.cpp.o.d"
+  "CMakeFiles/droplens_net.dir/ipv4.cpp.o"
+  "CMakeFiles/droplens_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/droplens_net.dir/prefix.cpp.o"
+  "CMakeFiles/droplens_net.dir/prefix.cpp.o.d"
+  "libdroplens_net.a"
+  "libdroplens_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droplens_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

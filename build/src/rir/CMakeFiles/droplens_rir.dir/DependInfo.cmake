@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rir/delegation.cpp" "src/rir/CMakeFiles/droplens_rir.dir/delegation.cpp.o" "gcc" "src/rir/CMakeFiles/droplens_rir.dir/delegation.cpp.o.d"
+  "/root/repo/src/rir/registry.cpp" "src/rir/CMakeFiles/droplens_rir.dir/registry.cpp.o" "gcc" "src/rir/CMakeFiles/droplens_rir.dir/registry.cpp.o.d"
+  "/root/repo/src/rir/rir.cpp" "src/rir/CMakeFiles/droplens_rir.dir/rir.cpp.o" "gcc" "src/rir/CMakeFiles/droplens_rir.dir/rir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/droplens_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droplens_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droplens_rir.dir/delegation.cpp.o"
+  "CMakeFiles/droplens_rir.dir/delegation.cpp.o.d"
+  "CMakeFiles/droplens_rir.dir/registry.cpp.o"
+  "CMakeFiles/droplens_rir.dir/registry.cpp.o.d"
+  "CMakeFiles/droplens_rir.dir/rir.cpp.o"
+  "CMakeFiles/droplens_rir.dir/rir.cpp.o.d"
+  "libdroplens_rir.a"
+  "libdroplens_rir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droplens_rir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

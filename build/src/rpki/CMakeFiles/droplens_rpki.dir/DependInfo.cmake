@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rpki/archive.cpp" "src/rpki/CMakeFiles/droplens_rpki.dir/archive.cpp.o" "gcc" "src/rpki/CMakeFiles/droplens_rpki.dir/archive.cpp.o.d"
+  "/root/repo/src/rpki/as0_policy.cpp" "src/rpki/CMakeFiles/droplens_rpki.dir/as0_policy.cpp.o" "gcc" "src/rpki/CMakeFiles/droplens_rpki.dir/as0_policy.cpp.o.d"
+  "/root/repo/src/rpki/authority.cpp" "src/rpki/CMakeFiles/droplens_rpki.dir/authority.cpp.o" "gcc" "src/rpki/CMakeFiles/droplens_rpki.dir/authority.cpp.o.d"
+  "/root/repo/src/rpki/cert.cpp" "src/rpki/CMakeFiles/droplens_rpki.dir/cert.cpp.o" "gcc" "src/rpki/CMakeFiles/droplens_rpki.dir/cert.cpp.o.d"
+  "/root/repo/src/rpki/crypto.cpp" "src/rpki/CMakeFiles/droplens_rpki.dir/crypto.cpp.o" "gcc" "src/rpki/CMakeFiles/droplens_rpki.dir/crypto.cpp.o.d"
+  "/root/repo/src/rpki/repository_builder.cpp" "src/rpki/CMakeFiles/droplens_rpki.dir/repository_builder.cpp.o" "gcc" "src/rpki/CMakeFiles/droplens_rpki.dir/repository_builder.cpp.o.d"
+  "/root/repo/src/rpki/roa.cpp" "src/rpki/CMakeFiles/droplens_rpki.dir/roa.cpp.o" "gcc" "src/rpki/CMakeFiles/droplens_rpki.dir/roa.cpp.o.d"
+  "/root/repo/src/rpki/roa_csv.cpp" "src/rpki/CMakeFiles/droplens_rpki.dir/roa_csv.cpp.o" "gcc" "src/rpki/CMakeFiles/droplens_rpki.dir/roa_csv.cpp.o.d"
+  "/root/repo/src/rpki/rtr.cpp" "src/rpki/CMakeFiles/droplens_rpki.dir/rtr.cpp.o" "gcc" "src/rpki/CMakeFiles/droplens_rpki.dir/rtr.cpp.o.d"
+  "/root/repo/src/rpki/tal.cpp" "src/rpki/CMakeFiles/droplens_rpki.dir/tal.cpp.o" "gcc" "src/rpki/CMakeFiles/droplens_rpki.dir/tal.cpp.o.d"
+  "/root/repo/src/rpki/validator.cpp" "src/rpki/CMakeFiles/droplens_rpki.dir/validator.cpp.o" "gcc" "src/rpki/CMakeFiles/droplens_rpki.dir/validator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/droplens_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/rir/CMakeFiles/droplens_rir.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droplens_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droplens_rpki.dir/archive.cpp.o"
+  "CMakeFiles/droplens_rpki.dir/archive.cpp.o.d"
+  "CMakeFiles/droplens_rpki.dir/as0_policy.cpp.o"
+  "CMakeFiles/droplens_rpki.dir/as0_policy.cpp.o.d"
+  "CMakeFiles/droplens_rpki.dir/authority.cpp.o"
+  "CMakeFiles/droplens_rpki.dir/authority.cpp.o.d"
+  "CMakeFiles/droplens_rpki.dir/cert.cpp.o"
+  "CMakeFiles/droplens_rpki.dir/cert.cpp.o.d"
+  "CMakeFiles/droplens_rpki.dir/crypto.cpp.o"
+  "CMakeFiles/droplens_rpki.dir/crypto.cpp.o.d"
+  "CMakeFiles/droplens_rpki.dir/repository_builder.cpp.o"
+  "CMakeFiles/droplens_rpki.dir/repository_builder.cpp.o.d"
+  "CMakeFiles/droplens_rpki.dir/roa.cpp.o"
+  "CMakeFiles/droplens_rpki.dir/roa.cpp.o.d"
+  "CMakeFiles/droplens_rpki.dir/roa_csv.cpp.o"
+  "CMakeFiles/droplens_rpki.dir/roa_csv.cpp.o.d"
+  "CMakeFiles/droplens_rpki.dir/rtr.cpp.o"
+  "CMakeFiles/droplens_rpki.dir/rtr.cpp.o.d"
+  "CMakeFiles/droplens_rpki.dir/tal.cpp.o"
+  "CMakeFiles/droplens_rpki.dir/tal.cpp.o.d"
+  "CMakeFiles/droplens_rpki.dir/validator.cpp.o"
+  "CMakeFiles/droplens_rpki.dir/validator.cpp.o.d"
+  "libdroplens_rpki.a"
+  "libdroplens_rpki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droplens_rpki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droplens_sim.dir/gen_case_study.cpp.o"
+  "CMakeFiles/droplens_sim.dir/gen_case_study.cpp.o.d"
+  "CMakeFiles/droplens_sim.dir/gen_drop.cpp.o"
+  "CMakeFiles/droplens_sim.dir/gen_drop.cpp.o.d"
+  "CMakeFiles/droplens_sim.dir/generator.cpp.o"
+  "CMakeFiles/droplens_sim.dir/generator.cpp.o.d"
+  "CMakeFiles/droplens_sim.dir/rng.cpp.o"
+  "CMakeFiles/droplens_sim.dir/rng.cpp.o.d"
+  "CMakeFiles/droplens_sim.dir/scenario.cpp.o"
+  "CMakeFiles/droplens_sim.dir/scenario.cpp.o.d"
+  "libdroplens_sim.a"
+  "libdroplens_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droplens_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdroplens_sim.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droplens_util.dir/csv.cpp.o"
+  "CMakeFiles/droplens_util.dir/csv.cpp.o.d"
+  "CMakeFiles/droplens_util.dir/strings.cpp.o"
+  "CMakeFiles/droplens_util.dir/strings.cpp.o.d"
+  "CMakeFiles/droplens_util.dir/text_table.cpp.o"
+  "CMakeFiles/droplens_util.dir/text_table.cpp.o.d"
+  "libdroplens_util.a"
+  "libdroplens_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droplens_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

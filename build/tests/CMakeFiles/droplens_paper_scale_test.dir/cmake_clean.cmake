@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/droplens_paper_scale_test.dir/test_paper_scale.cpp.o"
+  "CMakeFiles/droplens_paper_scale_test.dir/test_paper_scale.cpp.o.d"
+  "droplens_paper_scale_test"
+  "droplens_paper_scale_test.pdb"
+  "droplens_paper_scale_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/droplens_paper_scale_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

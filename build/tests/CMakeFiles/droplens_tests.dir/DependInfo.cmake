@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analyses.cpp" "tests/CMakeFiles/droplens_tests.dir/test_analyses.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_analyses.cpp.o.d"
+  "/root/repo/tests/test_as0_policy.cpp" "tests/CMakeFiles/droplens_tests.dir/test_as0_policy.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_as0_policy.cpp.o.d"
+  "/root/repo/tests/test_bgp.cpp" "tests/CMakeFiles/droplens_tests.dir/test_bgp.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_bgp.cpp.o.d"
+  "/root/repo/tests/test_classifier.cpp" "tests/CMakeFiles/droplens_tests.dir/test_classifier.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_classifier.cpp.o.d"
+  "/root/repo/tests/test_date.cpp" "tests/CMakeFiles/droplens_tests.dir/test_date.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_date.cpp.o.d"
+  "/root/repo/tests/test_drop.cpp" "tests/CMakeFiles/droplens_tests.dir/test_drop.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_drop.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/droplens_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_formats.cpp" "tests/CMakeFiles/droplens_tests.dir/test_formats.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_formats.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/droplens_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_interval_set.cpp" "tests/CMakeFiles/droplens_tests.dir/test_interval_set.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_interval_set.cpp.o.d"
+  "/root/repo/tests/test_irr.cpp" "tests/CMakeFiles/droplens_tests.dir/test_irr.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_irr.cpp.o.d"
+  "/root/repo/tests/test_irr_snapshots.cpp" "tests/CMakeFiles/droplens_tests.dir/test_irr_snapshots.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_irr_snapshots.cpp.o.d"
+  "/root/repo/tests/test_misc_coverage.cpp" "tests/CMakeFiles/droplens_tests.dir/test_misc_coverage.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_misc_coverage.cpp.o.d"
+  "/root/repo/tests/test_mrt.cpp" "tests/CMakeFiles/droplens_tests.dir/test_mrt.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_mrt.cpp.o.d"
+  "/root/repo/tests/test_net.cpp" "tests/CMakeFiles/droplens_tests.dir/test_net.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_net.cpp.o.d"
+  "/root/repo/tests/test_parser_fuzz.cpp" "tests/CMakeFiles/droplens_tests.dir/test_parser_fuzz.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_parser_fuzz.cpp.o.d"
+  "/root/repo/tests/test_prefix_trie.cpp" "tests/CMakeFiles/droplens_tests.dir/test_prefix_trie.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_prefix_trie.cpp.o.d"
+  "/root/repo/tests/test_report.cpp" "tests/CMakeFiles/droplens_tests.dir/test_report.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_report.cpp.o.d"
+  "/root/repo/tests/test_rir.cpp" "tests/CMakeFiles/droplens_tests.dir/test_rir.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_rir.cpp.o.d"
+  "/root/repo/tests/test_rpki.cpp" "tests/CMakeFiles/droplens_tests.dir/test_rpki.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_rpki.cpp.o.d"
+  "/root/repo/tests/test_rpki_pipeline.cpp" "tests/CMakeFiles/droplens_tests.dir/test_rpki_pipeline.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_rpki_pipeline.cpp.o.d"
+  "/root/repo/tests/test_seed_sweep.cpp" "tests/CMakeFiles/droplens_tests.dir/test_seed_sweep.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_seed_sweep.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/droplens_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_topology.cpp" "tests/CMakeFiles/droplens_tests.dir/test_topology.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_topology.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/droplens_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_whois.cpp" "tests/CMakeFiles/droplens_tests.dir/test_whois.cpp.o" "gcc" "tests/CMakeFiles/droplens_tests.dir/test_whois.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/droplens_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/droplens_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/droplens_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgp/CMakeFiles/droplens_bgp.dir/DependInfo.cmake"
+  "/root/repo/build/src/irr/CMakeFiles/droplens_irr.dir/DependInfo.cmake"
+  "/root/repo/build/src/rpki/CMakeFiles/droplens_rpki.dir/DependInfo.cmake"
+  "/root/repo/build/src/rir/CMakeFiles/droplens_rir.dir/DependInfo.cmake"
+  "/root/repo/build/src/drop/CMakeFiles/droplens_drop.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/droplens_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
