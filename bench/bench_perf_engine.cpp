@@ -1,0 +1,96 @@
+// Sequential vs. parallel analysis engine on the full-report path.
+//
+// Runs core::write_report over the same world with 1 engine thread (the old
+// sequential behavior), N threads cold (fresh snapshot cache), and N
+// threads warm (cache pre-populated by a prior run), then prints the
+// wall-clock speedups. Outputs are cross-checked byte-for-byte — a run that
+// broke the determinism contract fails loudly rather than report a bogus
+// speedup.
+//
+//   $ ./bench_perf_engine [--small] [--seed=N] [--threads=N] [--reps=N]
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "bench/common.hpp"
+#include "core/report.hpp"
+#include "core/snapshot_cache.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace droplens;
+
+namespace {
+
+double run_report_ms(const core::Study& study,
+                     const core::ReportOptions& options, std::string* out) {
+  std::ostringstream text;
+  auto start = std::chrono::steady_clock::now();
+  core::write_report(text, study, options);
+  auto stop = std::chrono::steady_clock::now();
+  *out = text.str();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned threads = util::ThreadPool::default_thread_count();
+  int reps = 3;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(std::stoul(argv[i] + 10));
+    }
+    if (std::strncmp(argv[i], "--reps=", 7) == 0) {
+      reps = std::stoi(argv[i] + 7);
+    }
+  }
+  bench::Harness h = bench::Harness::make(argc, argv);
+
+  core::ReportOptions options;
+  options.include_series = true;
+
+  std::string seq_text, par_text, warm_text;
+  double seq_ms = 0, par_ms = 0, warm_ms = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    options.threads = 1;
+    seq_ms += run_report_ms(*h.study, options, &seq_text);
+
+    options.threads = threads;
+    par_ms += run_report_ms(*h.study, options, &par_text);
+
+    // Warm: share one cache across a pool the Study carries, so the second
+    // run hits the memoized snapshots.
+    util::ThreadPool pool(threads);
+    core::SnapshotCache cache(h.study->registry, h.study->fleet,
+                              h.study->roas, h.study->drop);
+    core::Study warm = *h.study;
+    warm.pool = &pool;
+    warm.snapshots = &cache;
+    std::string prime;
+    run_report_ms(warm, options, &prime);
+    warm_ms += run_report_ms(warm, options, &warm_text);
+
+    if (seq_text != par_text || seq_text != warm_text) {
+      std::cerr << "FATAL: parallel report diverged from sequential run\n";
+      return 1;
+    }
+  }
+  seq_ms /= reps;
+  par_ms /= reps;
+  warm_ms /= reps;
+
+  bench::Comparison cmp("engine: sequential vs parallel full report");
+  cmp.row("threads", "1", std::to_string(threads));
+  cmp.row("sequential ms", seq_ms, seq_ms);
+  cmp.row("parallel cold ms", seq_ms, par_ms);
+  cmp.row("parallel warm ms", seq_ms, warm_ms);
+  cmp.rule();
+  cmp.row("speedup cold", 1.0, seq_ms / par_ms, 2);
+  cmp.row("speedup warm", 1.0, seq_ms / warm_ms, 2);
+  cmp.print();
+  std::cout << "determinism: sequential, cold and warm outputs identical ("
+            << seq_text.size() << " bytes)\n";
+  return 0;
+}

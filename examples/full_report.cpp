@@ -1,9 +1,14 @@
 // Full study report: one call regenerates the whole paper as a text
 // document (all sections, the Fig 4 timeline, extension analyses).
 //
-//   $ ./full_report [--full] [--series] > report.md
+//   $ ./full_report [--full] [--series] [--threads=N] > report.md
+//
+// The report engine parallelizes across the configured thread count
+// (--threads, else DROPLENS_THREADS, else hardware_concurrency; 1 forces
+// the sequential path). Output is byte-identical for any thread count.
 #include <cstring>
 #include <iostream>
+#include <string>
 
 #include "core/report.hpp"
 #include "sim/generator.hpp"
@@ -16,6 +21,16 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) full = true;
     if (std::strcmp(argv[i], "--series") == 0) options.include_series = true;
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      char* end = nullptr;
+      unsigned long v = std::strtoul(argv[i] + 10, &end, 10);
+      if (end == argv[i] + 10 || *end != '\0' || v > 1024) {
+        std::cerr << "error: --threads expects an integer in 1..1024 (got '"
+                  << (argv[i] + 10) << "')\n";
+        return 2;
+      }
+      options.threads = static_cast<unsigned>(v);
+    }
   }
   sim::ScenarioConfig config =
       full ? sim::ScenarioConfig{} : sim::ScenarioConfig::small();

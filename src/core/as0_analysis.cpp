@@ -1,5 +1,6 @@
 #include "core/as0_analysis.hpp"
 
+#include "core/engine.hpp"
 #include "rpki/as0_policy.hpp"
 
 namespace droplens::core {
@@ -30,41 +31,61 @@ As0Result analyze_as0(const Study& study, const DropIndex& index) {
   auto sample = [&](net::Date d) {
     FreePoolSample s;
     s.date = d;
-    net::IntervalSet as0_space = study.roas.signed_space(
-        d, as0_tals, rpki::RoaArchive::Filter::kAs0Only);
+    engine::SetPtr as0_space = engine::signed_space(
+        study, d, as0_tals, rpki::RoaArchive::Filter::kAs0Only);
     for (rir::Rir rir : rir::kAllRirs) {
-      net::IntervalSet pool = study.registry.free_pool(rir, d);
-      s.pool_slash8[static_cast<size_t>(rir)] = pool.slash8_equivalents();
+      engine::SetPtr pool = engine::free_pool(study, rir, d);
+      s.pool_slash8[static_cast<size_t>(rir)] = pool->slash8_equivalents();
       s.pool_as0_covered[static_cast<size_t>(rir)] =
-          net::IntervalSet::set_intersection(pool, as0_space)
+          net::IntervalSet::set_intersection(*pool, *as0_space)
               .slash8_equivalents();
     }
     return s;
   };
-  for (net::Date d = study.window_begin; d < study.window_end; d += 30) {
-    r.pool_series.push_back(sample(d));
-  }
-  r.pool_series.push_back(sample(study.window_end));
+  const std::vector<net::Date> dates = engine::sample_dates(study);
+  r.pool_series.resize(dates.size());
+  engine::parallel_for(study, dates.size(), [&](size_t i) {
+    r.pool_series[i] = sample(dates[i]);
+  });
 
   // --- §6.2.2: would any peer have filtered with the AS0 TALs? -----------
   net::Date end = study.window_end;
-  std::vector<net::Prefix> rejectable;
-  for (const net::Prefix& p : study.fleet.announced_prefixes_on(end)) {
-    // An AS0-TAL ROA covering the prefix makes every announcement of it
-    // invalid for a validator that has those TALs configured.
-    bool covered_by_as0 = false;
-    for (const rpki::Roa& roa : study.roas.covering(p, end, as0_tals)) {
-      if (roa.is_as0()) covered_by_as0 = true;
+  const std::vector<net::Prefix> announced =
+      study.fleet.announced_prefixes_on(end);
+  // An AS0-TAL ROA covering the prefix makes every announcement of it
+  // invalid for a validator that has those TALs configured. Flag each
+  // announced prefix in parallel, then keep prefix order for determinism.
+  std::vector<uint8_t> rejectable_flag(announced.size(), 0);
+  engine::parallel_for(study, announced.size(), [&](size_t i) {
+    for (const rpki::Roa& roa : study.roas.covering(announced[i], end,
+                                                    as0_tals)) {
+      if (roa.is_as0()) {
+        rejectable_flag[i] = 1;
+        break;
+      }
     }
-    if (covered_by_as0) rejectable.push_back(p);
+  });
+  std::vector<net::Prefix> rejectable;
+  for (size_t i = 0; i < announced.size(); ++i) {
+    if (rejectable_flag[i]) rejectable.push_back(announced[i]);
   }
-  size_t total = 0;
+
+  std::vector<const bgp::Peer*> full_table_peers;
   for (const bgp::Peer& peer : study.fleet.peers()) {
-    if (!peer.full_table) continue;
+    if (peer.full_table) full_table_peers.push_back(&peer);
+  }
+  std::vector<size_t> carried_by_peer(full_table_peers.size(), 0);
+  engine::parallel_for(study, full_table_peers.size(), [&](size_t i) {
     size_t carried = 0;
     for (const net::Prefix& p : rejectable) {
-      if (study.fleet.peer_observes(peer.id, p, end)) ++carried;
+      if (study.fleet.peer_observes(full_table_peers[i]->id, p, end)) {
+        ++carried;
+      }
     }
+    carried_by_peer[i] = carried;
+  });
+  size_t total = 0;
+  for (size_t carried : carried_by_peer) {
     r.peer_as0_rejectable.push_back(carried);
     total += carried;
     if (carried == 0) ++r.peers_apparently_filtering_as0;

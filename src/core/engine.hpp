@@ -1,0 +1,79 @@
+// Engine facade used inside the analyses.
+//
+// Analyses call these helpers instead of hitting the substrates directly;
+// each helper routes through the Study's SnapshotCache / ThreadPool when
+// present and falls back to the original direct computation when not, so a
+// plain `Study{...}` with no engine attached behaves exactly as before.
+//
+// Determinism contract: engine::parallel_for(study, n, fn) must only be
+// used with an fn that writes its result to slot i of a pre-sized buffer
+// (or an otherwise index-addressed location). Aggregation over the buffer
+// then happens sequentially in index order, which makes the output
+// byte-identical for every thread count.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/snapshot_cache.hpp"
+#include "core/study.hpp"
+#include "util/thread_pool.hpp"
+
+namespace droplens::core::engine {
+
+using SetPtr = SnapshotCache::SetPtr;
+
+inline SetPtr routed_space(const Study& s, net::Date d) {
+  if (s.snapshots) return s.snapshots->routed_space(d);
+  return std::make_shared<const net::IntervalSet>(s.fleet.routed_space(d));
+}
+
+inline SetPtr allocated_space(const Study& s, net::Date d) {
+  if (s.snapshots) return s.snapshots->allocated_space(d);
+  return std::make_shared<const net::IntervalSet>(
+      s.registry.allocated_space(d));
+}
+
+inline SetPtr signed_space(const Study& s, net::Date d, rpki::TalSet tals,
+                           rpki::RoaArchive::Filter filter =
+                               rpki::RoaArchive::Filter::kAll) {
+  if (s.snapshots) return s.snapshots->signed_space(d, tals, filter);
+  return std::make_shared<const net::IntervalSet>(
+      s.roas.signed_space(d, tals, filter));
+}
+
+inline SetPtr free_pool(const Study& s, rir::Rir rir, net::Date d) {
+  if (s.snapshots) return s.snapshots->free_pool(rir, d);
+  return std::make_shared<const net::IntervalSet>(s.registry.free_pool(rir, d));
+}
+
+inline SetPtr drop_space(const Study& s, net::Date d) {
+  if (s.snapshots) return s.snapshots->drop_space(d);
+  net::IntervalSet active;
+  for (const net::Prefix& p : s.drop.snapshot(d)) active.insert(p);
+  return std::make_shared<const net::IntervalSet>(std::move(active));
+}
+
+/// fn(i) for i in [0, n): across the Study's pool when one is attached,
+/// inline otherwise.
+template <typename Fn>
+void parallel_for(const Study& s, size_t n, Fn&& fn) {
+  if (s.pool) {
+    s.pool->parallel_for(n, fn);
+  } else {
+    for (size_t i = 0; i < n; ++i) fn(i);
+  }
+}
+
+/// The monthly sampling grid every longitudinal analysis uses: every 30
+/// days from window_begin, plus window_end itself as the final sample.
+inline std::vector<net::Date> sample_dates(const Study& s) {
+  std::vector<net::Date> dates;
+  for (net::Date d = s.window_begin; d < s.window_end; d += 30) {
+    dates.push_back(d);
+  }
+  dates.push_back(s.window_end);
+  return dates;
+}
+
+}  // namespace droplens::core::engine

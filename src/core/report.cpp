@@ -1,5 +1,6 @@
 #include "core/report.hpp"
 
+#include <optional>
 #include <ostream>
 
 #include "core/alarms.hpp"
@@ -8,13 +9,16 @@
 #include "core/classification.hpp"
 #include "core/defenses.hpp"
 #include "core/drop_index.hpp"
+#include "core/engine.hpp"
 #include "core/irr_analysis.hpp"
 #include "core/maxlength.hpp"
 #include "core/roa_status.hpp"
 #include "core/rpki_uptake.hpp"
 #include "core/serial_hijackers.hpp"
+#include "core/snapshot_cache.hpp"
 #include "core/visibility.hpp"
 #include "util/text_table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace droplens::core {
 
@@ -26,8 +30,26 @@ void heading(std::ostream& out, const std::string& title) {
 
 }  // namespace
 
-int write_report(std::ostream& out, const Study& study,
+int write_report(std::ostream& out, const Study& base_study,
                  const ReportOptions& options) {
+  // Attach the engine unless the caller brought their own: one thread pool
+  // (options.threads; 0 defers to DROPLENS_THREADS / hardware_concurrency,
+  // 1 forces the sequential path) and one snapshot cache shared by every
+  // analysis below. Output is byte-identical for any thread count — the
+  // analyses only ever write to index-addressed buffers before aggregating
+  // sequentially.
+  std::optional<util::ThreadPool> pool;
+  std::optional<SnapshotCache> cache;
+  Study study = base_study;
+  if (!study.pool) {
+    pool.emplace(options.threads);
+    study.pool = &*pool;
+  }
+  if (!study.snapshots) {
+    cache.emplace(study.registry, study.fleet, study.roas, study.drop);
+    study.snapshots = &*cache;
+  }
+
   int sections = 0;
   DropIndex index = DropIndex::build(study);
 

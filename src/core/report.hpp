@@ -12,6 +12,10 @@ struct ReportOptions {
   bool include_extensions = true;   // defense matrix, maxLength, profiling
   bool include_case_timeline = true;
   bool include_series = false;      // monthly CSV series (Fig 5/7)
+  // Analysis-engine worker threads. 0 resolves via DROPLENS_THREADS (env)
+  // or hardware_concurrency; 1 forces the sequential path. Ignored when the
+  // Study already carries a pool. Output is byte-identical either way.
+  unsigned threads = 0;
 };
 
 /// Run the full DROP-lens pipeline on `study` and write the report to

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "core/engine.hpp"
+
 namespace droplens::core {
 
 namespace {
@@ -11,20 +13,21 @@ RoaStatusSample sample_day(const Study& study, net::Date d) {
   using net::IntervalSet;
   RoaStatusSample s;
   s.date = d;
-  IntervalSet signed_all =
-      study.roas.signed_space(d, rpki::TalSet::defaults());
-  IntervalSet signed_nonas0 = study.roas.signed_space(
-      d, rpki::TalSet::defaults(), rpki::RoaArchive::Filter::kNonAs0Only);
-  IntervalSet routed = study.fleet.routed_space(d);
-  IntervalSet allocated = study.registry.allocated_space(d);
+  engine::SetPtr signed_all =
+      engine::signed_space(study, d, rpki::TalSet::defaults());
+  engine::SetPtr signed_nonas0 = engine::signed_space(
+      study, d, rpki::TalSet::defaults(), rpki::RoaArchive::Filter::kNonAs0Only);
+  engine::SetPtr routed = engine::routed_space(study, d);
+  engine::SetPtr allocated = engine::allocated_space(study, d);
 
-  IntervalSet signed_routed = IntervalSet::set_intersection(signed_all, routed);
+  IntervalSet signed_routed =
+      IntervalSet::set_intersection(*signed_all, *routed);
   IntervalSet signed_unrouted_nonas0 =
-      IntervalSet::set_difference(signed_nonas0, routed);
+      IntervalSet::set_difference(*signed_nonas0, *routed);
   IntervalSet unrouted_no_roa = IntervalSet::set_difference(
-      IntervalSet::set_difference(allocated, routed), signed_all);
+      IntervalSet::set_difference(*allocated, *routed), *signed_all);
 
-  s.signed_slash8 = signed_all.slash8_equivalents();
+  s.signed_slash8 = signed_all->slash8_equivalents();
   s.signed_routed_slash8 = signed_routed.slash8_equivalents();
   s.signed_unrouted_nonas0_slash8 =
       signed_unrouted_nonas0.slash8_equivalents();
@@ -36,17 +39,19 @@ RoaStatusSample sample_day(const Study& study, net::Date d) {
 
 RoaStatusResult analyze_roa_status(const Study& study) {
   RoaStatusResult r;
-  for (net::Date d = study.window_begin; d < study.window_end; d += 30) {
-    r.series.push_back(sample_day(study, d));
-  }
-  r.series.push_back(sample_day(study, study.window_end));
+  const std::vector<net::Date> dates = engine::sample_dates(study);
+  r.series.resize(dates.size());
+  engine::parallel_for(study, dates.size(), [&](size_t i) {
+    r.series[i] = sample_day(study, dates[i]);
+  });
 
   // Who holds the signed-but-unrouted space at the end of the window?
   net::Date end = study.window_end;
-  net::IntervalSet signed_nonas0 = study.roas.signed_space(
-      end, rpki::TalSet::defaults(), rpki::RoaArchive::Filter::kNonAs0Only);
+  engine::SetPtr signed_nonas0 = engine::signed_space(
+      study, end, rpki::TalSet::defaults(),
+      rpki::RoaArchive::Filter::kNonAs0Only);
   net::IntervalSet unrouted_signed = net::IntervalSet::set_difference(
-      signed_nonas0, study.fleet.routed_space(end));
+      *signed_nonas0, *engine::routed_space(study, end));
   std::map<std::string, uint64_t> by_holder;
   for (const rir::Allocation& a : study.registry.live_allocations(end)) {
     if (!unrouted_signed.intersects(a.prefix)) continue;
@@ -72,12 +77,12 @@ RoaStatusResult analyze_roa_status(const Study& study) {
   r.top_signed_unrouted_holders = std::move(holders);
 
   // ARIN's share of the allocated-unrouted-unsigned space.
-  net::IntervalSet signed_all =
-      study.roas.signed_space(end, rpki::TalSet::defaults());
+  engine::SetPtr signed_all =
+      engine::signed_space(study, end, rpki::TalSet::defaults());
   net::IntervalSet unrouted_no_roa = net::IntervalSet::set_difference(
-      net::IntervalSet::set_difference(study.registry.allocated_space(end),
-                                       study.fleet.routed_space(end)),
-      signed_all);
+      net::IntervalSet::set_difference(*engine::allocated_space(study, end),
+                                       *engine::routed_space(study, end)),
+      *signed_all);
   net::IntervalSet arin_part = net::IntervalSet::set_intersection(
       unrouted_no_roa, study.registry.administered(rir::Rir::kArin));
   r.arin_share_of_unrouted_unsigned =

@@ -1,0 +1,81 @@
+#include "core/snapshot_cache.hpp"
+
+#include <utility>
+
+#include "rpki/tal.hpp"
+
+namespace droplens::core {
+
+namespace {
+
+// TalSet keeps its bitmask private; recover it bit-by-bit for key packing.
+uint32_t tal_bits(rpki::TalSet tals) {
+  uint32_t bits = 0;
+  for (rpki::Tal t : rpki::kAllTals) {
+    if (tals.has(t)) bits |= uint32_t{1} << static_cast<int>(t);
+  }
+  return bits;
+}
+
+}  // namespace
+
+template <typename Compute>
+SnapshotCache::SetPtr SnapshotCache::get_or_compute(uint64_t key,
+                                                    Compute&& compute) const {
+  Shard& shard = shards_[key % kShardCount];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(key);
+  if (it != shard.map.end()) {
+    ++shard.hits;
+    return it->second;
+  }
+  ++shard.misses;
+  SetPtr value = std::make_shared<const net::IntervalSet>(compute());
+  shard.map.emplace(key, value);
+  return value;
+}
+
+SnapshotCache::SetPtr SnapshotCache::routed_space(net::Date d) const {
+  return get_or_compute(make_key(Substrate::kRouted, d, 0),
+                        [&] { return fleet_.routed_space(d); });
+}
+
+SnapshotCache::SetPtr SnapshotCache::allocated_space(net::Date d) const {
+  return get_or_compute(make_key(Substrate::kAllocated, d, 0),
+                        [&] { return registry_.allocated_space(d); });
+}
+
+SnapshotCache::SetPtr SnapshotCache::signed_space(
+    net::Date d, rpki::TalSet tals, rpki::RoaArchive::Filter filter) const {
+  uint32_t variant =
+      (tal_bits(tals) << 8) | static_cast<uint8_t>(filter);
+  return get_or_compute(make_key(Substrate::kSigned, d, variant),
+                        [&] { return roas_.signed_space(d, tals, filter); });
+}
+
+SnapshotCache::SetPtr SnapshotCache::free_pool(rir::Rir rir,
+                                               net::Date d) const {
+  return get_or_compute(
+      make_key(Substrate::kFreePool, d, static_cast<uint8_t>(rir)),
+      [&] { return registry_.free_pool(rir, d); });
+}
+
+SnapshotCache::SetPtr SnapshotCache::drop_space(net::Date d) const {
+  return get_or_compute(make_key(Substrate::kDrop, d, 0), [&] {
+    net::IntervalSet active;
+    for (const net::Prefix& p : drop_.snapshot(d)) active.insert(p);
+    return active;
+  });
+}
+
+SnapshotCache::Stats SnapshotCache::stats() const {
+  Stats total;
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    total.hits += s.hits;
+    total.misses += s.misses;
+  }
+  return total;
+}
+
+}  // namespace droplens::core

@@ -1,0 +1,105 @@
+// Shared daily-snapshot cache for the analysis engine.
+//
+// Every longitudinal analysis intersects the same four interval sets per
+// sampled date: routed space (BGP fleet), signed space (ROA archive, per
+// TAL-set and AS0 filter), allocated space / free pools (registry), and the
+// DROP active set. Computing each of those walks a full substrate — the
+// hottest work in a report run — and before this cache each analysis redid
+// it per date. The cache memoizes one immutable IntervalSet per
+// (substrate, date, variant) key behind a sharded mutex-guarded map, so N
+// analyses and N threads share one computation per day.
+//
+// Thread safety: get-or-compute under a per-shard mutex. Snapshots are
+// returned as shared_ptr<const IntervalSet>; once published they are never
+// mutated, so readers need no further synchronization. A racing miss on the
+// same key computes at most once per shard lock — the value is pure, so
+// whichever insert wins is byte-identical.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "bgp/fleet.hpp"
+#include "drop/drop_list.hpp"
+#include "net/date.hpp"
+#include "net/interval_set.hpp"
+#include "rir/registry.hpp"
+#include "rpki/archive.hpp"
+
+namespace droplens::core {
+
+class SnapshotCache {
+ public:
+  using SetPtr = std::shared_ptr<const net::IntervalSet>;
+
+  SnapshotCache(const rir::Registry& registry, const bgp::CollectorFleet& fleet,
+                const rpki::RoaArchive& roas, const drop::DropList& drop)
+      : registry_(registry), fleet_(fleet), roas_(roas), drop_(drop) {}
+
+  SnapshotCache(const SnapshotCache&) = delete;
+  SnapshotCache& operator=(const SnapshotCache&) = delete;
+
+  /// Address space covered by BGP announcements on `d`.
+  SetPtr routed_space(net::Date d) const;
+
+  /// Space allocated by all RIRs as of `d`.
+  SetPtr allocated_space(net::Date d) const;
+
+  /// Space covered by live ROAs on `d` under `tals`, per AS0 filter.
+  SetPtr signed_space(net::Date d, rpki::TalSet tals,
+                      rpki::RoaArchive::Filter filter =
+                          rpki::RoaArchive::Filter::kAll) const;
+
+  /// `rir`'s administered-but-unallocated space on `d` (Fig 7 pools).
+  SetPtr free_pool(rir::Rir rir, net::Date d) const;
+
+  /// Space actively DROP-listed on `d`.
+  SetPtr drop_space(net::Date d) const;
+
+  struct Stats {
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+  /// Aggregate hit/miss counters across shards (diagnostics only; not part
+  /// of the determinism contract).
+  Stats stats() const;
+
+ private:
+  enum class Substrate : uint8_t {
+    kRouted,
+    kAllocated,
+    kSigned,
+    kFreePool,
+    kDrop,
+  };
+
+  // (substrate, date, variant) packed into one key: date in the low 32 bits,
+  // variant (TAL bitmask + filter, or RIR index) above it, substrate on top.
+  static uint64_t make_key(Substrate s, net::Date d, uint32_t variant) {
+    return (uint64_t{static_cast<uint8_t>(s)} << 56) |
+           (uint64_t{variant} << 32) |
+           static_cast<uint32_t>(d.days());
+  }
+
+  template <typename Compute>
+  SetPtr get_or_compute(uint64_t key, Compute&& compute) const;
+
+  static constexpr size_t kShardCount = 16;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, SetPtr> map;
+    size_t hits = 0;
+    size_t misses = 0;
+  };
+
+  const rir::Registry& registry_;
+  const bgp::CollectorFleet& fleet_;
+  const rpki::RoaArchive& roas_;
+  const drop::DropList& drop_;
+  mutable std::array<Shard, kShardCount> shards_;
+};
+
+}  // namespace droplens::core

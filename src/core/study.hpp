@@ -11,7 +11,13 @@
 #include "rir/registry.hpp"
 #include "rpki/archive.hpp"
 
+namespace droplens::util {
+class ThreadPool;
+}  // namespace droplens::util
+
 namespace droplens::core {
+
+class SnapshotCache;
 
 struct Study {
   const rir::Registry& registry;
@@ -22,6 +28,13 @@ struct Study {
   const drop::SblDatabase& sbl;
   net::Date window_begin;
   net::Date window_end;
+
+  // Optional engine hooks (see core/engine.hpp). `snapshots` shares the
+  // expensive per-day IntervalSet computations across analyses; `pool` fans
+  // per-date and per-entry work across threads. Both null — the default for
+  // existing aggregate initializers — runs the original sequential path.
+  SnapshotCache* snapshots = nullptr;
+  util::ThreadPool* pool = nullptr;
 };
 
 }  // namespace droplens::core

@@ -2,7 +2,37 @@
 
 #include <algorithm>
 
+#include "core/engine.hpp"
+
 namespace droplens::core {
+
+namespace {
+
+// Per-entry facts for Fig 2 left, computed independently per DROP entry so
+// the probe loops (up to 38 announced_on() calls each) can fan out across
+// the pool. Aggregated sequentially in entry order.
+struct WithdrawalProbe {
+  bool routed_before = false;
+  int withdrawn_offset = -2;  // sentinel: never withdrew in the window
+};
+
+// Per-entry facts for Fig 2 right: visibility fraction plus each stats-row
+// peer's observation bit, or `measured == false` if the prefix wasn't
+// announced at probe time.
+struct PeerProbe {
+  bool measured = false;
+  double visibility_fraction = 0;
+  std::vector<uint8_t> peer_observes;
+};
+
+// Per-entry facts for the §4.1 deallocation checks.
+struct DeallocProbe {
+  bool allocated_at_listing = false;
+  bool deallocated = false;
+  bool removed_within_week = false;
+};
+
+}  // namespace
 
 VisibilityResult analyze_visibility(const Study& study,
                                     const DropIndex& index) {
@@ -13,26 +43,32 @@ VisibilityResult analyze_visibility(const Study& study,
   // A prefix enters the population if it was BGP-observed the day before
   // listing; it counts as withdrawn at offset k if no announcement covers
   // listing + k.
-  std::array<int, 32> withdrawn_at{};  // offsets -1..30 -> index 0..31
-  for (const DropEntry* e : entries) {
-    bool routed_before = false;
-    for (int k = 1; k <= 7 && !routed_before; ++k) {
-      routed_before = study.fleet.announced_on(e->prefix, e->listed - k);
+  std::vector<WithdrawalProbe> probes(entries.size());
+  engine::parallel_for(study, entries.size(), [&](size_t i) {
+    const DropEntry* e = entries[i];
+    WithdrawalProbe& p = probes[i];
+    for (int k = 1; k <= 7 && !p.routed_before; ++k) {
+      p.routed_before = study.fleet.announced_on(e->prefix, e->listed - k);
     }
-    if (!routed_before) continue;
+    if (!p.routed_before) return;
+    for (int k = -1; k <= 30; ++k) {
+      if (!study.fleet.announced_on(e->prefix, e->listed + k)) {
+        p.withdrawn_offset = k;
+        break;
+      }
+    }
+  });
+  std::array<int, 32> withdrawn_at{};  // offsets -1..30 -> index 0..31
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const DropEntry* e = entries[i];
+    const WithdrawalProbe& p = probes[i];
+    if (!p.routed_before) continue;
     ++r.routed_at_listing;
     for (drop::Category c : drop::kAllCategories) {
       if (e->is(c)) ++r.routed_by_category[static_cast<size_t>(c)];
     }
-    int withdrawn_offset = -2;  // sentinel: never withdrew in the window
-    for (int k = -1; k <= 30; ++k) {
-      if (!study.fleet.announced_on(e->prefix, e->listed + k)) {
-        withdrawn_offset = k;
-        break;
-      }
-    }
-    if (withdrawn_offset >= -1) {
-      ++withdrawn_at[static_cast<size_t>(withdrawn_offset + 1)];
+    if (p.withdrawn_offset >= -1) {
+      ++withdrawn_at[static_cast<size_t>(p.withdrawn_offset + 1)];
       ++r.withdrawn_within_30d;
       for (drop::Category c : drop::kAllCategories) {
         if (e->is(c)) ++r.withdrawn_30d_by_category[static_cast<size_t>(c)];
@@ -54,17 +90,30 @@ VisibilityResult analyze_visibility(const Study& study,
   for (const bgp::Peer& p : study.fleet.peers()) {
     if (p.full_table) stats.push_back(PeerFilterStat{p.id, 0, 0, false});
   }
-  for (const DropEntry* e : entries) {
+  std::vector<PeerProbe> peer_probes(entries.size());
+  engine::parallel_for(study, entries.size(), [&](size_t i) {
+    const DropEntry* e = entries[i];
+    PeerProbe& p = peer_probes[i];
     net::Date probe = e->listed + 2;
-    if (!study.fleet.announced_on(e->prefix, probe)) continue;
+    if (!study.fleet.announced_on(e->prefix, probe)) return;
+    p.measured = true;
     size_t observing = study.fleet.observing_peers(e->prefix, probe);
-    r.peer_visibility_fractions.push_back(
-        static_cast<double>(observing) / static_cast<double>(full_table));
-    for (PeerFilterStat& s : stats) {
-      if (study.fleet.peer_observes(s.peer, e->prefix, probe)) {
-        ++s.drop_prefixes_carried;
+    p.visibility_fraction =
+        static_cast<double>(observing) / static_cast<double>(full_table);
+    p.peer_observes.resize(stats.size());
+    for (size_t s = 0; s < stats.size(); ++s) {
+      p.peer_observes[s] =
+          study.fleet.peer_observes(stats[s].peer, e->prefix, probe) ? 1 : 0;
+    }
+  });
+  for (const PeerProbe& p : peer_probes) {
+    if (!p.measured) continue;
+    r.peer_visibility_fractions.push_back(p.visibility_fraction);
+    for (size_t s = 0; s < stats.size(); ++s) {
+      if (p.peer_observes[s]) {
+        ++stats[s].drop_prefixes_carried;
       } else {
-        ++s.drop_prefixes_missing;
+        ++stats[s].drop_prefixes_missing;
       }
     }
   }
@@ -79,29 +128,38 @@ VisibilityResult analyze_visibility(const Study& study,
   r.peer_stats = std::move(stats);
 
   // --- §4.1: RIR deallocation after listing -------------------------------
-  for (const DropEntry* e : entries) {
-    bool allocated_at_listing =
-        study.registry.is_allocated(e->prefix, e->listed);
+  std::vector<DeallocProbe> dealloc(entries.size());
+  engine::parallel_for(study, entries.size(), [&](size_t i) {
+    const DropEntry* e = entries[i];
+    DeallocProbe& p = dealloc[i];
+    p.allocated_at_listing = study.registry.is_allocated(e->prefix, e->listed);
     bool allocated_at_end =
         study.registry.is_allocated(e->prefix, study.window_end);
-    bool deallocated = allocated_at_listing && !allocated_at_end;
+    p.deallocated = p.allocated_at_listing && !allocated_at_end;
+    if (e->removed && p.deallocated) {
+      // When did the deallocation happen relative to the DROP removal?
+      for (const rir::Allocation& a : study.registry.history(e->prefix)) {
+        if (a.lifetime.end == net::DateRange::unbounded()) continue;
+        net::Date dealloc_day = a.lifetime.end;
+        if (dealloc_day <= e->removed_on && e->removed_on - dealloc_day <= 7) {
+          p.removed_within_week = true;
+          break;
+        }
+      }
+    }
+  });
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const DropEntry* e = entries[i];
+    const DeallocProbe& p = dealloc[i];
     if (e->is(drop::Category::kMaliciousHosting)) {
-      if (allocated_at_listing) ++r.mh_allocated_at_listing;
-      if (deallocated) ++r.mh_deallocated;
+      if (p.allocated_at_listing) ++r.mh_allocated_at_listing;
+      if (p.deallocated) ++r.mh_deallocated;
     }
     if (e->removed) {
       ++r.removed_prefixes;
-      if (deallocated) {
+      if (p.deallocated) {
         ++r.removed_deallocated;
-        // When did the deallocation happen relative to the DROP removal?
-        for (const rir::Allocation& a : study.registry.history(e->prefix)) {
-          if (a.lifetime.end == net::DateRange::unbounded()) continue;
-          net::Date dealloc = a.lifetime.end;
-          if (dealloc <= e->removed_on && e->removed_on - dealloc <= 7) {
-            ++r.removed_within_week_of_dealloc;
-            break;
-          }
-        }
+        if (p.removed_within_week) ++r.removed_within_week_of_dealloc;
       }
     }
   }

@@ -25,8 +25,18 @@ class PrefixMap {
 
   PrefixMap(const PrefixMap&) = delete;
   PrefixMap& operator=(const PrefixMap&) = delete;
-  PrefixMap(PrefixMap&&) = default;
-  PrefixMap& operator=(PrefixMap&&) = default;
+
+  // Moves must leave the source truly empty: the defaulted ops would steal
+  // root_'s children but leave size_ behind, so size()/empty() would lie.
+  PrefixMap(PrefixMap&& other) noexcept
+      : root_(std::move(other.root_)), size_(std::exchange(other.size_, 0)) {}
+  PrefixMap& operator=(PrefixMap&& other) noexcept {
+    if (this != &other) {
+      root_ = std::move(other.root_);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
 
   /// Insert or overwrite the value at `key`. Returns a reference to it.
   T& insert_or_assign(const Prefix& key, T value) {
@@ -64,16 +74,28 @@ class PrefixMap {
   }
 
   /// Remove the value at `key`. Returns true if a value was removed.
-  /// (Empty interior nodes are retained; negligible for our workloads.)
+  /// Interior nodes left childless and value-less are pruned on the unwind,
+  /// so long add/erase churn (BGP fleets, IRR snapshot replays) cannot grow
+  /// the trie without bound.
   bool erase(const Prefix& key) {
+    Node* path[33];  // parents of each trie level; IPv4 keys are <= /32
+    int bits[33];
     Node* n = &root_;
-    for (int pos = 0; pos < key.length(); ++pos) {
-      n = n->child[key.bit(pos)].get();
+    const int len = key.length();
+    for (int pos = 0; pos < len; ++pos) {
+      path[pos] = n;
+      bits[pos] = key.bit(pos);
+      n = n->child[bits[pos]].get();
       if (!n) return false;
     }
     if (!n->value) return false;
     n->value.reset();
     --size_;
+    for (int pos = len - 1; pos >= 0; --pos) {
+      Node* child = path[pos]->child[bits[pos]].get();
+      if (child->value || child->child[0] || child->child[1]) break;
+      path[pos]->child[bits[pos]].reset();
+    }
     return true;
   }
 
@@ -115,18 +137,33 @@ class PrefixMap {
   }
 
   /// The most specific entry containing `key`, or nullptr — longest-prefix
-  /// match as a router's FIB would do it.
+  /// match as a router's FIB would do it. Descends once, remembers only the
+  /// deepest value, and writes `matched` a single time at the end.
   const T* longest_match(const Prefix& key, Prefix* matched = nullptr) const {
-    const T* best = nullptr;
-    for_each_covering(key, [&](const Prefix& p, const T& v) {
-      best = &v;
-      if (matched) *matched = p;
-    });
+    const Node* n = &root_;
+    const T* best = n->value.get();
+    int best_depth = 0;
+    int pos = 0;
+    for (; pos < key.length(); ++pos) {
+      n = n->child[key.bit(pos)].get();
+      if (!n) break;
+      if (n->value) {
+        best = n->value.get();
+        best_depth = pos + 1;
+      }
+    }
+    if (best && matched) {
+      *matched = Prefix::containing(key.network(), best_depth);
+    }
     return best;
   }
 
   size_t size() const { return size_; }
   bool empty() const { return size_ == 0; }
+
+  /// Number of allocated trie nodes, the root included — an observable for
+  /// the erase-path pruning guarantee (and a memory proxy in tests).
+  size_t node_count() const { return count_nodes(&root_); }
 
  private:
   struct Node {
@@ -142,6 +179,14 @@ class PrefixMap {
       n = c.get();
     }
     return n;
+  }
+
+  static size_t count_nodes(const Node* n) {
+    size_t total = 1;
+    for (int b = 0; b < 2; ++b) {
+      if (n->child[b]) total += count_nodes(n->child[b].get());
+    }
+    return total;
   }
 
   template <typename Fn>

@@ -1,0 +1,114 @@
+// Fixed-size thread pool for the analysis engine.
+//
+// Deliberately simple: one locked queue, no work stealing. Analysis fan-out
+// is coarse (one task per sampled date / entry chunk), so queue contention
+// is negligible and the simple design is easy to reason about under TSan.
+//
+// Determinism contract: `parallel_for(n, fn)` runs fn(i) exactly once for
+// every i in [0, n) and returns only when all calls finished. Callers write
+// results into index i of a pre-sized buffer, so the assembled output is
+// identical whatever the worker count — including the inline sequential
+// path used when the pool has no workers (thread count 1).
+#pragma once
+
+#include <algorithm>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace droplens::util {
+
+class ThreadPool {
+ public:
+  /// `threads` == 0 picks default_thread_count(); 1 means "no workers":
+  /// submit() and parallel_for() run inline on the caller, reproducing the
+  /// sequential engine exactly.
+  explicit ThreadPool(unsigned threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Worker threads owned by the pool (0 in sequential mode).
+  size_t worker_count() const { return workers_.size(); }
+
+  /// Effective parallelism: worker count, or 1 when running inline.
+  size_t concurrency() const { return workers_.empty() ? 1 : workers_.size(); }
+
+  /// Queue `fn` for execution; the future carries its result or exception.
+  /// In sequential mode the call runs inline before submit() returns.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<std::decay_t<Fn>>> {
+    using R = std::invoke_result_t<std::decay_t<Fn>>;
+    std::packaged_task<R()> task(std::forward<Fn>(fn));
+    std::future<R> result = task.get_future();
+    if (workers_.empty()) {
+      task();
+      return result;
+    }
+    enqueue(std::packaged_task<void()>(
+        [t = std::move(task)]() mutable { t(); }));
+    return result;
+  }
+
+  /// Run fn(i) for every i in [0, n), fanning chunks across the workers.
+  /// Blocks until every call finished; the first exception (lowest chunk
+  /// index) is rethrown after all chunks settle. Nested calls from inside a
+  /// worker run inline — the pool never deadlocks on itself.
+  template <typename Fn>
+  void parallel_for(size_t n, Fn&& fn) {
+    if (n == 0) return;
+    if (workers_.empty() || n == 1 || in_worker()) {
+      for (size_t i = 0; i < n; ++i) fn(i);
+      return;
+    }
+    // ~4 chunks per worker: large enough to amortize queue traffic, small
+    // enough that an unlucky slow chunk can't serialize the tail.
+    const size_t chunks = std::min(n, workers_.size() * 4);
+    std::vector<std::future<void>> pending;
+    pending.reserve(chunks);
+    for (size_t c = 0; c < chunks; ++c) {
+      const size_t begin = n * c / chunks;
+      const size_t end = n * (c + 1) / chunks;
+      pending.push_back(submit([begin, end, &fn] {
+        for (size_t i = begin; i < end; ++i) fn(i);
+      }));
+    }
+    std::exception_ptr first_error;
+    for (auto& f : pending) {
+      try {
+        f.get();
+      } catch (...) {
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+    if (first_error) std::rethrow_exception(first_error);
+  }
+
+  /// Resolve the engine's thread knob: DROPLENS_THREADS from the
+  /// environment if set to a positive integer, else hardware_concurrency
+  /// (never less than 1).
+  static unsigned default_thread_count();
+
+  /// True when the calling thread is one of this process's pool workers.
+  static bool in_worker();
+
+ private:
+  void enqueue(std::packaged_task<void()> task);
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace droplens::util
