@@ -6,38 +6,125 @@
 // The report engine parallelizes across the configured thread count
 // (--threads, else DROPLENS_THREADS, else hardware_concurrency; 1 forces
 // the sequential path). Output is byte-identical for any thread count.
+//
+// Fault drill: the DROP substrate can be round-tripped through its text
+// archive with deterministic damage before the analyses run —
+//
+//   $ ./full_report --corrupt=7 --drop-days=2 --lenient > report.md
+//
+// --corrupt=SEED splices garbage into every other daily snapshot,
+// --drop-days=N removes N days entirely, and --lenient ingests the result
+// with ParsePolicy::kLenient, attaching the DataQuality ledger so the report
+// ends with a "Data quality" section. The same damage without --lenient
+// shows the strict behavior: ingestion aborts on the first bad record.
 #include <cstring>
 #include <iostream>
+#include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/data_quality.hpp"
 #include "core/report.hpp"
+#include "drop/feed.hpp"
+#include "sim/fault_injector.hpp"
 #include "sim/generator.hpp"
+#include "util/error.hpp"
+#include "util/parse_report.hpp"
 
 using namespace droplens;
 
 int main(int argc, char** argv) {
   bool full = false;
+  bool lenient = false;
+  std::optional<uint64_t> corrupt_seed;
+  int drop_days = 0;
   core::ReportOptions options;
+  auto uint_arg = [&](const char* arg, const char* flag, size_t prefix,
+                      unsigned long max, unsigned long* out) {
+    char* end = nullptr;
+    unsigned long v = std::strtoul(arg + prefix, &end, 10);
+    if (end == arg + prefix || *end != '\0' || v > max) {
+      std::cerr << "error: " << flag << " expects an integer in 0.." << max
+                << " (got '" << (arg + prefix) << "')\n";
+      return false;
+    }
+    *out = v;
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--full") == 0) full = true;
     if (std::strcmp(argv[i], "--series") == 0) options.include_series = true;
+    if (std::strcmp(argv[i], "--lenient") == 0) lenient = true;
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
-      char* end = nullptr;
-      unsigned long v = std::strtoul(argv[i] + 10, &end, 10);
-      if (end == argv[i] + 10 || *end != '\0' || v > 1024) {
-        std::cerr << "error: --threads expects an integer in 1..1024 (got '"
-                  << (argv[i] + 10) << "')\n";
-        return 2;
-      }
+      unsigned long v = 0;
+      if (!uint_arg(argv[i], "--threads", 10, 1024, &v)) return 2;
       options.threads = static_cast<unsigned>(v);
+    }
+    if (std::strncmp(argv[i], "--corrupt=", 10) == 0) {
+      unsigned long v = 0;
+      if (!uint_arg(argv[i], "--corrupt", 10, ~0ul, &v)) return 2;
+      corrupt_seed = v;
+    }
+    if (std::strncmp(argv[i], "--drop-days=", 12) == 0) {
+      unsigned long v = 0;
+      if (!uint_arg(argv[i], "--drop-days", 12, 1000, &v)) return 2;
+      drop_days = static_cast<int>(v);
     }
   }
   sim::ScenarioConfig config =
       full ? sim::ScenarioConfig{} : sim::ScenarioConfig::small();
   std::unique_ptr<sim::World> world = sim::generate(config);
+
+  // The rebuilt-from-archive DROP list and its ledger must outlive the study.
+  drop::DropList rebuilt;
+  core::DataQuality quality;
+  bool replayed = corrupt_seed.has_value() || drop_days > 0 || lenient;
+  if (replayed) {
+    // Round-trip the DROP list through its daily text archive, damaging it
+    // on the way, exactly like a real multi-year Firehol mirror gone stale.
+    sim::FaultInjector inj(corrupt_seed.value_or(1));
+    sim::FaultInjector::DailyArchive archive;
+    for (net::Date d = config.window_begin; d <= config.window_end; d += 30) {
+      archive.emplace_back(d, drop::write_drop_feed(world->drop, d));
+    }
+    if (corrupt_seed) {
+      for (size_t i = 0; i < archive.size(); i += 2) {
+        archive[i].second = inj.garbage_lines(archive[i].second);
+      }
+    }
+    std::vector<net::Date> dropped = inj.drop_days(archive, drop_days);
+    inj.shuffle_days(archive);
+
+    util::ParsePolicy policy =
+        lenient ? util::ParsePolicy::kLenient : util::ParsePolicy::kStrict;
+    std::vector<std::pair<net::Date, std::vector<drop::FeedEntry>>> days;
+    try {
+      for (const auto& [date, text] : archive) {
+        util::ParseReport report(date.to_string() + ".feed");
+        days.emplace_back(date, drop::parse_drop_feed(text, policy, &report));
+        quality.note_input(core::Feed::kDropFeed, report);
+      }
+    } catch (const ParseError& e) {
+      std::cerr << "strict ingestion aborted: " << e.what()
+                << "\n(rerun with --lenient to skip-and-count instead)\n";
+      return 1;
+    }
+    for (net::Date d : dropped) {
+      quality.mark_day_unavailable(core::Feed::kDropFeed, d);
+    }
+    rebuilt = drop::from_daily_feeds(days);
+    std::cerr << "DROP archive replay: " << archive.size() << " days, "
+              << quality.report(core::Feed::kDropFeed).parsed()
+              << " records, "
+              << quality.report(core::Feed::kDropFeed).skipped()
+              << " skipped, " << dropped.size() << " days dropped\n";
+  }
+
   core::Study study{world->registry, world->fleet,  world->irr,
-                    world->roas,     world->drop,   world->sbl,
-                    config.window_begin, config.window_end};
+                    world->roas,     replayed ? rebuilt : world->drop,
+                    world->sbl,      config.window_begin, config.window_end};
+  if (replayed) study.quality = &quality;
   core::write_report(std::cout, study, options);
   return 0;
 }

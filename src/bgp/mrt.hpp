@@ -16,13 +16,21 @@
 #include <vector>
 
 #include "bgp/route.hpp"
+#include "util/parse_report.hpp"
 
 namespace droplens::bgp {
 
 /// Serialize `updates` to `out`. Throws std::ios_base::failure on I/O error.
 void write_mrtl(std::ostream& out, const std::vector<Update>& updates);
 
-/// Parse an MRTL stream. Throws ParseError on malformed input.
-std::vector<Update> read_mrtl(std::istream& in);
+/// Parse an MRTL stream. The declared record count is validated against the
+/// remaining stream size (when the stream is seekable) so a corrupt header
+/// can never drive a huge allocation. Under kStrict malformed input throws
+/// ParseError; under kLenient the records parsed before the first corrupt
+/// byte are returned and the failure is recorded in `report` (a binary
+/// stream has no record framing to resync on, so parsing stops there).
+std::vector<Update> read_mrtl(
+    std::istream& in, util::ParsePolicy policy = util::ParsePolicy::kStrict,
+    util::ParseReport* report = nullptr);
 
 }  // namespace droplens::bgp

@@ -33,8 +33,18 @@ As0Result analyze_as0(const Study& study, const DropIndex& index) {
     s.date = d;
     engine::SetPtr as0_space = engine::signed_space(
         study, d, as0_tals, rpki::RoaArchive::Filter::kAs0Only);
+    if (!as0_space) {
+      s.degraded = true;
+      return s;
+    }
     for (rir::Rir rir : rir::kAllRirs) {
       engine::SetPtr pool = engine::free_pool(study, rir, d);
+      if (!pool) {
+        s = FreePoolSample{};
+        s.date = d;
+        s.degraded = true;  // substrate missing this day: skip-and-count
+        return s;
+      }
       s.pool_slash8[static_cast<size_t>(rir)] = pool->slash8_equivalents();
       s.pool_as0_covered[static_cast<size_t>(rir)] =
           net::IntervalSet::set_intersection(*pool, *as0_space)
@@ -47,6 +57,9 @@ As0Result analyze_as0(const Study& study, const DropIndex& index) {
   engine::parallel_for(study, dates.size(), [&](size_t i) {
     r.pool_series[i] = sample(dates[i]);
   });
+  for (const FreePoolSample& s : r.pool_series) {
+    if (s.degraded) ++r.degraded_samples;
+  }
 
   // --- §6.2.2: would any peer have filtered with the AS0 TALs? -----------
   net::Date end = study.window_end;

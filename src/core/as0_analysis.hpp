@@ -24,6 +24,9 @@ struct FreePoolSample {
   net::Date date;
   std::array<double, 5> pool_slash8{};      // per RIR
   std::array<double, 5> pool_as0_covered{}; // portion under an AS0-TAL ROA
+  // True when the delegation or ROA substrate was unavailable on this date;
+  // the arrays above are then zero, not measured.
+  bool degraded = false;
 };
 
 struct As0Result {
@@ -34,6 +37,7 @@ struct As0Result {
 
   // Fig 7.
   std::vector<FreePoolSample> pool_series;
+  size_t degraded_samples = 0;  // pool_series entries skipped for missing data
 
   // §6.2.2: per full-table peer, how many of its routes at window end would
   // an AS0-TAL-validating router have rejected.

@@ -1,0 +1,95 @@
+#include "core/data_quality.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+#include "util/text_table.hpp"
+
+namespace droplens::core {
+
+std::string_view to_string(Feed f) {
+  switch (f) {
+    case Feed::kDropFeed: return "DROP feed";
+    case Feed::kBgpUpdates: return "BGP updates";
+    case Feed::kDelegations: return "RIR delegations";
+    case Feed::kRoas: return "ROA archive";
+    case Feed::kIrr: return "IRR dumps";
+  }
+  return "?";
+}
+
+void DataQuality::note_input(Feed f, const util::ParseReport& report) {
+  aggregate_[idx(f)].merge(report);
+  if (report.skipped() == 0) return;
+  std::vector<util::ParseReport>& worst = worst_[idx(f)];
+  worst.push_back(report);
+  std::stable_sort(worst.begin(), worst.end(),
+                   [](const util::ParseReport& a, const util::ParseReport& b) {
+                     return a.skipped() > b.skipped();
+                   });
+  if (worst.size() > kWorstInputs) worst.resize(kWorstInputs);
+}
+
+void DataQuality::mark_day_unavailable(Feed f, net::Date d) {
+  unavailable_[idx(f)].insert(d);
+}
+
+bool DataQuality::day_available(Feed f, net::Date d) const {
+  return !unavailable_[idx(f)].contains(d);
+}
+
+const std::set<net::Date>& DataQuality::unavailable_days(Feed f) const {
+  return unavailable_[idx(f)];
+}
+
+const util::ParseReport& DataQuality::report(Feed f) const {
+  return aggregate_[idx(f)];
+}
+
+const std::vector<util::ParseReport>& DataQuality::worst_inputs(Feed f) const {
+  return worst_[idx(f)];
+}
+
+size_t DataQuality::total_skipped() const {
+  size_t n = 0;
+  for (const util::ParseReport& r : aggregate_) n += r.skipped();
+  return n;
+}
+
+size_t DataQuality::total_unavailable_days() const {
+  size_t n = 0;
+  for (const std::set<net::Date>& days : unavailable_) n += days.size();
+  return n;
+}
+
+void DataQuality::render(std::ostream& out) const {
+  util::TextTable table(
+      {"substrate", "records", "skipped", "days unavailable"});
+  for (Feed f : kAllFeeds) {
+    const util::ParseReport& r = report(f);
+    table.add_row({std::string(to_string(f)), std::to_string(r.parsed()),
+                   std::to_string(r.skipped()),
+                   std::to_string(unavailable_days(f).size())});
+  }
+  table.print(out);
+  for (Feed f : kAllFeeds) {
+    for (const util::ParseReport& r : worst_inputs(f)) {
+      out << "worst input (" << to_string(f) << "): " << r.summary() << '\n';
+    }
+    const std::set<net::Date>& days = unavailable_days(f);
+    if (!days.empty()) {
+      out << "degraded days (" << to_string(f) << "):";
+      size_t shown = 0;
+      for (net::Date d : days) {
+        if (shown++ == 8) {
+          out << " ... +" << days.size() - 8 << " more";
+          break;
+        }
+        out << ' ' << d.to_string();
+      }
+      out << '\n';
+    }
+  }
+}
+
+}  // namespace droplens::core

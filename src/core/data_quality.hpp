@@ -1,0 +1,74 @@
+// Data-quality accounting for degraded archive ingestion.
+//
+// Lenient parsing (util::ParsePolicy::kLenient) keeps a multi-year run alive
+// on dirty archives, but dropped records and unusable days must never vanish
+// silently: every analysis result is only as good as the input that survived.
+// DataQuality is the ledger — per-substrate ParseReports aggregated across
+// input files, the set of days whose snapshot failed to load entirely, and a
+// renderer for the report's "Data quality" section. A Study carries it as an
+// optional pointer; analyses consult it (via core/engine.hpp) to skip-and-
+// count unavailable days instead of computing on phantom data.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <iosfwd>
+#include <set>
+#include <string_view>
+#include <vector>
+
+#include "net/date.hpp"
+#include "util/parse_report.hpp"
+
+namespace droplens::core {
+
+/// The five archive substrates the pipeline ingests (§3 of the paper).
+enum class Feed : uint8_t {
+  kDropFeed,     // Firehol DROP snapshots
+  kBgpUpdates,   // RouteViews MRT (our MRTL)
+  kDelegations,  // RIR delegation files
+  kRoas,         // RIPE roas.csv
+  kIrr,          // RADb RPSL dumps
+};
+
+constexpr Feed kAllFeeds[] = {Feed::kDropFeed, Feed::kBgpUpdates,
+                              Feed::kDelegations, Feed::kRoas, Feed::kIrr};
+constexpr size_t kFeedCount = 5;
+
+std::string_view to_string(Feed f);
+
+class DataQuality {
+ public:
+  /// Fold one input file's report into the substrate's aggregate, and track
+  /// it among the substrate's worst inputs when it skipped records.
+  void note_input(Feed f, const util::ParseReport& report);
+
+  /// Mark a whole day's snapshot as unusable (file missing from the archive,
+  /// or its header was unrecoverable).
+  void mark_day_unavailable(Feed f, net::Date d);
+
+  bool day_available(Feed f, net::Date d) const;
+  const std::set<net::Date>& unavailable_days(Feed f) const;
+  const util::ParseReport& report(Feed f) const;
+  const std::vector<util::ParseReport>& worst_inputs(Feed f) const;
+
+  size_t total_skipped() const;
+  size_t total_unavailable_days() const;
+  bool clean() const {
+    return total_skipped() == 0 && total_unavailable_days() == 0;
+  }
+
+  /// Render the report's "Data quality" section body: per-substrate record
+  /// and degraded-day counts, then the worst inputs.
+  void render(std::ostream& out) const;
+
+ private:
+  static constexpr size_t kWorstInputs = 3;
+  static size_t idx(Feed f) { return static_cast<size_t>(f); }
+
+  std::array<util::ParseReport, kFeedCount> aggregate_;
+  std::array<std::vector<util::ParseReport>, kFeedCount> worst_;
+  std::array<std::set<net::Date>, kFeedCount> unavailable_;
+};
+
+}  // namespace droplens::core

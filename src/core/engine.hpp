@@ -12,9 +12,12 @@
 // byte-identical for every thread count.
 #pragma once
 
+#include <initializer_list>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "core/data_quality.hpp"
 #include "core/snapshot_cache.hpp"
 #include "core/study.hpp"
 #include "util/thread_pool.hpp"
@@ -23,12 +26,35 @@ namespace droplens::core::engine {
 
 using SetPtr = SnapshotCache::SetPtr;
 
+/// True when the Study's ingestion ledger (if any) trusts day `d` of feed
+/// `f`. With no ledger attached every day is available.
+inline bool day_available(const Study& s, Feed f, net::Date d) {
+  return !s.quality || s.quality->day_available(f, d);
+}
+
+/// True when every feed in `feeds` is available on `d` — the gate a per-day
+/// sample must pass before computing on that day's substrates.
+inline bool day_available(const Study& s, std::initializer_list<Feed> feeds,
+                          net::Date d) {
+  for (Feed f : feeds) {
+    if (!day_available(s, f, d)) return false;
+  }
+  return true;
+}
+
+// Each space helper returns nullptr for a day its substrate cannot serve —
+// either the ingestion ledger marked the day unavailable, or the underlying
+// computation failed (see SnapshotCache). Callers in per-day sampling loops
+// must treat nullptr as "skip and count this day", not dereference it.
+
 inline SetPtr routed_space(const Study& s, net::Date d) {
+  if (!day_available(s, Feed::kBgpUpdates, d)) return nullptr;
   if (s.snapshots) return s.snapshots->routed_space(d);
   return std::make_shared<const net::IntervalSet>(s.fleet.routed_space(d));
 }
 
 inline SetPtr allocated_space(const Study& s, net::Date d) {
+  if (!day_available(s, Feed::kDelegations, d)) return nullptr;
   if (s.snapshots) return s.snapshots->allocated_space(d);
   return std::make_shared<const net::IntervalSet>(
       s.registry.allocated_space(d));
@@ -37,17 +63,20 @@ inline SetPtr allocated_space(const Study& s, net::Date d) {
 inline SetPtr signed_space(const Study& s, net::Date d, rpki::TalSet tals,
                            rpki::RoaArchive::Filter filter =
                                rpki::RoaArchive::Filter::kAll) {
+  if (!day_available(s, Feed::kRoas, d)) return nullptr;
   if (s.snapshots) return s.snapshots->signed_space(d, tals, filter);
   return std::make_shared<const net::IntervalSet>(
       s.roas.signed_space(d, tals, filter));
 }
 
 inline SetPtr free_pool(const Study& s, rir::Rir rir, net::Date d) {
+  if (!day_available(s, Feed::kDelegations, d)) return nullptr;
   if (s.snapshots) return s.snapshots->free_pool(rir, d);
   return std::make_shared<const net::IntervalSet>(s.registry.free_pool(rir, d));
 }
 
 inline SetPtr drop_space(const Study& s, net::Date d) {
+  if (!day_available(s, Feed::kDropFeed, d)) return nullptr;
   if (s.snapshots) return s.snapshots->drop_space(d);
   net::IntervalSet active;
   for (const net::Prefix& p : s.drop.snapshot(d)) active.insert(p);
@@ -74,6 +103,18 @@ inline std::vector<net::Date> sample_dates(const Study& s) {
   }
   dates.push_back(s.window_end);
   return dates;
+}
+
+/// The latest sample-grid date on which every feed in `feeds` is available —
+/// the graceful stand-in for window_end in end-of-window facts when the last
+/// day's archives were unusable. Empty when no grid date qualifies.
+inline std::optional<net::Date> last_available_date(
+    const Study& s, std::initializer_list<Feed> feeds) {
+  const std::vector<net::Date> dates = sample_dates(s);
+  for (auto it = dates.rbegin(); it != dates.rend(); ++it) {
+    if (day_available(s, feeds, *it)) return *it;
+  }
+  return std::nullopt;
 }
 
 }  // namespace droplens::core::engine

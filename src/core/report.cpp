@@ -7,6 +7,7 @@
 #include "core/as0_analysis.hpp"
 #include "core/case_study.hpp"
 #include "core/classification.hpp"
+#include "core/data_quality.hpp"
 #include "core/defenses.hpp"
 #include "core/drop_index.hpp"
 #include "core/engine.hpp"
@@ -149,6 +150,7 @@ int write_report(std::ostream& out, const Study& base_study,
   if (options.include_series) {
     out << "\ndate,signed,pct_routed,signed_unrouted,unsigned_unrouted\n";
     for (const RoaStatusSample& s : roa.series) {
+      if (s.degraded) continue;  // counted in the data-quality section
       out << s.date.to_string() << ',' << util::fixed(s.signed_slash8, 2)
           << ',' << util::fixed(s.percent_roas_routed(), 2) << ','
           << util::fixed(s.signed_unrouted_nonas0_slash8, 2) << ','
@@ -197,6 +199,22 @@ int write_report(std::ostream& out, const Study& base_study,
     out << "A PHAS-style monitor alarms on "
         << util::percent(al.alarm_coverage(), 1.0) << " of DROP hijacks; "
         << al.drop_hijacks_stealthy << " were stealthy.\n";
+  }
+
+  // --- Data quality -------------------------------------------------------
+  // Present whenever the study carries an ingestion ledger, so degraded
+  // input is always visible next to the numbers computed from it.
+  if (study.quality) {
+    heading(out, "Data quality");
+    ++sections;
+    study.quality->render(out);
+    size_t total_samples = roa.series.size();
+    out << "Degraded samples: roa_status " << roa.degraded_samples << "/"
+        << total_samples << ", free pools " << as0.degraded_samples << "/"
+        << as0.pool_series.size() << ".\n";
+    if (study.quality->clean()) {
+      out << "All substrates ingested clean.\n";
+    }
   }
   return sections;
 }

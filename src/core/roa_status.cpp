@@ -19,6 +19,10 @@ RoaStatusSample sample_day(const Study& study, net::Date d) {
       study, d, rpki::TalSet::defaults(), rpki::RoaArchive::Filter::kNonAs0Only);
   engine::SetPtr routed = engine::routed_space(study, d);
   engine::SetPtr allocated = engine::allocated_space(study, d);
+  if (!signed_all || !signed_nonas0 || !routed || !allocated) {
+    s.degraded = true;  // a substrate could not serve this day: skip-and-count
+    return s;
+  }
 
   IntervalSet signed_routed =
       IntervalSet::set_intersection(*signed_all, *routed);
@@ -44,9 +48,18 @@ RoaStatusResult analyze_roa_status(const Study& study) {
   engine::parallel_for(study, dates.size(), [&](size_t i) {
     r.series[i] = sample_day(study, dates[i]);
   });
+  for (const RoaStatusSample& s : r.series) {
+    if (s.degraded) ++r.degraded_samples;
+  }
 
-  // Who holds the signed-but-unrouted space at the end of the window?
-  net::Date end = study.window_end;
+  // Who holds the signed-but-unrouted space at the end of the window? When
+  // the window's final day is itself degraded, fall back to the latest
+  // sample date whose substrates all loaded; with none, the end-of-window
+  // facts stay at their zero defaults.
+  std::optional<net::Date> end_opt = engine::last_available_date(
+      study, {Feed::kRoas, Feed::kBgpUpdates, Feed::kDelegations});
+  if (!end_opt) return r;
+  net::Date end = *end_opt;
   engine::SetPtr signed_nonas0 = engine::signed_space(
       study, end, rpki::TalSet::defaults(),
       rpki::RoaArchive::Filter::kNonAs0Only);

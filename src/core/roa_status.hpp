@@ -16,6 +16,9 @@ struct RoaStatusSample {
   double signed_routed_slash8 = 0;
   double signed_unrouted_nonas0_slash8 = 0;
   double alloc_unrouted_no_roa_slash8 = 0;
+  // True when a substrate needed by this sample date was unavailable (see
+  // core/data_quality.hpp); the values above are then zero, not measured.
+  bool degraded = false;
 
   double percent_roas_routed() const {
     return signed_slash8 > 0 ? 100.0 * signed_routed_slash8 / signed_slash8
@@ -30,14 +33,27 @@ struct HolderSpace {
 
 struct RoaStatusResult {
   std::vector<RoaStatusSample> series;  // monthly samples over the window
+  size_t degraded_samples = 0;          // series entries skipped for missing data
 
-  // End-of-window facts.
+  // End-of-window facts (computed on the latest non-degraded sample date).
   std::vector<HolderSpace> top_signed_unrouted_holders;  // Amazon et al.
   double top3_share = 0;                   // §6.2.1's 70.1%
   double arin_share_of_unrouted_unsigned = 0;  // §6.1's 60.8%
 
-  const RoaStatusSample& first() const { return series.front(); }
-  const RoaStatusSample& last() const { return series.back(); }
+  /// First/last sample that was actually measured; falls back to the raw
+  /// endpoints when every sample degraded.
+  const RoaStatusSample& first() const {
+    for (const RoaStatusSample& s : series) {
+      if (!s.degraded) return s;
+    }
+    return series.front();
+  }
+  const RoaStatusSample& last() const {
+    for (auto it = series.rbegin(); it != series.rend(); ++it) {
+      if (!it->degraded) return *it;
+    }
+    return series.back();
+  }
 };
 
 RoaStatusResult analyze_roa_status(const Study& study);

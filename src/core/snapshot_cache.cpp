@@ -1,5 +1,6 @@
 #include "core/snapshot_cache.hpp"
 
+#include <exception>
 #include <utility>
 
 #include "rpki/tal.hpp"
@@ -30,7 +31,15 @@ SnapshotCache::SetPtr SnapshotCache::get_or_compute(uint64_t key,
     return it->second;
   }
   ++shard.misses;
-  SetPtr value = std::make_shared<const net::IntervalSet>(compute());
+  SetPtr value;
+  try {
+    value = std::make_shared<const net::IntervalSet>(compute());
+  } catch (const std::exception&) {
+    // A substrate that cannot produce this day must not abort the whole
+    // run: cache the failure as a null snapshot (computed at most once) and
+    // let callers degrade per-day instead.
+    ++shard.failures;
+  }
   shard.map.emplace(key, value);
   return value;
 }
@@ -74,6 +83,7 @@ SnapshotCache::Stats SnapshotCache::stats() const {
     std::lock_guard<std::mutex> lock(s.mu);
     total.hits += s.hits;
     total.misses += s.misses;
+    total.failures += s.failures;
   }
   return total;
 }

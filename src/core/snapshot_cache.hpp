@@ -14,6 +14,11 @@
 // mutated, so readers need no further synchronization. A racing miss on the
 // same key computes at most once per shard lock — the value is pure, so
 // whichever insert wins is byte-identical.
+//
+// Degradation: a substrate computation that throws does not abort the run —
+// the failure is cached as a null snapshot (so the day computes-and-fails at
+// most once) and counted in stats().failures. Callers receive nullptr, the
+// engine's "this day is unavailable" signal (see core/engine.hpp).
 #pragma once
 
 #include <array>
@@ -62,6 +67,7 @@ class SnapshotCache {
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
+    size_t failures = 0;  // computations that threw; cached as null days
   };
   /// Aggregate hit/miss counters across shards (diagnostics only; not part
   /// of the determinism contract).
@@ -93,6 +99,7 @@ class SnapshotCache {
     std::unordered_map<uint64_t, SetPtr> map;
     size_t hits = 0;
     size_t misses = 0;
+    size_t failures = 0;
   };
 
   const rir::Registry& registry_;

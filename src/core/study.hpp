@@ -17,6 +17,7 @@ class ThreadPool;
 
 namespace droplens::core {
 
+class DataQuality;
 class SnapshotCache;
 
 struct Study {
@@ -35,6 +36,12 @@ struct Study {
   // existing aggregate initializers — runs the original sequential path.
   SnapshotCache* snapshots = nullptr;
   util::ThreadPool* pool = nullptr;
+
+  // Optional ingestion ledger (see core/data_quality.hpp). When set, per-day
+  // sampling loops skip days it marks unavailable (counting each skip) and
+  // the report gains a "Data quality" section. Null — the default — means
+  // every day is trusted, exactly the pre-fault-tolerance behavior.
+  const DataQuality* quality = nullptr;
 };
 
 }  // namespace droplens::core

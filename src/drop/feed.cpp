@@ -24,9 +24,13 @@ std::string write_drop_feed(const DropList& list, net::Date d) {
   return out;
 }
 
-std::vector<FeedEntry> parse_drop_feed(std::string_view text) {
+std::vector<FeedEntry> parse_drop_feed(std::string_view text,
+                                       util::ParsePolicy policy,
+                                       util::ParseReport* report) {
   std::vector<FeedEntry> out;
+  size_t line_no = 0;
   for (std::string_view line : util::split(text, '\n')) {
+    ++line_no;
     line = util::trim(line);
     if (line.empty() || line.front() == ';' || line.front() == '#') continue;
     FeedEntry entry;
@@ -34,20 +38,46 @@ std::vector<FeedEntry> parse_drop_feed(std::string_view text) {
     std::string_view prefix_part =
         util::trim(semi == std::string_view::npos ? line
                                                   : line.substr(0, semi));
-    entry.prefix = net::Prefix::parse(prefix_part);
+    try {
+      entry.prefix = net::Prefix::parse(prefix_part);
+    } catch (const ParseError& e) {
+      if (policy == util::ParsePolicy::kStrict) {
+        throw ParseError("DROP feed line " + std::to_string(line_no) + ": " +
+                         e.what());
+      }
+      if (report) report->add_error(line_no, e.what());
+      continue;
+    }
     if (semi != std::string_view::npos) {
       entry.sbl_id = std::string(util::trim(line.substr(semi + 1)));
     }
+    if (report) report->add_parsed();
     out.push_back(std::move(entry));
   }
   return out;
 }
 
 DropList from_daily_feeds(
-    const std::vector<std::pair<net::Date, std::vector<FeedEntry>>>& days) {
+    const std::vector<std::pair<net::Date, std::vector<FeedEntry>>>& in_days) {
+  // Archives deliver snapshots out of order (and occasionally twice);
+  // diffing adjacent snapshots only makes sense on the date-sorted sequence.
+  // The sort is stable so the later occurrence of a duplicated date wins.
+  std::vector<const std::pair<net::Date, std::vector<FeedEntry>>*> days;
+  days.reserve(in_days.size());
+  for (const auto& day : in_days) days.push_back(&day);
+  std::stable_sort(days.begin(), days.end(),
+                   [](const auto* a, const auto* b) {
+                     return a->first < b->first;
+                   });
+  auto last_of_date = [&](size_t i) {
+    return i + 1 == days.size() || days[i + 1]->first != days[i]->first;
+  };
   DropList list;
   std::map<net::Prefix, std::string> live;  // prefix -> sbl id
-  for (const auto& [date, entries] : days) {
+  size_t day_index = 0;
+  for (const auto* day : days) {
+    if (!last_of_date(day_index++)) continue;
+    const auto& [date, entries] = *day;
     std::map<net::Prefix, std::string> today;
     for (const FeedEntry& e : entries) today[e.prefix] = e.sbl_id;
     // Removals: live yesterday, absent today.

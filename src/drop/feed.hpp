@@ -18,6 +18,7 @@
 #include "drop/drop_list.hpp"
 #include "drop/sbl.hpp"
 #include "net/date.hpp"
+#include "util/parse_report.hpp"
 
 namespace droplens::drop {
 
@@ -32,14 +33,20 @@ struct FeedEntry {
 /// in prefix order with their SBL ids.
 std::string write_drop_feed(const DropList& list, net::Date d);
 
-/// Parse a feed file. Comment lines (leading ';' or '#') are skipped;
-/// malformed prefix lines throw ParseError.
-std::vector<FeedEntry> parse_drop_feed(std::string_view text);
+/// Parse a feed file. Comment lines (leading ';' or '#') are skipped. Under
+/// kStrict a malformed prefix line throws ParseError (naming the line
+/// number); under kLenient it is skipped and recorded in `report`.
+std::vector<FeedEntry> parse_drop_feed(
+    std::string_view text,
+    util::ParsePolicy policy = util::ParsePolicy::kStrict,
+    util::ParseReport* report = nullptr);
 
-/// Reconstruct a DropList from a date-ordered sequence of daily snapshots —
-/// the paper's method of recovering add/remove dates from the Firehol
-/// archive. Prefixes first seen in snapshot k are recorded as added on that
-/// snapshot's date; prefixes that disappear are recorded as removed.
+/// Reconstruct a DropList from a sequence of daily snapshots — the paper's
+/// method of recovering add/remove dates from the Firehol archive. Prefixes
+/// first seen in snapshot k are recorded as added on that snapshot's date;
+/// prefixes that disappear are recorded as removed. Snapshots are sorted by
+/// date first (archives deliver days out of order); when the same date
+/// appears twice the later occurrence wins.
 DropList from_daily_feeds(
     const std::vector<std::pair<net::Date, std::vector<FeedEntry>>>& days);
 

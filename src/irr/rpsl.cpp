@@ -26,16 +26,28 @@ std::string RpslObject::to_string() const {
   return out;
 }
 
-std::vector<RpslObject> parse_rpsl(std::string_view text) {
+std::vector<RpslObject> parse_rpsl(std::string_view text,
+                                   util::ParsePolicy policy,
+                                   util::ParseReport* report) {
   std::vector<RpslObject> objects;
   RpslObject current;
   auto flush = [&] {
     if (!current.attributes.empty()) {
+      if (report) report->add_parsed();
       objects.push_back(std::move(current));
       current = RpslObject{};
     }
   };
+  size_t line_no = 0;
+  auto bad_line = [&](const std::string& message) {
+    if (policy == util::ParsePolicy::kStrict) {
+      throw ParseError("RPSL line " + std::to_string(line_no) + ": " +
+                       message);
+    }
+    if (report) report->add_error(line_no, message);
+  };
   for (std::string_view line : util::split(text, '\n')) {
+    ++line_no;
     // Strip comments.
     size_t hash = line.find('#');
     if (hash != std::string_view::npos) line = line.substr(0, hash);
@@ -47,7 +59,8 @@ std::vector<RpslObject> parse_rpsl(std::string_view text) {
                         line.front() == '+';
     if (continuation) {
       if (current.attributes.empty()) {
-        throw ParseError("RPSL: continuation line before any attribute");
+        bad_line("continuation line before any attribute");
+        continue;
       }
       std::string& value = current.attributes.back().second;
       if (!value.empty()) value += ' ';
@@ -56,10 +69,14 @@ std::vector<RpslObject> parse_rpsl(std::string_view text) {
     }
     size_t colon = line.find(':');
     if (colon == std::string_view::npos) {
-      throw ParseError("RPSL: line missing ':': '" + std::string(line) + "'");
+      bad_line("line missing ':': '" + std::string(line) + "'");
+      continue;
     }
     std::string attr(util::trim(line.substr(0, colon)));
-    if (attr.empty()) throw ParseError("RPSL: empty attribute name");
+    if (attr.empty()) {
+      bad_line("empty attribute name");
+      continue;
+    }
     current.attributes.emplace_back(
         std::move(attr), std::string(util::trim(line.substr(colon + 1))));
   }

@@ -14,6 +14,7 @@
 #include "net/asn.hpp"
 #include "net/date.hpp"
 #include "net/prefix.hpp"
+#include "util/parse_report.hpp"
 
 namespace droplens::irr {
 
@@ -33,8 +34,14 @@ struct RpslObject {
 };
 
 /// Parse one or more whitespace-separated RPSL objects. Handles continuation
-/// lines (leading whitespace or '+') and '#' comments. Throws ParseError.
-std::vector<RpslObject> parse_rpsl(std::string_view text);
+/// lines (leading whitespace or '+') and '#' comments. Under kStrict a
+/// malformed line throws ParseError (naming the line number); under kLenient
+/// the line is skipped — the surrounding object's remaining attributes are
+/// kept — and the skip is recorded in `report`.
+std::vector<RpslObject> parse_rpsl(
+    std::string_view text,
+    util::ParsePolicy policy = util::ParsePolicy::kStrict,
+    util::ParseReport* report = nullptr);
 
 /// The `route:` object: the prefix and origin AS a network intends to
 /// announce in BGP — the record attackers forge to make hijacks look

@@ -1,5 +1,8 @@
 #include "rir/delegation.hpp"
 
+#include <cctype>
+#include <optional>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -23,36 +26,62 @@ DelegationStatus parse_status(std::string_view s) {
   throw ParseError("unknown delegation status: '" + std::string(s) + "'");
 }
 
-std::vector<DelegationRecord> parse_delegation_file(std::string_view text) {
+namespace {
+
+// Parse one non-comment line; returns nullopt for the header, summary, and
+// non-ipv4 lines that the format defines but this reader skips.
+std::optional<DelegationRecord> parse_delegation_line(std::string_view line) {
+  std::vector<std::string_view> f = util::split(line, '|');
+  if (f.size() >= 2 && f[1] == "*") return std::nullopt;  // summary line
+  if (f.size() >= 1 && !f[0].empty() &&
+      std::isdigit(static_cast<unsigned char>(f[0].front())) &&
+      f[0].find('.') == std::string_view::npos) {
+    return std::nullopt;  // version header: "2|apnic|20220330|..."
+  }
+  if (f.size() < 7) {
+    throw ParseError("short record: '" + std::string(line) + "'");
+  }
+  if (f[2] != "ipv4") return std::nullopt;  // asn / ipv6 are out of scope
+  DelegationRecord rec;
+  rec.registry = parse_rir(f[0]);
+  rec.country = std::string(f[1]);
+  rec.start = net::Ipv4::parse(f[3]);
+  rec.value = util::parse_u64(f[4]);
+  if (rec.value == 0 ||
+      uint64_t{rec.start.value()} + rec.value > (uint64_t{1} << 32)) {
+    throw ParseError("bad address count: '" + std::string(line) + "'");
+  }
+  rec.date = f[5].empty() ? net::Date(0) : net::Date::parse(f[5]);
+  rec.status = parse_status(f[6]);
+  if (f.size() >= 8) rec.opaque_id = std::string(f[7]);
+  return rec;
+}
+
+}  // namespace
+
+std::vector<DelegationRecord> parse_delegation_file(
+    std::string_view text, util::ParsePolicy policy,
+    util::ParseReport* report) {
   std::vector<DelegationRecord> out;
+  size_t line_no = 0;
   for (std::string_view line : util::split(text, '\n')) {
+    ++line_no;
     line = util::trim(line);
     if (line.empty() || line.front() == '#') continue;
-    std::vector<std::string_view> f = util::split(line, '|');
-    if (f.size() >= 2 && f[1] == "*") continue;        // summary line
-    if (f.size() >= 1 && !f[0].empty() &&
-        std::isdigit(static_cast<unsigned char>(f[0].front())) &&
-        f[0].find('.') == std::string_view::npos) {
-      continue;  // version header: "2|apnic|20220330|..."
+    std::optional<DelegationRecord> rec;
+    try {
+      rec = parse_delegation_line(line);
+    } catch (const ParseError& e) {
+      if (policy == util::ParsePolicy::kStrict) {
+        throw ParseError("delegation line " + std::to_string(line_no) + ": " +
+                         e.what());
+      }
+      if (report) report->add_error(line_no, e.what());
+      continue;
     }
-    if (f.size() < 7) {
-      throw ParseError("delegation: short record: '" + std::string(line) + "'");
-    }
-    if (f[2] != "ipv4") continue;  // asn / ipv6 records are out of scope
-    DelegationRecord rec;
-    rec.registry = parse_rir(f[0]);
-    rec.country = std::string(f[1]);
-    rec.start = net::Ipv4::parse(f[3]);
-    rec.value = util::parse_u64(f[4]);
-    if (rec.value == 0 ||
-        uint64_t{rec.start.value()} + rec.value > (uint64_t{1} << 32)) {
-      throw ParseError("delegation: bad address count: '" + std::string(line) +
-                       "'");
-    }
-    rec.date = f[5].empty() ? net::Date(0) : net::Date::parse(f[5]);
-    rec.status = parse_status(f[6]);
-    if (f.size() >= 8) rec.opaque_id = std::string(f[7]);
-    out.push_back(std::move(rec));
+    if (!rec) continue;
+    if (report) report->add_parsed();
+    out.push_back(std::move(*rec));
   }
   return out;
 }
@@ -63,6 +92,12 @@ std::string write_delegation_file(
   std::string name(delegation_name(registry));
   auto ymd_compact = [](net::Date d) {
     std::string s = d.to_string();  // YYYY-MM-DD
+    // Dates far outside the civil range (e.g. negative years) render shorter
+    // or shifted; substr on those would throw std::out_of_range. Surface the
+    // bad date as a ParseError instead.
+    if (s.size() < 10 || s[4] != '-' || s[7] != '-') {
+      throw ParseError("delegation: unrepresentable date '" + s + "'");
+    }
     return s.substr(0, 4) + s.substr(5, 2) + s.substr(8, 2);
   };
   std::string out = "2|" + name + "|" + ymd_compact(snapshot) + "|" +

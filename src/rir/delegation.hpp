@@ -16,6 +16,7 @@
 #include "net/date.hpp"
 #include "net/ipv4.hpp"
 #include "rir/rir.hpp"
+#include "util/parse_report.hpp"
 
 namespace droplens::rir {
 
@@ -46,8 +47,13 @@ struct DelegationRecord {
 };
 
 /// Parse a delegation file body; skips the version header, summary lines,
-/// comments, and non-ipv4 records. Throws ParseError on malformed lines.
-std::vector<DelegationRecord> parse_delegation_file(std::string_view text);
+/// comments, and non-ipv4 records. Under kStrict a malformed line throws
+/// ParseError (naming the line number); under kLenient it is skipped and
+/// recorded in `report`.
+std::vector<DelegationRecord> parse_delegation_file(
+    std::string_view text,
+    util::ParsePolicy policy = util::ParsePolicy::kStrict,
+    util::ParseReport* report = nullptr);
 
 /// Emit a delegation file: version header, ipv4 summary, records.
 /// `registry` names the publishing RIR; `snapshot` is the file date.

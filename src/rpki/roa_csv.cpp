@@ -24,8 +24,7 @@ Tal tal_from_uri(std::string_view uri) {
   for (Tal t : kAllTals) {
     if (uri.find(uri_host(t)) != std::string_view::npos) return t;
   }
-  throw ParseError("roas.csv: unrecognized repository URI: '" +
-                   std::string(uri) + "'");
+  throw ParseError("unrecognized repository URI: '" + std::string(uri) + "'");
 }
 
 }  // namespace
@@ -53,10 +52,43 @@ std::string write_roa_csv(const RoaArchive& archive, net::Date d,
   return out;
 }
 
-std::vector<RoaRecord> parse_roa_csv(std::string_view text) {
+namespace {
+
+RoaRecord parse_roa_row(std::string_view line) {
+  std::vector<std::string_view> f = util::split(line, ',');
+  if (f.size() < 6) {
+    throw ParseError("short row: '" + std::string(line) + "'");
+  }
+  Tal tal = tal_from_uri(f[0]);
+  std::string_view asn_text = util::trim(f[1]);
+  if (asn_text.size() < 3 || (asn_text.substr(0, 2) != "AS")) {
+    throw ParseError("bad ASN: '" + std::string(asn_text) + "'");
+  }
+  net::Asn asn(static_cast<uint32_t>(util::parse_u64(asn_text.substr(2))));
+  net::Prefix prefix = net::Prefix::parse(util::trim(f[2]));
+  int max_length = static_cast<int>(util::parse_u64(util::trim(f[3])));
+  net::Date begin = net::Date::parse(util::trim(f[4]));
+  std::string_view after = util::trim(f[5]);
+  net::Date end = after == "never" ? net::DateRange::unbounded()
+                                   : net::Date::parse(after);
+  try {
+    return RoaRecord{Roa(prefix, asn, tal, max_length),
+                     net::DateRange{begin, end}};
+  } catch (const InvariantError& e) {
+    throw ParseError(e.what());
+  }
+}
+
+}  // namespace
+
+std::vector<RoaRecord> parse_roa_csv(std::string_view text,
+                                     util::ParsePolicy policy,
+                                     util::ParseReport* report) {
   std::vector<RoaRecord> out;
   bool first = true;
+  size_t line_no = 0;
   for (std::string_view line : util::split(text, '\n')) {
+    ++line_no;
     line = util::trim(line);
     if (line.empty()) continue;
     if (first && line.substr(0, 3) == "URI") {
@@ -64,35 +96,25 @@ std::vector<RoaRecord> parse_roa_csv(std::string_view text) {
       continue;  // header
     }
     first = false;
-    std::vector<std::string_view> f = util::split(line, ',');
-    if (f.size() < 6) {
-      throw ParseError("roas.csv: short row: '" + std::string(line) + "'");
-    }
-    Tal tal = tal_from_uri(f[0]);
-    std::string_view asn_text = util::trim(f[1]);
-    if (asn_text.size() < 3 || (asn_text.substr(0, 2) != "AS")) {
-      throw ParseError("roas.csv: bad ASN: '" + std::string(asn_text) + "'");
-    }
-    net::Asn asn(static_cast<uint32_t>(util::parse_u64(asn_text.substr(2))));
-    net::Prefix prefix = net::Prefix::parse(util::trim(f[2]));
-    int max_length = static_cast<int>(util::parse_u64(util::trim(f[3])));
-    net::Date begin = net::Date::parse(util::trim(f[4]));
-    std::string_view after = util::trim(f[5]);
-    net::Date end = after == "never" ? net::DateRange::unbounded()
-                                     : net::Date::parse(after);
     try {
-      out.push_back(RoaRecord{Roa(prefix, asn, tal, max_length),
-                              net::DateRange{begin, end}});
-    } catch (const InvariantError& e) {
-      throw ParseError(std::string("roas.csv: ") + e.what());
+      out.push_back(parse_roa_row(line));
+    } catch (const ParseError& e) {
+      if (policy == util::ParsePolicy::kStrict) {
+        throw ParseError("roas.csv line " + std::to_string(line_no) + ": " +
+                         e.what());
+      }
+      if (report) report->add_error(line_no, e.what());
+      continue;
     }
+    if (report) report->add_parsed();
   }
   return out;
 }
 
-size_t load_roa_csv(RoaArchive& archive, std::string_view text) {
+size_t load_roa_csv(RoaArchive& archive, std::string_view text,
+                    util::ParsePolicy policy, util::ParseReport* report) {
   size_t n = 0;
-  for (const RoaRecord& r : parse_roa_csv(text)) {
+  for (const RoaRecord& r : parse_roa_csv(text, policy, report)) {
     archive.publish(r.roa, r.lifetime.begin);
     if (r.lifetime.end != net::DateRange::unbounded()) {
       archive.revoke(r.roa, r.lifetime.end);

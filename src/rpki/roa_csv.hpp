@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "rpki/archive.hpp"
+#include "util/parse_report.hpp"
 
 namespace droplens::rpki {
 
@@ -18,13 +19,19 @@ namespace droplens::rpki {
 std::string write_roa_csv(const RoaArchive& archive, net::Date d,
                           TalSet tals = TalSet::all());
 
-/// Parse a roas.csv body. The header line is optional. Throws ParseError on
-/// malformed rows. The TAL is recovered from the URI's first path element
-/// ("rsync://rpki.ripe.net/..." -> RIPE).
-std::vector<RoaRecord> parse_roa_csv(std::string_view text);
+/// Parse a roas.csv body. The header line is optional. The TAL is recovered
+/// from the URI's first path element ("rsync://rpki.ripe.net/..." -> RIPE).
+/// Under kStrict a malformed row throws ParseError (naming the line number);
+/// under kLenient it is skipped and recorded in `report`.
+std::vector<RoaRecord> parse_roa_csv(
+    std::string_view text,
+    util::ParsePolicy policy = util::ParsePolicy::kStrict,
+    util::ParseReport* report = nullptr);
 
 /// Load parsed records into an archive (publish at lifetime.begin, revoke
 /// at lifetime.end when bounded). Returns the number of ROAs published.
-size_t load_roa_csv(RoaArchive& archive, std::string_view text);
+size_t load_roa_csv(RoaArchive& archive, std::string_view text,
+                    util::ParsePolicy policy = util::ParsePolicy::kStrict,
+                    util::ParseReport* report = nullptr);
 
 }  // namespace droplens::rpki

@@ -308,23 +308,39 @@ void RtrClient::consume(std::string_view bytes) {
         }
         serial_ = pdu.serial;
         in_response_ = false;
+        pending_recoveries_ = 0;  // a completed sync clears the retry budget
         break;
       case PduType::kCacheReset:
         // Full resync required: drop state; the next poll() is a reset query.
-        table_.clear();
-        serial_.reset();
-        in_response_ = false;
+        reset_session();
         break;
       case PduType::kSerialNotify:
         break;  // informational; caller decides when to poll
       case PduType::kErrorReport:
-        throw ParseError("RTR: cache reported error " +
-                         std::to_string(pdu.error_code) + ": " +
-                         pdu.error_text);
+        // Not fatal by itself: drop the session and resync, like a router
+        // would. Only a cache that errors out on every attempt gets the
+        // exception, after the retry budget runs dry.
+        last_error_ = "cache reported error " +
+                      std::to_string(pdu.error_code) + ": " + pdu.error_text;
+        reset_session();
+        if (pending_recoveries_ > kMaxRecoveries) {
+          throw ParseError("RTR: giving up after " +
+                           std::to_string(kMaxRecoveries) +
+                           " failed resyncs; last: " + last_error_);
+        }
+        break;
       default:
         throw ParseError("RTR: unexpected PDU from cache");
     }
   }
+}
+
+void RtrClient::reset_session() {
+  table_.clear();
+  session_id_.reset();
+  serial_.reset();
+  in_response_ = false;
+  ++pending_recoveries_;
 }
 
 Validity RtrClient::validate(const net::Prefix& p, net::Asn origin) const {

@@ -96,13 +96,25 @@ class RtrServer {
 
 /// The router side: consumes PDU streams, maintains the VRP table, and
 /// answers RFC 6811 validation queries from it.
+///
+/// Session recovery: a Cache Reset or an Error Report PDU does not throw —
+/// real caches emit both mid-stream (RFC 8210 §8) and a router that aborts
+/// on them never resyncs. Instead the client drops its session state and
+/// answers the next poll() with a Reset Query, up to kMaxRecoveries
+/// consecutive times; only when the cache keeps erroring past that bound
+/// does consume() throw, so a wedged cache still surfaces as an error.
 class RtrClient {
  public:
+  /// Consecutive resync attempts tolerated before consume() gives up and
+  /// throws. A successful End Of Data resets the counter.
+  static constexpr int kMaxRecoveries = 3;
+
   /// Bytes the client sends to start or refresh a session.
   std::string poll() const;
 
   /// Feed a server response; updates the table. Throws ParseError on a
-  /// protocol violation (wrong session id, data outside a cache response).
+  /// protocol violation (wrong session id, data outside a cache response)
+  /// or when the cache errors out kMaxRecoveries times in a row.
   void consume(std::string_view bytes);
 
   Validity validate(const net::Prefix& p, net::Asn origin) const;
@@ -113,10 +125,21 @@ class RtrClient {
     return std::vector<Vrp>(table_.begin(), table_.end());
   }
 
+  /// True after a Cache Reset / Error Report dropped the session; the next
+  /// poll() is a Reset Query that rebuilds the table from scratch.
+  bool needs_resync() const { return pending_recoveries_ > 0; }
+  int pending_recoveries() const { return pending_recoveries_; }
+  /// Text of the last Error Report received (empty if none).
+  const std::string& last_error() const { return last_error_; }
+
  private:
+  void reset_session();
+
   std::optional<uint16_t> session_id_;
   std::optional<uint32_t> serial_;
   bool in_response_ = false;
+  int pending_recoveries_ = 0;
+  std::string last_error_;
   std::set<Vrp> table_;
 };
 

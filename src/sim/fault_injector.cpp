@@ -1,0 +1,130 @@
+#include "sim/fault_injector.hpp"
+
+#include <algorithm>
+
+namespace droplens::sim {
+
+std::string_view to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kBitFlip: return "bit-flip";
+    case FaultKind::kGarbageLines: return "garbage-lines";
+    case FaultKind::kDuplicateLines: return "duplicate-lines";
+    case FaultKind::kCorruptHeader: return "corrupt-header";
+  }
+  return "?";
+}
+
+namespace {
+
+// Offsets just past each '\n', i.e. the positions where a new line may be
+// spliced in. Position 0 is deliberately excluded: corrupting the very first
+// line is kCorruptHeader's job, and keeping it intact preserves headers
+// (roas.csv "URI,..." line, MRTL magic) so garbage costs exactly one skipped
+// record per line in every text parser.
+std::vector<size_t> line_starts_after_first(std::string_view s) {
+  std::vector<size_t> starts;
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n' && i + 1 < s.size()) starts.push_back(i + 1);
+  }
+  return starts;
+}
+
+}  // namespace
+
+std::string FaultInjector::truncate(std::string_view input) {
+  if (input.size() < 2) return std::string();
+  // Keep at least one byte, cut at least one.
+  size_t keep = 1 + static_cast<size_t>(rng_.below(input.size() - 1));
+  return std::string(input.substr(0, keep));
+}
+
+std::string FaultInjector::flip_bits(std::string_view input, int flips) {
+  std::string out(input);
+  if (out.empty()) return out;
+  for (int i = 0; i < flips; ++i) {
+    size_t byte = static_cast<size_t>(rng_.below(out.size()));
+    out[byte] = static_cast<char>(out[byte] ^ (1u << rng_.below(8)));
+  }
+  return out;
+}
+
+std::string FaultInjector::garbage_lines(std::string_view input, int lines) {
+  // The junk alphabet avoids every character the parsers assign meaning to:
+  // comment markers (';', '#'), field separators ('|', ',', ':'), prefix
+  // syntax ('.', '/'), digits (a leading digit reads as a delegation-file
+  // version header), and leading whitespace / '+' (an RPSL continuation).
+  static const char kJunk[] = "~!@^&*=_qwertyzxcvbnm";
+  std::vector<size_t> starts = line_starts_after_first(input);
+  std::string out(input);
+  for (int i = 0; i < lines; ++i) {
+    std::string junk;
+    size_t len = 6 + static_cast<size_t>(rng_.below(18));
+    for (size_t j = 0; j < len; ++j) {
+      junk += kJunk[rng_.below(sizeof(kJunk) - 1)];
+    }
+    junk += '\n';
+    size_t at = starts.empty()
+                    ? out.size()
+                    : starts[static_cast<size_t>(rng_.below(starts.size()))];
+    out.insert(at, junk);
+    // Recompute splice points so later insertions land on real boundaries.
+    starts = line_starts_after_first(out);
+  }
+  return out;
+}
+
+std::string FaultInjector::duplicate_lines(std::string_view input, int dups) {
+  std::string out(input);
+  for (int i = 0; i < dups; ++i) {
+    std::vector<size_t> starts = line_starts_after_first(out);
+    if (starts.empty()) break;
+    size_t begin = starts[static_cast<size_t>(rng_.below(starts.size()))];
+    size_t end = out.find('\n', begin);
+    if (end == std::string::npos) end = out.size();
+    if (end == begin) continue;  // empty line: nothing to double-write
+    std::string line = out.substr(begin, end - begin) + "\n";
+    out.insert(std::min(end + 1, out.size()), line);
+  }
+  return out;
+}
+
+std::string FaultInjector::corrupt_header(std::string_view input) {
+  std::string out(input);
+  size_t first_line_end = out.find('\n');
+  size_t n = first_line_end == std::string::npos
+                 ? std::min<size_t>(out.size(), 8)
+                 : first_line_end;
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<char>(rng_.below(256));
+  }
+  return out;
+}
+
+std::string FaultInjector::apply(FaultKind kind, std::string_view input) {
+  switch (kind) {
+    case FaultKind::kTruncate: return truncate(input);
+    case FaultKind::kBitFlip: return flip_bits(input);
+    case FaultKind::kGarbageLines: return garbage_lines(input);
+    case FaultKind::kDuplicateLines: return duplicate_lines(input);
+    case FaultKind::kCorruptHeader: return corrupt_header(input);
+  }
+  return std::string(input);
+}
+
+std::vector<net::Date> FaultInjector::drop_days(DailyArchive& days, int n) {
+  std::vector<net::Date> dropped;
+  for (int i = 0; i < n && !days.empty(); ++i) {
+    size_t at = static_cast<size_t>(rng_.below(days.size()));
+    dropped.push_back(days[at].first);
+    days.erase(days.begin() + static_cast<ptrdiff_t>(at));
+  }
+  std::sort(dropped.begin(), dropped.end());
+  return dropped;
+}
+
+void FaultInjector::shuffle_days(DailyArchive& days) {
+  rng_.shuffle(days);
+}
+
+}  // namespace droplens::sim

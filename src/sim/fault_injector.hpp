@@ -1,0 +1,84 @@
+// Deterministic fault injection for archive ingestion tests and benches.
+//
+// Real multi-year archives (Firehol DROP snapshots, RouteViews MRT, RIR
+// delegation files, RIPE roas.csv, RADb dumps) arrive with truncated files,
+// flipped bits, garbage lines, duplicated lines, corrupted headers, and
+// missing or out-of-order days. FaultInjector reproduces each of those
+// failure modes from a single seed, so recovery properties ("lenient mode
+// skips exactly the corrupted records") can be asserted reproducibly.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "net/date.hpp"
+#include "sim/rng.hpp"
+
+namespace droplens::sim {
+
+/// The named fault kinds the injector can apply to a single file's bytes.
+enum class FaultKind : uint8_t {
+  kTruncate,        // cut the file off mid-record
+  kBitFlip,         // flip random bits (binary formats)
+  kGarbageLines,    // splice in lines of junk (text formats)
+  kDuplicateLines,  // repeat existing lines
+  kCorruptHeader,   // scramble the first line / magic bytes
+};
+
+constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::kTruncate, FaultKind::kBitFlip, FaultKind::kGarbageLines,
+    FaultKind::kDuplicateLines, FaultKind::kCorruptHeader,
+};
+
+std::string_view to_string(FaultKind kind);
+
+class FaultInjector {
+ public:
+  /// A date-keyed sequence of snapshot files — the shape of every daily
+  /// archive the pipeline ingests.
+  using DailyArchive = std::vector<std::pair<net::Date, std::string>>;
+
+  explicit FaultInjector(uint64_t seed) : rng_(seed) {}
+
+  // --- single-file faults -------------------------------------------------
+
+  /// Drop a random non-empty suffix (keeps at least one byte, cuts at
+  /// least one, so the result is always a proper truncation).
+  std::string truncate(std::string_view input);
+
+  /// Flip `flips` random bits.
+  std::string flip_bits(std::string_view input, int flips = 8);
+
+  /// Splice `lines` junk lines at random line boundaries. The junk is
+  /// guaranteed unparsable by every droplens text parser (and is not a
+  /// comment), so each line costs lenient mode exactly one skip.
+  std::string garbage_lines(std::string_view input, int lines = 4);
+
+  /// Repeat `dups` randomly chosen existing lines immediately after their
+  /// original — the classic double-write archive defect.
+  std::string duplicate_lines(std::string_view input, int dups = 4);
+
+  /// Overwrite the first line (or the first 8 bytes, when the input has no
+  /// newline) with junk.
+  std::string corrupt_header(std::string_view input);
+
+  /// Apply one named fault at its default intensity.
+  std::string apply(FaultKind kind, std::string_view input);
+
+  // --- archive-level faults ----------------------------------------------
+
+  /// Remove `n` randomly chosen days (all when n >= size). Returns the
+  /// removed dates in ascending order.
+  std::vector<net::Date> drop_days(DailyArchive& days, int n);
+
+  /// Shuffle the snapshot order — archives are not always date-sorted.
+  void shuffle_days(DailyArchive& days);
+
+ private:
+  Rng rng_;
+};
+
+}  // namespace droplens::sim

@@ -1,0 +1,43 @@
+#include "util/parse_report.hpp"
+
+namespace droplens::util {
+
+void ParseReport::add_error(size_t line, std::string message) {
+  ++skipped_;
+  if (diags_.size() < kMaxDiagnostics) {
+    diags_.push_back(ParseDiagnostic{line, 0, std::move(message)});
+  }
+}
+
+void ParseReport::add_error_at(uint64_t offset, std::string message) {
+  ++skipped_;
+  if (diags_.size() < kMaxDiagnostics) {
+    diags_.push_back(ParseDiagnostic{0, offset, std::move(message)});
+  }
+}
+
+void ParseReport::merge(const ParseReport& other) {
+  parsed_ += other.parsed_;
+  skipped_ += other.skipped_;
+  for (const ParseDiagnostic& d : other.diags_) {
+    if (diags_.size() >= kMaxDiagnostics) break;
+    diags_.push_back(d);
+  }
+}
+
+std::string ParseReport::summary() const {
+  std::string out = input_.empty() ? std::string("<input>") : input_;
+  out += ": " + std::to_string(parsed_) + " records";
+  if (skipped_ == 0) return out;
+  out += ", " + std::to_string(skipped_) + " skipped";
+  if (!diags_.empty()) {
+    const ParseDiagnostic& d = diags_.front();
+    out += " (first: ";
+    if (d.line > 0) out += "line " + std::to_string(d.line) + ": ";
+    if (d.offset > 0) out += "offset " + std::to_string(d.offset) + ": ";
+    out += d.message + ")";
+  }
+  return out;
+}
+
+}  // namespace droplens::util

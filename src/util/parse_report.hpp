@@ -1,0 +1,71 @@
+// Error accumulation for the feed parsers.
+//
+// Real archive snapshots (Firehol DROP feeds, RouteViews MRT, RADb dumps,
+// RIPE roas.csv, RIR delegation files) routinely contain truncated files and
+// garbage lines. Every parser therefore takes a ParsePolicy: kStrict keeps
+// the historical throw-on-first-error behavior, kLenient skips malformed
+// records and accounts for each skip in a ParseReport, so dirty input never
+// aborts a multi-year run but is never silently swallowed either.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace droplens::util {
+
+enum class ParsePolicy : uint8_t {
+  kStrict,   // throw ParseError on the first malformed record
+  kLenient,  // skip malformed records, recording each skip
+};
+
+/// One skipped record: where it was and why it failed.
+struct ParseDiagnostic {
+  size_t line = 0;      // 1-based line number; 0 when not line-oriented
+  uint64_t offset = 0;  // byte offset (binary formats); 0 otherwise
+  std::string message;
+};
+
+/// Per-input accumulation of parse outcomes. Detailed diagnostics are capped
+/// at kMaxDiagnostics (counters keep counting past the cap), so a wholly
+/// corrupt multi-MB feed cannot balloon memory.
+class ParseReport {
+ public:
+  static constexpr size_t kMaxDiagnostics = 64;
+
+  ParseReport() = default;
+  explicit ParseReport(std::string input_name)
+      : input_(std::move(input_name)) {}
+
+  void set_input(std::string name) { input_ = std::move(name); }
+  const std::string& input() const { return input_; }
+
+  /// Count `n` successfully parsed records.
+  void add_parsed(size_t n = 1) { parsed_ += n; }
+
+  /// Record a skipped record at a 1-based line number.
+  void add_error(size_t line, std::string message);
+
+  /// Record a skipped record at a byte offset (binary formats).
+  void add_error_at(uint64_t offset, std::string message);
+
+  /// Fold `other` into this report (counters add; diagnostics append up to
+  /// the cap). Used to aggregate per-file reports into a per-substrate one.
+  void merge(const ParseReport& other);
+
+  size_t parsed() const { return parsed_; }
+  size_t skipped() const { return skipped_; }
+  bool ok() const { return skipped_ == 0; }
+  const std::vector<ParseDiagnostic>& diagnostics() const { return diags_; }
+
+  /// One-line human summary: input, counts, and the first diagnostic.
+  std::string summary() const;
+
+ private:
+  std::string input_;
+  size_t parsed_ = 0;
+  size_t skipped_ = 0;
+  std::vector<ParseDiagnostic> diags_;
+};
+
+}  // namespace droplens::util

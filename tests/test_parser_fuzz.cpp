@@ -15,6 +15,7 @@
 #include "rpki/rtr.hpp"
 #include "sim/rng.hpp"
 #include "util/error.hpp"
+#include "util/parse_report.hpp"
 
 namespace droplens {
 namespace {
@@ -149,6 +150,79 @@ TEST(ParserFuzz, ClassifierNeverThrows) {
   for (int i = 0; i < 2000; ++i) {
     std::string text = random_bytes(rng, 300);
     EXPECT_NO_THROW((void)classifier.classify(text));
+  }
+}
+
+// Lenient mode strengthens the contract for the text parsers: arbitrary
+// input must not throw AT ALL — every malformed record lands in the
+// ParseReport instead, and parsed + nothing-extra always holds.
+template <typename Fn>
+void fuzz_lenient(uint64_t seed, int rounds, size_t max_len, Fn&& parse) {
+  sim::Rng rng(seed);
+  for (int i = 0; i < rounds; ++i) {
+    std::string input = random_texty(rng, max_len);
+    util::ParseReport report("fuzz");
+    try {
+      size_t records = parse(input, &report);
+      ASSERT_EQ(records, report.parsed()) << "round " << i;
+    } catch (const std::exception& e) {
+      FAIL() << "lenient parse threw (" << e.what() << ") on round " << i;
+    }
+  }
+}
+
+TEST(ParserFuzz, LenientRpslNeverThrows) {
+  fuzz_lenient(13, 1000, 400,
+               [](const std::string& s, util::ParseReport* r) {
+                 return irr::parse_rpsl(s, util::ParsePolicy::kLenient, r)
+                     .size();
+               });
+}
+
+TEST(ParserFuzz, LenientDelegationNeverThrows) {
+  fuzz_lenient(14, 1000, 400,
+               [](const std::string& s, util::ParseReport* r) {
+                 return rir::parse_delegation_file(
+                            s, util::ParsePolicy::kLenient, r)
+                     .size();
+               });
+}
+
+TEST(ParserFuzz, LenientDropFeedNeverThrows) {
+  fuzz_lenient(15, 1000, 400,
+               [](const std::string& s, util::ParseReport* r) {
+                 return drop::parse_drop_feed(s, util::ParsePolicy::kLenient,
+                                              r)
+                     .size();
+               });
+}
+
+TEST(ParserFuzz, LenientRoaCsvNeverThrows) {
+  fuzz_lenient(16, 1000, 400,
+               [](const std::string& s, util::ParseReport* r) {
+                 return rpki::parse_roa_csv(s, util::ParsePolicy::kLenient, r)
+                     .size();
+               });
+}
+
+TEST(ParserFuzz, LenientMrtlThrowsOnlyForUnusableHeaders) {
+  // MRTL is binary: record damage is skipped-and-counted, but a broken
+  // magic/version/count header stays fatal — still only ever a ParseError.
+  sim::Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    std::string input = random_bytes(rng, 200);
+    std::stringstream in(input);
+    util::ParseReport report("fuzz.mrtl");
+    try {
+      std::vector<bgp::Update> updates =
+          bgp::read_mrtl(in, util::ParsePolicy::kLenient, &report);
+      EXPECT_EQ(updates.size(), report.parsed()) << "round " << i;
+    } catch (const ParseError&) {
+      // header unusable: the caller marks the whole day unavailable
+    } catch (const std::exception& e) {
+      FAIL() << "non-ParseError exception (" << e.what() << ") on round "
+             << i;
+    }
   }
 }
 
