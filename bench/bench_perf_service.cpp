@@ -1,0 +1,203 @@
+// Load generator for the query service.
+//
+// Compiles a snapshot of the generated world, then saturates a svc::Server
+// over the in-process loopback transport with single-prefix lookups from N
+// client threads, reporting throughput (lookups/sec) and the p50/p99
+// response latency. Every response is checked byte-for-byte against the
+// expected answer recorded before the run — with --reload the check runs
+// while a background thread republishes equal-content snapshots, proving
+// responses stay byte-identical across thread counts and through reloads.
+//
+//   $ ./bench_perf_service [--small] [--seed=N] [--threads=N] [--seconds=S]
+//                          [--batch=N] [--reload]
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "svc/protocol.hpp"
+#include "svc/server.hpp"
+#include "svc/snapshot.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace droplens;
+
+namespace {
+
+struct Options {
+  unsigned threads = util::ThreadPool::default_thread_count();
+  double seconds = 2.0;
+  size_t batch = 1;
+  bool reload = false;
+};
+
+struct Workload {
+  std::vector<std::string> requests;
+  std::vector<std::string> expected;
+  size_t queries_per_request = 1;
+};
+
+Workload build_workload(svc::Server& server, const bench::Harness& h,
+                        net::Date d, size_t batch) {
+  // Probe the spaces the paper cares about: every DROP entry plus a spread
+  // of fixed prefixes, chunked into `batch`-sized request frames.
+  std::vector<svc::Query> queries;
+  for (const core::DropEntry& e : h.index.entries()) {
+    queries.push_back(svc::Query{d, e.prefix, svc::kAllFields});
+  }
+  for (uint32_t octet = 1; octet < 224; ++octet) {
+    queries.push_back(svc::Query{
+        d, net::Prefix(net::Ipv4(octet << 24 | 0x00010000), 16),
+        svc::kAllFields});
+  }
+  Workload w;
+  w.queries_per_request = batch;
+  for (size_t begin = 0; begin < queries.size(); begin += batch) {
+    size_t end = std::min(queries.size(), begin + batch);
+    std::vector<svc::Query> frame(queries.begin() + begin,
+                                  queries.begin() + end);
+    frame.resize(batch, frame.back());  // uniform frames: constant batch size
+    w.requests.push_back(svc::encode_query_request(frame));
+    w.expected.push_back(server.serve(w.requests.back()));
+  }
+  return w;
+}
+
+struct ThreadResult {
+  uint64_t requests = 0;
+  std::vector<uint32_t> latency_ns;
+  bool diverged = false;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      opt.threads = static_cast<unsigned>(std::stoul(argv[i] + 10));
+    }
+    if (std::strncmp(argv[i], "--seconds=", 10) == 0) {
+      opt.seconds = std::stod(argv[i] + 10);
+    }
+    if (std::strncmp(argv[i], "--batch=", 8) == 0) {
+      opt.batch = std::stoul(argv[i] + 8);
+    }
+    if (std::strcmp(argv[i], "--reload") == 0) opt.reload = true;
+  }
+  if (opt.threads == 0) opt.threads = 1;
+  if (opt.batch == 0) opt.batch = 1;
+  bench::Harness h = bench::Harness::make(argc, argv);
+
+  net::Date d = h.study->window_begin + 60;
+  std::cerr << "[compiling snapshot...]\n";
+  auto compile_start = std::chrono::steady_clock::now();
+  auto snap = svc::compile_snapshot(*h.study, h.index, d, 1);
+  double compile_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - compile_start)
+                          .count();
+  // Reload mode republishes equal-content snapshots (fresh compilations, same
+  // version) mid-run; responses must not wobble by a byte.
+  auto snap_twin = opt.reload ? svc::compile_snapshot(*h.study, h.index, d, 1)
+                              : snap;
+
+  svc::Server server(snap);
+  Workload w = build_workload(server, h, d, opt.batch);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reloads{0};
+  std::vector<ThreadResult> results(opt.threads);
+  std::vector<std::thread> clients;
+  clients.reserve(opt.threads);
+  auto run_start = std::chrono::steady_clock::now();
+  for (unsigned t = 0; t < opt.threads; ++t) {
+    clients.emplace_back([&, t] {
+      ThreadResult& r = results[t];
+      r.latency_ns.reserve(1 << 20);
+      size_t i = t % w.requests.size();  // spread threads across the corpus
+      while (!stop.load(std::memory_order_relaxed)) {
+        auto begin = std::chrono::steady_clock::now();
+        std::string response = server.serve(w.requests[i]);
+        auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - begin)
+                      .count();
+        if (response != w.expected[i]) r.diverged = true;
+        r.latency_ns.push_back(static_cast<uint32_t>(
+            std::min<int64_t>(ns, std::numeric_limits<uint32_t>::max())));
+        ++r.requests;
+        i = (i + 1) % w.requests.size();
+      }
+    });
+  }
+  std::thread reloader;
+  if (opt.reload) {
+    reloader = std::thread([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        server.publish(reloads.fetch_add(1) % 2 ? snap : snap_twin);
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(opt.seconds));
+  stop.store(true);
+  for (std::thread& c : clients) c.join();
+  if (reloader.joinable()) reloader.join();
+  double elapsed = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - run_start)
+                       .count();
+
+  uint64_t total_requests = 0;
+  bool diverged = false;
+  std::vector<uint32_t> latencies;
+  for (ThreadResult& r : results) {
+    total_requests += r.requests;
+    diverged |= r.diverged;
+    latencies.insert(latencies.end(), r.latency_ns.begin(), r.latency_ns.end());
+  }
+  if (diverged) {
+    std::cerr << "FATAL: a response diverged from the recorded expectation\n";
+    return 1;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  auto pct = [&](double q) -> double {
+    if (latencies.empty()) return 0;
+    size_t idx = static_cast<size_t>(q * static_cast<double>(latencies.size()));
+    return static_cast<double>(
+               latencies[std::min(idx, latencies.size() - 1)]) /
+           1000.0;  // µs
+  };
+  double lookups_per_sec = static_cast<double>(total_requests) *
+                           static_cast<double>(w.queries_per_request) /
+                           elapsed;
+
+  bench::Comparison cmp("service: loopback load generator");
+  cmp.row("client threads", "-", std::to_string(opt.threads));
+  cmp.row("batch (queries/frame)", "-", std::to_string(w.queries_per_request));
+  cmp.row("snapshot compile ms", "-", util::fixed(compile_ms, 1));
+  cmp.row("frames served", "-", std::to_string(total_requests));
+  cmp.row("reloads during run", "-", std::to_string(reloads.load()));
+  cmp.rule();
+  cmp.row("lookups/sec", "-", util::fixed(lookups_per_sec, 0));
+  cmp.row("p50 latency us", "-", util::fixed(pct(0.50), 2));
+  cmp.row("p99 latency us", "-", util::fixed(pct(0.99), 2));
+  cmp.print();
+  std::cout << "determinism: " << total_requests
+            << " responses byte-identical to the recorded expectations"
+            << (opt.reload ? " through " + std::to_string(reloads.load()) +
+                                 " snapshot reloads"
+                           : "")
+            << "\n";
+  // Machine-readable line for EXPERIMENTS.md.
+  std::cout << "{\"bench\":\"perf_service\",\"threads\":" << opt.threads
+            << ",\"batch\":" << w.queries_per_request
+            << ",\"lookups_per_sec\":" << static_cast<uint64_t>(lookups_per_sec)
+            << ",\"p50_us\":" << pct(0.50) << ",\"p99_us\":" << pct(0.99)
+            << ",\"reloads\":" << reloads.load() << "}\n";
+  return lookups_per_sec >= 1'000'000.0 || w.queries_per_request > 1 ? 0 : 2;
+}

@@ -1,0 +1,125 @@
+// droplensd: the prefix-intelligence query service as a TCP daemon.
+//
+// Generates a world, compiles a snapshot, and serves two protocols from the
+// same transport core: the binary query protocol (svc::Client speaks it)
+// and IRRd-style whois for the IRR view. SIGHUP recompiles and hot-swaps
+// the snapshot (version bumps, in-flight queries finish on the old one);
+// SIGINT/SIGTERM shut down cleanly.
+//
+//   $ ./droplensd [--small] [--seed=N] [--port=P] [--whois-port=P]
+//                 [--threads=N] [--date-offset=DAYS]
+//
+// Then, from another terminal:  printf '!gAS64500\n' | nc 127.0.0.1 4343
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "core/drop_index.hpp"
+#include "core/snapshot_cache.hpp"
+#include "irr/whois.hpp"
+#include "sim/generator.hpp"
+#include "svc/server.hpp"
+#include "svc/snapshot.hpp"
+#include "svc/transport.hpp"
+#include "svc/whois_service.hpp"
+#include "util/thread_pool.hpp"
+
+using namespace droplens;
+
+namespace {
+
+// Signal handlers may only touch lock-free state; the main loop polls.
+volatile std::sig_atomic_t g_reload = 0;
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_sighup(int) { g_reload = 1; }
+void on_sigterm(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool small = false;
+  uint64_t seed = 0;
+  uint16_t port = 4242;
+  uint16_t whois_port = 4343;
+  unsigned threads = util::ThreadPool::default_thread_count();
+  int32_t date_offset = 60;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--small") == 0) small = true;
+    if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+      seed = std::stoull(argv[i] + 7);
+    }
+    if (std::strncmp(argv[i], "--port=", 7) == 0) {
+      port = static_cast<uint16_t>(std::stoul(argv[i] + 7));
+    }
+    if (std::strncmp(argv[i], "--whois-port=", 13) == 0) {
+      whois_port = static_cast<uint16_t>(std::stoul(argv[i] + 13));
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(std::stoul(argv[i] + 10));
+    }
+    if (std::strncmp(argv[i], "--date-offset=", 14) == 0) {
+      date_offset = std::stoi(argv[i] + 14);
+    }
+  }
+
+  sim::ScenarioConfig config =
+      small ? sim::ScenarioConfig::small() : sim::ScenarioConfig{};
+  if (seed) config.seed = seed;
+  std::cerr << "droplensd: generating " << (small ? "small" : "paper-scale")
+            << " world...\n";
+  auto world = sim::generate(config);
+
+  util::ThreadPool pool(threads);
+  core::SnapshotCache cache(world->registry, world->fleet, world->roas,
+                            world->drop, &world->irr);
+  core::Study study{world->registry, world->fleet, world->irr,  world->roas,
+                    world->drop,     world->sbl,   config.window_begin,
+                    config.window_end};
+  study.pool = &pool;
+  study.snapshots = &cache;
+  core::DropIndex index = core::DropIndex::build(study);
+  net::Date date = config.window_begin + date_offset;
+
+  uint64_t version = 1;
+  svc::Server server(svc::compile_snapshot(study, index, date, version),
+                     &pool);
+  svc::TcpServer query_tcp(server, port);
+
+  irr::WhoisServer whois(world->irr, date);
+  svc::WhoisService whois_service(whois);
+  svc::TcpServer whois_tcp(whois_service, whois_port);
+
+  std::signal(SIGHUP, on_sighup);
+  std::signal(SIGINT, on_sigterm);
+  std::signal(SIGTERM, on_sigterm);
+
+  std::cerr << "droplensd: serving date " << date.to_string()
+            << " — binary protocol on 127.0.0.1:" << query_tcp.port()
+            << ", whois on 127.0.0.1:" << whois_tcp.port() << " ("
+            << pool.concurrency() << " engine threads)\n"
+            << "droplensd: SIGHUP reloads the snapshot; SIGINT stops\n";
+
+  while (!g_stop) {
+    if (g_reload) {
+      g_reload = 0;
+      ++version;
+      std::cerr << "droplensd: reloading snapshot (version " << version
+                << ")...\n";
+      server.publish(svc::compile_snapshot(study, index, date, version));
+      std::cerr << "droplensd: snapshot " << version << " live\n";
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+
+  std::cerr << "droplensd: shutting down\n";
+  query_tcp.stop();
+  whois_tcp.stop();
+  svc::ServerStats stats = server.stats();
+  std::cerr << "droplensd: served " << stats.requests << " frames ("
+            << stats.queries << " lookups, " << stats.malformed
+            << " malformed, " << stats.reloads << " reloads)\n";
+  return 0;
+}

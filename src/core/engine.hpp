@@ -75,6 +75,16 @@ inline SetPtr free_pool(const Study& s, rir::Rir rir, net::Date d) {
   return std::make_shared<const net::IntervalSet>(s.registry.free_pool(rir, d));
 }
 
+inline SetPtr irr_space(const Study& s, net::Date d) {
+  if (!day_available(s, Feed::kIrr, d)) return nullptr;
+  if (s.snapshots && s.snapshots->has_irr()) return s.snapshots->irr_space(d);
+  net::IntervalSet covered;
+  for (const irr::Registration& reg : s.irr.all_history()) {
+    if (reg.live_on(d)) covered.insert(reg.object.prefix);
+  }
+  return std::make_shared<const net::IntervalSet>(std::move(covered));
+}
+
 inline SetPtr drop_space(const Study& s, net::Date d) {
   if (!day_available(s, Feed::kDropFeed, d)) return nullptr;
   if (s.snapshots) return s.snapshots->drop_space(d);

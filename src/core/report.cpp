@@ -47,7 +47,8 @@ int write_report(std::ostream& out, const Study& base_study,
     study.pool = &*pool;
   }
   if (!study.snapshots) {
-    cache.emplace(study.registry, study.fleet, study.roas, study.drop);
+    cache.emplace(study.registry, study.fleet, study.roas, study.drop,
+                  &study.irr);
     study.snapshots = &*cache;
   }
 

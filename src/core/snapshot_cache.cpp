@@ -77,6 +77,16 @@ SnapshotCache::SetPtr SnapshotCache::drop_space(net::Date d) const {
   });
 }
 
+SnapshotCache::SetPtr SnapshotCache::irr_space(net::Date d) const {
+  return get_or_compute(make_key(Substrate::kIrr, d, 0), [&] {
+    net::IntervalSet covered;
+    for (const irr::Registration& reg : irr_->all_history()) {
+      if (reg.live_on(d)) covered.insert(reg.object.prefix);
+    }
+    return covered;
+  });
+}
+
 SnapshotCache::Stats SnapshotCache::stats() const {
   Stats total;
   for (Shard& s : shards_) {

@@ -29,6 +29,7 @@
 
 #include "bgp/fleet.hpp"
 #include "drop/drop_list.hpp"
+#include "irr/database.hpp"
 #include "net/date.hpp"
 #include "net/interval_set.hpp"
 #include "rir/registry.hpp"
@@ -40,9 +41,13 @@ class SnapshotCache {
  public:
   using SetPtr = std::shared_ptr<const net::IntervalSet>;
 
+  /// `irr` is optional (older call sites don't pass it); without it
+  /// irr_space() reports "no substrate" via has_irr() and must not be used.
   SnapshotCache(const rir::Registry& registry, const bgp::CollectorFleet& fleet,
-                const rpki::RoaArchive& roas, const drop::DropList& drop)
-      : registry_(registry), fleet_(fleet), roas_(roas), drop_(drop) {}
+                const rpki::RoaArchive& roas, const drop::DropList& drop,
+                const irr::Database* irr = nullptr)
+      : registry_(registry), fleet_(fleet), roas_(roas), drop_(drop),
+        irr_(irr) {}
 
   SnapshotCache(const SnapshotCache&) = delete;
   SnapshotCache& operator=(const SnapshotCache&) = delete;
@@ -64,6 +69,11 @@ class SnapshotCache {
   /// Space actively DROP-listed on `d`.
   SetPtr drop_space(net::Date d) const;
 
+  /// Space covered by route objects live in the IRR on `d`. Only valid when
+  /// the cache was built with an IRR database (has_irr()).
+  SetPtr irr_space(net::Date d) const;
+  bool has_irr() const { return irr_ != nullptr; }
+
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
@@ -80,6 +90,7 @@ class SnapshotCache {
     kSigned,
     kFreePool,
     kDrop,
+    kIrr,
   };
 
   // (substrate, date, variant) packed into one key: date in the low 32 bits,
@@ -106,6 +117,7 @@ class SnapshotCache {
   const bgp::CollectorFleet& fleet_;
   const rpki::RoaArchive& roas_;
   const drop::DropList& drop_;
+  const irr::Database* irr_;
   mutable std::array<Shard, kShardCount> shards_;
 };
 

@@ -1,5 +1,7 @@
 #include "irr/whois.hpp"
 
+#include <cstdint>
+
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -61,8 +63,16 @@ std::string WhoisServer::handle(std::string_view query) const {
         if (asn_text.size() < 3 || asn_text.substr(0, 2) != "AS") {
           return "F bad ASN\n";
         }
-        net::Asn asn(static_cast<uint32_t>(
-            util::parse_u64(asn_text.substr(2))));
+        // Reject unparsable or >32-bit ASNs explicitly: a silent uint32_t
+        // truncation would answer for the wrong ASN.
+        uint64_t asn_value;
+        try {
+          asn_value = util::parse_u64(asn_text.substr(2));
+        } catch (const ParseError&) {
+          return "F bad ASN\n";
+        }
+        if (asn_value > 0xFFFFFFFFull) return "F bad ASN\n";
+        net::Asn asn(static_cast<uint32_t>(asn_value));
         std::vector<std::string> prefixes;
         for (const Registration& reg : db_.all_history()) {
           if (reg.live_on(today_) && reg.object.origin == asn) {

@@ -1,0 +1,151 @@
+// Flattened interval→value map over the IPv4 address space.
+//
+// The query service compiles per-day state into structures a lookup can
+// binary-search without chasing pointers. IntervalSet already covers the
+// boolean fields (routed? signed?); SegmentMap covers the valued ones
+// (which DROP categories, which ROV status): paint (range, value) pairs —
+// later paints either overwrite (most-specific-wins, the router longest-
+// match semantic) or merge (label union) — then finalize() into one sorted
+// vector of disjoint segments. Lookup is a single upper_bound.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "net/prefix.hpp"
+
+namespace droplens::net {
+
+template <typename T>
+class SegmentMap {
+ public:
+  struct Segment {
+    uint64_t begin;
+    uint64_t end;  // half-open
+    T value;
+
+    friend bool operator==(const Segment&, const Segment&) = default;
+  };
+
+  /// Paint [begin, end) := value, replacing whatever was there — painting
+  /// prefixes from least to most specific yields longest-match semantics.
+  void assign(uint64_t begin, uint64_t end, const T& value) {
+    apply(begin, end, [&](const std::optional<T>&) { return value; });
+  }
+  void assign(const Prefix& p, const T& value) {
+    assign(p.first(), p.end(), value);
+  }
+
+  /// Paint [begin, end) := merge(existing, value), where `existing` is empty
+  /// for so-far-unpainted space. Used to OR category bits of overlapping
+  /// DROP listings.
+  template <typename Merge>
+  void merge(uint64_t begin, uint64_t end, const T& value, Merge&& m) {
+    apply(begin, end, [&](const std::optional<T>& existing) {
+      return m(existing, value);
+    });
+  }
+  template <typename Merge>
+  void merge(const Prefix& p, const T& value, Merge&& m) {
+    merge(p.first(), p.end(), value, std::forward<Merge>(m));
+  }
+
+  /// Flatten the paint into the immutable sorted-segment form. Adjacent
+  /// segments with equal values coalesce. Call exactly once, after the last
+  /// paint; lookups before finalize() see an empty map.
+  void finalize() {
+    segments_.clear();
+    for (const auto& [begin, piece] : paint_) {
+      if (!piece.value) continue;
+      if (!segments_.empty() && segments_.back().end == begin &&
+          segments_.back().value == *piece.value) {
+        segments_.back().end = piece.end;
+      } else {
+        segments_.push_back({begin, piece.end, *piece.value});
+      }
+    }
+    paint_.clear();
+  }
+
+  /// The segment value at address `addr`, or nullptr for unpainted space.
+  const T* lookup(uint64_t addr) const {
+    auto it = std::upper_bound(
+        segments_.begin(), segments_.end(), addr,
+        [](uint64_t a, const Segment& s) { return a < s.begin; });
+    if (it == segments_.begin()) return nullptr;
+    --it;
+    return addr < it->end ? &it->value : nullptr;
+  }
+
+  /// The value at a prefix's network address — the longest-match answer
+  /// when paints went least-specific-first.
+  const T* lookup(const Prefix& p) const { return lookup(p.first()); }
+
+  bool empty() const { return segments_.empty(); }
+  size_t segment_count() const { return segments_.size(); }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  struct Piece {
+    uint64_t end;
+    std::optional<T> value;  // empty = unpainted gap
+  };
+
+  // Piecewise-constant paint keyed by segment begin; pieces are disjoint,
+  // sorted, and contiguous only where painted (gaps are simply absent keys
+  // except where a paint was split around them — those carry empty values).
+  template <typename Fn>
+  void apply(uint64_t begin, uint64_t end, Fn&& fn) {
+    if (begin >= end) return;
+    // Split the piece strictly straddling `begin`, if any (a piece starting
+    // exactly at `begin` needs no split — and must not be, or its key would
+    // collide with the head we would insert).
+    auto it = paint_.upper_bound(begin);
+    if (it != paint_.begin()) {
+      auto prev = std::prev(it);
+      if (prev->first < begin && prev->second.end > begin) {
+        Piece tail = prev->second;
+        prev->second.end = begin;
+        it = paint_.emplace_hint(it, begin, tail);
+      }
+    }
+    // Walk pieces inside [begin, end), transforming each and filling gaps.
+    uint64_t cursor = begin;
+    it = paint_.lower_bound(begin);
+    while (cursor < end) {
+      if (it == paint_.end() || it->first >= end) {
+        // Trailing gap [cursor, end).
+        std::optional<T> v = fn(std::optional<T>{});
+        if (v) paint_.emplace_hint(it, cursor, Piece{end, std::move(v)});
+        break;
+      }
+      if (it->first > cursor) {
+        // Gap before the next piece.
+        std::optional<T> v = fn(std::optional<T>{});
+        if (v) {
+          it = paint_.emplace_hint(it, cursor, Piece{it->first, std::move(v)});
+          ++it;
+        }
+        cursor = it->first;
+        continue;
+      }
+      // A piece starting at cursor; split its overhang past `end` first.
+      if (it->second.end > end) {
+        paint_.emplace(end, Piece{it->second.end, it->second.value});
+        it->second.end = end;
+      }
+      it->second.value = fn(it->second.value);
+      cursor = it->second.end;
+      ++it;
+    }
+  }
+
+  std::map<uint64_t, Piece> paint_;
+  std::vector<Segment> segments_;
+};
+
+}  // namespace droplens::net

@@ -1,0 +1,72 @@
+#include "svc/client.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace droplens::svc {
+
+std::string_view Client::expect(const std::string& request, FrameType want,
+                                std::string& response_storage) {
+  response_storage = connection_.roundtrip(request);
+  // A broken server can send anything; decode defensively and surface the
+  // problem as an exception rather than garbage answers.
+  if (frame_size(response_storage) != response_storage.size()) {
+    throw std::runtime_error("svc client: incomplete response frame");
+  }
+  FrameHeader header = decode_header(response_storage);
+  if (header.type == FrameType::kError) {
+    throw std::runtime_error("svc server error: " +
+                             decode_error(frame_payload(response_storage)));
+  }
+  if (header.type != want) {
+    throw std::runtime_error("svc client: unexpected response frame type");
+  }
+  return frame_payload(response_storage);
+}
+
+Answer Client::lookup(net::Date date, const net::Prefix& prefix,
+                      uint8_t fields) {
+  Query q;
+  q.date = date;
+  q.prefix = prefix;
+  q.fields = fields;
+  QueryResponse response = query({q});
+  if (response.answers.size() != 1) {
+    throw std::runtime_error("svc client: answer count mismatch");
+  }
+  return response.answers[0];
+}
+
+QueryResponse Client::query(const std::vector<Query>& queries) {
+  QueryResponse merged;
+  std::string storage;
+  for (size_t begin = 0; begin < queries.size() || queries.empty();) {
+    const size_t end = std::min(queries.size(), begin + kMaxBatch);
+    std::vector<Query> chunk(queries.begin() + static_cast<ptrdiff_t>(begin),
+                             queries.begin() + static_cast<ptrdiff_t>(end));
+    std::string_view payload =
+        expect(encode_query_request(chunk), FrameType::kQueryResponse, storage);
+    QueryResponse part = decode_query_response(payload);
+    if (part.answers.size() != chunk.size()) {
+      throw std::runtime_error("svc client: answer count mismatch");
+    }
+    merged.snapshot_version = part.snapshot_version;
+    merged.date = part.date;
+    merged.degraded = part.degraded;
+    merged.answers.insert(merged.answers.end(), part.answers.begin(),
+                          part.answers.end());
+    begin = end;
+    if (queries.empty()) break;  // one empty frame round-trips the metadata
+  }
+  return merged;
+}
+
+ServerStats Client::stats() {
+  std::string storage;
+  std::string_view payload =
+      expect(encode_stats_request(), FrameType::kStatsResponse, storage);
+  return decode_stats_response(payload);
+}
+
+}  // namespace droplens::svc

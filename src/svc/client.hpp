@@ -1,0 +1,44 @@
+// Synchronous client for the query service.
+//
+// Wraps any Connection (loopback or TCP) with encode/roundtrip/decode and
+// transparent batching: query() splits oversized batches into kMaxBatch
+// frames and stitches the responses back together. Server-side errors
+// (malformed frame, no snapshot) surface as std::runtime_error.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "svc/protocol.hpp"
+#include "svc/transport.hpp"
+
+namespace droplens::svc {
+
+class Client {
+ public:
+  explicit Client(Connection& connection) : connection_(connection) {}
+
+  /// Answer one prefix. Throws std::runtime_error on transport failure or a
+  /// server error frame.
+  Answer lookup(net::Date date, const net::Prefix& prefix,
+                uint8_t fields = kAllFields);
+
+  /// Answer a batch, splitting into kMaxBatch-sized frames as needed.
+  /// answers[i] corresponds to queries[i]; snapshot_version/date/degraded
+  /// come from the last frame (a reload mid-batch shows up as answers with
+  /// differing per-frame versions — re-query if that matters).
+  QueryResponse query(const std::vector<Query>& queries);
+
+  /// Fetch the server's observability counters.
+  ServerStats stats();
+
+ private:
+  /// Roundtrip one encoded frame, expecting `want` back; error frames and
+  /// type mismatches throw std::runtime_error.
+  std::string_view expect(const std::string& request, FrameType want,
+                          std::string& response_storage);
+
+  Connection& connection_;
+};
+
+}  // namespace droplens::svc

@@ -1,0 +1,119 @@
+// Wire protocol of the prefix-intelligence query service.
+//
+// Length-prefixed binary frames, little-endian integers throughout:
+//
+//   frame   := 'D' 'L' version:u8 type:u8 payload_len:u32 payload
+//   query request payload  := count:u16 count * { date:u32 network:u32
+//                             plen:u8 fields:u8 }                (10 B each)
+//   query response payload := snapshot_version:u64 date:u32 degraded:u8
+//                             count:u16 count * answer           (8 B each)
+//   answer  := status:u8 fields:u8 flags:u8 categories:u8 bucket:u8
+//              rov:u8 rir_status:u8 rir:u8
+//   stats request payload  := (empty)
+//   stats response payload := requests:u64 queries:u64 malformed:u64
+//                             reloads:u64 snapshot_version:u64
+//                             7 * field_lookups:u64
+//                             bucket_count:u16 bucket_count * u64
+//   error payload          := message bytes (<= 256)
+//
+// Responses carry the snapshot version so clients detect reloads mid-batch.
+// Decoding is strictly bounds-checked: declared counts are validated against
+// the bytes actually present before anything is allocated, and payload
+// length is capped — a malformed or hostile frame costs a ParseError, never
+// an over-allocation or a crash (same discipline as bgp::read_mrtl).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/date.hpp"
+#include "net/prefix.hpp"
+#include "svc/snapshot.hpp"
+
+namespace droplens::svc {
+
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kHeaderSize = 8;
+inline constexpr size_t kMaxPayload = size_t{1} << 20;
+/// Queries per frame; bounds the per-frame work a client can demand.
+inline constexpr size_t kMaxBatch = 4096;
+
+enum class FrameType : uint8_t {
+  kQueryRequest = 1,
+  kQueryResponse = 2,
+  kStatsRequest = 3,
+  kStatsResponse = 4,
+  kError = 5,
+};
+
+enum class QueryStatus : uint8_t {
+  kOk = 0,
+  kWrongDate = 1,  // snapshot serves a different date than requested
+};
+
+struct Query {
+  net::Date date;
+  net::Prefix prefix;
+  uint8_t fields = kAllFields;
+
+  friend bool operator==(const Query&, const Query&) = default;
+};
+
+struct QueryResponse {
+  uint64_t snapshot_version = 0;
+  net::Date date;
+  uint8_t degraded = 0;  // core::Feed degradation bits of the snapshot
+  std::vector<Answer> answers;
+
+  friend bool operator==(const QueryResponse&, const QueryResponse&) = default;
+};
+
+/// Observability counters, as served by the `!stats`-style protocol op.
+struct ServerStats {
+  uint64_t requests = 0;   // frames handled (any type)
+  uint64_t queries = 0;    // individual prefix lookups
+  uint64_t malformed = 0;  // frames rejected by the decoder
+  uint64_t reloads = 0;    // snapshots published after the first
+  uint64_t snapshot_version = 0;
+  std::array<uint64_t, kFieldCount> field_lookups{};
+  /// Frame service times: bucket i counts frames in [2^i, 2^(i+1)) ns.
+  std::vector<uint64_t> latency_ns_buckets;
+
+  friend bool operator==(const ServerStats&, const ServerStats&) = default;
+};
+
+struct FrameHeader {
+  uint8_t protocol = 0;
+  FrameType type = FrameType::kError;
+  uint32_t payload_len = 0;
+};
+
+/// Size in bytes of the complete frame at the head of `buffer`, or 0 when
+/// more data is needed. Throws ParseError when the head cannot be a frame
+/// (bad magic/version, or a declared payload beyond kMaxPayload).
+size_t frame_size(std::string_view buffer);
+
+/// Decode and validate a complete frame's header. Throws ParseError.
+FrameHeader decode_header(std::string_view frame);
+
+/// The payload slice of a complete frame (header already validated).
+std::string_view frame_payload(std::string_view frame);
+
+std::string encode_query_request(const std::vector<Query>& queries);
+/// Throws ParseError on count/byte mismatch or an invalid prefix length.
+std::vector<Query> decode_query_request(std::string_view payload);
+
+std::string encode_query_response(const QueryResponse& response);
+QueryResponse decode_query_response(std::string_view payload);
+
+std::string encode_stats_request();
+std::string encode_stats_response(const ServerStats& stats);
+ServerStats decode_stats_response(std::string_view payload);
+
+std::string encode_error(std::string_view message);
+std::string decode_error(std::string_view payload);
+
+}  // namespace droplens::svc

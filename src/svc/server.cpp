@@ -1,0 +1,136 @@
+#include "svc/server.hpp"
+
+#include <bit>
+#include <chrono>
+#include <vector>
+
+#include "util/error.hpp"
+#include "util/thread_pool.hpp"
+
+namespace droplens::svc {
+
+Server::Server(std::shared_ptr<const Snapshot> initial, util::ThreadPool* pool)
+    : snapshot_(std::move(initial)), pool_(pool) {}
+
+void Server::publish(std::shared_ptr<const Snapshot> snap) {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  if (snapshot_) reloads_.fetch_add(1, std::memory_order_relaxed);
+  snapshot_ = std::move(snap);
+}
+
+std::shared_ptr<const Snapshot> Server::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.queries = queries_.load(std::memory_order_relaxed);
+  s.malformed = malformed_.load(std::memory_order_relaxed);
+  s.reloads = reloads_.load(std::memory_order_relaxed);
+  if (std::shared_ptr<const Snapshot> snap = snapshot()) {
+    s.snapshot_version = snap->version();
+  }
+  for (size_t i = 0; i < kFieldCount; ++i) {
+    s.field_lookups[i] = field_lookups_[i].load(std::memory_order_relaxed);
+  }
+  s.latency_ns_buckets.resize(kLatencyBuckets);
+  for (size_t i = 0; i < kLatencyBuckets; ++i) {
+    s.latency_ns_buckets[i] = latency_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+size_t Server::message_size(std::string_view buffer) const {
+  return frame_size(buffer);
+}
+
+std::string Server::malformed_response(std::string_view /*head*/) {
+  malformed_.fetch_add(1, std::memory_order_relaxed);
+  return encode_error("malformed frame");
+}
+
+std::string Server::serve(std::string_view frame) {
+  const auto start = std::chrono::steady_clock::now();
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  std::string response;
+  try {
+    FrameHeader header = decode_header(frame);
+    if (kHeaderSize + header.payload_len != frame.size()) {
+      throw ParseError("svc: frame length mismatch");
+    }
+    switch (header.type) {
+      case FrameType::kQueryRequest:
+        response = handle_queries(frame_payload(frame));
+        break;
+      case FrameType::kStatsRequest:
+        if (!frame_payload(frame).empty()) {
+          throw ParseError("svc: stats request carries a payload");
+        }
+        response = encode_stats_response(stats());
+        break;
+      default:
+        throw ParseError("svc: unexpected frame type from client");
+    }
+  } catch (const ParseError& e) {
+    malformed_.fetch_add(1, std::memory_order_relaxed);
+    response = encode_error(e.what());
+  }
+  const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  record_latency(static_cast<uint64_t>(ns));
+  return response;
+}
+
+std::string Server::handle_queries(std::string_view payload) {
+  std::vector<Query> queries = decode_query_request(payload);
+  // One snapshot copy per frame: every answer below is computed against it,
+  // however many publishes race with us.
+  std::shared_ptr<const Snapshot> snap = snapshot();
+  if (!snap) return encode_error("no snapshot loaded");
+
+  queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  QueryResponse response;
+  response.snapshot_version = snap->version();
+  response.date = snap->date();
+  response.degraded = snap->degraded();
+  response.answers.resize(queries.size());
+
+  const Snapshot& s = *snap;
+  auto answer_one = [&](size_t i) {
+    const Query& q = queries[i];
+    if (q.date != s.date()) {
+      Answer a;
+      a.status = static_cast<uint8_t>(QueryStatus::kWrongDate);
+      response.answers[i] = a;
+      return;
+    }
+    response.answers[i] = s.lookup(q.prefix, q.fields);
+  };
+  if (pool_ && queries.size() >= kParallelThreshold) {
+    pool_->parallel_for(queries.size(), answer_one);
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) answer_one(i);
+  }
+
+  // Count per-field lookups once per answered query; sequential and cheap.
+  for (const Query& q : queries) {
+    if (q.date != s.date()) continue;
+    for (uint8_t f = 0; f < kFieldCount; ++f) {
+      if (q.fields & (uint8_t{1} << f)) {
+        field_lookups_[f].fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return encode_query_response(response);
+}
+
+void Server::record_latency(uint64_t ns) {
+  size_t bucket = ns == 0 ? 0 : static_cast<size_t>(std::bit_width(ns)) - 1;
+  if (bucket >= kLatencyBuckets) bucket = kLatencyBuckets - 1;
+  latency_[bucket].fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace droplens::svc

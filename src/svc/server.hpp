@@ -1,0 +1,78 @@
+// Transport-agnostic server core of the query service.
+//
+// The Server owns the published Snapshot behind a shared_ptr that handlers
+// copy exactly once per frame, so every answer in a response is computed
+// against one snapshot even while publish() swaps in a new one — zero-
+// downtime reload with per-frame self-consistency. Large batches fan out
+// across the engine's util::ThreadPool with slot-indexed writes, keeping
+// responses byte-identical for any thread count.
+//
+// Observability is built in: relaxed atomic counters (frames, queries,
+// malformed frames, per-field lookups, reloads) and a log2 latency
+// histogram, all served by the stats protocol op.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "svc/protocol.hpp"
+#include "svc/snapshot.hpp"
+#include "svc/transport.hpp"
+
+namespace droplens::util {
+class ThreadPool;
+}  // namespace droplens::util
+
+namespace droplens::svc {
+
+class Server : public Service {
+ public:
+  /// `initial` may be null (queries answer with an error frame until the
+  /// first publish). `pool`, when set, fans large batches out across its
+  /// workers; null serves every batch on the transport thread.
+  explicit Server(std::shared_ptr<const Snapshot> initial = nullptr,
+                  util::ThreadPool* pool = nullptr);
+
+  /// Atomically replace the served snapshot. In-flight frames finish
+  /// against the snapshot they started with; new frames see `snap`.
+  /// Replacing an existing snapshot counts as a reload.
+  void publish(std::shared_ptr<const Snapshot> snap);
+
+  /// The currently served snapshot (null before the first publish).
+  std::shared_ptr<const Snapshot> snapshot() const;
+
+  /// Current counters, as served by the stats protocol op.
+  ServerStats stats() const;
+
+  // Service interface ------------------------------------------------------
+  size_t message_size(std::string_view buffer) const override;
+  std::string serve(std::string_view frame) override;
+  std::string malformed_response(std::string_view head) override;
+
+ private:
+  /// Batches at least this large go through the thread pool.
+  static constexpr size_t kParallelThreshold = 256;
+  /// log2 histogram: bucket i counts frames served in [2^i, 2^(i+1)) ns.
+  static constexpr size_t kLatencyBuckets = 40;
+
+  std::string handle_queries(std::string_view payload);
+  void record_latency(uint64_t ns);
+
+  mutable std::mutex snapshot_mu_;
+  std::shared_ptr<const Snapshot> snapshot_;
+  util::ThreadPool* pool_;
+
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> queries_{0};
+  std::atomic<uint64_t> malformed_{0};
+  std::atomic<uint64_t> reloads_{0};
+  std::array<std::atomic<uint64_t>, kFieldCount> field_lookups_{};
+  std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_{};
+};
+
+}  // namespace droplens::svc

@@ -1,0 +1,184 @@
+#include "svc/snapshot.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/engine.hpp"
+#include "drop/category.hpp"
+#include "rpki/archive.hpp"
+#include "rpki/tal.hpp"
+
+namespace droplens::svc {
+
+namespace {
+
+constexpr uint8_t feed_bit(core::Feed f) {
+  return static_cast<uint8_t>(uint8_t{1} << static_cast<uint8_t>(f));
+}
+
+/// Primary classification bucket: the first category (in kAllCategories
+/// order) a prefix carries.
+uint8_t primary_bucket(uint8_t category_bits) {
+  for (drop::Category c : drop::kAllCategories) {
+    if (category_bits & (uint8_t{1} << static_cast<int>(c))) {
+      return static_cast<uint8_t>(c);
+    }
+  }
+  return kNoValue;
+}
+
+}  // namespace
+
+Answer Snapshot::lookup(const net::Prefix& p, uint8_t fields) const {
+  Answer a;
+  a.fields = fields & kAllFields;
+  if (a.fields & (field_bit(Field::kDrop) | field_bit(Field::kClassification))) {
+    if (const DropInfo* info = drop_.lookup(p)) {
+      a.drop_listed = true;
+      a.incident = info->incident;
+      if (a.fields & field_bit(Field::kDrop)) a.categories = info->categories;
+      if (a.fields & field_bit(Field::kClassification)) {
+        a.bucket = primary_bucket(info->categories);
+      }
+    }
+  }
+  if (a.fields & field_bit(Field::kRov)) {
+    const uint8_t* status = rov_.lookup(p);
+    a.rov = status ? static_cast<RovStatus>(*status) : RovStatus::kUnrouted;
+  }
+  if (a.fields & field_bit(Field::kAs0)) a.as0_covered = as0_.intersects(p);
+  if (a.fields & field_bit(Field::kIrr)) a.irr_registered = irr_.intersects(p);
+  if (a.fields & field_bit(Field::kRouted)) a.routed = routed_.intersects(p);
+  if (a.fields & field_bit(Field::kRir)) {
+    if (const uint8_t* rir = rir_.lookup(p)) {
+      a.rir = *rir;
+      a.rir_status = allocated_.contains(net::Ipv4(
+                         static_cast<uint32_t>(p.first())))
+                         ? RirStatus::kAllocated
+                         : RirStatus::kFreePool;
+    } else {
+      a.rir_status = RirStatus::kUnadministered;
+    }
+  }
+  return a;
+}
+
+std::shared_ptr<const Snapshot> compile_snapshot(const core::Study& study,
+                                                 const core::DropIndex& index,
+                                                 net::Date d,
+                                                 uint64_t version) {
+  auto snap = std::make_shared<Snapshot>();
+  snap->version_ = version;
+  snap->date_ = d;
+
+  using core::engine::SetPtr;
+
+  // Boolean space fields: one immutable IntervalSet each. A null SetPtr —
+  // ledger-unavailable day or failed substrate computation — leaves the set
+  // empty and flags the feed.
+  if (SetPtr routed = core::engine::routed_space(study, d)) {
+    snap->routed_ = *routed;
+  } else {
+    snap->degraded_ |= feed_bit(core::Feed::kBgpUpdates);
+  }
+  if (SetPtr allocated = core::engine::allocated_space(study, d)) {
+    snap->allocated_ = *allocated;
+  } else {
+    snap->degraded_ |= feed_bit(core::Feed::kDelegations);
+  }
+  if (SetPtr as0 = core::engine::signed_space(study, d, rpki::TalSet::all(),
+                                        rpki::RoaArchive::Filter::kAs0Only)) {
+    snap->as0_ = *as0;
+  } else {
+    snap->degraded_ |= feed_bit(core::Feed::kRoas);
+  }
+  if (SetPtr irr = core::engine::irr_space(study, d)) {
+    snap->irr_ = *irr;
+  } else {
+    snap->degraded_ |= feed_bit(core::Feed::kIrr);
+  }
+
+  // DROP labels: OR the categories of every listing covering a point, so
+  // overlapping listings answer with their label union (order-independent).
+  if (core::engine::day_available(study, core::Feed::kDropFeed, d)) {
+    for (const core::DropEntry& entry : index.entries()) {
+      if (!study.drop.listed_on(entry.prefix, d)) continue;
+      Snapshot::DropInfo info;
+      info.categories = 0;
+      for (drop::Category c : drop::kAllCategories) {
+        if (entry.categories.has(c)) {
+          info.categories |= uint8_t{1} << static_cast<int>(c);
+        }
+      }
+      info.incident = entry.incident;
+      snap->drop_.merge(entry.prefix, info,
+                        [](const std::optional<Snapshot::DropInfo>& existing,
+                           const Snapshot::DropInfo& v) {
+                          if (!existing) return v;
+                          Snapshot::DropInfo merged = *existing;
+                          merged.categories |= v.categories;
+                          merged.incident |= v.incident;
+                          return merged;
+                        });
+    }
+  } else {
+    snap->degraded_ |= feed_bit(core::Feed::kDropFeed);
+  }
+  snap->drop_.finalize();
+
+  // ROV paint: per announced prefix, the aggregate RFC 6811 status of its
+  // origins that day. Painted least-specific-first so a point lookup gives
+  // the most specific covering announcement — router longest-match. The
+  // validation fan-out writes to slot i; painting is sequential in index
+  // order, keeping the artifact byte-identical for any thread count.
+  const bool bgp_ok =
+      (snap->degraded_ & feed_bit(core::Feed::kBgpUpdates)) == 0;
+  const bool roas_ok = core::engine::day_available(study, core::Feed::kRoas, d);
+  if (!roas_ok) snap->degraded_ |= feed_bit(core::Feed::kRoas);
+  if (bgp_ok) {
+    std::vector<net::Prefix> announced = study.fleet.announced_prefixes_on(d);
+    std::stable_sort(announced.begin(), announced.end(),
+                     [](const net::Prefix& a, const net::Prefix& b) {
+                       return a.length() < b.length();
+                     });
+    std::vector<uint8_t> status(announced.size(),
+                                static_cast<uint8_t>(RovStatus::kNotFound));
+    if (roas_ok) {
+      core::engine::parallel_for(study, announced.size(), [&](size_t i) {
+        RovStatus worst = RovStatus::kNotFound;
+        for (net::Asn origin : study.fleet.origins_on(announced[i], d)) {
+          switch (study.roas.validate_route(announced[i], origin, d)) {
+            case rpki::Validity::kInvalid:
+              worst = RovStatus::kInvalid;
+              break;
+            case rpki::Validity::kValid:
+              if (worst != RovStatus::kInvalid) worst = RovStatus::kValid;
+              break;
+            case rpki::Validity::kNotFound:
+              break;
+          }
+          if (worst == RovStatus::kInvalid) break;
+        }
+        status[i] = static_cast<uint8_t>(worst);
+      });
+    }
+    for (size_t i = 0; i < announced.size(); ++i) {
+      snap->rov_.assign(announced[i], status[i]);
+    }
+  }
+  snap->rov_.finalize();
+
+  // Administering RIR: painted from the static administered blocks (they
+  // are disjoint across RIRs, so paint order is irrelevant).
+  for (rir::Rir r : rir::kAllRirs) {
+    for (const net::IntervalSet::Interval& iv :
+         study.registry.administered(r).intervals()) {
+      snap->rir_.assign(iv.begin, iv.end, static_cast<uint8_t>(r));
+    }
+  }
+  snap->rir_.finalize();
+
+  return snap;
+}
+
+}  // namespace droplens::svc

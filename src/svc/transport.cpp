@@ -1,0 +1,192 @@
+#include "svc/transport.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include "util/error.hpp"
+
+namespace droplens::svc {
+
+namespace {
+
+constexpr size_t kReadChunk = 64 * 1024;
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("svc transport: " + what + ": " +
+                           std::strerror(errno));
+}
+
+// Retries short writes and EINTR; MSG_NOSIGNAL keeps a dead peer from
+// raising SIGPIPE. Returns false when the peer is gone.
+bool write_all(int fd, std::string_view bytes) {
+  while (!bytes.empty()) {
+    ssize_t n = ::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes.remove_prefix(static_cast<size_t>(n));
+  }
+  return true;
+}
+
+}  // namespace
+
+TcpServer::TcpServer(Service& service, uint16_t port) : service_(service) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) fail("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    fail("bind");
+  }
+  if (::listen(listen_fd_, 64) < 0) {
+    int saved = errno;
+    ::close(listen_fd_);
+    errno = saved;
+    fail("listen");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+TcpServer::~TcpServer() { stop(); }
+
+void TcpServer::stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    // Already stopping/stopped; still join in case of a racing caller.
+    if (acceptor_.joinable()) acceptor_.join();
+  } else {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    if (acceptor_.joinable()) acceptor_.join();
+    ::close(listen_fd_);
+  }
+  std::vector<std::unique_ptr<ConnectionSlot>> connections;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    connections.swap(connections_);
+    for (auto& slot : connections) {
+      if (slot->fd >= 0) ::shutdown(slot->fd, SHUT_RDWR);
+    }
+  }
+  for (auto& slot : connections) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+}
+
+void TcpServer::accept_loop() {
+  while (!stopping_.load()) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;  // listening socket shut down
+    }
+    accepted_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto slot = std::make_unique<ConnectionSlot>();
+    slot->fd = fd;
+    // Raw pointer stays valid across vector moves/swaps (unique_ptr slot);
+    // the slot is only destroyed after its thread is joined in stop().
+    ConnectionSlot* raw = slot.get();
+    connections_.push_back(std::move(slot));
+    raw->thread = std::thread([this, raw] { connection_loop(raw); });
+  }
+}
+
+void TcpServer::connection_loop(ConnectionSlot* slot) {
+  const int fd = slot->fd;
+  std::string buffer;
+  char chunk[kReadChunk];
+  while (true) {
+    // Drain every complete message already buffered before reading more.
+    bool closed = false;
+    while (true) {
+      size_t n;
+      try {
+        n = service_.message_size(buffer);
+      } catch (const ParseError&) {
+        write_all(fd, service_.malformed_response(buffer));
+        closed = true;
+        break;
+      }
+      if (n == 0) break;
+      std::string response = service_.serve(std::string_view(buffer).substr(0, n));
+      buffer.erase(0, n);
+      if (!write_all(fd, response)) {
+        closed = true;
+        break;
+      }
+    }
+    if (closed) break;
+    ssize_t got = ::read(fd, chunk, sizeof(chunk));
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;
+    buffer.append(chunk, static_cast<size_t>(got));
+  }
+  // Mark closed under the lock so stop() never shutdown()s a recycled fd.
+  std::lock_guard<std::mutex> lock(mu_);
+  ::close(fd);
+  slot->fd = -1;
+}
+
+TcpClientConnection::TcpClientConnection(const std::string& host,
+                                         uint16_t port, Framer framer)
+    : framer_(std::move(framer)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd_);
+    throw std::runtime_error("svc transport: bad address: " + host);
+  }
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    int saved = errno;
+    ::close(fd_);
+    errno = saved;
+    fail("connect");
+  }
+}
+
+TcpClientConnection::~TcpClientConnection() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string TcpClientConnection::roundtrip(std::string_view message) {
+  if (!write_all(fd_, message)) fail("send");
+  char chunk[kReadChunk];
+  while (true) {
+    size_t n = framer_(buffer_);  // ParseError here means a broken server
+    if (n > 0) {
+      std::string response = buffer_.substr(0, n);
+      buffer_.erase(0, n);
+      return response;
+    }
+    ssize_t got = ::read(fd_, chunk, sizeof(chunk));
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) {
+      throw std::runtime_error("svc transport: connection closed mid-response");
+    }
+    buffer_.append(chunk, static_cast<size_t>(got));
+  }
+}
+
+}  // namespace droplens::svc

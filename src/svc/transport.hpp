@@ -1,0 +1,135 @@
+// Transport layer of the query service.
+//
+// A Service is one protocol endpoint: it knows how to delimit messages in a
+// byte stream (length-prefixed frames for the binary protocol, newline-
+// terminated lines for whois) and how to serve one message. Transports move
+// bytes and know nothing else — so the binary query server and the whois
+// front ride the same server core:
+//
+//   LoopbackConnection   in-process, deterministic; what tests and the
+//                        service bench drive
+//   TcpServer            POSIX TCP daemon: accept loop + one thread per
+//                        connection, each running the read/delimit/serve
+//                        loop against the shared Service
+//   TcpClientConnection  blocking client socket with a response framer
+//
+// Service implementations must be safe to call from many transport threads
+// concurrently; serve() must never throw (protocol errors are responses).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace droplens::svc {
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  /// Size of the first complete message at the head of `buffer`; 0 when more
+  /// bytes are needed. Throws ParseError when the head can never become a
+  /// valid message — the transport then sends malformed_response() and
+  /// closes, since the stream cannot be resynchronized.
+  virtual size_t message_size(std::string_view buffer) const = 0;
+
+  /// Serve one complete message. Must not throw; must be thread-safe.
+  virtual std::string serve(std::string_view message) = 0;
+
+  /// The final response for an undelimitable stream head.
+  virtual std::string malformed_response(std::string_view head) = 0;
+};
+
+/// A synchronous request/response channel, as used by svc::Client.
+class Connection {
+ public:
+  virtual ~Connection() = default;
+
+  /// Send one message, return the service's response. Throws
+  /// std::runtime_error on transport failure.
+  virtual std::string roundtrip(std::string_view message) = 0;
+};
+
+/// In-process transport: a roundtrip is a direct call into the service.
+/// Deterministic and allocation-light — the reference transport for tests
+/// and benchmarks.
+class LoopbackConnection : public Connection {
+ public:
+  explicit LoopbackConnection(Service& service) : service_(service) {}
+
+  std::string roundtrip(std::string_view message) override {
+    return service_.serve(message);
+  }
+
+ private:
+  Service& service_;
+};
+
+/// Client-side response delimiter: same contract as Service::message_size.
+using Framer = std::function<size_t(std::string_view)>;
+
+/// Blocking TCP daemon on 127.0.0.1. Port 0 binds an ephemeral port
+/// (read it back via port()). One accept thread; one thread per connection.
+class TcpServer {
+ public:
+  /// Throws std::runtime_error if the socket cannot be bound.
+  explicit TcpServer(Service& service, uint16_t port = 0);
+  ~TcpServer();
+
+  TcpServer(const TcpServer&) = delete;
+  TcpServer& operator=(const TcpServer&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Connections accepted over the server's lifetime.
+  size_t connections_accepted() const { return accepted_.load(); }
+
+  /// Stop accepting, shut down open connections, join all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+ private:
+  struct ConnectionSlot {
+    int fd = -1;
+    std::thread thread;
+  };
+
+  void accept_loop();
+  void connection_loop(ConnectionSlot* slot);
+
+  Service& service_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> accepted_{0};
+  std::thread acceptor_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<ConnectionSlot>> connections_;
+};
+
+/// Blocking client socket to a TcpServer. `framer` delimits responses
+/// (svc::frame_size for the binary protocol, whois_response_size for whois).
+class TcpClientConnection : public Connection {
+ public:
+  /// Throws std::runtime_error if the connection cannot be established.
+  TcpClientConnection(const std::string& host, uint16_t port, Framer framer);
+  ~TcpClientConnection() override;
+
+  TcpClientConnection(const TcpClientConnection&) = delete;
+  TcpClientConnection& operator=(const TcpClientConnection&) = delete;
+
+  std::string roundtrip(std::string_view message) override;
+
+ private:
+  int fd_ = -1;
+  Framer framer_;
+  std::string buffer_;
+};
+
+}  // namespace droplens::svc

@@ -1,0 +1,68 @@
+#include "svc/whois_service.hpp"
+
+#include <cstdint>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace droplens::svc {
+
+size_t WhoisService::message_size(std::string_view buffer) const {
+  size_t newline = buffer.find('\n');
+  if (newline == std::string_view::npos) {
+    if (buffer.size() >= kMaxLine) throw ParseError("whois: line too long");
+    return 0;
+  }
+  if (newline + 1 > kMaxLine) throw ParseError("whois: line too long");
+  return newline + 1;
+}
+
+std::string WhoisService::serve(std::string_view message) {
+  // Strip the newline terminator (and a CR from telnet-style clients);
+  // WhoisServer::handle wants the bare query.
+  if (!message.empty() && message.back() == '\n') message.remove_suffix(1);
+  if (!message.empty() && message.back() == '\r') message.remove_suffix(1);
+  return server_.handle(message);
+}
+
+std::string WhoisService::malformed_response(std::string_view /*head*/) {
+  return "F line too long\n";
+}
+
+size_t whois_response_size(std::string_view buffer) {
+  if (buffer.empty()) return 0;
+  switch (buffer.front()) {
+    case 'C':
+    case 'D': {
+      if (buffer.size() < 2) return 0;
+      if (buffer[1] != '\n') throw ParseError("whois: bad response framing");
+      return 2;
+    }
+    case 'F': {
+      size_t newline = buffer.find('\n');
+      return newline == std::string_view::npos ? 0 : newline + 1;
+    }
+    case 'A': {
+      // "A<len>\n" + len payload bytes + "C\n"
+      size_t newline = buffer.find('\n');
+      if (newline == std::string_view::npos) return 0;
+      if (newline == 1) throw ParseError("whois: bad A response length");
+      uint64_t len;
+      try {
+        len = util::parse_u64(buffer.substr(1, newline - 1));
+      } catch (const ParseError&) {
+        throw ParseError("whois: bad A response length");
+      }
+      size_t total = newline + 1 + static_cast<size_t>(len) + 2;
+      if (buffer.size() < total) return 0;
+      if (buffer[total - 2] != 'C' || buffer[total - 1] != '\n') {
+        throw ParseError("whois: bad response framing");
+      }
+      return total;
+    }
+    default:
+      throw ParseError("whois: bad response framing");
+  }
+}
+
+}  // namespace droplens::svc

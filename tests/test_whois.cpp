@@ -85,6 +85,21 @@ TEST_F(WhoisTest, ErrorsAreFrames) {
   EXPECT_EQ(server.handle("!gbanana").front(), 'F');
 }
 
+TEST_F(WhoisTest, OriginQueryRejectsBadAsns) {
+  WhoisServer server(db, D("2021-01-01"), sets);
+  // Unparsable ASN text.
+  EXPECT_EQ(server.handle("!gASbanana"), "F bad ASN\n");
+  EXPECT_EQ(server.handle("!gAS"), "F bad ASN\n");
+  // Beyond 32 bits: must be rejected, not silently truncated. AS4294967296
+  // truncates to AS0 and AS4294967297 to AS1 — both would answer for the
+  // wrong ASN.
+  EXPECT_EQ(server.handle("!gAS4294967296"), "F bad ASN\n");
+  EXPECT_EQ(server.handle("!gAS4294967297"), "F bad ASN\n");
+  EXPECT_EQ(server.handle("!gAS99999999999999999999"), "F bad ASN\n");
+  // The top of the valid range still answers (no data here, but no error).
+  EXPECT_EQ(server.handle("!gAS4294967295"), "D\n");
+}
+
 TEST_F(WhoisTest, PayloadLengthIsAccurate) {
   WhoisServer server(db, D("2021-01-01"), sets);
   std::string resp = server.handle("!r10.1.0.0/16");
