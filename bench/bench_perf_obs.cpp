@@ -1,0 +1,135 @@
+// Microbenchmark of the observability layer's record path.
+//
+// The contract the obs library sells: an uncontended counter increment is a
+// single relaxed atomic add (a few ns), a no-op handle costs one branch,
+// and spans cost nothing when no tracer is installed. This bench measures
+// each, plus the contended case and page rendering, so a regression in the
+// hot path shows up as a number — EXPERIMENTS.md records the baseline.
+//
+//   $ ./bench_perf_obs [--ops=N] [--threads=N]
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
+
+using namespace droplens;
+
+namespace {
+
+// Keep the compiler from hoisting the measured op out of the loop.
+template <typename T>
+inline void keep(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+// Inlined at the call site so only the measured op is in the loop body.
+template <typename Op>
+double ns_per_op(uint64_t ops, Op&& op) {
+  const auto start = std::chrono::steady_clock::now();
+  for (uint64_t i = 0; i < ops; ++i) op();
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  return static_cast<double>(
+             std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                 .count()) /
+         static_cast<double>(ops);
+}
+
+void row(const char* name, double ns) {
+  std::cout << name << "  " << ns << " ns/op\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t ops = 50'000'000;
+  unsigned threads = 4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--ops=", 6) == 0) {
+      ops = std::stoull(argv[i] + 6);
+    }
+    if (std::strncmp(argv[i], "--threads=", 10) == 0) {
+      threads = static_cast<unsigned>(std::stoul(argv[i] + 10));
+    }
+  }
+
+  obs::Registry reg;
+  obs::Counter counter = reg.counter("bench_total");
+  obs::Histogram hist =
+      reg.histogram("bench_ns", obs::Registry::log2_bounds(39));
+  obs::Counter noop;  // default-constructed: the uninstalled path
+
+  row("counter.inc   (uncontended)",
+      ns_per_op(ops, [&counter] { counter.inc(); }));
+  row("counter.inc   (no-op handle)",
+      ns_per_op(ops, [&noop] { noop.inc(); }));
+  row("histogram.observe",
+      ns_per_op(ops, [&hist] { hist.observe(1234); }));
+  row("span          (no tracer)", ns_per_op(ops, [] {
+        obs::Span span("bench");
+        keep(span);
+      }));
+  {
+    obs::Tracer tracer(16);
+    obs::ScopedTracer scoped(tracer);
+    row("span          (tracer installed)", ns_per_op(ops / 50, [] {
+          obs::Span span("bench");
+          keep(span);
+        }));
+  }
+
+  {
+    // Contended: `threads` workers hammering one cell.
+    const uint64_t per_thread = ops / threads;
+    std::vector<std::thread> workers;
+    const auto start = std::chrono::steady_clock::now();
+    for (unsigned t = 0; t < threads; ++t) {
+      workers.emplace_back([&counter, per_thread] {
+        for (uint64_t i = 0; i < per_thread; ++i) counter.inc();
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    const double ns =
+        static_cast<double>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                .count()) /
+        static_cast<double>(per_thread * threads);
+    std::cout << "counter.inc   (contended x" << threads << ")  " << ns
+              << " ns/op\n";
+  }
+
+  {
+    // Render a realistically sized page (the droplensd registry is ~40
+    // families): time per full exposition.
+    for (int f = 0; f < 40; ++f) {
+      std::string name = "bench_family_" + std::to_string(f) + "_total";
+      for (int s = 0; s < 4; ++s) {
+        reg.counter(name, {{"shard", std::to_string(s)}}).inc();
+      }
+    }
+    constexpr int kRenders = 2000;
+    const auto start = std::chrono::steady_clock::now();
+    size_t bytes = 0;
+    for (int i = 0; i < kRenders; ++i) {
+      bytes += obs::render_prometheus(reg).size();
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    keep(bytes);
+    std::cout << "render_prometheus  "
+              << std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+                         .count() /
+                     kRenders
+              << " us/page (" << bytes / kRenders << " bytes)\n";
+  }
+
+  std::cout << "checksum: counter=" << counter.value()
+            << " hist_sum=" << hist.sum() << "\n";
+  return 0;
+}

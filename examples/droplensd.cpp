@@ -7,19 +7,24 @@
 // SIGINT/SIGTERM shut down cleanly.
 //
 //   $ ./droplensd [--small] [--seed=N] [--port=P] [--whois-port=P]
-//                 [--threads=N] [--date-offset=DAYS]
+//                 [--metrics-port=P] [--threads=N] [--date-offset=DAYS]
 //
 // Then, from another terminal:  printf '!gAS64500\n' | nc 127.0.0.1 4343
+// With --metrics-port=P:        curl http://127.0.0.1:P/metrics
 #include <csignal>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "core/data_quality.hpp"
 #include "core/drop_index.hpp"
 #include "core/snapshot_cache.hpp"
 #include "irr/whois.hpp"
+#include "obs/metrics.hpp"
 #include "sim/generator.hpp"
+#include "svc/metrics_http.hpp"
 #include "svc/server.hpp"
 #include "svc/snapshot.hpp"
 #include "svc/transport.hpp"
@@ -44,6 +49,8 @@ int main(int argc, char** argv) {
   uint64_t seed = 0;
   uint16_t port = 4242;
   uint16_t whois_port = 4343;
+  bool metrics = false;
+  uint16_t metrics_port = 0;
   unsigned threads = util::ThreadPool::default_thread_count();
   int32_t date_offset = 60;
   for (int i = 1; i < argc; ++i) {
@@ -57,6 +64,10 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--whois-port=", 13) == 0) {
       whois_port = static_cast<uint16_t>(std::stoul(argv[i] + 13));
     }
+    if (std::strncmp(argv[i], "--metrics-port=", 15) == 0) {
+      metrics = true;
+      metrics_port = static_cast<uint16_t>(std::stoul(argv[i] + 15));
+    }
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<unsigned>(std::stoul(argv[i] + 10));
     }
@@ -64,6 +75,13 @@ int main(int argc, char** argv) {
       date_offset = std::stoi(argv[i] + 14);
     }
   }
+
+  // One process-wide registry, installed before anything that binds
+  // instruments is constructed — the pool, cache, parsers, and server all
+  // register here, so the /metrics page aggregates the whole process.
+  // Declared first so it outlives every instrument holder.
+  obs::Registry registry;
+  obs::ScopedRegistry scoped_registry(registry);
 
   sim::ScenarioConfig config =
       small ? sim::ScenarioConfig::small() : sim::ScenarioConfig{};
@@ -80,6 +98,15 @@ int main(int argc, char** argv) {
                     config.window_end};
   study.pool = &pool;
   study.snapshots = &cache;
+  // Ingestion ledger: simulated worlds parse clean, so the gauges read zero,
+  // but the families are always on the /metrics page — a scraper alerting on
+  // droplens_feed_records_skipped_total works unchanged on archive-fed runs.
+  core::DataQuality quality;
+  study.quality = &quality;
+  const size_t window_days =
+      static_cast<size_t>(config.window_end.days() -
+                          config.window_begin.days() + 1);
+  quality.export_metrics(registry, window_days);
   core::DropIndex index = core::DropIndex::build(study);
   net::Date date = config.window_begin + date_offset;
 
@@ -92,6 +119,13 @@ int main(int argc, char** argv) {
   svc::WhoisService whois_service(whois);
   svc::TcpServer whois_tcp(whois_service, whois_port);
 
+  svc::MetricsHttpService metrics_service(registry);
+  std::unique_ptr<svc::TcpServer> metrics_tcp;
+  if (metrics) {
+    metrics_tcp =
+        std::make_unique<svc::TcpServer>(metrics_service, metrics_port);
+  }
+
   std::signal(SIGHUP, on_sighup);
   std::signal(SIGINT, on_sigterm);
   std::signal(SIGTERM, on_sigterm);
@@ -99,8 +133,12 @@ int main(int argc, char** argv) {
   std::cerr << "droplensd: serving date " << date.to_string()
             << " — binary protocol on 127.0.0.1:" << query_tcp.port()
             << ", whois on 127.0.0.1:" << whois_tcp.port() << " ("
-            << pool.concurrency() << " engine threads)\n"
-            << "droplensd: SIGHUP reloads the snapshot; SIGINT stops\n";
+            << pool.concurrency() << " engine threads)\n";
+  if (metrics_tcp) {
+    std::cerr << "droplensd: Prometheus metrics on http://127.0.0.1:"
+              << metrics_tcp->port() << "/metrics\n";
+  }
+  std::cerr << "droplensd: SIGHUP reloads the snapshot; SIGINT stops\n";
 
   while (!g_stop) {
     if (g_reload) {
@@ -109,6 +147,7 @@ int main(int argc, char** argv) {
       std::cerr << "droplensd: reloading snapshot (version " << version
                 << ")...\n";
       server.publish(svc::compile_snapshot(study, index, date, version));
+      quality.export_metrics(registry, window_days);
       std::cerr << "droplensd: snapshot " << version << " live\n";
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
@@ -117,6 +156,7 @@ int main(int argc, char** argv) {
   std::cerr << "droplensd: shutting down\n";
   query_tcp.stop();
   whois_tcp.stop();
+  if (metrics_tcp) metrics_tcp->stop();
   svc::ServerStats stats = server.stats();
   std::cerr << "droplensd: served " << stats.requests << " frames ("
             << stats.queries << " lookups, " << stats.malformed

@@ -1,11 +1,15 @@
 // Full study report: one call regenerates the whole paper as a text
 // document (all sections, the Fig 4 timeline, extension analyses).
 //
-//   $ ./full_report [--full] [--series] [--threads=N] > report.md
+//   $ ./full_report [--full] [--series] [--threads=N] [--trace] > report.md
 //
 // The report engine parallelizes across the configured thread count
 // (--threads, else DROPLENS_THREADS, else hardware_concurrency; 1 forces
 // the sequential path). Output is byte-identical for any thread count.
+//
+// --trace installs an obs::Tracer for the run and dumps the recorded span
+// trees (per-stage wall/CPU time) to stderr afterwards; stdout — the report
+// itself — is byte-identical with and without it.
 //
 // Fault drill: the DROP substrate can be round-tripped through its text
 // archive with deterministic damage before the analyses run —
@@ -27,6 +31,7 @@
 #include "core/data_quality.hpp"
 #include "core/report.hpp"
 #include "drop/feed.hpp"
+#include "obs/trace.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/generator.hpp"
 #include "util/error.hpp"
@@ -37,6 +42,7 @@ using namespace droplens;
 int main(int argc, char** argv) {
   bool full = false;
   bool lenient = false;
+  bool trace = false;
   std::optional<uint64_t> corrupt_seed;
   int drop_days = 0;
   core::ReportOptions options;
@@ -56,6 +62,7 @@ int main(int argc, char** argv) {
     if (std::strcmp(argv[i], "--full") == 0) full = true;
     if (std::strcmp(argv[i], "--series") == 0) options.include_series = true;
     if (std::strcmp(argv[i], "--lenient") == 0) lenient = true;
+    if (std::strcmp(argv[i], "--trace") == 0) trace = true;
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       unsigned long v = 0;
       if (!uint_arg(argv[i], "--threads", 10, 1024, &v)) return 2;
@@ -125,6 +132,17 @@ int main(int argc, char** argv) {
                     world->roas,     replayed ? rebuilt : world->drop,
                     world->sbl,      config.window_begin, config.window_end};
   if (replayed) study.quality = &quality;
-  core::write_report(std::cout, study, options);
+  if (trace) {
+    // Timing goes to stderr; the report on stdout stays byte-identical.
+    obs::Tracer tracer;
+    {
+      obs::ScopedTracer scoped(tracer);
+      core::write_report(std::cout, study, options);
+    }
+    std::cerr << "--- span trace (" << tracer.submitted() << " roots) ---\n";
+    tracer.render(std::cerr);
+  } else {
+    core::write_report(std::cout, study, options);
+  }
   return 0;
 }

@@ -7,6 +7,8 @@
 #include <ostream>
 #include <string_view>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 
 namespace droplens::bgp {
@@ -120,6 +122,8 @@ std::string strip_prefix(std::string_view what) {
 
 std::vector<Update> read_mrtl(std::istream& in, util::ParsePolicy policy,
                               util::ParseReport* report) {
+  obs::Span span("parse.mrtl");
+  size_t skipped = 0;
   char magic[4];
   if (!in.read(magic, sizeof magic) || std::memcmp(magic, kMagic, 4) != 0) {
     // A bad magic means the whole file is unusable; that is a hard error in
@@ -162,9 +166,15 @@ std::vector<Update> read_mrtl(std::istream& in, util::ParsePolicy policy,
                         strip_prefix(e.what()) + "; dropped remaining " +
                         std::to_string(count - i) + " records");
       }
+      skipped = static_cast<size_t>(count - i);
       break;
     }
     if (report) report->add_parsed();
+  }
+  if (obs::Registry* reg = obs::installed()) {
+    obs::Labels feed{{"feed", "bgp"}};
+    reg->counter("droplens_parse_records_total", feed).inc(out.size());
+    reg->counter("droplens_parse_records_skipped_total", feed).inc(skipped);
   }
   return out;
 }

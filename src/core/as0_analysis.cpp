@@ -1,11 +1,13 @@
 #include "core/as0_analysis.hpp"
 
 #include "core/engine.hpp"
+#include "obs/trace.hpp"
 #include "rpki/as0_policy.hpp"
 
 namespace droplens::core {
 
 As0Result analyze_as0(const Study& study, const DropIndex& index) {
+  obs::Span span("core.as0_analysis");
   As0Result r;
 
   // --- Fig 6: unallocated prefixes appearing on DROP ---------------------

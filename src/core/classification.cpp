@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/engine.hpp"
+#include "obs/trace.hpp"
 
 namespace droplens::core {
 
@@ -86,6 +87,7 @@ void merge(ClassificationResult& r, const ClassificationResult& part) {
 
 ClassificationResult analyze_classification(const Study& study,
                                             const DropIndex& index) {
+  obs::Span span("core.classification");
   ClassificationResult r;
   for (size_t i = 0; i < drop::kAllCategories.size(); ++i) {
     r.per_category[i].category = drop::kAllCategories[i];

@@ -18,6 +18,17 @@ std::string_view to_string(Feed f) {
   return "?";
 }
 
+std::string_view metric_label(Feed f) {
+  switch (f) {
+    case Feed::kDropFeed: return "drop";
+    case Feed::kBgpUpdates: return "bgp";
+    case Feed::kDelegations: return "delegations";
+    case Feed::kRoas: return "roas";
+    case Feed::kIrr: return "irr";
+  }
+  return "?";
+}
+
 void DataQuality::note_input(Feed f, const util::ParseReport& report) {
   aggregate_[idx(f)].merge(report);
   if (report.skipped() == 0) return;
@@ -89,6 +100,25 @@ void DataQuality::render(std::ostream& out) const {
       }
       out << '\n';
     }
+  }
+}
+
+void DataQuality::export_metrics(obs::Registry& reg,
+                                 size_t window_days) const {
+  reg.gauge("droplens_feed_days_total", {},
+            "Days in the study window each feed is expected to cover")
+      .set(static_cast<int64_t>(window_days));
+  for (Feed f : kAllFeeds) {
+    obs::Labels labels{{"feed", std::string(metric_label(f))}};
+    reg.gauge("droplens_feed_days_degraded", labels,
+              "Days whose snapshot was unusable, per feed")
+        .set(static_cast<int64_t>(unavailable_days(f).size()));
+    reg.gauge("droplens_feed_records_parsed_total", labels,
+              "Records ingested per feed (lenient or strict)")
+        .set(static_cast<int64_t>(report(f).parsed()));
+    reg.gauge("droplens_feed_records_skipped_total", labels,
+              "Damaged records skipped per feed under lenient parsing")
+        .set(static_cast<int64_t>(report(f).skipped()));
   }
 }
 

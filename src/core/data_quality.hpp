@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/date.hpp"
+#include "obs/metrics.hpp"
 #include "util/parse_report.hpp"
 
 namespace droplens::core {
@@ -36,6 +37,10 @@ constexpr Feed kAllFeeds[] = {Feed::kDropFeed, Feed::kBgpUpdates,
 constexpr size_t kFeedCount = 5;
 
 std::string_view to_string(Feed f);
+
+/// Short machine-readable slug used as the `feed` metric label
+/// ("drop", "bgp", "delegations", "roas", "irr").
+std::string_view metric_label(Feed f);
 
 class DataQuality {
  public:
@@ -61,6 +66,15 @@ class DataQuality {
   /// Render the report's "Data quality" section body: per-substrate record
   /// and degraded-day counts, then the worst inputs.
   void render(std::ostream& out) const;
+
+  /// Publish this ledger as gauges in `reg`, so a running daemon exposes
+  /// the same facts as the report's "Data quality" section:
+  ///   droplens_feed_days_total                   study-window days observed
+  ///   droplens_feed_days_degraded{feed=...}      days marked unavailable
+  ///   droplens_feed_records_parsed_total{feed=}  records ingested
+  ///   droplens_feed_records_skipped_total{feed=} records dropped as damaged
+  /// Re-exporting refreshes the values (gauges are set, not added).
+  void export_metrics(obs::Registry& reg, size_t window_days) const;
 
  private:
   static constexpr size_t kWorstInputs = 3;

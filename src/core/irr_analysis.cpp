@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/engine.hpp"
+#include "obs/trace.hpp"
 
 namespace droplens::core {
 
@@ -94,6 +95,7 @@ IrrProbe probe_entry(const Study& study, const DropEntry& e) {
 }  // namespace
 
 IrrResult analyze_irr(const Study& study, const DropIndex& index) {
+  obs::Span span("core.irr_analysis");
   IrrResult r;
 
   const std::vector<DropEntry>& entries = index.entries();

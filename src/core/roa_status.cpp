@@ -4,6 +4,7 @@
 #include <map>
 
 #include "core/engine.hpp"
+#include "obs/trace.hpp"
 
 namespace droplens::core {
 
@@ -42,6 +43,7 @@ RoaStatusSample sample_day(const Study& study, net::Date d) {
 }  // namespace
 
 RoaStatusResult analyze_roa_status(const Study& study) {
+  obs::Span span("core.roa_status");
   RoaStatusResult r;
   const std::vector<net::Date> dates = engine::sample_dates(study);
   r.series.resize(dates.size());

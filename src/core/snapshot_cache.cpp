@@ -20,6 +20,26 @@ uint32_t tal_bits(rpki::TalSet tals) {
 
 }  // namespace
 
+SnapshotCache::SnapshotCache(const rir::Registry& registry,
+                             const bgp::CollectorFleet& fleet,
+                             const rpki::RoaArchive& roas,
+                             const drop::DropList& drop,
+                             const irr::Database* irr)
+    : registry_(registry), fleet_(fleet), roas_(roas), drop_(drop), irr_(irr) {
+  for (size_t i = 0; i < kShardCount; ++i) {
+    obs::Labels labels{{"shard", std::to_string(i)}};
+    shards_[i].hits_metric =
+        obs::counter("droplens_cache_hits_total", labels,
+                     "SnapshotCache lookups served from the memo");
+    shards_[i].misses_metric =
+        obs::counter("droplens_cache_misses_total", labels,
+                     "SnapshotCache lookups that computed a substrate");
+    shards_[i].failure_memo_metric = obs::counter(
+        "droplens_cache_failure_memo_hits_total", labels,
+        "SnapshotCache hits on a memoized per-day substrate failure");
+  }
+}
+
 template <typename Compute>
 SnapshotCache::SetPtr SnapshotCache::get_or_compute(uint64_t key,
                                                     Compute&& compute) const {
@@ -28,9 +48,15 @@ SnapshotCache::SetPtr SnapshotCache::get_or_compute(uint64_t key,
   auto it = shard.map.find(key);
   if (it != shard.map.end()) {
     ++shard.hits;
+    shard.hits_metric.inc();
+    if (!it->second) {
+      ++shard.failure_hits;
+      shard.failure_memo_metric.inc();
+    }
     return it->second;
   }
   ++shard.misses;
+  shard.misses_metric.inc();
   SetPtr value;
   try {
     value = std::make_shared<const net::IntervalSet>(compute());
@@ -94,6 +120,7 @@ SnapshotCache::Stats SnapshotCache::stats() const {
     total.hits += s.hits;
     total.misses += s.misses;
     total.failures += s.failures;
+    total.failure_hits += s.failure_hits;
   }
   return total;
 }

@@ -32,6 +32,7 @@
 #include "irr/database.hpp"
 #include "net/date.hpp"
 #include "net/interval_set.hpp"
+#include "obs/metrics.hpp"
 #include "rir/registry.hpp"
 #include "rpki/archive.hpp"
 
@@ -45,9 +46,7 @@ class SnapshotCache {
   /// irr_space() reports "no substrate" via has_irr() and must not be used.
   SnapshotCache(const rir::Registry& registry, const bgp::CollectorFleet& fleet,
                 const rpki::RoaArchive& roas, const drop::DropList& drop,
-                const irr::Database* irr = nullptr)
-      : registry_(registry), fleet_(fleet), roas_(roas), drop_(drop),
-        irr_(irr) {}
+                const irr::Database* irr = nullptr);
 
   SnapshotCache(const SnapshotCache&) = delete;
   SnapshotCache& operator=(const SnapshotCache&) = delete;
@@ -77,7 +76,8 @@ class SnapshotCache {
   struct Stats {
     size_t hits = 0;
     size_t misses = 0;
-    size_t failures = 0;  // computations that threw; cached as null days
+    size_t failures = 0;      // computations that threw; cached as null days
+    size_t failure_hits = 0;  // hits that returned a memoized failure (null)
   };
   /// Aggregate hit/miss counters across shards (diagnostics only; not part
   /// of the determinism contract).
@@ -111,6 +111,12 @@ class SnapshotCache {
     size_t hits = 0;
     size_t misses = 0;
     size_t failures = 0;
+    size_t failure_hits = 0;
+    // Registry mirrors of the counters above, bound per shard at
+    // construction (no-op handles when no registry is installed).
+    obs::Counter hits_metric;
+    obs::Counter misses_metric;
+    obs::Counter failure_memo_metric;
   };
 
   const rir::Registry& registry_;

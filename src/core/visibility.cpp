@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/engine.hpp"
+#include "obs/trace.hpp"
 
 namespace droplens::core {
 
@@ -36,6 +37,7 @@ struct DeallocProbe {
 
 VisibilityResult analyze_visibility(const Study& study,
                                     const DropIndex& index) {
+  obs::Span span("core.visibility");
   VisibilityResult r;
   const std::vector<const DropEntry*> entries = index.non_incident();
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <map>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -27,8 +29,10 @@ std::string write_drop_feed(const DropList& list, net::Date d) {
 std::vector<FeedEntry> parse_drop_feed(std::string_view text,
                                        util::ParsePolicy policy,
                                        util::ParseReport* report) {
+  obs::Span span("parse.drop_feed");
   std::vector<FeedEntry> out;
   size_t line_no = 0;
+  size_t skipped = 0;
   for (std::string_view line : util::split(text, '\n')) {
     ++line_no;
     line = util::trim(line);
@@ -46,6 +50,7 @@ std::vector<FeedEntry> parse_drop_feed(std::string_view text,
                          e.what());
       }
       if (report) report->add_error(line_no, e.what());
+      ++skipped;
       continue;
     }
     if (semi != std::string_view::npos) {
@@ -53,6 +58,11 @@ std::vector<FeedEntry> parse_drop_feed(std::string_view text,
     }
     if (report) report->add_parsed();
     out.push_back(std::move(entry));
+  }
+  if (obs::Registry* reg = obs::installed()) {
+    obs::Labels feed{{"feed", "drop"}};
+    reg->counter("droplens_parse_records_total", feed).inc(out.size());
+    reg->counter("droplens_parse_records_skipped_total", feed).inc(skipped);
   }
   return out;
 }

@@ -1,5 +1,7 @@
 #include "irr/rpsl.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -29,6 +31,8 @@ std::string RpslObject::to_string() const {
 std::vector<RpslObject> parse_rpsl(std::string_view text,
                                    util::ParsePolicy policy,
                                    util::ParseReport* report) {
+  obs::Span span("parse.rpsl");
+  size_t skipped = 0;
   std::vector<RpslObject> objects;
   RpslObject current;
   auto flush = [&] {
@@ -45,6 +49,7 @@ std::vector<RpslObject> parse_rpsl(std::string_view text,
                        message);
     }
     if (report) report->add_error(line_no, message);
+    ++skipped;
   };
   for (std::string_view line : util::split(text, '\n')) {
     ++line_no;
@@ -81,6 +86,11 @@ std::vector<RpslObject> parse_rpsl(std::string_view text,
         std::move(attr), std::string(util::trim(line.substr(colon + 1))));
   }
   flush();
+  if (obs::Registry* reg = obs::installed()) {
+    obs::Labels feed{{"feed", "irr"}};
+    reg->counter("droplens_parse_records_total", feed).inc(objects.size());
+    reg->counter("droplens_parse_records_skipped_total", feed).inc(skipped);
+  }
   return objects;
 }
 

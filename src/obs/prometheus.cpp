@@ -1,0 +1,137 @@
+#include "obs/prometheus.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace droplens::obs {
+
+namespace {
+
+// Label values escape backslash, double-quote, and newline; HELP text
+// escapes backslash and newline (the exposition-format rules).
+void append_escaped(std::string& out, const std::string& value,
+                    bool escape_quotes) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '"':
+        if (escape_quotes) {
+          out += "\\\"";
+        } else {
+          out += c;
+        }
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+void append_labels(std::string& out, const Labels& labels,
+                   const std::string& extra_key = {},
+                   const std::string& extra_value = {}) {
+  if (labels.empty() && extra_key.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    append_escaped(out, value, /*escape_quotes=*/true);
+    out += '"';
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key;
+    out += "=\"";
+    append_escaped(out, extra_value, /*escape_quotes=*/true);
+    out += '"';
+  }
+  out += '}';
+}
+
+const char* type_keyword(Registry::Type t) {
+  switch (t) {
+    case Registry::Type::kCounter:
+      return "counter";
+    case Registry::Type::kGauge:
+      return "gauge";
+    case Registry::Type::kHistogram:
+      return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string render_prometheus(const Registry& registry) {
+  std::string out;
+  for (const Registry::FamilySnapshot& family : registry.snapshot()) {
+    if (!family.help.empty()) {
+      out += "# HELP ";
+      out += family.name;
+      out += ' ';
+      append_escaped(out, family.help, /*escape_quotes=*/false);
+      out += '\n';
+    }
+    out += "# TYPE ";
+    out += family.name;
+    out += ' ';
+    out += type_keyword(family.type);
+    out += '\n';
+    for (const Registry::SeriesSnapshot& series : family.series) {
+      switch (family.type) {
+        case Registry::Type::kCounter:
+          out += family.name;
+          append_labels(out, series.labels);
+          out += ' ';
+          out += std::to_string(series.counter);
+          out += '\n';
+          break;
+        case Registry::Type::kGauge:
+          out += family.name;
+          append_labels(out, series.labels);
+          out += ' ';
+          out += std::to_string(series.gauge);
+          out += '\n';
+          break;
+        case Registry::Type::kHistogram: {
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i < series.buckets.size(); ++i) {
+            cumulative += series.buckets[i];
+            out += family.name;
+            out += "_bucket";
+            append_labels(out, series.labels, "le",
+                          i < family.bounds.size()
+                              ? std::to_string(family.bounds[i])
+                              : "+Inf");
+            out += ' ';
+            out += std::to_string(cumulative);
+            out += '\n';
+          }
+          out += family.name;
+          out += "_sum";
+          append_labels(out, series.labels);
+          out += ' ';
+          out += std::to_string(series.sum);
+          out += '\n';
+          out += family.name;
+          out += "_count";
+          append_labels(out, series.labels);
+          out += ' ';
+          out += std::to_string(cumulative);
+          out += '\n';
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace droplens::obs

@@ -1,0 +1,19 @@
+// Prometheus text exposition (format version 0.0.4) for an obs::Registry.
+//
+// One call renders a snapshot of every family: `# HELP` / `# TYPE` headers,
+// series lines with escaped label values, histograms as cumulative
+// `_bucket{le=...}` series plus `_sum` and `_count`. Output is
+// deterministic: families sort by name, series by label values, label pairs
+// render in their interned order — the golden test in tests/test_obs.cpp
+// pins the exact bytes.
+#pragma once
+
+#include <string>
+
+namespace droplens::obs {
+
+class Registry;
+
+std::string render_prometheus(const Registry& registry);
+
+}  // namespace droplens::obs

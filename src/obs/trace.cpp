@@ -1,0 +1,111 @@
+#include "obs/trace.hpp"
+
+#include <time.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ostream>
+#include <utility>
+
+namespace droplens::obs {
+
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+
+struct Frame {
+  Tracer* tracer = nullptr;  // the tracer installed when the span opened
+  Tracer::Record record;
+  std::chrono::steady_clock::time_point wall_start;
+  uint64_t cpu_start = 0;
+};
+
+// Per-thread stack of open spans. Spans strictly nest (RAII), so the stack
+// discipline holds even through exceptions.
+thread_local std::vector<Frame> t_stack;
+
+uint64_t thread_cpu_ns() {
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000u +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+void render_record(std::ostream& out, const Tracer::Record& record,
+                   int depth) {
+  char timings[64];
+  std::snprintf(timings, sizeof(timings), "  wall=%.3fms cpu=%.3fms",
+                record.wall_ns / 1e6, record.cpu_ns / 1e6);
+  for (int i = 0; i < depth; ++i) out << "  ";
+  out << record.name << timings << '\n';
+  for (const Tracer::Record& child : record.children) {
+    render_record(out, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+Tracer::Tracer(size_t capacity) : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void Tracer::submit(Record&& root) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++submitted_;
+  if (ring_.size() == capacity_) ring_.erase(ring_.begin());
+  ring_.push_back(std::move(root));
+}
+
+std::vector<Tracer::Record> Tracer::recent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_;
+}
+
+uint64_t Tracer::submitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+void Tracer::render(std::ostream& out) const {
+  for (const Record& record : recent()) render_record(out, record, 0);
+}
+
+void install_tracer(Tracer* t) {
+  g_tracer.store(t, std::memory_order_release);
+}
+
+Tracer* installed_tracer() {
+  return g_tracer.load(std::memory_order_acquire);
+}
+
+Span::Span(const char* name) {
+  Tracer* tracer = installed_tracer();
+  if (!tracer) return;  // the no-op mode: no clock read, nothing recorded
+  active_ = true;
+  Frame frame;
+  frame.tracer = tracer;
+  frame.record.name = name;
+  frame.wall_start = std::chrono::steady_clock::now();
+  frame.cpu_start = thread_cpu_ns();
+  t_stack.push_back(std::move(frame));
+}
+
+Span::~Span() {
+  if (!active_) return;
+  Frame frame = std::move(t_stack.back());
+  t_stack.pop_back();
+  frame.record.wall_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - frame.wall_start)
+          .count());
+  uint64_t cpu_now = thread_cpu_ns();
+  frame.record.cpu_ns = cpu_now >= frame.cpu_start
+                            ? cpu_now - frame.cpu_start
+                            : 0;
+  if (!t_stack.empty()) {
+    t_stack.back().record.children.push_back(std::move(frame.record));
+  } else {
+    frame.tracer->submit(std::move(frame.record));
+  }
+}
+
+}  // namespace droplens::obs

@@ -1,0 +1,92 @@
+// Pipeline tracing: RAII scoped timing with parent/child nesting.
+//
+// A Span measures the wall-clock and thread-CPU time of one scope. Spans
+// opened while another span is active on the same thread nest under it;
+// when a root span closes, its finished tree is submitted to the installed
+// Tracer, which keeps a bounded ring of recent traces (oldest dropped).
+// Worker threads have their own span stacks, so a span opened inside a
+// ThreadPool task becomes a root trace of its own rather than racing on the
+// parent — the ring is the only shared state, and it is mutex-guarded.
+//
+// Like the metrics registry, tracing degrades to nothing when no Tracer is
+// installed: Span construction is then one atomic load and a branch, and no
+// clock is read. Tracing never alters what the pipeline computes — only
+// when it is timed — which the report determinism tests pin down.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace droplens::obs {
+
+class Tracer {
+ public:
+  /// One finished span: timings plus the nested spans it contained.
+  struct Record {
+    std::string name;
+    uint64_t wall_ns = 0;
+    uint64_t cpu_ns = 0;
+    std::vector<Record> children;
+  };
+
+  /// Keeps the `capacity` most recent root traces.
+  explicit Tracer(size_t capacity = 256);
+
+  /// Submit one finished root trace (called by ~Span; public for tests).
+  void submit(Record&& root);
+
+  /// The retained traces, oldest first. Copies under the ring mutex.
+  std::vector<Record> recent() const;
+
+  /// Total root traces ever submitted (including dropped ones).
+  uint64_t submitted() const;
+
+  /// Render the retained traces as an indented tree with per-span wall/CPU
+  /// millisecond timings — the `full_report --trace` dump.
+  void render(std::ostream& out) const;
+
+ private:
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t submitted_ = 0;
+  std::vector<Record> ring_;
+};
+
+/// Install `t` as the process-wide tracer (nullptr uninstalls). The tracer
+/// must outlive every span opened while it was installed.
+void install_tracer(Tracer* t);
+Tracer* installed_tracer();
+
+/// RAII scope timer. No-op (no clock read) when no tracer is installed at
+/// construction time.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+};
+
+/// RAII helper for tests and tools: installs on construction, restores the
+/// previous tracer on destruction.
+class ScopedTracer {
+ public:
+  explicit ScopedTracer(Tracer& t) : previous_(installed_tracer()) {
+    install_tracer(&t);
+  }
+  ~ScopedTracer() { install_tracer(previous_); }
+  ScopedTracer(const ScopedTracer&) = delete;
+  ScopedTracer& operator=(const ScopedTracer&) = delete;
+
+ private:
+  Tracer* previous_;
+};
+
+}  // namespace droplens::obs

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <optional>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -62,8 +64,10 @@ std::optional<DelegationRecord> parse_delegation_line(std::string_view line) {
 std::vector<DelegationRecord> parse_delegation_file(
     std::string_view text, util::ParsePolicy policy,
     util::ParseReport* report) {
+  obs::Span span("parse.delegation");
   std::vector<DelegationRecord> out;
   size_t line_no = 0;
+  size_t skipped = 0;
   for (std::string_view line : util::split(text, '\n')) {
     ++line_no;
     line = util::trim(line);
@@ -77,11 +81,17 @@ std::vector<DelegationRecord> parse_delegation_file(
                          e.what());
       }
       if (report) report->add_error(line_no, e.what());
+      ++skipped;
       continue;
     }
     if (!rec) continue;
     if (report) report->add_parsed();
     out.push_back(std::move(*rec));
+  }
+  if (obs::Registry* reg = obs::installed()) {
+    obs::Labels feed{{"feed", "delegations"}};
+    reg->counter("droplens_parse_records_total", feed).inc(out.size());
+    reg->counter("droplens_parse_records_skipped_total", feed).inc(skipped);
   }
   return out;
 }

@@ -1,5 +1,7 @@
 #include "rpki/roa_csv.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -84,9 +86,11 @@ RoaRecord parse_roa_row(std::string_view line) {
 std::vector<RoaRecord> parse_roa_csv(std::string_view text,
                                      util::ParsePolicy policy,
                                      util::ParseReport* report) {
+  obs::Span span("parse.roa_csv");
   std::vector<RoaRecord> out;
   bool first = true;
   size_t line_no = 0;
+  size_t skipped = 0;
   for (std::string_view line : util::split(text, '\n')) {
     ++line_no;
     line = util::trim(line);
@@ -104,9 +108,15 @@ std::vector<RoaRecord> parse_roa_csv(std::string_view text,
                          e.what());
       }
       if (report) report->add_error(line_no, e.what());
+      ++skipped;
       continue;
     }
     if (report) report->add_parsed();
+  }
+  if (obs::Registry* reg = obs::installed()) {
+    obs::Labels feed{{"feed", "roas"}};
+    reg->counter("droplens_parse_records_total", feed).inc(out.size());
+    reg->counter("droplens_parse_records_skipped_total", feed).inc(skipped);
   }
   return out;
 }

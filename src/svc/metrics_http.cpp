@@ -1,0 +1,73 @@
+#include "svc/metrics_http.hpp"
+
+#include "obs/prometheus.hpp"
+#include "util/error.hpp"
+
+namespace droplens::svc {
+
+namespace {
+
+std::string http_response(std::string_view status, std::string_view type,
+                          std::string_view body) {
+  std::string out;
+  out.reserve(128 + body.size());
+  out.append("HTTP/1.0 ");
+  out.append(status);
+  out.append("\r\nContent-Type: ");
+  out.append(type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(body.size()));
+  out.append("\r\nConnection: close\r\n\r\n");
+  out.append(body);
+  return out;
+}
+
+}  // namespace
+
+size_t MetricsHttpService::message_size(std::string_view buffer) const {
+  // A message is the request head through its terminating blank line. Bodies
+  // are not consumed — any trailing bytes become an (unparseable) next head.
+  size_t end = buffer.find("\r\n\r\n");
+  if (end != std::string_view::npos) return end + 4;
+  end = buffer.find("\n\n");  // tolerate bare-LF clients (nc, printf)
+  if (end != std::string_view::npos) return end + 2;
+  if (buffer.size() > kMaxHead) {
+    throw ParseError("http: request head exceeds cap");
+  }
+  return 0;
+}
+
+std::string MetricsHttpService::serve(std::string_view message) {
+  // Request line: METHOD SP PATH SP VERSION. Everything after the first
+  // line (headers) is irrelevant to a fixed read-only endpoint.
+  size_t eol = message.find_first_of("\r\n");
+  std::string_view line =
+      eol == std::string_view::npos ? message : message.substr(0, eol);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return http_response("400 Bad Request", "text/plain", "bad request\n");
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Ignore query strings: /metrics?foo=bar still answers.
+  path = path.substr(0, path.find('?'));
+  if (method != "GET") {
+    return http_response("405 Method Not Allowed", "text/plain",
+                         "only GET is served\n");
+  }
+  if (path != "/metrics") {
+    return http_response("404 Not Found", "text/plain",
+                         "try /metrics\n");
+  }
+  return http_response("200 OK",
+                       "text/plain; version=0.0.4; charset=utf-8",
+                       obs::render_prometheus(registry_));
+}
+
+std::string MetricsHttpService::malformed_response(std::string_view /*head*/) {
+  return http_response("400 Bad Request", "text/plain", "bad request\n");
+}
+
+}  // namespace droplens::svc

@@ -1,0 +1,36 @@
+// Plain-HTTP front for the obs registry, riding the svc transport layer.
+//
+// Serves `GET /metrics` as a Prometheus text page (exposition format 0.0.4)
+// so a scraper can point at droplensd without speaking the binary protocol.
+// Deliberately minimal: one endpoint, HTTP/1.0 semantics, Connection: close
+// on every response — the scraper reads Content-Length bytes and hangs up,
+// which is exactly the lifecycle TcpServer's per-connection loop expects.
+// Request heads are capped; a peer that streams bytes without ever
+// finishing its header gets a 400 and a closed connection.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "svc/transport.hpp"
+
+namespace droplens::svc {
+
+class MetricsHttpService : public Service {
+ public:
+  /// Longest accepted request head (request line + headers + blank line).
+  static constexpr size_t kMaxHead = 8192;
+
+  explicit MetricsHttpService(const obs::Registry& registry)
+      : registry_(registry) {}
+
+  size_t message_size(std::string_view buffer) const override;
+  std::string serve(std::string_view message) override;
+  std::string malformed_response(std::string_view head) override;
+
+ private:
+  const obs::Registry& registry_;
+};
+
+}  // namespace droplens::svc

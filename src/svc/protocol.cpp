@@ -119,7 +119,7 @@ FrameHeader decode_header(std::string_view frame) {
   }
   uint8_t type = static_cast<uint8_t>(frame[3]);
   if (type < static_cast<uint8_t>(FrameType::kQueryRequest) ||
-      type > static_cast<uint8_t>(FrameType::kError)) {
+      type > static_cast<uint8_t>(FrameType::kMetricsResponse)) {
     throw ParseError("svc: unknown frame type " + std::to_string(type));
   }
   header.type = static_cast<FrameType>(type);
@@ -280,6 +280,18 @@ ServerStats decode_stats_response(std::string_view payload) {
   for (uint64_t& bucket : stats.latency_ns_buckets) bucket = in.u64();
   in.expect_done("stats response");
   return stats;
+}
+
+std::string encode_metrics_request() {
+  return frame(FrameType::kMetricsRequest, {});
+}
+
+std::string encode_metrics_response(std::string_view text) {
+  return frame(FrameType::kMetricsResponse, text.substr(0, kMaxPayload));
+}
+
+std::string decode_metrics_response(std::string_view payload) {
+  return std::string(payload);
 }
 
 std::string encode_error(std::string_view message) {

@@ -14,7 +14,14 @@
 //                             reloads:u64 snapshot_version:u64
 //                             7 * field_lookups:u64
 //                             bucket_count:u16 bucket_count * u64
+//   metrics request payload  := (empty)
+//   metrics response payload := Prometheus text exposition bytes
 //   error payload          := message bytes (<= 256)
+//
+// The stats counters are monotonic but mutually unsynchronized: each is a
+// relaxed atomic read at one point in time, so `queries` may momentarily
+// run ahead of the latency-bucket total while frames are in flight. Totals
+// never decrease; exact cross-counter consistency is not promised.
 //
 // Responses carry the snapshot version so clients detect reloads mid-batch.
 // Decoding is strictly bounds-checked: declared counts are validated against
@@ -47,6 +54,10 @@ enum class FrameType : uint8_t {
   kStatsRequest = 3,
   kStatsResponse = 4,
   kError = 5,
+  // Added after the stats op (PR 3); old clients never send them and old
+  // frames decode exactly as before, so the protocol stays byte-compatible.
+  kMetricsRequest = 6,
+  kMetricsResponse = 7,
 };
 
 enum class QueryStatus : uint8_t {
@@ -112,6 +123,13 @@ QueryResponse decode_query_response(std::string_view payload);
 std::string encode_stats_request();
 std::string encode_stats_response(const ServerStats& stats);
 ServerStats decode_stats_response(std::string_view payload);
+
+/// The read-only metrics op: the response payload is the server registry's
+/// Prometheus text page (truncated at kMaxPayload, which a sane registry
+/// never approaches).
+std::string encode_metrics_request();
+std::string encode_metrics_response(std::string_view text);
+std::string decode_metrics_response(std::string_view payload);
 
 std::string encode_error(std::string_view message);
 std::string decode_error(std::string_view payload);

@@ -1,20 +1,53 @@
 #include "svc/server.hpp"
 
-#include <bit>
 #include <chrono>
 #include <vector>
 
+#include "obs/prometheus.hpp"
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
 namespace droplens::svc {
 
+namespace {
+
+// Wire order of the stats op's per-field counters (= Field bit positions).
+constexpr const char* kFieldNames[kFieldCount] = {
+    "drop", "classification", "rov", "as0", "irr", "rir", "routed"};
+
+}  // namespace
+
 Server::Server(std::shared_ptr<const Snapshot> initial, util::ThreadPool* pool)
-    : snapshot_(std::move(initial)), pool_(pool) {}
+    : snapshot_(std::move(initial)), pool_(pool) {
+  registry_ = obs::installed();
+  if (!registry_) {
+    own_registry_ = std::make_unique<obs::Registry>();
+    registry_ = own_registry_.get();
+  }
+  requests_ = registry_->counter("droplens_svc_requests_total", {},
+                                 "Frames handled, any type");
+  queries_ = registry_->counter("droplens_svc_queries_total", {},
+                                "Individual prefix lookups");
+  malformed_ = registry_->counter("droplens_svc_malformed_total", {},
+                                  "Frames rejected by the decoder");
+  reloads_ = registry_->counter("droplens_svc_reloads_total", {},
+                                "Snapshots published after the first");
+  for (size_t i = 0; i < kFieldCount; ++i) {
+    field_lookups_[i] =
+        registry_->counter("droplens_svc_field_lookups_total",
+                           {{"field", kFieldNames[i]}},
+                           "Per-field lookups across answered queries");
+  }
+  latency_ = registry_->histogram(
+      "droplens_svc_request_latency_ns",
+      obs::Registry::log2_bounds(kLatencyBuckets - 1), {},
+      "Frame service time in nanoseconds (log2 buckets)");
+}
 
 void Server::publish(std::shared_ptr<const Snapshot> snap) {
   std::lock_guard<std::mutex> lock(snapshot_mu_);
-  if (snapshot_) reloads_.fetch_add(1, std::memory_order_relaxed);
+  if (snapshot_) reloads_.inc();
   snapshot_ = std::move(snap);
 }
 
@@ -25,19 +58,19 @@ std::shared_ptr<const Snapshot> Server::snapshot() const {
 
 ServerStats Server::stats() const {
   ServerStats s;
-  s.requests = requests_.load(std::memory_order_relaxed);
-  s.queries = queries_.load(std::memory_order_relaxed);
-  s.malformed = malformed_.load(std::memory_order_relaxed);
-  s.reloads = reloads_.load(std::memory_order_relaxed);
+  s.requests = requests_.value();
+  s.queries = queries_.value();
+  s.malformed = malformed_.value();
+  s.reloads = reloads_.value();
   if (std::shared_ptr<const Snapshot> snap = snapshot()) {
     s.snapshot_version = snap->version();
   }
   for (size_t i = 0; i < kFieldCount; ++i) {
-    s.field_lookups[i] = field_lookups_[i].load(std::memory_order_relaxed);
+    s.field_lookups[i] = field_lookups_[i].value();
   }
   s.latency_ns_buckets.resize(kLatencyBuckets);
   for (size_t i = 0; i < kLatencyBuckets; ++i) {
-    s.latency_ns_buckets[i] = latency_[i].load(std::memory_order_relaxed);
+    s.latency_ns_buckets[i] = latency_.bucket_value(i);
   }
   return s;
 }
@@ -47,13 +80,13 @@ size_t Server::message_size(std::string_view buffer) const {
 }
 
 std::string Server::malformed_response(std::string_view /*head*/) {
-  malformed_.fetch_add(1, std::memory_order_relaxed);
+  malformed_.inc();
   return encode_error("malformed frame");
 }
 
 std::string Server::serve(std::string_view frame) {
   const auto start = std::chrono::steady_clock::now();
-  requests_.fetch_add(1, std::memory_order_relaxed);
+  requests_.inc();
   std::string response;
   try {
     FrameHeader header = decode_header(frame);
@@ -70,28 +103,35 @@ std::string Server::serve(std::string_view frame) {
         }
         response = encode_stats_response(stats());
         break;
+      case FrameType::kMetricsRequest:
+        if (!frame_payload(frame).empty()) {
+          throw ParseError("svc: metrics request carries a payload");
+        }
+        response = encode_metrics_response(obs::render_prometheus(*registry_));
+        break;
       default:
         throw ParseError("svc: unexpected frame type from client");
     }
   } catch (const ParseError& e) {
-    malformed_.fetch_add(1, std::memory_order_relaxed);
+    malformed_.inc();
     response = encode_error(e.what());
   }
   const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                       std::chrono::steady_clock::now() - start)
                       .count();
-  record_latency(static_cast<uint64_t>(ns));
+  latency_.observe(static_cast<uint64_t>(ns));
   return response;
 }
 
 std::string Server::handle_queries(std::string_view payload) {
+  obs::Span span("svc.handle_queries");
   std::vector<Query> queries = decode_query_request(payload);
   // One snapshot copy per frame: every answer below is computed against it,
   // however many publishes race with us.
   std::shared_ptr<const Snapshot> snap = snapshot();
   if (!snap) return encode_error("no snapshot loaded");
 
-  queries_.fetch_add(queries.size(), std::memory_order_relaxed);
+  queries_.inc(queries.size());
   QueryResponse response;
   response.snapshot_version = snap->version();
   response.date = snap->date();
@@ -120,17 +160,11 @@ std::string Server::handle_queries(std::string_view payload) {
     if (q.date != s.date()) continue;
     for (uint8_t f = 0; f < kFieldCount; ++f) {
       if (q.fields & (uint8_t{1} << f)) {
-        field_lookups_[f].fetch_add(1, std::memory_order_relaxed);
+        field_lookups_[f].inc();
       }
     }
   }
   return encode_query_response(response);
-}
-
-void Server::record_latency(uint64_t ns) {
-  size_t bucket = ns == 0 ? 0 : static_cast<size_t>(std::bit_width(ns)) - 1;
-  if (bucket >= kLatencyBuckets) bucket = kLatencyBuckets - 1;
-  latency_[bucket].fetch_add(1, std::memory_order_relaxed);
 }
 
 }  // namespace droplens::svc

@@ -7,19 +7,26 @@
 // across the engine's util::ThreadPool with slot-indexed writes, keeping
 // responses byte-identical for any thread count.
 //
-// Observability is built in: relaxed atomic counters (frames, queries,
+// Observability rides the obs registry: counters (frames, queries,
 // malformed frames, per-field lookups, reloads) and a log2 latency
-// histogram, all served by the stats protocol op.
+// histogram are registry instruments — bound from the process-installed
+// obs::Registry when one exists (so droplensd's /metrics page includes
+// them) and from a private registry otherwise (so stats always work). The
+// stats protocol op serves the same numbers in the same wire format as
+// before the registry existed; the metrics op renders the whole backing
+// registry as Prometheus text. Stats are read at one point per request,
+// each counter once — monotonic, but not mutually synchronized (writers
+// are relaxed atomics that never pause for a reader).
 #pragma once
 
 #include <array>
-#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
 
+#include "obs/metrics.hpp"
 #include "svc/protocol.hpp"
 #include "svc/snapshot.hpp"
 #include "svc/transport.hpp"
@@ -46,8 +53,15 @@ class Server : public Service {
   /// The currently served snapshot (null before the first publish).
   std::shared_ptr<const Snapshot> snapshot() const;
 
-  /// Current counters, as served by the stats protocol op.
+  /// Current counters, as served by the stats protocol op. Each counter is
+  /// read exactly once, at this call; see the header comment for the
+  /// consistency contract.
   ServerStats stats() const;
+
+  /// The registry backing this server's instruments: the process-installed
+  /// obs registry at construction time, else a private one. The metrics
+  /// protocol op renders it.
+  obs::Registry& metrics_registry() const { return *registry_; }
 
   // Service interface ------------------------------------------------------
   size_t message_size(std::string_view buffer) const override;
@@ -61,18 +75,19 @@ class Server : public Service {
   static constexpr size_t kLatencyBuckets = 40;
 
   std::string handle_queries(std::string_view payload);
-  void record_latency(uint64_t ns);
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Snapshot> snapshot_;
   util::ThreadPool* pool_;
 
-  std::atomic<uint64_t> requests_{0};
-  std::atomic<uint64_t> queries_{0};
-  std::atomic<uint64_t> malformed_{0};
-  std::atomic<uint64_t> reloads_{0};
-  std::array<std::atomic<uint64_t>, kFieldCount> field_lookups_{};
-  std::array<std::atomic<uint64_t>, kLatencyBuckets> latency_{};
+  std::unique_ptr<obs::Registry> own_registry_;  // when none was installed
+  obs::Registry* registry_;
+  obs::Counter requests_;
+  obs::Counter queries_;
+  obs::Counter malformed_;
+  obs::Counter reloads_;
+  std::array<obs::Counter, kFieldCount> field_lookups_;
+  obs::Histogram latency_;
 };
 
 }  // namespace droplens::svc

@@ -5,6 +5,8 @@
 
 #include "core/engine.hpp"
 #include "drop/category.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "rpki/archive.hpp"
 #include "rpki/tal.hpp"
 
@@ -67,6 +69,10 @@ std::shared_ptr<const Snapshot> compile_snapshot(const core::Study& study,
                                                  const core::DropIndex& index,
                                                  net::Date d,
                                                  uint64_t version) {
+  obs::Span span("svc.compile_snapshot");
+  obs::counter("droplens_svc_snapshot_compiles_total", {},
+               "Snapshots compiled for the query service")
+      .inc();
   auto snap = std::make_shared<Snapshot>();
   snap->version_ = version;
   snap->date_ = d;

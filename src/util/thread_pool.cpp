@@ -15,6 +15,15 @@ thread_local bool t_in_worker = false;
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
+  tasks_submitted_ = obs::counter("droplens_pool_tasks_submitted_total", {},
+                                  "Tasks submitted to the engine thread pool");
+  tasks_completed_ = obs::counter("droplens_pool_tasks_completed_total", {},
+                                  "Tasks the engine thread pool finished");
+  queue_depth_ = obs::gauge("droplens_pool_queue_depth", {},
+                            "Tasks queued but not yet started");
+  task_latency_ = obs::histogram(
+      "droplens_pool_task_latency_ns", obs::Registry::log2_bounds(39), {},
+      "Per-task execution time in nanoseconds (log2 buckets)");
   if (threads == 0) threads = default_thread_count();
   if (threads <= 1) return;  // sequential mode: no workers, run inline
   workers_.reserve(threads);
@@ -33,6 +42,8 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::enqueue(std::packaged_task<void()> task) {
+  tasks_submitted_.inc();
+  queue_depth_.add(1);
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
@@ -51,7 +62,8 @@ void ThreadPool::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    task();  // exceptions land in the task's future
+    queue_depth_.sub(1);
+    run_counted(task);  // exceptions land in the task's future
   }
 }
 

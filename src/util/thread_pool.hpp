@@ -12,6 +12,7 @@
 #pragma once
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -22,6 +23,8 @@
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "obs/metrics.hpp"
 
 namespace droplens::util {
 
@@ -50,7 +53,8 @@ class ThreadPool {
     std::packaged_task<R()> task(std::forward<Fn>(fn));
     std::future<R> result = task.get_future();
     if (workers_.empty()) {
-      task();
+      tasks_submitted_.inc();
+      run_counted(task);
       return result;
     }
     enqueue(std::packaged_task<void()>(
@@ -104,11 +108,36 @@ class ThreadPool {
   void enqueue(std::packaged_task<void()> task);
   void worker_loop();
 
+  /// Execute one task, timing it into the latency histogram when observed
+  /// (no clock read otherwise) and counting its completion. Shared by the
+  /// inline sequential path and the worker loop.
+  template <typename Task>
+  void run_counted(Task& task) {
+    if (task_latency_) {
+      const auto start = std::chrono::steady_clock::now();
+      task();
+      task_latency_.observe(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - start)
+              .count()));
+    } else {
+      task();
+    }
+    tasks_completed_.inc();
+  }
+
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::packaged_task<void()>> queue_;
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+
+  // Bound from the installed obs::Registry at construction (no-op handles
+  // otherwise). The queue-depth gauge tracks queued-but-unstarted tasks.
+  obs::Counter tasks_submitted_;
+  obs::Counter tasks_completed_;
+  obs::Gauge queue_depth_;
+  obs::Histogram task_latency_;
 };
 
 }  // namespace droplens::util
