@@ -8,9 +8,16 @@
 //
 //   $ ./droplensd [--small] [--seed=N] [--port=P] [--whois-port=P]
 //                 [--metrics-port=P] [--threads=N] [--date-offset=DAYS]
+//                 [--snapshot-dir=PATH]
 //
 // Then, from another terminal:  printf '!gAS64500\n' | nc 127.0.0.1 4343
 // With --metrics-port=P:        curl http://127.0.0.1:P/metrics
+//
+// With --snapshot-dir=PATH the served snapshot persists as a `.dls` file
+// (svc/snapshot_io.hpp): the first run compiles and saves it, every restart
+// mmaps it back instead of recompiling, and SIGHUP re-scans the directory
+// before hot-swapping. Snapshot versions come from the SnapshotStore's
+// monotonic counter, so no two artifacts ever share one.
 #include <csignal>
 #include <cstring>
 #include <iostream>
@@ -27,6 +34,7 @@
 #include "svc/metrics_http.hpp"
 #include "svc/server.hpp"
 #include "svc/snapshot.hpp"
+#include "svc/snapshot_store.hpp"
 #include "svc/transport.hpp"
 #include "svc/whois_service.hpp"
 #include "util/thread_pool.hpp"
@@ -53,6 +61,7 @@ int main(int argc, char** argv) {
   uint16_t metrics_port = 0;
   unsigned threads = util::ThreadPool::default_thread_count();
   int32_t date_offset = 60;
+  std::string snapshot_dir;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--small") == 0) small = true;
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
@@ -73,6 +82,9 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--date-offset=", 14) == 0) {
       date_offset = std::stoi(argv[i] + 14);
+    }
+    if (std::strncmp(argv[i], "--snapshot-dir=", 15) == 0) {
+      snapshot_dir = argv[i] + 15;
     }
   }
 
@@ -110,9 +122,18 @@ int main(int argc, char** argv) {
   core::DropIndex index = core::DropIndex::build(study);
   net::Date date = config.window_begin + date_offset;
 
-  uint64_t version = 1;
-  svc::Server server(svc::compile_snapshot(study, index, date, version),
-                     &pool);
+  // The store owns snapshot versioning and, when --snapshot-dir is given,
+  // the .dls files: a restart mmaps yesterday's compile instead of redoing
+  // it. Without a directory it is a memory-only holder of the current day.
+  svc::SnapshotStore::Config store_config;
+  store_config.dir = snapshot_dir;
+  svc::SnapshotStore store(store_config, &study, &index);
+  std::shared_ptr<const svc::Snapshot> snap = store.get(date);
+  if (store.stats().loads > 0) {
+    std::cerr << "droplensd: mmap-loaded snapshot from "
+              << store.path_for(date) << " (no recompile)\n";
+  }
+  svc::Server server(snap, &pool);
   svc::TcpServer query_tcp(server, port);
 
   irr::WhoisServer whois(world->irr, date);
@@ -143,12 +164,12 @@ int main(int argc, char** argv) {
   while (!g_stop) {
     if (g_reload) {
       g_reload = 0;
-      ++version;
-      std::cerr << "droplensd: reloading snapshot (version " << version
-                << ")...\n";
-      server.publish(svc::compile_snapshot(study, index, date, version));
+      std::cerr << "droplensd: reloading snapshot...\n";
+      store.rescan();
+      std::shared_ptr<const svc::Snapshot> next = store.get(date);
+      server.publish(next);
       quality.export_metrics(registry, window_days);
-      std::cerr << "droplensd: snapshot " << version << " live\n";
+      std::cerr << "droplensd: snapshot " << next->version() << " live\n";
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }

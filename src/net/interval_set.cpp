@@ -1,11 +1,39 @@
 #include "net/interval_set.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 namespace droplens::net {
 
+IntervalSet IntervalSet::view(std::span<const Interval> intervals) {
+  assert(is_canonical(intervals));
+  IntervalSet set;
+  set.ext_data_ = intervals.data();
+  set.ext_size_ = intervals.size();
+  return set;
+}
+
+bool IntervalSet::is_canonical(std::span<const Interval> intervals) {
+  constexpr uint64_t kSpaceEnd = uint64_t{1} << 32;
+  for (size_t i = 0; i < intervals.size(); ++i) {
+    const Interval& iv = intervals[i];
+    if (iv.begin >= iv.end || iv.end > kSpaceEnd) return false;
+    // Non-adjacent: a canonical set coalesces touching intervals.
+    if (i > 0 && iv.begin <= intervals[i - 1].end) return false;
+  }
+  return true;
+}
+
+void IntervalSet::detach() {
+  if (!ext_data_) return;
+  intervals_.assign(ext_data_, ext_data_ + ext_size_);
+  ext_data_ = nullptr;
+  ext_size_ = 0;
+}
+
 void IntervalSet::insert(uint64_t begin, uint64_t end) {
   if (begin >= end) return;
+  detach();
   // Find the first interval whose end >= begin (candidate for merging).
   auto first = std::lower_bound(
       intervals_.begin(), intervals_.end(), begin,
@@ -24,6 +52,7 @@ void IntervalSet::insert(uint64_t begin, uint64_t end) {
 
 void IntervalSet::erase(uint64_t begin, uint64_t end) {
   if (begin >= end) return;
+  detach();
   std::vector<Interval> out;
   out.reserve(intervals_.size() + 1);
   for (const Interval& iv : intervals_) {
@@ -38,51 +67,62 @@ void IntervalSet::erase(uint64_t begin, uint64_t end) {
 }
 
 bool IntervalSet::contains(Ipv4 addr) const {
+  std::span<const Interval> ivs = intervals();
   uint64_t a = addr.value();
   auto it = std::upper_bound(
-      intervals_.begin(), intervals_.end(), a,
+      ivs.begin(), ivs.end(), a,
       [](uint64_t v, const Interval& iv) { return v < iv.begin; });
-  if (it == intervals_.begin()) return false;
+  if (it == ivs.begin()) return false;
   --it;
   return a < it->end;
 }
 
 bool IntervalSet::covers(const Prefix& p) const {
+  std::span<const Interval> ivs = intervals();
   uint64_t b = p.first(), e = p.end();
   auto it = std::upper_bound(
-      intervals_.begin(), intervals_.end(), b,
+      ivs.begin(), ivs.end(), b,
       [](uint64_t v, const Interval& iv) { return v < iv.begin; });
-  if (it == intervals_.begin()) return false;
+  if (it == ivs.begin()) return false;
   --it;
   return b >= it->begin && e <= it->end;
 }
 
 bool IntervalSet::intersects(const Prefix& p) const {
+  std::span<const Interval> ivs = intervals();
   uint64_t b = p.first(), e = p.end();
   auto it = std::lower_bound(
-      intervals_.begin(), intervals_.end(), b,
+      ivs.begin(), ivs.end(), b,
       [](const Interval& iv, uint64_t v) { return iv.end <= v; });
-  return it != intervals_.end() && it->begin < e;
+  return it != ivs.end() && it->begin < e;
 }
 
 uint64_t IntervalSet::size() const {
   uint64_t total = 0;
-  for (const Interval& iv : intervals_) total += iv.size();
+  for (const Interval& iv : intervals()) total += iv.size();
   return total;
+}
+
+bool operator==(const IntervalSet& a, const IntervalSet& b) {
+  std::span<const IntervalSet::Interval> x = a.intervals();
+  std::span<const IntervalSet::Interval> y = b.intervals();
+  return std::equal(x.begin(), x.end(), y.begin(), y.end());
 }
 
 IntervalSet IntervalSet::set_union(const IntervalSet& a, const IntervalSet& b) {
   IntervalSet out = a;
-  for (const Interval& iv : b.intervals_) out.insert(iv.begin, iv.end);
+  for (const Interval& iv : b.intervals()) out.insert(iv.begin, iv.end);
   return out;
 }
 
 IntervalSet IntervalSet::set_intersection(const IntervalSet& a,
                                           const IntervalSet& b) {
   IntervalSet out;
-  auto ia = a.intervals_.begin();
-  auto ib = b.intervals_.begin();
-  while (ia != a.intervals_.end() && ib != b.intervals_.end()) {
+  std::span<const Interval> as = a.intervals();
+  std::span<const Interval> bs = b.intervals();
+  auto ia = as.begin();
+  auto ib = bs.begin();
+  while (ia != as.end() && ib != bs.end()) {
     uint64_t lo = std::max(ia->begin, ib->begin);
     uint64_t hi = std::min(ia->end, ib->end);
     if (lo < hi) out.intervals_.push_back(Interval{lo, hi});
@@ -98,7 +138,7 @@ IntervalSet IntervalSet::set_intersection(const IntervalSet& a,
 IntervalSet IntervalSet::set_difference(const IntervalSet& a,
                                         const IntervalSet& b) {
   IntervalSet out = a;
-  for (const Interval& iv : b.intervals_) out.erase(iv.begin, iv.end);
+  for (const Interval& iv : b.intervals()) out.erase(iv.begin, iv.end);
   return out;
 }
 

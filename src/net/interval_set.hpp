@@ -4,9 +4,16 @@
 // Fig 5, Fig 7): unions of prefixes with overlap collapsed. IntervalSet is
 // that accounting primitive. Bounds are uint64 so the end of 255/8 (2^32)
 // is representable.
+//
+// A set either owns its interval array (the default: every mutation path)
+// or is a non-owning view over externally owned storage — the zero-copy
+// form the snapshot loader builds over mmapped segment arrays. Views answer
+// every query identically; a mutating call first detaches into an owned
+// copy, so the external storage is never written.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "net/prefix.hpp"
@@ -24,6 +31,19 @@ class IntervalSet {
   };
 
   IntervalSet() = default;
+
+  /// Non-owning view over an already-canonical interval array (see
+  /// is_canonical). The storage must outlive the view and every copy of it.
+  /// Canonicality is asserted in debug builds only — loaders of untrusted
+  /// bytes must call is_canonical() themselves and reject violations.
+  static IntervalSet view(std::span<const Interval> intervals);
+
+  /// True when `intervals` satisfies the class invariant: sorted by begin,
+  /// non-empty, non-overlapping, non-adjacent, ends within the IPv4 space
+  /// bound 2^32.
+  static bool is_canonical(std::span<const Interval> intervals);
+
+  bool is_view() const { return ext_data_ != nullptr; }
 
   /// Insert; overlapping/adjacent intervals coalesce. Empty ranges ignored.
   void insert(uint64_t begin, uint64_t end);
@@ -50,9 +70,12 @@ class IntervalSet {
            static_cast<double>(uint64_t{1} << 24);
   }
 
-  bool empty() const { return intervals_.empty(); }
-  size_t interval_count() const { return intervals_.size(); }
-  const std::vector<Interval>& intervals() const { return intervals_; }
+  bool empty() const { return intervals().empty(); }
+  size_t interval_count() const { return intervals().size(); }
+  std::span<const Interval> intervals() const {
+    return ext_data_ ? std::span<const Interval>(ext_data_, ext_size_)
+                     : std::span<const Interval>(intervals_);
+  }
 
   /// Set algebra; results are canonical (disjoint, sorted, coalesced).
   static IntervalSet set_union(const IntervalSet& a, const IntervalSet& b);
@@ -61,11 +84,19 @@ class IntervalSet {
   static IntervalSet set_difference(const IntervalSet& a,
                                     const IntervalSet& b);
 
-  friend bool operator==(const IntervalSet&, const IntervalSet&) = default;
+  /// Content equality; an owned set and a view over the same intervals
+  /// compare equal.
+  friend bool operator==(const IntervalSet& a, const IntervalSet& b);
 
  private:
+  /// Copy a view's external storage into intervals_ before mutating.
+  void detach();
+
   // Invariant: sorted by begin, non-empty, non-overlapping, non-adjacent.
   std::vector<Interval> intervals_;
+  // View mode: when set, intervals_ is empty and queries read this array.
+  const Interval* ext_data_ = nullptr;
+  size_t ext_size_ = 0;
 };
 
 }  // namespace droplens::net

@@ -7,12 +7,20 @@
 // later paints either overwrite (most-specific-wins, the router longest-
 // match semantic) or merge (label union) — then finalize() into one sorted
 // vector of disjoint segments. Lookup is a single upper_bound.
+//
+// Like IntervalSet, a map either owns its segment array or is a non-owning
+// view over externally owned storage — the zero-copy form the snapshot
+// loader builds over mmapped segment arrays. Views are immutable: they are
+// born finalized, and painting into one is a programming error (asserted in
+// debug builds).
 #pragma once
 
 #include <algorithm>
+#include <cassert>
 #include <cstdint>
 #include <map>
 #include <optional>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -30,6 +38,38 @@ class SegmentMap {
 
     friend bool operator==(const Segment&, const Segment&) = default;
   };
+
+  SegmentMap() = default;
+
+  /// Non-owning view over an already-canonical segment array (see
+  /// is_canonical). The storage must outlive the view and every copy of it.
+  /// Canonicality is asserted in debug builds only — loaders of untrusted
+  /// bytes must call is_canonical() themselves and reject violations.
+  static SegmentMap view(std::span<const Segment> segments) {
+    assert(is_canonical(segments));
+    SegmentMap m;
+    m.ext_data_ = segments.data();
+    m.ext_size_ = segments.size();
+    return m;
+  }
+
+  /// True when `segments` satisfies the finalized-form invariant: sorted by
+  /// begin, non-empty, non-overlapping, ends within the IPv4 space bound
+  /// 2^32. (Maximal coalescing is not required — lookups don't depend on
+  /// it.)
+  static bool is_canonical(std::span<const Segment> segments) {
+    constexpr uint64_t kSpaceEnd = uint64_t{1} << 32;
+    uint64_t prev_end = 0;
+    for (const Segment& s : segments) {
+      if (s.begin >= s.end || s.end > kSpaceEnd || s.begin < prev_end) {
+        return false;
+      }
+      prev_end = s.end;
+    }
+    return true;
+  }
+
+  bool is_view() const { return ext_data_ != nullptr; }
 
   /// Paint [begin, end) := value, replacing whatever was there — painting
   /// prefixes from least to most specific yields longest-match semantics.
@@ -58,6 +98,8 @@ class SegmentMap {
   /// segments with equal values coalesce. Call exactly once, after the last
   /// paint; lookups before finalize() see an empty map.
   void finalize() {
+    assert(!is_view());
+    if (is_view()) return;
     segments_.clear();
     for (const auto& [begin, piece] : paint_) {
       if (!piece.value) continue;
@@ -73,10 +115,11 @@ class SegmentMap {
 
   /// The segment value at address `addr`, or nullptr for unpainted space.
   const T* lookup(uint64_t addr) const {
+    std::span<const Segment> segs = segments();
     auto it = std::upper_bound(
-        segments_.begin(), segments_.end(), addr,
+        segs.begin(), segs.end(), addr,
         [](uint64_t a, const Segment& s) { return a < s.begin; });
-    if (it == segments_.begin()) return nullptr;
+    if (it == segs.begin()) return nullptr;
     --it;
     return addr < it->end ? &it->value : nullptr;
   }
@@ -85,9 +128,12 @@ class SegmentMap {
   /// when paints went least-specific-first.
   const T* lookup(const Prefix& p) const { return lookup(p.first()); }
 
-  bool empty() const { return segments_.empty(); }
-  size_t segment_count() const { return segments_.size(); }
-  const std::vector<Segment>& segments() const { return segments_; }
+  bool empty() const { return segments().empty(); }
+  size_t segment_count() const { return segments().size(); }
+  std::span<const Segment> segments() const {
+    return ext_data_ ? std::span<const Segment>(ext_data_, ext_size_)
+                     : std::span<const Segment>(segments_);
+  }
 
  private:
   struct Piece {
@@ -100,6 +146,7 @@ class SegmentMap {
   // except where a paint was split around them — those carry empty values).
   template <typename Fn>
   void apply(uint64_t begin, uint64_t end, Fn&& fn) {
+    assert(!is_view());
     if (begin >= end) return;
     // Split the piece strictly straddling `begin`, if any (a piece starting
     // exactly at `begin` needs no split — and must not be, or its key would
@@ -146,6 +193,9 @@ class SegmentMap {
 
   std::map<uint64_t, Piece> paint_;
   std::vector<Segment> segments_;
+  // View mode: when set, segments_ is empty and lookups read this array.
+  const Segment* ext_data_ = nullptr;
+  size_t ext_size_ = 0;
 };
 
 }  // namespace droplens::net

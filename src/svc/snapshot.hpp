@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 
 #include "core/data_quality.hpp"
 #include "core/drop_index.hpp"
@@ -88,10 +89,33 @@ class Snapshot {
   /// Labels of the space covered by DROP listings.
   struct DropInfo {
     uint8_t categories = 0;  // drop::CategorySet bits (OR over listings)
-    bool incident = false;
+    // 0/1. uint8_t rather than bool so a view over mmapped bytes can never
+    // hold a trap value (reading a bool whose byte is not 0/1 is UB); the
+    // loader rejects files with other values.
+    uint8_t incident = 0;
 
     friend bool operator==(const DropInfo&, const DropInfo&) = default;
   };
+
+  Snapshot() = default;
+
+  /// Assemble a snapshot directly from its parts — the path the mmap loader
+  /// (svc/snapshot_io.hpp) and tests use. Structures may be owned or views;
+  /// SegmentMaps must already be finalized.
+  Snapshot(uint64_t version, net::Date date, uint8_t degraded,
+           net::IntervalSet routed, net::IntervalSet as0, net::IntervalSet irr,
+           net::IntervalSet allocated, net::SegmentMap<DropInfo> drop,
+           net::SegmentMap<uint8_t> rov, net::SegmentMap<uint8_t> rir)
+      : version_(version),
+        date_(date),
+        degraded_(degraded),
+        routed_(std::move(routed)),
+        as0_(std::move(as0)),
+        irr_(std::move(irr)),
+        allocated_(std::move(allocated)),
+        drop_(std::move(drop)),
+        rov_(std::move(rov)),
+        rir_(std::move(rir)) {}
 
   uint64_t version() const { return version_; }
   net::Date date() const { return date_; }
@@ -101,6 +125,16 @@ class Snapshot {
 
   /// Answer `fields` for `p`. Never throws; lock-free and allocation-free.
   Answer lookup(const net::Prefix& p, uint8_t fields) const;
+
+  // Read access to the compiled structures, in on-disk segment order — the
+  // spans the snapshot writer serializes (see svc/snapshot_io.hpp).
+  const net::IntervalSet& routed() const { return routed_; }
+  const net::IntervalSet& as0() const { return as0_; }
+  const net::IntervalSet& irr() const { return irr_; }
+  const net::IntervalSet& allocated() const { return allocated_; }
+  const net::SegmentMap<DropInfo>& drop() const { return drop_; }
+  const net::SegmentMap<uint8_t>& rov() const { return rov_; }
+  const net::SegmentMap<uint8_t>& rir() const { return rir_; }
 
  private:
   friend std::shared_ptr<const Snapshot> compile_snapshot(

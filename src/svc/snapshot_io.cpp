@@ -1,0 +1,443 @@
+#include "svc/snapshot_io.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <span>
+#include <type_traits>
+#include <utility>
+
+#include "core/data_quality.hpp"
+#include "drop/category.hpp"
+#include "net/interval_set.hpp"
+#include "net/segment_map.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "rir/rir.hpp"
+#include "util/crc32c.hpp"
+
+namespace droplens::svc {
+
+namespace {
+
+using net::IntervalSet;
+using Interval = IntervalSet::Interval;
+using DropSegment = net::SegmentMap<Snapshot::DropInfo>::Segment;
+using ByteSegment = net::SegmentMap<uint8_t>::Segment;
+
+// The zero-copy contract: the on-disk element layouts are exactly the
+// in-memory ones, so a view over mapped bytes is a view over real arrays.
+// The writer zeroes padding explicitly; these asserts pin the layouts.
+static_assert(std::is_trivially_copyable_v<Interval>);
+static_assert(sizeof(Interval) == 16 && alignof(Interval) == 8);
+static_assert(offsetof(Interval, end) == 8);
+static_assert(std::is_trivially_copyable_v<DropSegment>);
+static_assert(sizeof(DropSegment) == 24 && alignof(DropSegment) == 8);
+static_assert(offsetof(DropSegment, value) == 16);
+static_assert(sizeof(Snapshot::DropInfo) == 2);
+static_assert(offsetof(Snapshot::DropInfo, incident) == 1);
+static_assert(std::is_trivially_copyable_v<ByteSegment>);
+static_assert(sizeof(ByteSegment) == 24 && alignof(ByteSegment) == 8);
+static_assert(offsetof(ByteSegment, value) == 16);
+
+constexpr uint32_t kElemSizes[kSnapshotSegmentCount] = {
+    sizeof(Interval),    sizeof(Interval),    sizeof(Interval),
+    sizeof(Interval),    sizeof(DropSegment), sizeof(ByteSegment),
+    sizeof(ByteSegment),
+};
+
+/// Bits of Snapshot::degraded() that can be set: one per core::Feed.
+constexpr uint8_t kFeedMask =
+    static_cast<uint8_t>((1u << core::kFeedCount) - 1);
+/// Bits a DropInfo::categories byte can carry: one per drop::Category.
+constexpr uint8_t kCategoryMask =
+    static_cast<uint8_t>((1u << drop::kAllCategories.size()) - 1);
+
+[[noreturn]] void fail(SnapshotIoError code, const std::string& what) {
+  throw SnapshotFormatError(code, "snapshot_io: " + what);
+}
+
+uint32_t header_crc(const SnapshotHeader& h) {
+  SnapshotHeader copy = h;
+  copy.header_crc32c = 0;
+  return util::crc32c(&copy, sizeof(copy));
+}
+
+// --- writer ----------------------------------------------------------------
+
+void append_intervals(std::string& out, std::span<const Interval> ivs) {
+  // Interval has no padding; a straight byte copy is deterministic.
+  out.append(reinterpret_cast<const char*>(ivs.data()), ivs.size_bytes());
+}
+
+void append_drop_segments(std::string& out,
+                          std::span<const DropSegment> segs) {
+  for (const DropSegment& s : segs) {
+    char buf[sizeof(DropSegment)] = {};  // zero the 6 padding bytes
+    std::memcpy(buf + 0, &s.begin, sizeof(s.begin));
+    std::memcpy(buf + 8, &s.end, sizeof(s.end));
+    buf[16] = static_cast<char>(s.value.categories);
+    buf[17] = static_cast<char>(s.value.incident);
+    out.append(buf, sizeof(buf));
+  }
+}
+
+void append_byte_segments(std::string& out,
+                          std::span<const ByteSegment> segs) {
+  for (const ByteSegment& s : segs) {
+    char buf[sizeof(ByteSegment)] = {};  // zero the 7 padding bytes
+    std::memcpy(buf + 0, &s.begin, sizeof(s.begin));
+    std::memcpy(buf + 8, &s.end, sizeof(s.end));
+    buf[16] = static_cast<char>(s.value);
+    out.append(buf, sizeof(buf));
+  }
+}
+
+// --- mmap ------------------------------------------------------------------
+
+class MappedFile {
+ public:
+  static MappedFile open(const std::string& path) {
+    int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) {
+      fail(SnapshotIoError::kIo,
+           "open '" + path + "': " + std::strerror(errno));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      int err = errno;
+      ::close(fd);
+      fail(SnapshotIoError::kIo,
+           "fstat '" + path + "': " + std::strerror(err));
+    }
+    size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      fail(SnapshotIoError::kTruncated, "'" + path + "' is empty");
+    }
+    void* base = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps the file alive
+    if (base == MAP_FAILED) {
+      fail(SnapshotIoError::kIo,
+           "mmap '" + path + "': " + std::strerror(errno));
+    }
+    return MappedFile(static_cast<const char*>(base), size);
+  }
+
+  MappedFile(MappedFile&& other) noexcept
+      : base_(std::exchange(other.base_, nullptr)),
+        size_(std::exchange(other.size_, 0)) {}
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      unmap();
+      base_ = std::exchange(other.base_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile() { unmap(); }
+
+  const char* data() const { return base_; }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(const char* base, size_t size) : base_(base), size_(size) {}
+  void unmap() {
+    if (base_) ::munmap(const_cast<char*>(base_), size_);
+  }
+
+  const char* base_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Control-block payload of a loaded snapshot: the Snapshot's views point
+/// into `file`, so both live and die together.
+struct MappedSnapshot {
+  explicit MappedSnapshot(MappedFile f) : file(std::move(f)) {}
+  MappedFile file;
+  Snapshot snap;
+};
+
+// --- shared validation -----------------------------------------------------
+
+/// Validate everything about a header that doesn't require payload access:
+/// magic, version, CRC, and the segment table's exact accounting of a file
+/// of `file_size` bytes.
+void validate_header(const SnapshotHeader& h, uint64_t file_size) {
+  if (std::memcmp(h.magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    fail(SnapshotIoError::kBadMagic, "bad magic");
+  }
+  if (h.format_version != kSnapshotFormatVersion) {
+    fail(SnapshotIoError::kBadVersion,
+         "format version " + std::to_string(h.format_version) +
+             " (this build speaks " + std::to_string(kSnapshotFormatVersion) +
+             ")");
+  }
+  if (header_crc(h) != h.header_crc32c) {
+    fail(SnapshotIoError::kBadHeaderCrc, "header CRC mismatch");
+  }
+  if (h.file_length > file_size) {
+    fail(SnapshotIoError::kTruncated,
+         "file is " + std::to_string(file_size) + " bytes, header declares " +
+             std::to_string(h.file_length));
+  }
+  if (h.file_length < file_size) {
+    fail(SnapshotIoError::kBadLayout,
+         "trailing bytes past the declared file length");
+  }
+  if (h.degraded & ~kFeedMask) {
+    fail(SnapshotIoError::kBadInvariant, "unknown degraded-feed bits");
+  }
+  // Strict sequential layout: each segment starts exactly where the
+  // previous one ended, and the last ends at EOF. A corrupt length cannot
+  // smuggle out-of-bounds reads or allocation — there is nothing to
+  // allocate and nothing between or beyond the audited segments.
+  uint64_t cursor = sizeof(SnapshotHeader);
+  for (size_t i = 0; i < kSnapshotSegmentCount; ++i) {
+    const SegmentDesc& sd = h.segments[i];
+    std::string name(to_string(static_cast<SnapshotSegment>(i)));
+    if (sd.elem_size != kElemSizes[i]) {
+      fail(SnapshotIoError::kBadLayout, "segment " + name + ": element size " +
+                                            std::to_string(sd.elem_size));
+    }
+    if (sd.offset != cursor) {
+      fail(SnapshotIoError::kBadLayout,
+           "segment " + name + ": offset " + std::to_string(sd.offset) +
+               ", expected " + std::to_string(cursor));
+    }
+    if (sd.length % sd.elem_size != 0 || sd.length > file_size - cursor) {
+      fail(SnapshotIoError::kBadLayout,
+           "segment " + name + ": length " + std::to_string(sd.length));
+    }
+    cursor += sd.length;
+  }
+  if (cursor != file_size) {
+    fail(SnapshotIoError::kBadLayout,
+         "segments account for " + std::to_string(cursor) + " of " +
+             std::to_string(file_size) + " bytes");
+  }
+}
+
+template <typename T>
+std::span<const T> segment_span(const MappedFile& map, const SegmentDesc& sd) {
+  // Offsets are 8-byte aligned (validated) on a page-aligned base, and T is
+  // trivially copyable, so viewing the mapped bytes as a T array is the
+  // standard zero-copy read; the writer produced these exact bytes from
+  // real T objects.
+  return std::span<const T>(
+      reinterpret_cast<const T*>(map.data() + sd.offset),
+      sd.length / sizeof(T));
+}
+
+IntervalSet load_interval_set(const MappedFile& map, const SnapshotHeader& h,
+                              SnapshotSegment seg) {
+  std::span<const Interval> ivs = segment_span<Interval>(
+      map, h.segments[static_cast<size_t>(seg)]);
+  if (!IntervalSet::is_canonical(ivs)) {
+    fail(SnapshotIoError::kBadInvariant,
+         "segment " + std::string(to_string(seg)) +
+             ": intervals not sorted/disjoint/bounded");
+  }
+  return IntervalSet::view(ivs);
+}
+
+template <typename T, typename CheckValue>
+net::SegmentMap<T> load_segment_map(const MappedFile& map,
+                                    const SnapshotHeader& h,
+                                    SnapshotSegment seg, CheckValue&& check) {
+  std::span<const typename net::SegmentMap<T>::Segment> segs =
+      segment_span<typename net::SegmentMap<T>::Segment>(
+          map, h.segments[static_cast<size_t>(seg)]);
+  if (!net::SegmentMap<T>::is_canonical(segs)) {
+    fail(SnapshotIoError::kBadInvariant,
+         "segment " + std::string(to_string(seg)) +
+             ": segments not sorted/disjoint/bounded");
+  }
+  for (const auto& s : segs) {
+    if (!check(s.value)) {
+      fail(SnapshotIoError::kBadInvariant,
+           "segment " + std::string(to_string(seg)) + ": value out of range");
+    }
+  }
+  return net::SegmentMap<T>::view(segs);
+}
+
+}  // namespace
+
+std::string_view to_string(SnapshotIoError code) {
+  switch (code) {
+    case SnapshotIoError::kIo: return "io-error";
+    case SnapshotIoError::kTruncated: return "truncated";
+    case SnapshotIoError::kBadMagic: return "bad-magic";
+    case SnapshotIoError::kBadVersion: return "bad-version";
+    case SnapshotIoError::kBadHeaderCrc: return "bad-header-crc";
+    case SnapshotIoError::kBadLayout: return "bad-layout";
+    case SnapshotIoError::kBadSegmentCrc: return "bad-segment-crc";
+    case SnapshotIoError::kBadInvariant: return "bad-invariant";
+  }
+  return "unknown";
+}
+
+std::string_view to_string(SnapshotSegment s) {
+  switch (s) {
+    case SnapshotSegment::kRouted: return "routed";
+    case SnapshotSegment::kAs0: return "as0";
+    case SnapshotSegment::kIrr: return "irr";
+    case SnapshotSegment::kAllocated: return "allocated";
+    case SnapshotSegment::kDrop: return "drop";
+    case SnapshotSegment::kRov: return "rov";
+    case SnapshotSegment::kRir: return "rir";
+  }
+  return "unknown";
+}
+
+std::string serialize_snapshot(const Snapshot& snap) {
+  obs::Span span("svc.serialize_snapshot");
+  std::string out(sizeof(SnapshotHeader), '\0');
+
+  SnapshotHeader h{};
+  std::memcpy(h.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+  h.format_version = kSnapshotFormatVersion;
+  h.date_days = snap.date().days();
+  h.degraded = snap.degraded();
+  h.writer_version = snap.version();
+
+  const auto seal = [&](SnapshotSegment seg, size_t payload_begin) {
+    SegmentDesc& sd = h.segments[static_cast<size_t>(seg)];
+    sd.offset = payload_begin;
+    sd.length = out.size() - payload_begin;
+    sd.crc32c = util::crc32c(out.data() + payload_begin, sd.length);
+    sd.elem_size = kElemSizes[static_cast<size_t>(seg)];
+  };
+
+  size_t begin = out.size();
+  append_intervals(out, snap.routed().intervals());
+  seal(SnapshotSegment::kRouted, begin);
+  begin = out.size();
+  append_intervals(out, snap.as0().intervals());
+  seal(SnapshotSegment::kAs0, begin);
+  begin = out.size();
+  append_intervals(out, snap.irr().intervals());
+  seal(SnapshotSegment::kIrr, begin);
+  begin = out.size();
+  append_intervals(out, snap.allocated().intervals());
+  seal(SnapshotSegment::kAllocated, begin);
+  begin = out.size();
+  append_drop_segments(out, snap.drop().segments());
+  seal(SnapshotSegment::kDrop, begin);
+  begin = out.size();
+  append_byte_segments(out, snap.rov().segments());
+  seal(SnapshotSegment::kRov, begin);
+  begin = out.size();
+  append_byte_segments(out, snap.rir().segments());
+  seal(SnapshotSegment::kRir, begin);
+
+  h.file_length = out.size();
+  h.header_crc32c = header_crc(h);
+  std::memcpy(out.data(), &h, sizeof(h));
+  return out;
+}
+
+void save_snapshot(const Snapshot& snap, const std::string& path) {
+  obs::Span span("svc.save_snapshot");
+  obs::counter("droplens_svc_snapshot_saves_total", {},
+               "Snapshots saved to .dls files")
+      .inc();
+  std::string bytes = serialize_snapshot(snap);
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) {
+    fail(SnapshotIoError::kIo,
+         "open '" + tmp + "' for write: " + std::strerror(errno));
+  }
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool ok = written == bytes.size();
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    fail(SnapshotIoError::kIo, "write '" + tmp + "' failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    int err = errno;
+    std::remove(tmp.c_str());
+    fail(SnapshotIoError::kIo,
+         "rename '" + tmp + "' -> '" + path + "': " + std::strerror(err));
+  }
+}
+
+std::shared_ptr<const Snapshot> load_snapshot(const std::string& path,
+                                              uint64_t version) {
+  obs::Span span("svc.load_snapshot");
+  obs::counter("droplens_svc_snapshot_loads_total", {},
+               "Snapshots mmap-loaded from .dls files")
+      .inc();
+  MappedFile map = MappedFile::open(path);
+  if (map.size() < sizeof(SnapshotHeader)) {
+    fail(SnapshotIoError::kTruncated,
+         "'" + path + "' is " + std::to_string(map.size()) +
+             " bytes, shorter than the header");
+  }
+  SnapshotHeader h;
+  std::memcpy(&h, map.data(), sizeof(h));
+  validate_header(h, map.size());
+  for (size_t i = 0; i < kSnapshotSegmentCount; ++i) {
+    const SegmentDesc& sd = h.segments[i];
+    if (util::crc32c(map.data() + sd.offset, sd.length) != sd.crc32c) {
+      fail(SnapshotIoError::kBadSegmentCrc,
+           "segment " +
+               std::string(to_string(static_cast<SnapshotSegment>(i))) +
+               ": CRC mismatch");
+    }
+  }
+
+  IntervalSet routed = load_interval_set(map, h, SnapshotSegment::kRouted);
+  IntervalSet as0 = load_interval_set(map, h, SnapshotSegment::kAs0);
+  IntervalSet irr = load_interval_set(map, h, SnapshotSegment::kIrr);
+  IntervalSet allocated =
+      load_interval_set(map, h, SnapshotSegment::kAllocated);
+  auto drop = load_segment_map<Snapshot::DropInfo>(
+      map, h, SnapshotSegment::kDrop, [](const Snapshot::DropInfo& v) {
+        return (v.categories & ~kCategoryMask) == 0 && v.incident <= 1;
+      });
+  auto rov = load_segment_map<uint8_t>(
+      map, h, SnapshotSegment::kRov, [](uint8_t v) {
+        return v <= static_cast<uint8_t>(RovStatus::kUnrouted);
+      });
+  auto rir = load_segment_map<uint8_t>(
+      map, h, SnapshotSegment::kRir,
+      [](uint8_t v) { return v < rir::kAllRirs.size(); });
+
+  // The views above point into `map`; hand the mapping to the control block
+  // so snapshot and mapping share one lifetime. Moving a MappedFile moves
+  // ownership, not the base address, so the views stay valid.
+  auto holder = std::make_shared<MappedSnapshot>(std::move(map));
+  holder->snap = Snapshot(version, net::Date(h.date_days), h.degraded,
+                          std::move(routed), std::move(as0), std::move(irr),
+                          std::move(allocated), std::move(drop),
+                          std::move(rov), std::move(rir));
+  return std::shared_ptr<const Snapshot>(holder, &holder->snap);
+}
+
+SnapshotHeader read_snapshot_header(const std::string& path) {
+  // Reuse the mmap path: headers are one page anyway, and this guarantees
+  // inspect and load agree on every check that doesn't touch payload.
+  MappedFile map = MappedFile::open(path);
+  if (map.size() < sizeof(SnapshotHeader)) {
+    fail(SnapshotIoError::kTruncated,
+         "'" + path + "' is " + std::to_string(map.size()) +
+             " bytes, shorter than the header");
+  }
+  SnapshotHeader h;
+  std::memcpy(&h, map.data(), sizeof(h));
+  validate_header(h, map.size());
+  return h;
+}
+
+}  // namespace droplens::svc

@@ -1,0 +1,131 @@
+#include "svc/snapshot_store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+#include "core/drop_index.hpp"
+#include "core/study.hpp"
+#include "obs/metrics.hpp"
+#include "svc/snapshot_io.hpp"
+#include "util/error.hpp"
+
+namespace droplens::svc {
+
+namespace fs = std::filesystem;
+
+SnapshotStore::SnapshotStore(Config config, const core::Study* study,
+                             const core::DropIndex* index)
+    : config_(std::move(config)), study_(study), index_(index) {}
+
+std::string SnapshotStore::file_name(net::Date d) {
+  net::Date::Ymd ymd = d.ymd();
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%04d%02d%02d.dls", ymd.year, ymd.month,
+                ymd.day);
+  return buf;
+}
+
+std::string SnapshotStore::path_for(net::Date d) const {
+  return (fs::path(config_.dir) / file_name(d)).string();
+}
+
+std::shared_ptr<const Snapshot> SnapshotStore::get(net::Date d) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = resident_.find(d);
+  if (it != resident_.end()) {
+    ++stats_.resident_hits;
+    it->second.last_used = ++clock_;
+    return it->second.snap;
+  }
+  std::shared_ptr<const Snapshot> snap = materialize(d);
+  if (snap) {
+    resident_[d] = Entry{snap, ++clock_};
+    evict_over_capacity();
+  }
+  return snap;
+}
+
+std::shared_ptr<const Snapshot> SnapshotStore::materialize(net::Date d) {
+  const bool can_compile = study_ != nullptr && index_ != nullptr;
+  if (!config_.dir.empty()) {
+    std::string path = path_for(d);
+    std::error_code ec;
+    if (fs::exists(path, ec)) {
+      try {
+        auto snap = load_snapshot(path, next_version_ + 1);
+        ++next_version_;
+        ++stats_.loads;
+        return snap;
+      } catch (const SnapshotFormatError&) {
+        // A damaged file is not fatal when we can rebuild its content; the
+        // re-save below replaces it. Without a compiler the caller must
+        // hear about the corruption.
+        ++stats_.load_failures;
+        obs::counter("droplens_svc_snapshot_load_failures_total", {},
+                     "Snapshot files rejected by the loader")
+            .inc();
+        if (!can_compile) throw;
+      }
+    }
+  }
+  if (!can_compile) return nullptr;
+  auto snap = compile_snapshot(*study_, *index_, d, next_version_ + 1);
+  ++next_version_;
+  ++stats_.compiles;
+  if (config_.save_compiled && !config_.dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(config_.dir, ec);
+    save_snapshot(*snap, path_for(d));
+    ++stats_.saves;
+  }
+  return snap;
+}
+
+void SnapshotStore::evict_over_capacity() {
+  if (config_.max_resident == 0) return;
+  while (resident_.size() > config_.max_resident) {
+    auto victim = resident_.begin();
+    for (auto it = resident_.begin(); it != resident_.end(); ++it) {
+      if (it->second.last_used < victim->second.last_used) victim = it;
+    }
+    resident_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void SnapshotStore::rescan() {
+  std::lock_guard<std::mutex> lock(mu_);
+  resident_.clear();
+}
+
+std::vector<net::Date> SnapshotStore::on_disk() const {
+  std::vector<net::Date> dates;
+  if (config_.dir.empty()) return dates;
+  std::error_code ec;
+  for (const fs::directory_entry& entry :
+       fs::directory_iterator(config_.dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.size() != 12 || name.substr(8) != ".dls") continue;
+    try {
+      dates.push_back(net::Date::parse(name.substr(0, 8)));
+    } catch (const ParseError&) {
+      continue;
+    }
+  }
+  std::sort(dates.begin(), dates.end());
+  return dates;
+}
+
+SnapshotStore::Stats SnapshotStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+size_t SnapshotStore::resident_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return resident_.size();
+}
+
+}  // namespace droplens::svc

@@ -1,0 +1,112 @@
+// Date-keyed snapshot store: the persistence layer under a serving daemon.
+//
+// One study window is many dates; a Server publishes one Snapshot at a
+// time, but the store keeps the whole window reachable: a directory of
+// `YYYYMMDD.dls` files (svc/snapshot_io.hpp) plus an LRU of resident days —
+// mmap-loaded from disk when a file exists, compiled through the engine on
+// miss (and written through, so the next process start mmaps instead of
+// recompiling).
+//
+// The store owns version assignment. Snapshot versions exist so clients can
+// tell "same bytes re-served" from "new artifact" across reloads; before
+// the store, every call site passed its own counter to compile_snapshot and
+// nothing guaranteed uniqueness across dates. Here a single monotonic
+// counter stamps every materialization — load, compile, or re-materialize
+// after eviction/rescan — so two distinct snapshot objects never share a
+// version (asserted by tests/test_snapshot_io.cpp).
+//
+// Thread safety: get()/rescan()/stats() are mutex-serialized; a compile on
+// miss happens under the lock (the engine below fans out across its own
+// pool). Returned shared_ptrs are immutable snapshots, safe to share.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/date.hpp"
+#include "svc/snapshot.hpp"
+
+namespace droplens::core {
+class DropIndex;
+struct Study;
+}  // namespace droplens::core
+
+namespace droplens::svc {
+
+class SnapshotStore {
+ public:
+  struct Config {
+    /// Directory of .dls files. Empty = memory-only store (no load/save);
+    /// created on first save if missing.
+    std::string dir;
+    /// Max resident (mapped or compiled) days; least-recently-used days are
+    /// dropped beyond it. 0 = unbounded.
+    size_t max_resident = 8;
+    /// Write a .dls for every compile miss (requires `dir`).
+    bool save_compiled = true;
+  };
+
+  struct Stats {
+    size_t resident_hits = 0;
+    size_t loads = 0;          // mmap loads that succeeded
+    size_t load_failures = 0;  // corrupt/unreadable files encountered
+    size_t compiles = 0;
+    size_t saves = 0;
+    size_t evictions = 0;
+  };
+
+  /// `study` and `index` enable compile-on-miss; pass null for a disk-only
+  /// store. Both must outlive the store.
+  explicit SnapshotStore(Config config, const core::Study* study = nullptr,
+                         const core::DropIndex* index = nullptr);
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// The snapshot for `d`: resident if cached; else mmap-loaded from
+  /// `dir/YYYYMMDD.dls`; else compiled (written through when configured).
+  /// Returns null when neither disk nor a compiler can serve the date. A
+  /// corrupt file falls back to compile when a compiler is attached —
+  /// re-saving over the bad file — and rethrows its SnapshotFormatError
+  /// otherwise.
+  std::shared_ptr<const Snapshot> get(net::Date d);
+
+  /// Drop every resident day, so the next get() re-reads the directory —
+  /// the SIGHUP hook. Version numbers keep counting up: a re-materialized
+  /// day never reuses a version an earlier mapping served.
+  void rescan();
+
+  /// Dates with a .dls file in the directory, ascending. Files whose names
+  /// don't parse as YYYYMMDD.dls are ignored.
+  std::vector<net::Date> on_disk() const;
+
+  static std::string file_name(net::Date d);  // "YYYYMMDD.dls"
+  std::string path_for(net::Date d) const;
+
+  Stats stats() const;
+  size_t resident_count() const;
+
+ private:
+  std::shared_ptr<const Snapshot> materialize(net::Date d);  // under mu_
+  void evict_over_capacity();                                // under mu_
+
+  const Config config_;
+  const core::Study* study_;
+  const core::DropIndex* index_;
+
+  mutable std::mutex mu_;
+  uint64_t next_version_ = 0;  // last version handed out; never reused
+  uint64_t clock_ = 0;         // LRU stamp source
+  struct Entry {
+    std::shared_ptr<const Snapshot> snap;
+    uint64_t last_used = 0;
+  };
+  std::map<net::Date, Entry> resident_;
+  Stats stats_;
+};
+
+}  // namespace droplens::svc

@@ -1,0 +1,37 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace droplens::util {
+
+namespace {
+
+// Reflected Castagnoli polynomial (0x1EDC6F41 bit-reversed).
+constexpr uint32_t kPoly = 0x82f63b78u;
+
+constexpr std::array<uint32_t, 256> make_table() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+constexpr std::array<uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+uint32_t crc32c(const void* data, size_t len, uint32_t seed) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < len; ++i) {
+    crc = kTable[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace droplens::util

@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli) checksum.
+//
+// The snapshot persistence layer (svc/snapshot_io.hpp) checksums its header
+// and every segment blob so a loader that mmaps attacker-influenceable bytes
+// can reject corruption before trusting any of them. CRC32C rather than
+// plain CRC32: the Castagnoli polynomial has better error-detection
+// properties for storage payloads and matches what hardware offers if this
+// ever grows an SSE4.2/ARMv8 fast path.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace droplens::util {
+
+/// CRC32C of `len` bytes at `data`. `seed` chains partial computations:
+/// crc32c(ab) == crc32c(b, crc32c(a)).
+uint32_t crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t crc32c(std::string_view data, uint32_t seed = 0) {
+  return crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace droplens::util
