@@ -1,23 +1,28 @@
 // droplensd: the prefix-intelligence query service as a TCP daemon.
 //
-// Generates a world, compiles a snapshot, and serves two protocols from the
-// same transport core: the binary query protocol (svc::Client speaks it)
-// and IRRd-style whois for the IRR view. SIGHUP recompiles and hot-swaps
-// the snapshot (version bumps, in-flight queries finish on the old one);
-// SIGINT/SIGTERM shut down cleanly.
+// Generates a world and serves the WHOLE study window from one process:
+// the server fronts a SnapshotStore, so any query date — and the range op
+// spanning [d0, d1] — resolves to its own day's snapshot (resident, mmap-
+// loaded, delta-patched, or compiled on miss). Two protocols ride the same
+// transport core: the binary query protocol (svc::Client speaks it) and
+// IRRd-style whois for the IRR view. SIGHUP rescans the snapshot directory
+// incrementally (unchanged resident days stay mapped); SIGINT/SIGTERM shut
+// down cleanly.
 //
 //   $ ./droplensd [--small] [--seed=N] [--port=P] [--whois-port=P]
 //                 [--metrics-port=P] [--threads=N] [--date-offset=DAYS]
-//                 [--snapshot-dir=PATH]
+//                 [--snapshot-dir=PATH] [--max-resident=N]
 //
 // Then, from another terminal:  printf '!gAS64500\n' | nc 127.0.0.1 4343
 // With --metrics-port=P:        curl http://127.0.0.1:P/metrics
 //
-// With --snapshot-dir=PATH the served snapshot persists as a `.dls` file
-// (svc/snapshot_io.hpp): the first run compiles and saves it, every restart
-// mmaps it back instead of recompiling, and SIGHUP re-scans the directory
-// before hot-swapping. Snapshot versions come from the SnapshotStore's
-// monotonic counter, so no two artifacts ever share one.
+// With --snapshot-dir=PATH snapshots persist as `.dls` files — keyframes
+// or deltas, see svc/snapshot_io.hpp: the first run compiles and saves,
+// every restart mmaps back instead of recompiling, and `snapshot_tool
+// delta` can re-encode the directory as patch chains. --max-resident=N
+// bounds how many days stay materialized at once (LRU beyond it).
+// Snapshot versions come from the SnapshotStore's monotonic counter, so no
+// two artifacts ever share one.
 #include <csignal>
 #include <cstring>
 #include <iostream>
@@ -62,6 +67,7 @@ int main(int argc, char** argv) {
   unsigned threads = util::ThreadPool::default_thread_count();
   int32_t date_offset = 60;
   std::string snapshot_dir;
+  size_t max_resident = 16;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--small") == 0) small = true;
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
@@ -85,6 +91,9 @@ int main(int argc, char** argv) {
     }
     if (std::strncmp(argv[i], "--snapshot-dir=", 15) == 0) {
       snapshot_dir = argv[i] + 15;
+    }
+    if (std::strncmp(argv[i], "--max-resident=", 15) == 0) {
+      max_resident = std::stoull(argv[i] + 15);
     }
   }
 
@@ -124,16 +133,18 @@ int main(int argc, char** argv) {
 
   // The store owns snapshot versioning and, when --snapshot-dir is given,
   // the .dls files: a restart mmaps yesterday's compile instead of redoing
-  // it. Without a directory it is a memory-only holder of the current day.
+  // it. The server fronts the store, so every date in the study window is
+  // servable — --date-offset only picks which day to warm up eagerly.
   svc::SnapshotStore::Config store_config;
   store_config.dir = snapshot_dir;
+  store_config.max_resident = max_resident;
   svc::SnapshotStore store(store_config, &study, &index);
-  std::shared_ptr<const svc::Snapshot> snap = store.get(date);
+  store.get(date);  // warm the default serving date eagerly
   if (store.stats().loads > 0) {
     std::cerr << "droplensd: mmap-loaded snapshot from "
               << store.path_for(date) << " (no recompile)\n";
   }
-  svc::Server server(snap, &pool);
+  svc::Server server(store, &pool);
   svc::TcpServer query_tcp(server, port);
 
   irr::WhoisServer whois(world->irr, date);
@@ -151,25 +162,33 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, on_sigterm);
   std::signal(SIGTERM, on_sigterm);
 
-  std::cerr << "droplensd: serving date " << date.to_string()
-            << " — binary protocol on 127.0.0.1:" << query_tcp.port()
+  std::cerr << "droplensd: serving window "
+            << config.window_begin.to_string() << ".."
+            << config.window_end.to_string() << " (warm date "
+            << date.to_string()
+            << ") — binary protocol on 127.0.0.1:" << query_tcp.port()
             << ", whois on 127.0.0.1:" << whois_tcp.port() << " ("
-            << pool.concurrency() << " engine threads)\n";
+            << pool.concurrency() << " engine threads, max "
+            << max_resident << " resident days)\n";
   if (metrics_tcp) {
     std::cerr << "droplensd: Prometheus metrics on http://127.0.0.1:"
               << metrics_tcp->port() << "/metrics\n";
   }
-  std::cerr << "droplensd: SIGHUP reloads the snapshot; SIGINT stops\n";
+  std::cerr << "droplensd: SIGHUP rescans the snapshot directory; "
+               "SIGINT stops\n";
 
   while (!g_stop) {
     if (g_reload) {
       g_reload = 0;
-      std::cerr << "droplensd: reloading snapshot...\n";
+      std::cerr << "droplensd: rescanning snapshot directory...\n";
+      // Incremental: days whose files are byte-identical (size+mtime) stay
+      // resident; changed or deleted days re-materialize on next query.
+      const size_t before = store.resident_count();
       store.rescan();
-      std::shared_ptr<const svc::Snapshot> next = store.get(date);
-      server.publish(next);
+      const size_t kept = store.resident_count();
       quality.export_metrics(registry, window_days);
-      std::cerr << "droplensd: snapshot " << next->version() << " live\n";
+      std::cerr << "droplensd: rescan kept " << kept << "/" << before
+                << " resident days\n";
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }

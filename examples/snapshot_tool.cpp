@@ -1,4 +1,4 @@
-// snapshot_tool: compile, inspect, and verify .dls snapshot files.
+// snapshot_tool: compile, inspect, verify, and re-encode .dls files.
 //
 //   $ ./snapshot_tool compile --dir=DIR [--small] [--seed=N] [--threads=N]
 //                             [--start=OFFSET] [--days=N] [--stride=DAYS]
@@ -6,16 +6,30 @@
 //       date (window_begin + start + i*stride) through a SnapshotStore —
 //       exactly the files a droplensd --snapshot-dir=DIR restart mmaps.
 //
+//   $ ./snapshot_tool delta --dir=DIR [--keyframe-every=K]
+//       Re-encode the directory in place as delta chains: every Kth file
+//       (date order; default 7) stays a keyframe, every other file becomes
+//       a patch over the previous date present in the directory. Consecutive
+//       days share almost everything, so the directory typically shrinks
+//       5-20x. Idempotent; prints the before/after byte ratio.
+//
+//   $ ./snapshot_tool expand --dir=DIR
+//       The inverse: rewrite every delta file as a self-contained keyframe.
+//
 //   $ ./snapshot_tool inspect FILE...
 //       Validate each file's header (magic, version, CRC, layout) and print
-//       it: date, degraded feeds, writer version, and the segment table.
+//       it: kind, date (and base date for deltas), degraded feeds, writer
+//       version, and the segment table.
 //
 //   $ ./snapshot_tool verify FILE...
-//       Full hostile-input validation: mmap-load each file (header + every
-//       segment CRC + structural invariants). Exit 1 if any file fails.
+//       Full hostile-input validation: load each file (header + every
+//       segment CRC + structural invariants); deltas are reconstructed over
+//       their base chain, resolved through sibling YYYYMMDD.dls files.
+//       Exit 1 if any file fails.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -39,9 +53,17 @@ int usage() {
   std::cerr << "usage: snapshot_tool compile --dir=DIR [--small] [--seed=N]\n"
                "                     [--threads=N] [--start=OFFSET]\n"
                "                     [--days=N] [--stride=DAYS]\n"
+               "       snapshot_tool delta --dir=DIR [--keyframe-every=K]\n"
+               "       snapshot_tool expand --dir=DIR\n"
                "       snapshot_tool inspect FILE...\n"
                "       snapshot_tool verify FILE...\n";
   return 2;
+}
+
+uint64_t file_bytes(const std::string& path) {
+  std::error_code ec;
+  uint64_t n = std::filesystem::file_size(path, ec);
+  return ec ? 0 : n;
 }
 
 int run_compile(int argc, char** argv) {
@@ -105,34 +127,143 @@ int run_compile(int argc, char** argv) {
   return 0;
 }
 
+int run_delta(int argc, char** argv) {
+  std::string dir;
+  int keyframe_every = 7;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dir=", 6) == 0) dir = argv[i] + 6;
+    if (std::strncmp(argv[i], "--keyframe-every=", 17) == 0) {
+      keyframe_every = std::stoi(argv[i] + 17);
+    }
+  }
+  if (dir.empty() || keyframe_every < 1) return usage();
+
+  // Disk-only store: resolves whatever mix of keyframes and deltas the
+  // directory holds now (re-running with a different K is fine). Residency
+  // covers one chain plus the working pair so bases resolve from memory.
+  svc::SnapshotStore::Config store_config;
+  store_config.dir = dir;
+  store_config.max_resident = static_cast<size_t>(keyframe_every) + 2;
+  store_config.save_compiled = false;
+  svc::SnapshotStore store(store_config);
+  std::vector<net::Date> dates = store.on_disk();
+  if (dates.empty()) {
+    std::cerr << "snapshot_tool: no .dls files in " << dir << "\n";
+    return 1;
+  }
+  uint64_t bytes_before = 0;
+  uint64_t bytes_after = 0;
+  std::shared_ptr<const svc::Snapshot> prev;
+  for (size_t i = 0; i < dates.size(); ++i) {
+    std::string path = store.path_for(dates[i]);
+    std::shared_ptr<const svc::Snapshot> snap = store.get(dates[i]);
+    bytes_before += file_bytes(path);
+    if (i % static_cast<size_t>(keyframe_every) == 0) {
+      // Chain anchor: every Kth file stays (or becomes again) a keyframe.
+      if (svc::snapshot_file_kind(path) != svc::SnapshotFileKind::kKeyframe) {
+        svc::save_snapshot(*snap, path);
+      }
+    } else {
+      svc::save_snapshot_delta(*snap, *prev, path);
+    }
+    bytes_after += file_bytes(path);
+    prev = std::move(snap);
+  }
+  std::cerr << "snapshot_tool: re-encoded " << dates.size() << " files, "
+            << bytes_before << " -> " << bytes_after << " bytes ("
+            << (bytes_after ? static_cast<double>(bytes_before) /
+                                  static_cast<double>(bytes_after)
+                            : 0.0)
+            << "x smaller)\n";
+  return 0;
+}
+
+int run_expand(int argc, char** argv) {
+  std::string dir;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--dir=", 6) == 0) dir = argv[i] + 6;
+  }
+  if (dir.empty()) return usage();
+
+  svc::SnapshotStore::Config store_config;
+  store_config.dir = dir;
+  store_config.max_resident = 4;
+  store_config.save_compiled = false;
+  svc::SnapshotStore store(store_config);
+  size_t expanded = 0;
+  int failures = 0;
+  for (net::Date d : store.on_disk()) {
+    std::string path = store.path_for(d);
+    try {
+      if (svc::snapshot_file_kind(path) != svc::SnapshotFileKind::kDelta) {
+        continue;
+      }
+      // Ascending date order means every base this chain needs is either
+      // already expanded or still resolvable — either way get() serves it.
+      std::shared_ptr<const svc::Snapshot> snap = store.get(d);
+      svc::save_snapshot(*snap, path);
+      ++expanded;
+    } catch (const svc::SnapshotFormatError& e) {
+      std::cout << path << ": REJECTED [" << to_string(e.code()) << "] "
+                << e.what() << "\n";
+      ++failures;
+    }
+  }
+  std::cerr << "snapshot_tool: expanded " << expanded
+            << " delta files to keyframes\n";
+  return failures ? 1 : 0;
+}
+
+void print_segment_table(const svc::SegmentDesc* segments) {
+  std::printf("  %-10s %10s %10s %8s %6s %10s\n", "segment", "offset",
+              "length", "count", "elem", "crc32c");
+  for (size_t s = 0; s < svc::kSnapshotSegmentCount; ++s) {
+    const svc::SegmentDesc& sd = segments[s];
+    std::printf("  %-10s %10" PRIu64 " %10" PRIu64 " %8" PRIu64
+                " %6u %10x\n",
+                std::string(to_string(static_cast<svc::SnapshotSegment>(s)))
+                    .c_str(),
+                sd.offset, sd.length, sd.count(), sd.elem_size, sd.crc32c);
+  }
+}
+
+void print_degraded(uint8_t degraded) {
+  std::cout << "  degraded feeds:";
+  if (degraded == 0) std::cout << " none";
+  for (core::Feed f : core::kAllFeeds) {
+    if (degraded & (1u << static_cast<unsigned>(f))) {
+      std::cout << " " << to_string(f);
+    }
+  }
+}
+
 int run_inspect(int argc, char** argv) {
   if (argc < 3) return usage();
   int failures = 0;
   for (int i = 2; i < argc; ++i) {
     try {
+      if (svc::snapshot_file_kind(argv[i]) == svc::SnapshotFileKind::kDelta) {
+        svc::SnapshotDeltaHeader h = svc::read_snapshot_delta_header(argv[i]);
+        std::cout << argv[i] << ":\n"
+                  << "  delta (format version " << h.format_version
+                  << "), date " << net::Date(h.date_days).to_string()
+                  << " over base " << net::Date(h.base_date_days).to_string()
+                  << ", writer version " << h.writer_version << "\n";
+        print_degraded(h.degraded);
+        std::printf("\n  %" PRIu64 " bytes, header CRC32C %08x\n",
+                    h.file_length, h.header_crc32c);
+        print_segment_table(h.segments);
+        continue;
+      }
       svc::SnapshotHeader h = svc::read_snapshot_header(argv[i]);
       std::cout << argv[i] << ":\n"
-                << "  format version " << h.format_version << ", date "
-                << net::Date(h.date_days).to_string() << ", writer version "
-                << h.writer_version << "\n  degraded feeds:";
-      if (h.degraded == 0) std::cout << " none";
-      for (core::Feed f : core::kAllFeeds) {
-        if (h.degraded & (1u << static_cast<unsigned>(f))) {
-          std::cout << " " << to_string(f);
-        }
-      }
+                << "  keyframe (format version " << h.format_version
+                << "), date " << net::Date(h.date_days).to_string()
+                << ", writer version " << h.writer_version << "\n";
+      print_degraded(h.degraded);
       std::printf("\n  %" PRIu64 " bytes, header CRC32C %08x\n",
                   h.file_length, h.header_crc32c);
-      std::printf("  %-10s %10s %10s %8s %6s %10s\n", "segment", "offset",
-                  "length", "count", "elem", "crc32c");
-      for (size_t s = 0; s < svc::kSnapshotSegmentCount; ++s) {
-        const svc::SegmentDesc& sd = h.segments[s];
-        std::printf("  %-10s %10" PRIu64 " %10" PRIu64 " %8" PRIu64
-                    " %6u %10x\n",
-                    std::string(to_string(static_cast<svc::SnapshotSegment>(s)))
-                        .c_str(),
-                    sd.offset, sd.length, sd.count(), sd.elem_size, sd.crc32c);
-      }
+      print_segment_table(h.segments);
     } catch (const svc::SnapshotFormatError& e) {
       std::cout << argv[i] << ": REJECTED [" << to_string(e.code()) << "] "
                 << e.what() << "\n";
@@ -147,10 +278,32 @@ int run_verify(int argc, char** argv) {
   int failures = 0;
   for (int i = 2; i < argc; ++i) {
     try {
-      std::shared_ptr<const svc::Snapshot> snap =
-          svc::load_snapshot(argv[i], 1);
+      std::shared_ptr<const svc::Snapshot> snap;
+      std::string base_note;
+      if (svc::snapshot_file_kind(argv[i]) == svc::SnapshotFileKind::kDelta) {
+        // Reconstruct over the base chain, resolved through sibling
+        // YYYYMMDD.dls files in the same directory.
+        svc::SnapshotDeltaHeader h = svc::read_snapshot_delta_header(argv[i]);
+        svc::SnapshotStore::Config store_config;
+        store_config.dir =
+            std::filesystem::path(argv[i]).parent_path().string();
+        store_config.save_compiled = false;
+        svc::SnapshotStore store(store_config);
+        snap = store.get(net::Date(h.date_days));
+        if (!snap) {
+          // Canonical name missing: the chain can't be resolved from here.
+          throw svc::SnapshotFormatError(
+              svc::SnapshotIoError::kIo,
+              "delta verification needs the file at its canonical "
+              "YYYYMMDD.dls name (base chain resolves by date)");
+        }
+        base_note = " (delta over " + net::Date(h.base_date_days).to_string() +
+                    ")";
+      } else {
+        snap = svc::load_snapshot(argv[i], 1);
+      }
       std::cout << argv[i] << ": OK — date " << snap->date().to_string()
-                << ", " << snap->routed().interval_count()
+                << base_note << ", " << snap->routed().interval_count()
                 << " routed intervals, " << snap->drop().segment_count()
                 << " drop segments\n";
     } catch (const svc::SnapshotFormatError& e) {
@@ -167,6 +320,8 @@ int run_verify(int argc, char** argv) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   if (std::strcmp(argv[1], "compile") == 0) return run_compile(argc, argv);
+  if (std::strcmp(argv[1], "delta") == 0) return run_delta(argc, argv);
+  if (std::strcmp(argv[1], "expand") == 0) return run_expand(argc, argv);
   if (std::strcmp(argv[1], "inspect") == 0) return run_inspect(argc, argv);
   if (std::strcmp(argv[1], "verify") == 0) return run_verify(argc, argv);
   return usage();

@@ -62,6 +62,29 @@ QueryResponse Client::query(const std::vector<Query>& queries) {
   return merged;
 }
 
+RangeResponse Client::range(net::Date begin, net::Date end,
+                            const net::Prefix& prefix, uint8_t fields) {
+  RangeQuery rq;
+  rq.begin = begin;
+  rq.end = end;
+  rq.prefix = prefix;
+  rq.fields = fields;
+  std::string storage;
+  std::string_view payload = expect(encode_range_request(rq),
+                                    FrameType::kRangeResponse, storage);
+  RangeResponse response = decode_range_response(payload);
+  // The decoder already proved the runs contiguous and ascending; pin the
+  // window bounds too so a confused server can't silently shift the answer.
+  if (response.runs.empty() ||
+      response.runs.front().start.days() != begin.days() ||
+      response.runs.back().start.days() +
+              static_cast<int32_t>(response.runs.back().days) !=
+          end.days() + 1) {
+    throw std::runtime_error("svc client: range response window mismatch");
+  }
+  return response;
+}
+
 ServerStats Client::stats() {
   std::string storage;
   std::string_view payload =

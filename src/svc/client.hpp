@@ -29,6 +29,13 @@ class Client {
   /// differing per-frame versions — re-query if that matters).
   QueryResponse query(const std::vector<Query>& queries);
 
+  /// Status of one prefix across every day in [begin, end] (inclusive), in
+  /// one server-side pass — run-length-encoded on transitions, so a stable
+  /// prefix costs one run however long the window. Requires a server in
+  /// store mode; others answer with an error frame (thrown here).
+  RangeResponse range(net::Date begin, net::Date end,
+                      const net::Prefix& prefix, uint8_t fields = kAllFields);
+
   /// Fetch the server's observability counters.
   ServerStats stats();
 

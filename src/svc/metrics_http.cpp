@@ -1,5 +1,7 @@
 #include "svc/metrics_http.hpp"
 
+#include <cctype>
+
 #include "obs/prometheus.hpp"
 #include "util/error.hpp"
 
@@ -7,17 +9,76 @@ namespace droplens::svc {
 
 namespace {
 
+bool equals_ci(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// The value of header `name` (case-insensitive) in `head`, trimmed; empty
+/// when absent. `head` includes the request line, which has no colon before
+/// its first space and so never matches.
+std::string_view find_header(std::string_view head, std::string_view name) {
+  size_t pos = 0;
+  while (pos < head.size()) {
+    size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    if (equals_ci(trim(line.substr(0, colon)), name)) {
+      return trim(line.substr(colon + 1));
+    }
+  }
+  return {};
+}
+
+/// Declared body length of the request whose head is `head`. Throws
+/// ParseError on an unparseable value — the stream cannot be resynchronized
+/// without knowing where the body ends.
+size_t content_length(std::string_view head, size_t cap) {
+  std::string_view value = find_header(head, "content-length");
+  if (value.empty()) return 0;
+  uint64_t n = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      throw ParseError("http: unparseable Content-Length");
+    }
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+    if (n > cap) throw ParseError("http: request body exceeds cap");
+  }
+  return static_cast<size_t>(n);
+}
+
 std::string http_response(std::string_view status, std::string_view type,
-                          std::string_view body) {
+                          std::string_view body, bool keep_alive) {
   std::string out;
   out.reserve(128 + body.size());
-  out.append("HTTP/1.0 ");
+  out.append("HTTP/1.1 ");
   out.append(status);
   out.append("\r\nContent-Type: ");
   out.append(type);
   out.append("\r\nContent-Length: ");
   out.append(std::to_string(body.size()));
-  out.append("\r\nConnection: close\r\n\r\n");
+  out.append(keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                        : "\r\nConnection: close\r\n\r\n");
   out.append(body);
   return out;
 }
@@ -25,21 +86,32 @@ std::string http_response(std::string_view status, std::string_view type,
 }  // namespace
 
 size_t MetricsHttpService::message_size(std::string_view buffer) const {
-  // A message is the request head through its terminating blank line. Bodies
-  // are not consumed — any trailing bytes become an (unparseable) next head.
+  // A message is the head (request line through blank line) plus its
+  // declared Content-Length body. Consuming the body is what keeps
+  // keep-alive and pipelined peers in sync: leftover body bytes would be
+  // parsed as the next request's head and poison the connection.
+  size_t head_len = 0;
   size_t end = buffer.find("\r\n\r\n");
-  if (end != std::string_view::npos) return end + 4;
-  end = buffer.find("\n\n");  // tolerate bare-LF clients (nc, printf)
-  if (end != std::string_view::npos) return end + 2;
-  if (buffer.size() > kMaxHead) {
-    throw ParseError("http: request head exceeds cap");
+  if (end != std::string_view::npos) {
+    head_len = end + 4;
+  } else {
+    end = buffer.find("\n\n");  // tolerate bare-LF clients (nc, printf)
+    if (end != std::string_view::npos) head_len = end + 2;
   }
-  return 0;
+  if (head_len == 0) {
+    if (buffer.size() > kMaxHead) {
+      throw ParseError("http: request head exceeds cap");
+    }
+    return 0;
+  }
+  size_t body_len = content_length(buffer.substr(0, head_len), kMaxBody);
+  if (buffer.size() < head_len + body_len) return 0;  // body still arriving
+  return head_len + body_len;
 }
 
 std::string MetricsHttpService::serve(std::string_view message) {
-  // Request line: METHOD SP PATH SP VERSION. Everything after the first
-  // line (headers) is irrelevant to a fixed read-only endpoint.
+  // Request line: METHOD SP PATH SP VERSION. Headers matter only for
+  // Content-Length (already consumed by message_size) and Connection.
   size_t eol = message.find_first_of("\r\n");
   std::string_view line =
       eol == std::string_view::npos ? message : message.substr(0, eol);
@@ -47,27 +119,35 @@ std::string MetricsHttpService::serve(std::string_view message) {
   size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
                                              : line.find(' ', sp1 + 1);
   if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
-    return http_response("400 Bad Request", "text/plain", "bad request\n");
+    return http_response("400 Bad Request", "text/plain", "bad request\n",
+                         false);
   }
   std::string_view method = line.substr(0, sp1);
   std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  // Persistence follows the request's version defaults, overridable by an
+  // explicit Connection header either way.
+  std::string_view connection = find_header(message, "connection");
+  bool keep_alive = equals_ci(connection, "keep-alive") ||
+                    (version == "HTTP/1.1" && !equals_ci(connection, "close"));
   // Ignore query strings: /metrics?foo=bar still answers.
   path = path.substr(0, path.find('?'));
   if (method != "GET") {
     return http_response("405 Method Not Allowed", "text/plain",
-                         "only GET is served\n");
+                         "only GET is served\n", keep_alive);
   }
   if (path != "/metrics") {
-    return http_response("404 Not Found", "text/plain",
-                         "try /metrics\n");
+    return http_response("404 Not Found", "text/plain", "try /metrics\n",
+                         keep_alive);
   }
   return http_response("200 OK",
                        "text/plain; version=0.0.4; charset=utf-8",
-                       obs::render_prometheus(registry_));
+                       obs::render_prometheus(registry_), keep_alive);
 }
 
 std::string MetricsHttpService::malformed_response(std::string_view /*head*/) {
-  return http_response("400 Bad Request", "text/plain", "bad request\n");
+  return http_response("400 Bad Request", "text/plain", "bad request\n",
+                       false);
 }
 
 }  // namespace droplens::svc

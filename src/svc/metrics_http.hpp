@@ -2,11 +2,17 @@
 //
 // Serves `GET /metrics` as a Prometheus text page (exposition format 0.0.4)
 // so a scraper can point at droplensd without speaking the binary protocol.
-// Deliberately minimal: one endpoint, HTTP/1.0 semantics, Connection: close
-// on every response — the scraper reads Content-Length bytes and hangs up,
-// which is exactly the lifecycle TcpServer's per-connection loop expects.
-// Request heads are capped; a peer that streams bytes without ever
-// finishing its header gets a 400 and a closed connection.
+// Deliberately minimal — one endpoint — but a real stream citizen: a
+// message is the request head PLUS its declared Content-Length body, so a
+// keep-alive scraper's next request starts exactly where the previous one
+// ended and pipelined requests each get their response in order (stray body
+// bytes used to be re-parsed as the next request's head, killing the
+// connection after the first scrape). Responses carry Content-Length and
+// honor the connection semantics of the request's HTTP version:
+// keep-alive for HTTP/1.1 unless the client says `Connection: close`,
+// close for HTTP/1.0 unless it says `Connection: keep-alive`. Request
+// heads and bodies are capped; a peer that streams bytes without ever
+// finishing a request gets a 400 and a closed connection.
 #pragma once
 
 #include <string>
@@ -21,6 +27,9 @@ class MetricsHttpService : public Service {
  public:
   /// Longest accepted request head (request line + headers + blank line).
   static constexpr size_t kMaxHead = 8192;
+  /// Longest accepted request body (a scraper has no business sending one,
+  /// but consuming what arrives is what keeps the stream in sync).
+  static constexpr size_t kMaxBody = 1 << 16;
 
   explicit MetricsHttpService(const obs::Registry& registry)
       : registry_(registry) {}

@@ -10,6 +10,7 @@ constexpr char kMagic0 = 'D';
 constexpr char kMagic1 = 'L';
 constexpr size_t kQueryRecordSize = 10;
 constexpr size_t kAnswerRecordSize = 8;
+constexpr size_t kRangeRunRecordSize = 9 + kAnswerRecordSize;
 constexpr size_t kMaxErrorMessage = 256;
 constexpr size_t kMaxLatencyBuckets = 64;
 
@@ -88,6 +89,44 @@ uint8_t answer_flags(const Answer& a) {
                               (a.routed ? 0x10 : 0));
 }
 
+// The 8-byte answer record, shared by the query and range responses.
+void put_answer(std::string& out, const Answer& a) {
+  put_u8(out, a.status);
+  put_u8(out, a.fields);
+  put_u8(out, answer_flags(a));
+  put_u8(out, a.categories);
+  put_u8(out, a.bucket);
+  put_u8(out, static_cast<uint8_t>(a.rov));
+  put_u8(out, static_cast<uint8_t>(a.rir_status));
+  put_u8(out, a.rir);
+}
+
+Answer read_answer(Reader& in) {
+  Answer a;
+  a.status = in.u8();
+  a.fields = in.u8();
+  uint8_t flags = in.u8();
+  a.drop_listed = flags & 0x01;
+  a.incident = flags & 0x02;
+  a.as0_covered = flags & 0x04;
+  a.irr_registered = flags & 0x08;
+  a.routed = flags & 0x10;
+  a.categories = in.u8();
+  a.bucket = in.u8();
+  uint8_t rov = in.u8();
+  if (rov > static_cast<uint8_t>(RovStatus::kUnrouted)) {
+    throw ParseError("svc: bad ROV status");
+  }
+  a.rov = static_cast<RovStatus>(rov);
+  uint8_t rir_status = in.u8();
+  if (rir_status > static_cast<uint8_t>(RirStatus::kUnadministered)) {
+    throw ParseError("svc: bad RIR status");
+  }
+  a.rir_status = static_cast<RirStatus>(rir_status);
+  a.rir = in.u8();
+  return a;
+}
+
 }  // namespace
 
 size_t frame_size(std::string_view buffer) {
@@ -119,7 +158,7 @@ FrameHeader decode_header(std::string_view frame) {
   }
   uint8_t type = static_cast<uint8_t>(frame[3]);
   if (type < static_cast<uint8_t>(FrameType::kQueryRequest) ||
-      type > static_cast<uint8_t>(FrameType::kMetricsResponse)) {
+      type > static_cast<uint8_t>(FrameType::kRangeResponse)) {
     throw ParseError("svc: unknown frame type " + std::to_string(type));
   }
   header.type = static_cast<FrameType>(type);
@@ -189,16 +228,7 @@ std::string encode_query_response(const QueryResponse& response) {
   put_u32(payload, static_cast<uint32_t>(response.date.days()));
   put_u8(payload, response.degraded);
   put_u16(payload, static_cast<uint16_t>(response.answers.size()));
-  for (const Answer& a : response.answers) {
-    put_u8(payload, a.status);
-    put_u8(payload, a.fields);
-    put_u8(payload, answer_flags(a));
-    put_u8(payload, a.categories);
-    put_u8(payload, a.bucket);
-    put_u8(payload, static_cast<uint8_t>(a.rov));
-    put_u8(payload, static_cast<uint8_t>(a.rir_status));
-    put_u8(payload, a.rir);
-  }
+  for (const Answer& a : response.answers) put_answer(payload, a);
   return frame(FrameType::kQueryResponse, payload);
 }
 
@@ -215,31 +245,105 @@ QueryResponse decode_query_response(std::string_view payload) {
   }
   response.answers.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    Answer a;
-    a.status = in.u8();
-    a.fields = in.u8();
-    uint8_t flags = in.u8();
-    a.drop_listed = flags & 0x01;
-    a.incident = flags & 0x02;
-    a.as0_covered = flags & 0x04;
-    a.irr_registered = flags & 0x08;
-    a.routed = flags & 0x10;
-    a.categories = in.u8();
-    a.bucket = in.u8();
-    uint8_t rov = in.u8();
-    if (rov > static_cast<uint8_t>(RovStatus::kUnrouted)) {
-      throw ParseError("svc: bad ROV status");
-    }
-    a.rov = static_cast<RovStatus>(rov);
-    uint8_t rir_status = in.u8();
-    if (rir_status > static_cast<uint8_t>(RirStatus::kUnadministered)) {
-      throw ParseError("svc: bad RIR status");
-    }
-    a.rir_status = static_cast<RirStatus>(rir_status);
-    a.rir = in.u8();
-    response.answers.push_back(a);
+    response.answers.push_back(read_answer(in));
   }
   in.expect_done("query response");
+  return response;
+}
+
+std::string encode_range_request(const RangeQuery& query) {
+  if (query.begin > query.end) {
+    throw InvariantError("svc: inverted range window");
+  }
+  if (static_cast<size_t>(query.end.days() - query.begin.days()) + 1 >
+      kMaxRangeDays) {
+    throw InvariantError("svc: range exceeds kMaxRangeDays");
+  }
+  std::string payload;
+  payload.reserve(14);
+  put_u32(payload, static_cast<uint32_t>(query.begin.days()));
+  put_u32(payload, static_cast<uint32_t>(query.end.days()));
+  put_u32(payload, query.prefix.network().value());
+  put_u8(payload, static_cast<uint8_t>(query.prefix.length()));
+  put_u8(payload, query.fields);
+  return frame(FrameType::kRangeRequest, payload);
+}
+
+RangeQuery decode_range_request(std::string_view payload) {
+  Reader in(payload);
+  RangeQuery q;
+  q.begin = net::Date(static_cast<int32_t>(in.u32()));
+  q.end = net::Date(static_cast<int32_t>(in.u32()));
+  uint32_t network = in.u32();
+  uint8_t plen = in.u8();
+  q.fields = in.u8() & kAllFields;
+  in.expect_done("range request");
+  if (q.begin > q.end) throw ParseError("svc: inverted range window");
+  if (static_cast<uint64_t>(q.end.days()) -
+          static_cast<uint64_t>(q.begin.days()) + 1 >
+      kMaxRangeDays) {
+    throw ParseError("svc: range exceeds kMaxRangeDays");
+  }
+  if (plen > 32) throw ParseError("svc: prefix length > 32");
+  q.prefix = net::Prefix::containing(net::Ipv4(network), plen);
+  return q;
+}
+
+std::string encode_range_response(const RangeResponse& response) {
+  if (response.runs.size() > kMaxRangeDays) {
+    throw InvariantError("svc: too many range runs");
+  }
+  std::string payload;
+  payload.reserve(8 + response.runs.size() * kRangeRunRecordSize);
+  put_u32(payload, response.prefix.network().value());
+  put_u8(payload, static_cast<uint8_t>(response.prefix.length()));
+  put_u8(payload, response.fields);
+  put_u16(payload, static_cast<uint16_t>(response.runs.size()));
+  for (const RangeRun& run : response.runs) {
+    put_u32(payload, static_cast<uint32_t>(run.start.days()));
+    put_u32(payload, run.days);
+    put_u8(payload, run.degraded);
+    put_answer(payload, run.answer);
+  }
+  return frame(FrameType::kRangeResponse, payload);
+}
+
+RangeResponse decode_range_response(std::string_view payload) {
+  Reader in(payload);
+  RangeResponse response;
+  uint32_t network = in.u32();
+  uint8_t plen = in.u8();
+  if (plen > 32) throw ParseError("svc: prefix length > 32");
+  response.prefix = net::Prefix::containing(net::Ipv4(network), plen);
+  response.fields = in.u8() & kAllFields;
+  size_t count = in.u16();
+  if (count > kMaxRangeDays) throw ParseError("svc: too many range runs");
+  if (in.remaining() != count * kRangeRunRecordSize) {
+    throw ParseError("svc: run count does not match payload size");
+  }
+  response.runs.reserve(count);
+  uint64_t total_days = 0;
+  for (size_t i = 0; i < count; ++i) {
+    RangeRun run;
+    run.start = net::Date(static_cast<int32_t>(in.u32()));
+    run.days = in.u32();
+    run.degraded = in.u8();
+    run.answer = read_answer(in);
+    if (run.days == 0) throw ParseError("svc: empty range run");
+    if (!response.runs.empty()) {
+      const RangeRun& prev = response.runs.back();
+      if (run.start.days() !=
+          prev.start.days() + static_cast<int32_t>(prev.days)) {
+        throw ParseError("svc: range runs are not contiguous");
+      }
+    }
+    total_days += run.days;
+    if (total_days > kMaxRangeDays) {
+      throw ParseError("svc: range runs exceed kMaxRangeDays");
+    }
+    response.runs.push_back(run);
+  }
+  in.expect_done("range response");
   return response;
 }
 

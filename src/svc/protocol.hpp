@@ -17,6 +17,25 @@
 //   metrics request payload  := (empty)
 //   metrics response payload := Prometheus text exposition bytes
 //   error payload          := message bytes (<= 256)
+//   range request payload  := date_begin:u32 date_end:u32 network:u32
+//                             plen:u8 fields:u8                  (14 B)
+//   range response payload := network:u32 plen:u8 fields:u8 run_count:u16
+//                             run_count * { start_date:u32 days:u32
+//                             degraded:u8 answer }               (17 B each)
+//
+// A query batch may mix dates: each query record carries its own date:u32
+// and a store-backed server resolves every distinct date in the frame. The
+// response header's date/version/degraded describe the first query's date;
+// per-answer status says kOk, kWrongDate (single-snapshot server, other
+// date) or kUnavailable (store could not materialize that date).
+//
+// The range op asks one prefix's status across an inclusive date window
+// [date_begin, date_end] (at most kMaxRangeDays days) and answers with
+// run-length-encoded transitions: consecutive days whose answer bytes and
+// degradation bits are identical collapse into one run. Runs are contiguous
+// and ascending — run[i+1].start_date == run[i].start_date + run[i].days —
+// and cover the window exactly; decoders reject anything else. Days the
+// store cannot serve appear as runs whose answer status is kUnavailable.
 //
 // The stats counters are monotonic but mutually unsynchronized: each is a
 // relaxed atomic read at one point in time, so `queries` may momentarily
@@ -47,6 +66,9 @@ inline constexpr size_t kHeaderSize = 8;
 inline constexpr size_t kMaxPayload = size_t{1} << 20;
 /// Queries per frame; bounds the per-frame work a client can demand.
 inline constexpr size_t kMaxBatch = 4096;
+/// Days per range query; bounds the per-frame work like kMaxBatch does for
+/// batches (a paper-scale window is ~1000 days, well inside).
+inline constexpr size_t kMaxRangeDays = 4096;
 
 enum class FrameType : uint8_t {
   kQueryRequest = 1,
@@ -58,11 +80,16 @@ enum class FrameType : uint8_t {
   // frames decode exactly as before, so the protocol stays byte-compatible.
   kMetricsRequest = 6,
   kMetricsResponse = 7,
+  // Appended numbering (PR 6), same compatibility rule: the range op asks
+  // one prefix across a date window and gets RLE-compressed transitions.
+  kRangeRequest = 8,
+  kRangeResponse = 9,
 };
 
 enum class QueryStatus : uint8_t {
   kOk = 0,
-  kWrongDate = 1,  // snapshot serves a different date than requested
+  kWrongDate = 1,    // single-snapshot server serves a different date
+  kUnavailable = 2,  // store could not materialize the requested date
 };
 
 struct Query {
@@ -80,6 +107,35 @@ struct QueryResponse {
   std::vector<Answer> answers;
 
   friend bool operator==(const QueryResponse&, const QueryResponse&) = default;
+};
+
+/// One prefix across an inclusive date window — the range op's request.
+struct RangeQuery {
+  net::Date begin;
+  net::Date end;  // inclusive; end - begin + 1 <= kMaxRangeDays
+  net::Prefix prefix;
+  uint8_t fields = kAllFields;
+
+  friend bool operator==(const RangeQuery&, const RangeQuery&) = default;
+};
+
+/// A maximal run of consecutive days with one identical answer.
+struct RangeRun {
+  net::Date start;
+  uint32_t days = 1;
+  uint8_t degraded = 0;  // the run's snapshot degradation bits
+  Answer answer;
+
+  friend bool operator==(const RangeRun&, const RangeRun&) = default;
+};
+
+struct RangeResponse {
+  net::Prefix prefix;
+  uint8_t fields = kAllFields;
+  /// Contiguous, ascending, covering the queried window exactly.
+  std::vector<RangeRun> runs;
+
+  friend bool operator==(const RangeResponse&, const RangeResponse&) = default;
 };
 
 /// Observability counters, as served by the `!stats`-style protocol op.
@@ -119,6 +175,15 @@ std::vector<Query> decode_query_request(std::string_view payload);
 
 std::string encode_query_response(const QueryResponse& response);
 QueryResponse decode_query_response(std::string_view payload);
+
+std::string encode_range_request(const RangeQuery& query);
+/// Throws ParseError on a bad prefix length, an inverted window, or a span
+/// beyond kMaxRangeDays.
+RangeQuery decode_range_request(std::string_view payload);
+
+std::string encode_range_response(const RangeResponse& response);
+/// Validates the runs' contiguity/coverage contract. Throws ParseError.
+RangeResponse decode_range_response(std::string_view payload);
 
 std::string encode_stats_request();
 std::string encode_stats_response(const ServerStats& stats);

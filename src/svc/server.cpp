@@ -1,10 +1,13 @@
 #include "svc/server.hpp"
 
 #include <chrono>
+#include <map>
 #include <vector>
 
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
+#include "svc/snapshot_io.hpp"
+#include "svc/snapshot_store.hpp"
 #include "util/error.hpp"
 #include "util/thread_pool.hpp"
 
@@ -33,6 +36,9 @@ Server::Server(std::shared_ptr<const Snapshot> initial, util::ThreadPool* pool)
                                   "Frames rejected by the decoder");
   reloads_ = registry_->counter("droplens_svc_reloads_total", {},
                                 "Snapshots published after the first");
+  unavailable_ =
+      registry_->counter("droplens_svc_unavailable_dates_total", {},
+                         "Query dates the snapshot store could not serve");
   for (size_t i = 0; i < kFieldCount; ++i) {
     field_lookups_[i] =
         registry_->counter("droplens_svc_field_lookups_total",
@@ -43,6 +49,11 @@ Server::Server(std::shared_ptr<const Snapshot> initial, util::ThreadPool* pool)
       "droplens_svc_request_latency_ns",
       obs::Registry::log2_bounds(kLatencyBuckets - 1), {},
       "Frame service time in nanoseconds (log2 buckets)");
+}
+
+Server::Server(SnapshotStore& store, util::ThreadPool* pool)
+    : Server(nullptr, pool) {
+  store_ = &store;
 }
 
 void Server::publish(std::shared_ptr<const Snapshot> snap) {
@@ -64,6 +75,8 @@ ServerStats Server::stats() const {
   s.reloads = reloads_.value();
   if (std::shared_ptr<const Snapshot> snap = snapshot()) {
     s.snapshot_version = snap->version();
+  } else if (store_) {
+    s.snapshot_version = last_served_version_.load(std::memory_order_relaxed);
   }
   for (size_t i = 0; i < kFieldCount; ++i) {
     s.field_lookups[i] = field_lookups_[i].value();
@@ -109,6 +122,9 @@ std::string Server::serve(std::string_view frame) {
         }
         response = encode_metrics_response(obs::render_prometheus(*registry_));
         break;
+      case FrameType::kRangeRequest:
+        response = handle_range(frame_payload(frame));
+        break;
       default:
         throw ParseError("svc: unexpected frame type from client");
     }
@@ -126,6 +142,7 @@ std::string Server::serve(std::string_view frame) {
 std::string Server::handle_queries(std::string_view payload) {
   obs::Span span("svc.handle_queries");
   std::vector<Query> queries = decode_query_request(payload);
+  if (store_) return handle_store_queries(queries);
   // One snapshot copy per frame: every answer below is computed against it,
   // however many publishes race with us.
   std::shared_ptr<const Snapshot> snap = snapshot();
@@ -165,6 +182,120 @@ std::string Server::handle_queries(std::string_view payload) {
     }
   }
   return encode_query_response(response);
+}
+
+std::string Server::handle_store_queries(const std::vector<Query>& queries) {
+  // Group by date and resolve each distinct date exactly once per frame.
+  // Resolution is sequential on purpose: a get() may compile (~0.6 s at
+  // paper scale), and the store's per-date latches already dedup identical
+  // misses across concurrent frames — fanning the gets out here would just
+  // pile threads onto the same latches.
+  std::map<net::Date, std::shared_ptr<const Snapshot>> by_date;
+  for (const Query& q : queries) by_date.emplace(q.date, nullptr);
+  for (auto& [date, snap] : by_date) {
+    snap = store_get(date);
+    if (snap) note_served(*snap);
+  }
+
+  queries_.inc(queries.size());
+  QueryResponse response;
+  response.answers.resize(queries.size());
+  if (!queries.empty()) {
+    // Header metadata describes the first query's date (see protocol.hpp);
+    // a frame that mixes dates reads per-answer status instead.
+    response.date = queries.front().date;
+    if (const auto& first = by_date.find(queries.front().date)->second) {
+      response.snapshot_version = first->version();
+      response.degraded = first->degraded();
+    }
+  }
+
+  auto answer_one = [&](size_t i) {
+    const Query& q = queries[i];
+    const Snapshot* s = by_date.find(q.date)->second.get();
+    if (!s) {
+      Answer a;
+      a.status = static_cast<uint8_t>(QueryStatus::kUnavailable);
+      response.answers[i] = a;
+      return;
+    }
+    response.answers[i] = s->lookup(q.prefix, q.fields);
+  };
+  if (pool_ && queries.size() >= kParallelThreshold) {
+    pool_->parallel_for(queries.size(), answer_one);
+  } else {
+    for (size_t i = 0; i < queries.size(); ++i) answer_one(i);
+  }
+
+  for (const Query& q : queries) {
+    if (!by_date.find(q.date)->second) continue;
+    for (uint8_t f = 0; f < kFieldCount; ++f) {
+      if (q.fields & (uint8_t{1} << f)) {
+        field_lookups_[f].inc();
+      }
+    }
+  }
+  return encode_query_response(response);
+}
+
+std::string Server::handle_range(std::string_view payload) {
+  obs::Span span("svc.handle_range");
+  RangeQuery rq = decode_range_request(payload);
+  if (!store_) return encode_error("range queries require a snapshot store");
+
+  RangeResponse response;
+  response.prefix = rq.prefix;
+  response.fields = rq.fields;
+  const int32_t begin = rq.begin.days();
+  const int32_t end = rq.end.days();
+  queries_.inc(static_cast<uint64_t>(end - begin) + 1);
+  // One pass over the window; adjacent days that agree on every requested
+  // field (and degradation bits) merge into one run, so a stable prefix
+  // costs one record however long the window is.
+  for (int32_t dd = begin; dd <= end; ++dd) {
+    net::Date d(dd);
+    Answer a;
+    uint8_t degraded = 0;
+    if (std::shared_ptr<const Snapshot> snap = store_get(d)) {
+      note_served(*snap);
+      a = snap->lookup(rq.prefix, rq.fields);
+      degraded = snap->degraded();
+      for (uint8_t f = 0; f < kFieldCount; ++f) {
+        if (rq.fields & (uint8_t{1} << f)) {
+          field_lookups_[f].inc();
+        }
+      }
+    } else {
+      a.status = static_cast<uint8_t>(QueryStatus::kUnavailable);
+    }
+    if (!response.runs.empty() && response.runs.back().degraded == degraded &&
+        response.runs.back().answer == a) {
+      ++response.runs.back().days;
+    } else {
+      response.runs.push_back(RangeRun{d, 1, degraded, a});
+    }
+  }
+  return encode_range_response(response);
+}
+
+std::shared_ptr<const Snapshot> Server::store_get(net::Date d) {
+  std::shared_ptr<const Snapshot> snap;
+  try {
+    snap = store_->get(d);
+  } catch (const SnapshotFormatError&) {
+    // A corrupt file with no compiler to heal it: this date answers
+    // kUnavailable; the store's own counters record the load failure.
+  }
+  if (!snap) unavailable_.inc();
+  return snap;
+}
+
+void Server::note_served(const Snapshot& snap) {
+  uint64_t v = snap.version();
+  uint64_t cur = last_served_version_.load(std::memory_order_relaxed);
+  while (cur < v && !last_served_version_.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
 }
 
 }  // namespace droplens::svc

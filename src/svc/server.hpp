@@ -1,11 +1,25 @@
 // Transport-agnostic server core of the query service.
 //
-// The Server owns the published Snapshot behind a shared_ptr that handlers
-// copy exactly once per frame, so every answer in a response is computed
-// against one snapshot even while publish() swaps in a new one — zero-
-// downtime reload with per-frame self-consistency. Large batches fan out
-// across the engine's util::ThreadPool with slot-indexed writes, keeping
-// responses byte-identical for any thread count.
+// Two serving modes share one Server:
+//
+//  - Single-snapshot mode: the Server owns the published Snapshot behind a
+//    shared_ptr that handlers copy exactly once per frame, so every answer
+//    in a response is computed against one snapshot even while publish()
+//    swaps in a new one — zero-downtime reload with per-frame
+//    self-consistency. Queries for any other date answer kWrongDate.
+//
+//  - Store mode (whole-window time travel): the Server holds a
+//    SnapshotStore and every query's wire date resolves through
+//    SnapshotStore::get(). A frame may mix dates — the batch is grouped by
+//    date, each distinct date materialized once (sequentially: a get() may
+//    compile, and the store's per-date latches already dedup across
+//    frames), then the lookups fan out. Dates the store cannot serve
+//    answer kUnavailable. Store mode also serves the range op: one prefix
+//    across [d0, d1] in a single pass, run-length-encoded on transitions.
+//
+// Large batches fan out across the engine's util::ThreadPool with
+// slot-indexed writes, keeping responses byte-identical for any thread
+// count.
 //
 // Observability rides the obs registry: counters (frames, queries,
 // malformed frames, per-field lookups, reloads) and a log2 latency
@@ -20,11 +34,13 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "svc/protocol.hpp"
@@ -37,13 +53,21 @@ class ThreadPool;
 
 namespace droplens::svc {
 
+class SnapshotStore;
+
 class Server : public Service {
  public:
-  /// `initial` may be null (queries answer with an error frame until the
-  /// first publish). `pool`, when set, fans large batches out across its
-  /// workers; null serves every batch on the transport thread.
+  /// Single-snapshot mode. `initial` may be null (queries answer with an
+  /// error frame until the first publish). `pool`, when set, fans large
+  /// batches out across its workers; null serves every batch on the
+  /// transport thread.
   explicit Server(std::shared_ptr<const Snapshot> initial = nullptr,
                   util::ThreadPool* pool = nullptr);
+
+  /// Store mode: every query date resolves through `store` (which must
+  /// outlive the server) and the range op is live. publish()/snapshot()
+  /// are inert in this mode.
+  explicit Server(SnapshotStore& store, util::ThreadPool* pool = nullptr);
 
   /// Atomically replace the served snapshot. In-flight frames finish
   /// against the snapshot they started with; new frames see `snap`.
@@ -75,10 +99,19 @@ class Server : public Service {
   static constexpr size_t kLatencyBuckets = 40;
 
   std::string handle_queries(std::string_view payload);
+  std::string handle_store_queries(const std::vector<Query>& queries);
+  std::string handle_range(std::string_view payload);
+  /// store_->get with failures mapped to null (answers say kUnavailable).
+  std::shared_ptr<const Snapshot> store_get(net::Date d);
+  void note_served(const Snapshot& snap);
 
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Snapshot> snapshot_;
+  SnapshotStore* store_ = nullptr;
   util::ThreadPool* pool_;
+  /// Highest snapshot version served in store mode — what the stats op's
+  /// snapshot_version field reports there.
+  std::atomic<uint64_t> last_served_version_{0};
 
   std::unique_ptr<obs::Registry> own_registry_;  // when none was installed
   obs::Registry* registry_;
@@ -86,6 +119,7 @@ class Server : public Service {
   obs::Counter queries_;
   obs::Counter malformed_;
   obs::Counter reloads_;
+  obs::Counter unavailable_;
   std::array<obs::Counter, kFieldCount> field_lookups_;
   obs::Histogram latency_;
 };

@@ -5,12 +5,14 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <array>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <span>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "core/data_quality.hpp"
 #include "drop/category.hpp"
@@ -225,21 +227,16 @@ void validate_header(const SnapshotHeader& h, uint64_t file_size) {
   }
 }
 
-template <typename T>
-std::span<const T> segment_span(const MappedFile& map, const SegmentDesc& sd) {
-  // Offsets are 8-byte aligned (validated) on a page-aligned base, and T is
-  // trivially copyable, so viewing the mapped bytes as a T array is the
-  // standard zero-copy read; the writer produced these exact bytes from
-  // real T objects.
-  return std::span<const T>(
-      reinterpret_cast<const T*>(map.data() + sd.offset),
-      sd.length / sizeof(T));
-}
+// The shared array-validation path works over raw bytes so the mmap loader
+// (viewing the file) and the delta loader (viewing reconstructed buffers)
+// reject exactly the same invariant violations.
 
-IntervalSet load_interval_set(const MappedFile& map, const SnapshotHeader& h,
+IntervalSet load_interval_set(const char* data, uint64_t length,
                               SnapshotSegment seg) {
-  std::span<const Interval> ivs = segment_span<Interval>(
-      map, h.segments[static_cast<size_t>(seg)]);
+  // 8-byte-aligned trivially-copyable bytes viewed as the real array type —
+  // the writer produced these exact bytes from real objects.
+  std::span<const Interval> ivs(reinterpret_cast<const Interval*>(data),
+                                length / sizeof(Interval));
   if (!IntervalSet::is_canonical(ivs)) {
     fail(SnapshotIoError::kBadInvariant,
          "segment " + std::string(to_string(seg)) +
@@ -249,12 +246,11 @@ IntervalSet load_interval_set(const MappedFile& map, const SnapshotHeader& h,
 }
 
 template <typename T, typename CheckValue>
-net::SegmentMap<T> load_segment_map(const MappedFile& map,
-                                    const SnapshotHeader& h,
+net::SegmentMap<T> load_segment_map(const char* data, uint64_t length,
                                     SnapshotSegment seg, CheckValue&& check) {
-  std::span<const typename net::SegmentMap<T>::Segment> segs =
-      segment_span<typename net::SegmentMap<T>::Segment>(
-          map, h.segments[static_cast<size_t>(seg)]);
+  using Seg = typename net::SegmentMap<T>::Segment;
+  std::span<const Seg> segs(reinterpret_cast<const Seg*>(data),
+                            length / sizeof(Seg));
   if (!net::SegmentMap<T>::is_canonical(segs)) {
     fail(SnapshotIoError::kBadInvariant,
          "segment " + std::string(to_string(seg)) +
@@ -267,6 +263,43 @@ net::SegmentMap<T> load_segment_map(const MappedFile& map,
     }
   }
   return net::SegmentMap<T>::view(segs);
+}
+
+/// Validate all seven segment byte arrays and assemble a Snapshot of views
+/// over them. `bytes_of(i)` returns the i-th segment's (data, byte length);
+/// the storage must outlive the snapshot (mapped file or owned buffers).
+template <typename Source>
+Snapshot build_snapshot_views(uint64_t version, net::Date date,
+                              uint8_t degraded, Source&& bytes_of) {
+  auto iv = [&](SnapshotSegment seg) {
+    auto [data, length] = bytes_of(static_cast<size_t>(seg));
+    return load_interval_set(data, length, seg);
+  };
+  IntervalSet routed = iv(SnapshotSegment::kRouted);
+  IntervalSet as0 = iv(SnapshotSegment::kAs0);
+  IntervalSet irr = iv(SnapshotSegment::kIrr);
+  IntervalSet allocated = iv(SnapshotSegment::kAllocated);
+  auto [drop_data, drop_len] =
+      bytes_of(static_cast<size_t>(SnapshotSegment::kDrop));
+  auto drop = load_segment_map<Snapshot::DropInfo>(
+      drop_data, drop_len, SnapshotSegment::kDrop,
+      [](const Snapshot::DropInfo& v) {
+        return (v.categories & ~kCategoryMask) == 0 && v.incident <= 1;
+      });
+  auto [rov_data, rov_len] =
+      bytes_of(static_cast<size_t>(SnapshotSegment::kRov));
+  auto rov = load_segment_map<uint8_t>(
+      rov_data, rov_len, SnapshotSegment::kRov, [](uint8_t v) {
+        return v <= static_cast<uint8_t>(RovStatus::kUnrouted);
+      });
+  auto [rir_data, rir_len] =
+      bytes_of(static_cast<size_t>(SnapshotSegment::kRir));
+  auto rir = load_segment_map<uint8_t>(
+      rir_data, rir_len, SnapshotSegment::kRir,
+      [](uint8_t v) { return v < rir::kAllRirs.size(); });
+  return Snapshot(version, date, degraded, std::move(routed), std::move(as0),
+                  std::move(irr), std::move(allocated), std::move(drop),
+                  std::move(rov), std::move(rir));
 }
 
 }  // namespace
@@ -345,12 +378,9 @@ std::string serialize_snapshot(const Snapshot& snap) {
   return out;
 }
 
-void save_snapshot(const Snapshot& snap, const std::string& path) {
-  obs::Span span("svc.save_snapshot");
-  obs::counter("droplens_svc_snapshot_saves_total", {},
-               "Snapshots saved to .dls files")
-      .inc();
-  std::string bytes = serialize_snapshot(snap);
+namespace {
+
+void write_file_atomically(const std::string& bytes, const std::string& path) {
   std::string tmp = path + ".tmp";
   std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (!f) {
@@ -370,6 +400,16 @@ void save_snapshot(const Snapshot& snap, const std::string& path) {
     fail(SnapshotIoError::kIo,
          "rename '" + tmp + "' -> '" + path + "': " + std::strerror(err));
   }
+}
+
+}  // namespace
+
+void save_snapshot(const Snapshot& snap, const std::string& path) {
+  obs::Span span("svc.save_snapshot");
+  obs::counter("droplens_svc_snapshot_saves_total", {},
+               "Snapshots saved to .dls files")
+      .inc();
+  write_file_atomically(serialize_snapshot(snap), path);
 }
 
 std::shared_ptr<const Snapshot> load_snapshot(const std::string& path,
@@ -397,31 +437,16 @@ std::shared_ptr<const Snapshot> load_snapshot(const std::string& path,
     }
   }
 
-  IntervalSet routed = load_interval_set(map, h, SnapshotSegment::kRouted);
-  IntervalSet as0 = load_interval_set(map, h, SnapshotSegment::kAs0);
-  IntervalSet irr = load_interval_set(map, h, SnapshotSegment::kIrr);
-  IntervalSet allocated =
-      load_interval_set(map, h, SnapshotSegment::kAllocated);
-  auto drop = load_segment_map<Snapshot::DropInfo>(
-      map, h, SnapshotSegment::kDrop, [](const Snapshot::DropInfo& v) {
-        return (v.categories & ~kCategoryMask) == 0 && v.incident <= 1;
-      });
-  auto rov = load_segment_map<uint8_t>(
-      map, h, SnapshotSegment::kRov, [](uint8_t v) {
-        return v <= static_cast<uint8_t>(RovStatus::kUnrouted);
-      });
-  auto rir = load_segment_map<uint8_t>(
-      map, h, SnapshotSegment::kRir,
-      [](uint8_t v) { return v < rir::kAllRirs.size(); });
-
-  // The views above point into `map`; hand the mapping to the control block
+  // The views below point into `map`; hand the mapping to the control block
   // so snapshot and mapping share one lifetime. Moving a MappedFile moves
   // ownership, not the base address, so the views stay valid.
   auto holder = std::make_shared<MappedSnapshot>(std::move(map));
-  holder->snap = Snapshot(version, net::Date(h.date_days), h.degraded,
-                          std::move(routed), std::move(as0), std::move(irr),
-                          std::move(allocated), std::move(drop),
-                          std::move(rov), std::move(rir));
+  holder->snap = build_snapshot_views(
+      version, net::Date(h.date_days), h.degraded, [&](size_t i) {
+        const SegmentDesc& sd = h.segments[i];
+        return std::pair<const char*, uint64_t>(
+            holder->file.data() + sd.offset, sd.length);
+      });
   return std::shared_ptr<const Snapshot>(holder, &holder->snap);
 }
 
@@ -438,6 +463,425 @@ SnapshotHeader read_snapshot_header(const std::string& path) {
   std::memcpy(&h, map.data(), sizeof(h));
   validate_header(h, map.size());
   return h;
+}
+
+// --- delta files -----------------------------------------------------------
+
+namespace {
+
+/// Hard ceiling on one reconstructed segment. Real segments are KBs–MBs;
+/// this only exists so a hostile patch cannot declare a huge new_count and
+/// turn a small file into a giant allocation.
+constexpr uint64_t kMaxDeltaSegmentBytes = uint64_t{1} << 30;
+
+// The host is little-endian (static_assert in the header), so appending raw
+// integer bytes is the wire encoding.
+template <typename T>
+void put_le(std::string& out, T v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+uint32_t delta_header_crc(const SnapshotDeltaHeader& h) {
+  SnapshotDeltaHeader copy = h;
+  copy.header_crc32c = 0;
+  return util::crc32c(&copy, sizeof(copy));
+}
+
+/// One segment's canonical serialized bytes — exactly what
+/// serialize_snapshot emits for it (zeroed padding), whatever mix of owned
+/// and view structures the snapshot holds.
+std::string encode_segment(const Snapshot& snap, size_t i) {
+  std::string out;
+  switch (static_cast<SnapshotSegment>(i)) {
+    case SnapshotSegment::kRouted:
+      append_intervals(out, snap.routed().intervals());
+      break;
+    case SnapshotSegment::kAs0:
+      append_intervals(out, snap.as0().intervals());
+      break;
+    case SnapshotSegment::kIrr:
+      append_intervals(out, snap.irr().intervals());
+      break;
+    case SnapshotSegment::kAllocated:
+      append_intervals(out, snap.allocated().intervals());
+      break;
+    case SnapshotSegment::kDrop:
+      append_drop_segments(out, snap.drop().segments());
+      break;
+    case SnapshotSegment::kRov:
+      append_byte_segments(out, snap.rov().segments());
+      break;
+    case SnapshotSegment::kRir:
+      append_byte_segments(out, snap.rir().segments());
+      break;
+  }
+  return out;
+}
+
+/// Element-level diff of two canonical segment encodings, as a patch byte
+/// stream. Elements are matched on their leading begin:u64 (both Interval
+/// and Segment lead with it): equal bytes extend a copy run, a begin only
+/// the base has is a deletion (skipped), anything else is a literal.
+std::string diff_segment(const std::string& base_enc,
+                         const std::string& new_enc, uint32_t esz) {
+  const size_t nb = base_enc.size() / esz;
+  const size_t nn = new_enc.size() / esz;
+  auto key = [esz](const std::string& enc, size_t idx) {
+    uint64_t k;
+    std::memcpy(&k, enc.data() + idx * esz, sizeof(k));
+    return k;
+  };
+
+  struct Op {
+    bool copy;
+    uint64_t start;  // base element index (copy) or new element index (lit)
+    uint64_t count;
+  };
+  std::vector<Op> ops;
+  auto emit = [&ops](bool copy, size_t idx) {
+    if (!ops.empty() && ops.back().copy == copy &&
+        ops.back().start + ops.back().count == idx) {
+      ++ops.back().count;
+    } else {
+      ops.push_back({copy, idx, 1});
+    }
+  };
+
+  size_t bi = 0, ni = 0;
+  while (bi < nb && ni < nn) {
+    if (std::memcmp(base_enc.data() + bi * esz, new_enc.data() + ni * esz,
+                    esz) == 0) {
+      emit(true, bi);
+      ++bi;
+      ++ni;
+    } else if (key(base_enc, bi) < key(new_enc, ni)) {
+      ++bi;  // deleted from the base; patches never mention it
+    } else {
+      emit(false, ni);
+      if (key(base_enc, bi) == key(new_enc, ni)) ++bi;  // modified in place
+      ++ni;
+    }
+  }
+  for (; ni < nn; ++ni) emit(false, ni);
+
+  std::string out;
+  put_le<uint64_t>(out, nn);
+  put_le<uint32_t>(out, util::crc32c(new_enc.data(), new_enc.size()));
+  put_le<uint32_t>(out, static_cast<uint32_t>(ops.size()));
+  for (const Op& op : ops) {
+    if (op.copy) {
+      put_le<uint8_t>(out, 0);
+      put_le<uint32_t>(out, static_cast<uint32_t>(op.start));
+      put_le<uint32_t>(out, static_cast<uint32_t>(op.count));
+    } else {
+      put_le<uint8_t>(out, 1);
+      put_le<uint32_t>(out, static_cast<uint32_t>(op.count));
+      out.append(new_enc.data() + op.start * esz, op.count * esz);
+    }
+  }
+  return out;
+}
+
+/// Bounds-checked cursor over one patch stream; running out of bytes means
+/// the stream lies about its own shape (the file-level truncation case is
+/// already excluded by the header's strict layout accounting).
+class PatchReader {
+ public:
+  PatchReader(const char* data, uint64_t size, SnapshotSegment seg)
+      : data_(data), size_(size), seg_(seg) {}
+
+  template <typename T>
+  T take() {
+    T v;
+    std::memcpy(&v, bytes(sizeof(T)), sizeof(T));
+    return v;
+  }
+  const char* bytes(uint64_t n) {
+    if (size_ - pos_ < n) {
+      fail(SnapshotIoError::kBadLayout,
+           "segment " + std::string(to_string(seg_)) +
+               ": truncated patch stream");
+    }
+    const char* p = data_ + pos_;
+    pos_ += n;
+    return p;
+  }
+  bool done() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  uint64_t size_;
+  uint64_t pos_ = 0;
+  SnapshotSegment seg_;
+};
+
+/// Replay one patch stream over the base segment's canonical bytes.
+std::string apply_patch(const char* data, uint64_t size,
+                        const std::string& base_enc, uint32_t esz,
+                        SnapshotSegment seg) {
+  const std::string name(to_string(seg));
+  PatchReader in(data, size, seg);
+  const uint64_t new_count = in.take<uint64_t>();
+  const uint32_t new_crc = in.take<uint32_t>();
+  const uint32_t op_count = in.take<uint32_t>();
+  if (new_count > kMaxDeltaSegmentBytes / esz) {
+    fail(SnapshotIoError::kBadInvariant,
+         "segment " + name + ": reconstructed size exceeds cap");
+  }
+  const uint64_t base_count = base_enc.size() / esz;
+  std::string out;
+  out.reserve(new_count * esz);
+  uint64_t produced = 0;
+  for (uint32_t i = 0; i < op_count; ++i) {
+    const uint8_t kind = in.take<uint8_t>();
+    uint64_t count;
+    if (kind == 0) {
+      const uint64_t start = in.take<uint32_t>();
+      count = in.take<uint32_t>();
+      if (count == 0 || start + count > base_count) {
+        fail(SnapshotIoError::kBadInvariant,
+             "segment " + name + ": copy op beyond the base segment");
+      }
+      if (produced + count > new_count) {
+        fail(SnapshotIoError::kBadLayout,
+             "segment " + name + ": ops overrun the declared element count");
+      }
+      out.append(base_enc.data() + start * esz, count * esz);
+    } else if (kind == 1) {
+      count = in.take<uint32_t>();
+      if (count == 0) {
+        fail(SnapshotIoError::kBadLayout,
+             "segment " + name + ": empty literal op");
+      }
+      if (produced + count > new_count) {
+        fail(SnapshotIoError::kBadLayout,
+             "segment " + name + ": ops overrun the declared element count");
+      }
+      out.append(in.bytes(count * esz), count * esz);
+    } else {
+      fail(SnapshotIoError::kBadLayout,
+           "segment " + name + ": unknown patch op " + std::to_string(kind));
+    }
+    produced += count;
+  }
+  if (!in.done()) {
+    fail(SnapshotIoError::kBadLayout,
+         "segment " + name + ": trailing bytes after the last patch op");
+  }
+  if (produced != new_count) {
+    fail(SnapshotIoError::kBadLayout,
+         "segment " + name + ": ops produced " + std::to_string(produced) +
+             " of " + std::to_string(new_count) + " elements");
+  }
+  if (util::crc32c(out.data(), out.size()) != new_crc) {
+    // Wrong base content, or literal bytes flipped: either way the
+    // reconstruction is not the day the writer serialized.
+    fail(SnapshotIoError::kBadSegmentCrc,
+         "segment " + name + ": reconstruction CRC mismatch");
+  }
+  return out;
+}
+
+/// Everything about a delta header that doesn't require payload access.
+/// Mirrors validate_header; patch streams are byte-granular (elem_size 1).
+void validate_delta_header(const SnapshotDeltaHeader& h, uint64_t file_size) {
+  if (std::memcmp(h.magic, kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    fail(SnapshotIoError::kBadMagic, "bad magic");
+  }
+  if (h.format_version != kSnapshotDeltaFormatVersion) {
+    fail(SnapshotIoError::kBadVersion,
+         "format version " + std::to_string(h.format_version) +
+             " where a delta (version " +
+             std::to_string(kSnapshotDeltaFormatVersion) + ") was expected");
+  }
+  if (delta_header_crc(h) != h.header_crc32c) {
+    fail(SnapshotIoError::kBadHeaderCrc, "header CRC mismatch");
+  }
+  if (h.file_length > file_size) {
+    fail(SnapshotIoError::kTruncated,
+         "file is " + std::to_string(file_size) + " bytes, header declares " +
+             std::to_string(h.file_length));
+  }
+  if (h.file_length < file_size) {
+    fail(SnapshotIoError::kBadLayout,
+         "trailing bytes past the declared file length");
+  }
+  if (h.degraded & ~kFeedMask) {
+    fail(SnapshotIoError::kBadInvariant, "unknown degraded-feed bits");
+  }
+  if (h.base_date_days >= h.date_days) {
+    // Also rules out self-reference and cycles: every chain hop goes
+    // strictly back in time.
+    fail(SnapshotIoError::kBadInvariant,
+         "delta base is not earlier than its own date");
+  }
+  uint64_t cursor = sizeof(SnapshotDeltaHeader);
+  for (size_t i = 0; i < kSnapshotSegmentCount; ++i) {
+    const SegmentDesc& sd = h.segments[i];
+    std::string name(to_string(static_cast<SnapshotSegment>(i)));
+    if (sd.elem_size != 1) {
+      fail(SnapshotIoError::kBadLayout,
+           "segment " + name + ": patch element size " +
+               std::to_string(sd.elem_size));
+    }
+    if (sd.offset != cursor) {
+      fail(SnapshotIoError::kBadLayout,
+           "segment " + name + ": offset " + std::to_string(sd.offset) +
+               ", expected " + std::to_string(cursor));
+    }
+    if (sd.length > file_size - cursor) {
+      fail(SnapshotIoError::kBadLayout,
+           "segment " + name + ": length " + std::to_string(sd.length));
+    }
+    cursor += sd.length;
+  }
+  if (cursor != file_size) {
+    fail(SnapshotIoError::kBadLayout,
+         "segments account for " + std::to_string(cursor) + " of " +
+             std::to_string(file_size) + " bytes");
+  }
+}
+
+/// Control-block payload of a delta-loaded snapshot: the reconstructed
+/// segment bytes in 8-byte-aligned owned storage, viewed by `snap`.
+struct PatchedSnapshot {
+  std::array<std::vector<uint64_t>, kSnapshotSegmentCount> arrays;
+  std::array<uint64_t, kSnapshotSegmentCount> lengths{};
+  Snapshot snap;
+};
+
+}  // namespace
+
+std::string serialize_snapshot_delta(const Snapshot& snap,
+                                     const Snapshot& base) {
+  obs::Span span("svc.serialize_snapshot_delta");
+  if (!(base.date() < snap.date())) {
+    throw InvariantError(
+        "snapshot_io: delta base must be strictly earlier than the snapshot");
+  }
+  std::string out(sizeof(SnapshotDeltaHeader), '\0');
+
+  SnapshotDeltaHeader h{};
+  std::memcpy(h.magic, kSnapshotMagic, sizeof(kSnapshotMagic));
+  h.format_version = kSnapshotDeltaFormatVersion;
+  h.date_days = snap.date().days();
+  h.degraded = snap.degraded();
+  h.base_date_days = base.date().days();
+  h.writer_version = snap.version();
+
+  for (size_t i = 0; i < kSnapshotSegmentCount; ++i) {
+    const size_t begin = out.size();
+    out.append(diff_segment(encode_segment(base, i), encode_segment(snap, i),
+                            kElemSizes[i]));
+    SegmentDesc& sd = h.segments[i];
+    sd.offset = begin;
+    sd.length = out.size() - begin;
+    sd.crc32c = util::crc32c(out.data() + begin, sd.length);
+    sd.elem_size = 1;
+  }
+
+  h.file_length = out.size();
+  h.header_crc32c = delta_header_crc(h);
+  std::memcpy(out.data(), &h, sizeof(h));
+  return out;
+}
+
+void save_snapshot_delta(const Snapshot& snap, const Snapshot& base,
+                         const std::string& path) {
+  obs::Span span("svc.save_snapshot_delta");
+  obs::counter("droplens_svc_snapshot_saves_total", {},
+               "Snapshots saved to .dls files")
+      .inc();
+  write_file_atomically(serialize_snapshot_delta(snap, base), path);
+}
+
+std::shared_ptr<const Snapshot> load_snapshot_delta(const std::string& path,
+                                                    const Snapshot& base,
+                                                    uint64_t version) {
+  obs::Span span("svc.load_snapshot_delta");
+  obs::counter("droplens_svc_snapshot_delta_loads_total", {},
+               "Snapshots reconstructed from delta .dls files")
+      .inc();
+  MappedFile map = MappedFile::open(path);
+  if (map.size() < sizeof(SnapshotDeltaHeader)) {
+    fail(SnapshotIoError::kTruncated,
+         "'" + path + "' is " + std::to_string(map.size()) +
+             " bytes, shorter than the delta header");
+  }
+  SnapshotDeltaHeader h;
+  std::memcpy(&h, map.data(), sizeof(h));
+  validate_delta_header(h, map.size());
+  if (h.base_date_days != base.date().days()) {
+    fail(SnapshotIoError::kBadInvariant,
+         "delta declares base " + net::Date(h.base_date_days).to_string() +
+             ", got " + base.date().to_string());
+  }
+  for (size_t i = 0; i < kSnapshotSegmentCount; ++i) {
+    const SegmentDesc& sd = h.segments[i];
+    if (util::crc32c(map.data() + sd.offset, sd.length) != sd.crc32c) {
+      fail(SnapshotIoError::kBadSegmentCrc,
+           "segment " +
+               std::string(to_string(static_cast<SnapshotSegment>(i))) +
+               ": CRC mismatch");
+    }
+  }
+
+  // Reconstruct every segment into owned aligned storage, then view it like
+  // the mmap loader views the file — same canonicality and value checks.
+  auto holder = std::make_shared<PatchedSnapshot>();
+  for (size_t i = 0; i < kSnapshotSegmentCount; ++i) {
+    const SegmentDesc& sd = h.segments[i];
+    std::string bytes =
+        apply_patch(map.data() + sd.offset, sd.length, encode_segment(base, i),
+                    kElemSizes[i], static_cast<SnapshotSegment>(i));
+    holder->arrays[i].resize((bytes.size() + 7) / 8);
+    std::memcpy(holder->arrays[i].data(), bytes.data(), bytes.size());
+    holder->lengths[i] = bytes.size();
+  }
+  holder->snap = build_snapshot_views(
+      version, net::Date(h.date_days), h.degraded, [&](size_t i) {
+        return std::pair<const char*, uint64_t>(
+            reinterpret_cast<const char*>(holder->arrays[i].data()),
+            holder->lengths[i]);
+      });
+  return std::shared_ptr<const Snapshot>(holder, &holder->snap);
+}
+
+SnapshotDeltaHeader read_snapshot_delta_header(const std::string& path) {
+  MappedFile map = MappedFile::open(path);
+  if (map.size() < sizeof(SnapshotDeltaHeader)) {
+    fail(SnapshotIoError::kTruncated,
+         "'" + path + "' is " + std::to_string(map.size()) +
+             " bytes, shorter than the delta header");
+  }
+  SnapshotDeltaHeader h;
+  std::memcpy(&h, map.data(), sizeof(h));
+  validate_delta_header(h, map.size());
+  return h;
+}
+
+SnapshotFileKind snapshot_file_kind(const std::string& path) {
+  MappedFile map = MappedFile::open(path);
+  if (map.size() < sizeof(kSnapshotMagic) + sizeof(uint32_t)) {
+    fail(SnapshotIoError::kTruncated,
+         "'" + path + "' is " + std::to_string(map.size()) +
+             " bytes, shorter than magic + version");
+  }
+  if (std::memcmp(map.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    fail(SnapshotIoError::kBadMagic, "bad magic");
+  }
+  uint32_t version;
+  std::memcpy(&version, map.data() + sizeof(kSnapshotMagic), sizeof(version));
+  switch (version) {
+    case kSnapshotFormatVersion:
+      return SnapshotFileKind::kKeyframe;
+    case kSnapshotDeltaFormatVersion:
+      return SnapshotFileKind::kDelta;
+  }
+  fail(SnapshotIoError::kBadVersion,
+       "format version " + std::to_string(version) +
+           " (this build speaks " + std::to_string(kSnapshotFormatVersion) +
+           " and " + std::to_string(kSnapshotDeltaFormatVersion) + ")");
 }
 
 }  // namespace droplens::svc

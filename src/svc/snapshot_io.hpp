@@ -43,6 +43,26 @@
 // shared_ptr's control block. Every rejection is a typed
 // SnapshotFormatError — hostile bytes must never crash the loader (see
 // tests/test_snapshot_io.cpp, ctest label `persist`).
+//
+// Delta files (format_version 2) store day N as patches over a declared
+// base day (normally N-1), so a whole study window costs a fraction of the
+// all-keyframe size — consecutive days share almost all of their interval
+// structure. Same magic, 216-byte header (adds base_date_days after the
+// keyframe fields), same strict sequential segment accounting; each of the
+// seven segments is now a byte stream (elem_size 1):
+//
+//   patch := new_count:u64 new_crc32c:u32 op_count:u32 op_count * op
+//   op    := 0x00 base_start:u32 count:u32         copy base elements
+//          | 0x01 count:u32 count * element bytes  literal new elements
+//
+// Ops replay left to right and must produce exactly new_count elements in
+// the segment's canonical serialized encoding (the bytes serialize_snapshot
+// would emit); new_crc32c pins the reconstruction end to end — applying a
+// patch over the wrong base bytes fails the CRC before any invariant check.
+// A version-1 loader rejects delta files cleanly with kBadVersion, so the
+// formats coexist in one directory; keyframe loads stay zero-copy mmap
+// while a delta load materializes owned arrays (base must be resolved
+// first — SnapshotStore walks the base chain, snapshot_tool expands it).
 #pragma once
 
 #include <bit>
@@ -93,6 +113,8 @@ class SnapshotFormatError : public ParseError {
 inline constexpr char kSnapshotMagic[8] = {'D', 'L', 'S', 'N',
                                            'A', 'P', '\r', '\n'};
 inline constexpr uint32_t kSnapshotFormatVersion = 1;
+/// Delta files share the magic; the version field tells the kinds apart.
+inline constexpr uint32_t kSnapshotDeltaFormatVersion = 2;
 inline constexpr size_t kSnapshotSegmentCount = 7;
 
 /// Names of the seven payload segments, in file order.
@@ -129,6 +151,23 @@ struct SnapshotHeader {
   SegmentDesc segments[kSnapshotSegmentCount];
 };
 
+/// Header of a delta file: the keyframe fields plus the base day the
+/// patches apply over. Segment descriptors describe the patch byte streams
+/// (elem_size 1), not the reconstructed arrays.
+struct SnapshotDeltaHeader {
+  char magic[8];
+  uint32_t format_version;  // kSnapshotDeltaFormatVersion
+  uint32_t header_crc32c;   // CRC32C of this header with the field zeroed
+  int32_t date_days;
+  uint8_t degraded;
+  uint8_t reserved[3];    // zero; covered by header_crc32c
+  int32_t base_date_days;  // strictly earlier than date_days
+  uint32_t reserved2;      // zero; covered by header_crc32c
+  uint64_t writer_version;
+  uint64_t file_length;
+  SegmentDesc segments[kSnapshotSegmentCount];
+};
+
 // The golden-file test (tests/test_snapshot_io.cpp) pins these layout facts
 // against checked-in bytes; the static_asserts pin them against the
 // compiler. An accidental struct change fails here before it fails CI.
@@ -142,6 +181,11 @@ static_assert(offsetof(SnapshotHeader, degraded) == 20);
 static_assert(offsetof(SnapshotHeader, writer_version) == 24);
 static_assert(offsetof(SnapshotHeader, file_length) == 32);
 static_assert(offsetof(SnapshotHeader, segments) == 40);
+static_assert(sizeof(SnapshotDeltaHeader) == 216);
+static_assert(offsetof(SnapshotDeltaHeader, base_date_days) == 24);
+static_assert(offsetof(SnapshotDeltaHeader, writer_version) == 32);
+static_assert(offsetof(SnapshotDeltaHeader, file_length) == 40);
+static_assert(offsetof(SnapshotDeltaHeader, segments) == 48);
 
 /// Serialize `snap` to the `.dls` byte layout. Deterministic: equal
 /// snapshot contents yield identical bytes.
@@ -164,5 +208,34 @@ std::shared_ptr<const Snapshot> load_snapshot(const std::string& path,
 /// accounting against the real file size) without touching payload bytes —
 /// what `snapshot_tool inspect` prints. Throws SnapshotFormatError.
 SnapshotHeader read_snapshot_header(const std::string& path);
+
+/// What kind of .dls file `path` is, from its magic and version fields
+/// alone. Throws SnapshotFormatError on a missing/short file, bad magic, or
+/// a version this build doesn't speak.
+enum class SnapshotFileKind : uint8_t { kKeyframe, kDelta };
+SnapshotFileKind snapshot_file_kind(const std::string& path);
+
+/// Serialize `snap` as a delta over `base` (both must carry real dates,
+/// base strictly earlier). Deterministic like serialize_snapshot; the
+/// output is typically a few percent of the keyframe size for consecutive
+/// days. Throws InvariantError on a non-earlier base.
+std::string serialize_snapshot_delta(const Snapshot& snap,
+                                     const Snapshot& base);
+
+/// serialize_snapshot_delta + atomic file replace.
+void save_snapshot_delta(const Snapshot& snap, const Snapshot& base,
+                         const std::string& path);
+
+/// Load a delta file by applying its patches over `base`, which must be the
+/// snapshot of the file's declared base date (checked; a content mismatch
+/// beyond the date is caught by the reconstruction CRC). The result owns
+/// its arrays — no mapping outlives the call. Throws SnapshotFormatError.
+std::shared_ptr<const Snapshot> load_snapshot_delta(const std::string& path,
+                                                    const Snapshot& base,
+                                                    uint64_t version);
+
+/// Header-only read+validate of a delta file (the store uses it to learn
+/// the base date before resolving the chain). Throws SnapshotFormatError.
+SnapshotDeltaHeader read_snapshot_delta_header(const std::string& path);
 
 }  // namespace droplens::svc

@@ -8,6 +8,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,6 +20,7 @@
 #include "svc/protocol.hpp"
 #include "svc/server.hpp"
 #include "svc/snapshot.hpp"
+#include "svc/snapshot_store.hpp"
 #include "svc/transport.hpp"
 
 namespace droplens {
@@ -159,6 +162,88 @@ TEST_F(ServiceReloadTest, IdenticalSnapshotsServeByteIdenticalAnswersDuringReloa
   }
   for (std::thread& c : clients) c.join();
   EXPECT_FALSE(failed.load());
+}
+
+TEST_F(ServiceReloadTest, MultiDateRoutingSurvivesRescanAndEviction) {
+  // Store mode under fire: client threads send frames mixing six dates
+  // while the main thread hammers rescan() (the SIGHUP hook) against a
+  // store whose LRU holds only three days, so every request races
+  // eviction, re-materialization, and residency drops. Every answer must
+  // stay byte-identical to a per-date compile — only the snapshot version
+  // may move (re-materialized days mint fresh versions).
+  core::Study s = study();
+  core::DropIndex index = core::DropIndex::build(s);
+
+  char dirbuf[] = "/tmp/droplens_reload_XXXXXX";
+  ASSERT_NE(mkdtemp(dirbuf), nullptr);
+  const std::string dir = dirbuf;
+
+  svc::SnapshotStore::Config cfg;
+  cfg.dir = dir;
+  cfg.max_resident = 3;  // six dates through three slots: constant eviction
+  svc::SnapshotStore store(cfg, &s, &index);
+  svc::Server server(store);
+
+  std::vector<net::Date> dates;
+  for (int i = 0; i < 6; ++i) dates.push_back(config_->window_begin + 28 + i);
+
+  // The ground truth: per-date compiles, independent of the store.
+  std::vector<std::shared_ptr<const svc::Snapshot>> compiled;
+  for (net::Date d : dates) {
+    compiled.push_back(svc::compile_snapshot(s, index, d, 1));
+  }
+
+  // One frame interleaving all six dates.
+  std::vector<svc::Query> batch;
+  size_t probe_count = 0;
+  for (const core::DropEntry& e : index.entries()) {
+    for (net::Date d : dates) {
+      batch.push_back(svc::Query{d, e.prefix, svc::kAllFields});
+    }
+    if (++probe_count >= 16) break;
+  }
+  const std::string request = svc::encode_query_request(batch);
+
+  // Expected answers from the ground-truth snapshots, version ignored.
+  svc::QueryResponse expected;
+  expected.snapshot_version = 0;
+  expected.date = batch.front().date;
+  expected.degraded = compiled.front()->degraded();
+  for (const svc::Query& q : batch) {
+    size_t di = static_cast<size_t>(q.date.days() - dates.front().days());
+    expected.answers.push_back(compiled[di]->lookup(q.prefix, q.fields));
+  }
+  const std::string expected_bytes = svc::encode_query_response(expected);
+
+  constexpr int kClientThreads = 8;
+  constexpr int kRequestsPerThread = 200;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kClientThreads; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kRequestsPerThread && !failed.load(); ++i) {
+        svc::QueryResponse got =
+            svc::decode_query_response(svc::frame_payload(server.serve(request)));
+        got.snapshot_version = 0;  // the only field allowed to move
+        if (svc::encode_query_response(got) != expected_bytes) {
+          failed.store(true);
+        }
+      }
+    });
+  }
+  for (int swap = 0; swap < 400; ++swap) store.rescan();
+  for (std::thread& c : clients) c.join();
+
+  EXPECT_FALSE(failed.load())
+      << "a store-mode answer diverged from its per-date compile";
+  EXPECT_GT(store.stats().evictions, 0u) << "the LRU never churned";
+  EXPECT_GT(store.stats().loads, 0u)
+      << "rescan/eviction never forced a re-load from disk";
+  EXPECT_LE(store.resident_count(), 3u + dates.size())
+      << "residency unbounded";
+
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
 }
 
 }  // namespace

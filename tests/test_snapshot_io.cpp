@@ -889,6 +889,341 @@ TEST_F(SnapshotStoreTest, DiskOnlyStoreServesFilesAndRefusesTheRest) {
       << "without a compiler, corruption must surface to the caller";
 }
 
+// ---------------------------------------------------------------------------
+// Delta files (format version 2): round-trip fidelity, hostile bytes, and
+// base-chain resolution through the store.
+
+// Tomorrow's world relative to make_golden_snapshot(): mostly the same
+// structures with day-over-day edits that exercise every patch shape — pure
+// copy (rir unchanged), literal inserts (new route, as0 appears), value
+// edits (rov flip, incident cleared), and deletions (a drop delisting).
+svc::Snapshot make_golden_next() {
+  net::IntervalSet routed;
+  routed.insert(P("1.0.0.0/8"));
+  routed.insert(P("9.9.0.0/16"));
+  routed.insert(P("11.0.0.0/8"));  // new route
+  routed.insert(P("203.0.113.0/24"));
+  net::IntervalSet as0;
+  as0.insert(P("100.64.0.0/10"));  // was empty yesterday
+  net::IntervalSet irr;
+  irr.insert(P("9.9.8.0/22"));
+  net::IntervalSet allocated;
+  allocated.insert(P("1.0.0.0/8"));
+  allocated.insert(P("9.0.0.0/8"));
+  allocated.insert(P("203.0.0.0/8"));
+
+  net::SegmentMap<svc::Snapshot::DropInfo> drop;
+  drop.assign(P("1.2.3.0/24"), svc::Snapshot::DropInfo{0x21, 0});  // resolved
+  drop.finalize();  // 9.9.9.0/24 delisted overnight
+  net::SegmentMap<uint8_t> rov;
+  rov.assign(P("1.0.0.0/8"), 2);
+  rov.assign(P("1.2.0.0/16"), 0);  // invalid -> valid (ROA fixed)
+  rov.assign(P("203.0.113.0/24"), 0);
+  rov.finalize();
+  net::SegmentMap<uint8_t> rir;  // unchanged: encodes as one copy op
+  rir.assign(P("1.0.0.0/8"), 0);
+  rir.assign(P("9.0.0.0/8"), 3);
+  rir.assign(P("203.0.0.0/8"), 4);
+  rir.finalize();
+
+  return svc::Snapshot(8, net::Date::parse("2019-08-05"), 0x00,
+                       std::move(routed), std::move(as0), std::move(irr),
+                       std::move(allocated), std::move(drop), std::move(rov),
+                       std::move(rir));
+}
+
+// reseal_header/reseal_segment for the 216-byte delta header layout.
+void reseal_delta_header(std::string& bytes) {
+  svc::SnapshotDeltaHeader h{};
+  ASSERT_GE(bytes.size(), sizeof h);
+  std::memcpy(&h, bytes.data(), sizeof h);
+  h.header_crc32c = 0;
+  poke<uint32_t>(bytes, offsetof(svc::SnapshotDeltaHeader, header_crc32c),
+                 util::crc32c(&h, sizeof h));
+}
+
+void reseal_delta_segment(std::string& bytes, size_t seg) {
+  svc::SnapshotDeltaHeader h{};
+  ASSERT_GE(bytes.size(), sizeof h);
+  std::memcpy(&h, bytes.data(), sizeof h);
+  const svc::SegmentDesc& sd = h.segments[seg];
+  ASSERT_LE(sd.offset + sd.length, bytes.size());
+  poke<uint32_t>(bytes,
+                 offsetof(svc::SnapshotDeltaHeader, segments) +
+                     seg * sizeof(svc::SegmentDesc) +
+                     offsetof(svc::SegmentDesc, crc32c),
+                 util::crc32c(bytes.data() + sd.offset, sd.length));
+  reseal_delta_header(bytes);
+}
+
+std::optional<svc::SnapshotIoError> reject_delta_code(
+    const std::string& path, const std::string& bytes,
+    const svc::Snapshot& base) {
+  write_file(path, bytes);
+  try {
+    auto snap = svc::load_snapshot_delta(path, base, 1);
+    ADD_FAILURE() << "delta loader accepted corrupted bytes ("
+                  << bytes.size() << " bytes)";
+    (void)snap;
+    return std::nullopt;
+  } catch (const svc::SnapshotFormatError& e) {
+    return e.code();
+  }
+}
+
+class SnapshotDeltaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = std::make_shared<svc::Snapshot>(make_golden_snapshot());
+    next_ = std::make_shared<svc::Snapshot>(make_golden_next());
+    bytes_ = svc::serialize_snapshot_delta(*next_, *base_);
+    path_ = tmp_.path("delta.dls");
+    write_file(path_, bytes_);
+  }
+
+  TempDir tmp_;
+  std::shared_ptr<svc::Snapshot> base_;
+  std::shared_ptr<svc::Snapshot> next_;
+  std::string bytes_;
+  std::string path_;
+};
+
+TEST_F(SnapshotDeltaTest, RoundTripAnswersIdenticallyAndIsDeterministic) {
+  EXPECT_EQ(bytes_, svc::serialize_snapshot_delta(*next_, *base_));
+
+  auto loaded = svc::load_snapshot_delta(path_, *base_, 99);
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->version(), 99u);
+  EXPECT_EQ(loaded->date(), next_->date());
+  EXPECT_EQ(loaded->degraded(), next_->degraded());
+  sim::Rng rng(0xDE17A);
+  expect_identical_answers(*next_, *loaded, golden_probes());
+  expect_identical_answers(*next_, *loaded, fuzz_prefixes(rng, 5000));
+
+  // save_snapshot_delta writes exactly the serialized bytes.
+  const std::string saved = tmp_.path("delta_saved.dls");
+  svc::save_snapshot_delta(*next_, *base_, saved);
+  EXPECT_EQ(read_file(saved), bytes_);
+}
+
+TEST_F(SnapshotDeltaTest, DeltaIsSmallerThanTheKeyframe) {
+  EXPECT_LT(bytes_.size(), svc::serialize_snapshot(*next_).size());
+}
+
+TEST_F(SnapshotDeltaTest, HeaderDeclaresKindVersionAndBase) {
+  EXPECT_EQ(svc::snapshot_file_kind(path_), svc::SnapshotFileKind::kDelta);
+  svc::SnapshotDeltaHeader h = svc::read_snapshot_delta_header(path_);
+  EXPECT_EQ(h.format_version, svc::kSnapshotDeltaFormatVersion);
+  EXPECT_EQ(net::Date(h.date_days), next_->date());
+  EXPECT_EQ(net::Date(h.base_date_days), base_->date());
+  EXPECT_EQ(h.writer_version, 8u);
+  // Every patch stream is a byte stream: elem_size 1, strict layout.
+  uint64_t cursor = sizeof(svc::SnapshotDeltaHeader);
+  for (size_t s = 0; s < svc::kSnapshotSegmentCount; ++s) {
+    EXPECT_EQ(h.segments[s].elem_size, 1u) << s;
+    EXPECT_EQ(h.segments[s].offset, cursor) << s;
+    cursor += h.segments[s].length;
+  }
+  EXPECT_EQ(cursor, bytes_.size());
+}
+
+TEST_F(SnapshotDeltaTest, FormatsAreMutuallyExclusiveByVersion) {
+  // The keyframe loader rejects a delta cleanly, and vice versa — two
+  // format versions coexisting in one directory can never cross-load.
+  EXPECT_EQ(reject_code(path_, bytes_), svc::SnapshotIoError::kBadVersion);
+  const std::string keyframe = tmp_.path("keyframe.dls");
+  write_file(keyframe, svc::serialize_snapshot(*base_));
+  EXPECT_EQ(svc::snapshot_file_kind(keyframe),
+            svc::SnapshotFileKind::kKeyframe);
+  EXPECT_EQ(reject_delta_code(keyframe, svc::serialize_snapshot(*base_),
+                              *base_),
+            svc::SnapshotIoError::kBadVersion);
+}
+
+TEST_F(SnapshotDeltaTest, EveryTruncationLengthRejectsTyped) {
+  for (size_t len = 0; len < bytes_.size(); ++len) {
+    std::optional<svc::SnapshotIoError> code =
+        reject_delta_code(path_, bytes_.substr(0, len), *base_);
+    ASSERT_TRUE(code.has_value()) << "accepted truncation to " << len;
+  }
+}
+
+TEST_F(SnapshotDeltaTest, EverySingleBitFlipRejectsTyped) {
+  // Header CRC covers the header; each patch stream has a segment CRC; the
+  // reconstruction CRC pins the output. No flip may survive all three.
+  for (size_t byte = 0; byte < bytes_.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string mutated = bytes_;
+      mutated[byte] = static_cast<char>(mutated[byte] ^ (1 << bit));
+      std::optional<svc::SnapshotIoError> code =
+          reject_delta_code(path_, mutated, *base_);
+      ASSERT_TRUE(code.has_value())
+          << "accepted bit flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST_F(SnapshotDeltaTest, TruncatedPatchStreamIsBadLayout) {
+  // Claim one more op than the stream holds, with every CRC resealed, so
+  // the PatchReader's bounds check is the gate that must fire.
+  svc::SnapshotDeltaHeader h{};
+  std::memcpy(&h, bytes_.data(), sizeof h);
+  std::string mutated = bytes_;
+  // Patch stream layout: new_count u64, new_crc32c u32, op_count u32.
+  poke<uint32_t>(mutated, h.segments[0].offset + 12,
+                 read_le<uint32_t>(bytes_, h.segments[0].offset + 12) + 1);
+  reseal_delta_segment(mutated, 0);
+  EXPECT_EQ(reject_delta_code(path_, mutated, *base_),
+            svc::SnapshotIoError::kBadLayout);
+}
+
+TEST_F(SnapshotDeltaTest, WrongBaseDateIsBadInvariant) {
+  // A base whose date differs from the declared one is refused outright.
+  EXPECT_EQ(reject_delta_code(path_, bytes_, *next_),
+            svc::SnapshotIoError::kBadInvariant);
+}
+
+TEST_F(SnapshotDeltaTest, WrongBaseContentFailsTheReconstructionCrc) {
+  // Right date, wrong bytes: a copy op pulls different content, and the
+  // end-to-end reconstruction CRC is what catches it.
+  svc::Snapshot tampered = make_golden_snapshot();
+  net::SegmentMap<uint8_t> rir;  // one value differs from the real base
+  rir.assign(P("1.0.0.0/8"), 0);
+  rir.assign(P("9.0.0.0/8"), 2);  // was 3
+  rir.assign(P("203.0.0.0/8"), 4);
+  rir.finalize();
+  svc::Snapshot base2(
+      7, base_->date(), base_->degraded(), net::IntervalSet(base_->routed()),
+      net::IntervalSet(base_->as0()), net::IntervalSet(base_->irr()),
+      net::IntervalSet(base_->allocated()),
+      net::SegmentMap<svc::Snapshot::DropInfo>(tampered.drop()),
+      net::SegmentMap<uint8_t>(tampered.rov()), std::move(rir));
+  EXPECT_EQ(reject_delta_code(path_, bytes_, base2),
+            svc::SnapshotIoError::kBadSegmentCrc);
+}
+
+TEST_F(SnapshotDeltaTest, NonEarlierBaseIsRefusedAtWriteTime) {
+  EXPECT_THROW(svc::serialize_snapshot_delta(*base_, *next_), InvariantError);
+  EXPECT_THROW(svc::serialize_snapshot_delta(*base_, *base_), InvariantError);
+}
+
+TEST_F(SnapshotDeltaTest, BaseNotEarlierInFileIsBadInvariant) {
+  // Patch the declared base date to equal the file's own date (a would-be
+  // self-reference/cycle) — the loader must refuse before touching patches.
+  std::string mutated = bytes_;
+  poke<int32_t>(mutated, offsetof(svc::SnapshotDeltaHeader, base_date_days),
+                next_->date().days());
+  reseal_delta_header(mutated);
+  EXPECT_EQ(reject_delta_code(path_, mutated, *next_),
+            svc::SnapshotIoError::kBadInvariant);
+}
+
+// Store-level chain resolution: keyframe + delta + delta on disk.
+TEST_F(SnapshotStoreTest, StoreResolvesDeltaChains) {
+  TempDir tmp;
+  svc::SnapshotStore::Config cfg;
+  cfg.dir = tmp.dir();
+  svc::SnapshotStore writer(cfg, &*store_study_, index_.get());
+  auto s0 = writer.get(date(20));
+  auto s1 = writer.get(date(21));
+  auto s2 = writer.get(date(22));
+  svc::save_snapshot_delta(*s1, *s0, writer.path_for(date(21)));
+  svc::save_snapshot_delta(*s2, *s1, writer.path_for(date(22)));
+
+  svc::SnapshotStore disk_only(cfg);
+  auto chained = disk_only.get(date(22));
+  ASSERT_NE(chained, nullptr);
+  svc::SnapshotStore::Stats stats = disk_only.stats();
+  EXPECT_EQ(stats.loads, 1u);        // the keyframe anchor
+  EXPECT_EQ(stats.delta_loads, 2u);  // both hops
+  EXPECT_EQ(disk_only.resident_count(), 3u) << "bases land in the LRU";
+  expect_identical_answers(*s2, *chained, slash8_sweep());
+  // The intermediate hop is resident: serving it is a hit, not a load.
+  auto mid = disk_only.get(date(21));
+  EXPECT_EQ(disk_only.stats().resident_hits, 1u);
+  expect_identical_answers(*s1, *mid, slash8_sweep());
+}
+
+TEST_F(SnapshotStoreTest, BrokenKeyframeUnderADeltaHealsOrSurfaces) {
+  TempDir tmp;
+  svc::SnapshotStore::Config cfg;
+  cfg.dir = tmp.dir();
+  std::shared_ptr<const svc::Snapshot> s0, s1;
+  {
+    svc::SnapshotStore writer(cfg, &*store_study_, index_.get());
+    s0 = writer.get(date(20));
+    s1 = writer.get(date(21));
+    svc::save_snapshot_delta(*s1, *s0, writer.path_for(date(21)));
+  }
+  // Smash the keyframe the delta chain hangs from.
+  svc::SnapshotStore probe(cfg);
+  write_file(probe.path_for(date(20)), "not a snapshot");
+
+  // Without a compiler the broken chain must surface, on every call.
+  EXPECT_THROW(probe.get(date(21)), svc::SnapshotFormatError);
+  EXPECT_THROW(probe.get(date(21)), svc::SnapshotFormatError)
+      << "failures must not be cached";
+
+  // With a compiler the base heals (recompiled + re-saved as a keyframe)
+  // and the delta then applies over it — compile determinism makes the
+  // reconstruction CRC pass.
+  svc::SnapshotStore healer(cfg, &*store_study_, index_.get());
+  auto healed = healer.get(date(21));
+  ASSERT_NE(healed, nullptr);
+  svc::SnapshotStore::Stats stats = healer.stats();
+  EXPECT_EQ(stats.load_failures, 1u);
+  EXPECT_EQ(stats.compiles, 1u);
+  EXPECT_EQ(stats.delta_loads, 1u);
+  expect_identical_answers(*s1, *healed, slash8_sweep());
+}
+
+TEST_F(SnapshotStoreTest, TruncatedDeltaHealsToKeyframeWithACompiler) {
+  TempDir tmp;
+  svc::SnapshotStore::Config cfg;
+  cfg.dir = tmp.dir();
+  std::shared_ptr<const svc::Snapshot> s0, s1;
+  {
+    svc::SnapshotStore writer(cfg, &*store_study_, index_.get());
+    s0 = writer.get(date(20));
+    s1 = writer.get(date(21));
+    svc::save_snapshot_delta(*s1, *s0, writer.path_for(date(21)));
+  }
+  svc::SnapshotStore probe(cfg);
+  const std::string delta_path = probe.path_for(date(21));
+  std::string truncated = read_file(delta_path);
+  truncated.resize(truncated.size() - 7);
+  write_file(delta_path, truncated);
+
+  EXPECT_THROW(probe.get(date(21)), svc::SnapshotFormatError);
+
+  svc::SnapshotStore healer(cfg, &*store_study_, index_.get());
+  auto healed = healer.get(date(21));
+  ASSERT_NE(healed, nullptr);
+  expect_identical_answers(*s1, *healed, slash8_sweep());
+  // The heal re-saved the day as a keyframe; a fresh disk-only store now
+  // serves it without a chain.
+  svc::SnapshotStore after(cfg);
+  EXPECT_EQ(svc::snapshot_file_kind(delta_path),
+            svc::SnapshotFileKind::kKeyframe);
+  EXPECT_NE(after.get(date(21)), nullptr);
+  EXPECT_EQ(after.stats().delta_loads, 0u);
+}
+
+TEST_F(SnapshotStoreTest, MissingDeltaBaseSurfacesWithoutACompiler) {
+  TempDir tmp;
+  svc::SnapshotStore::Config cfg;
+  cfg.dir = tmp.dir();
+  {
+    svc::SnapshotStore writer(cfg, &*store_study_, index_.get());
+    auto s0 = writer.get(date(20));
+    auto s1 = writer.get(date(21));
+    svc::save_snapshot_delta(*s1, *s0, writer.path_for(date(21)));
+  }
+  svc::SnapshotStore probe(cfg);
+  fs::remove(probe.path_for(date(20)));
+  EXPECT_THROW(probe.get(date(21)), svc::SnapshotFormatError);
+}
+
 TEST_F(SnapshotStoreTest, OnDiskListsParsedDatesAndIgnoresJunk) {
   TempDir tmp;
   svc::SnapshotStore::Config cfg;
