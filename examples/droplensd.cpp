@@ -12,9 +12,21 @@
 //   $ ./droplensd [--small] [--seed=N] [--port=P] [--whois-port=P]
 //                 [--metrics-port=P] [--threads=N] [--date-offset=DAYS]
 //                 [--snapshot-dir=PATH] [--max-resident=N]
+//                 [--transport=epoll|threads] [--max-conns=N]
+//                 [--idle-timeout-ms=MS] [--max-inflight=N]
 //
 // Then, from another terminal:  printf '!gAS64500\n' | nc 127.0.0.1 4343
 // With --metrics-port=P:        curl http://127.0.0.1:P/metrics
+//
+// The serving edge defaults to the hardened epoll transport (a fixed pool
+// of event threads; see svc/epoll_transport.hpp) — --transport=threads
+// falls back to thread-per-connection. --max-conns caps concurrent
+// connections per listener (excess accepts get a typed overload reply),
+// --idle-timeout-ms bounds quiet connections (slowloris drips included),
+// and --max-inflight turns on load shedding: bulk ops shed first, queries
+// next, stats/metrics last, so observability survives overload. All three
+// fronts (binary, whois, metrics HTTP) share the same limits; every limit,
+// shed, and disconnect reason is a droplens_transport_* metric.
 //
 // With --snapshot-dir=PATH snapshots persist as `.dls` files — keyframes
 // or deltas, see svc/snapshot_io.hpp: the first run compiles and saves,
@@ -36,6 +48,7 @@
 #include "irr/whois.hpp"
 #include "obs/metrics.hpp"
 #include "sim/generator.hpp"
+#include "svc/epoll_transport.hpp"
 #include "svc/metrics_http.hpp"
 #include "svc/server.hpp"
 #include "svc/snapshot.hpp"
@@ -68,6 +81,10 @@ int main(int argc, char** argv) {
   int32_t date_offset = 60;
   std::string snapshot_dir;
   size_t max_resident = 16;
+  std::string transport = "epoll";
+  size_t max_conns = 0;
+  uint32_t idle_timeout_ms = 0;
+  size_t max_inflight = 0;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--small") == 0) small = true;
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
@@ -95,6 +112,25 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--max-resident=", 15) == 0) {
       max_resident = std::stoull(argv[i] + 15);
     }
+    if (std::strncmp(argv[i], "--transport=", 12) == 0) {
+      transport = argv[i] + 12;
+    }
+    if (std::strncmp(argv[i], "--max-conns=", 12) == 0) {
+      max_conns = std::stoull(argv[i] + 12);
+    }
+    if (std::strncmp(argv[i], "--idle-timeout-ms=", 18) == 0) {
+      idle_timeout_ms = static_cast<uint32_t>(std::stoul(argv[i] + 18));
+    }
+    if (std::strncmp(argv[i], "--max-inflight=", 15) == 0) {
+      max_inflight = std::stoull(argv[i] + 15);
+    }
+  }
+  svc::TransportKind transport_kind;
+  try {
+    transport_kind = svc::parse_transport_kind(transport);
+  } catch (const std::exception& e) {
+    std::cerr << "droplensd: " << e.what() << "\n";
+    return 2;
   }
 
   // One process-wide registry, installed before anything that binds
@@ -145,17 +181,31 @@ int main(int argc, char** argv) {
               << store.path_for(date) << " (no recompile)\n";
   }
   svc::Server server(store, &pool);
-  svc::TcpServer query_tcp(server, port);
+  // The three fronts share one robustness posture: same cap, same idle
+  // bound, same shed pivot — each under its own {listener=...} label.
+  auto front_options = [&](const char* name, uint16_t p) {
+    svc::TransportOptions o;
+    o.listen.port = p;
+    o.name = name;
+    o.max_conns = max_conns;
+    o.idle_timeout_ms = idle_timeout_ms;
+    o.max_inflight = max_inflight;
+    return o;
+  };
+  std::unique_ptr<svc::TransportServer> query_tcp = svc::make_transport_server(
+      transport_kind, server, front_options("query", port));
 
   irr::WhoisServer whois(world->irr, date);
   svc::WhoisService whois_service(whois);
-  svc::TcpServer whois_tcp(whois_service, whois_port);
+  std::unique_ptr<svc::TransportServer> whois_tcp = svc::make_transport_server(
+      transport_kind, whois_service, front_options("whois", whois_port));
 
   svc::MetricsHttpService metrics_service(registry);
-  std::unique_ptr<svc::TcpServer> metrics_tcp;
+  std::unique_ptr<svc::TransportServer> metrics_tcp;
   if (metrics) {
-    metrics_tcp =
-        std::make_unique<svc::TcpServer>(metrics_service, metrics_port);
+    metrics_tcp = svc::make_transport_server(
+        transport_kind, metrics_service, front_options("metrics",
+                                                       metrics_port));
   }
 
   std::signal(SIGHUP, on_sighup);
@@ -166,10 +216,13 @@ int main(int argc, char** argv) {
             << config.window_begin.to_string() << ".."
             << config.window_end.to_string() << " (warm date "
             << date.to_string()
-            << ") — binary protocol on 127.0.0.1:" << query_tcp.port()
-            << ", whois on 127.0.0.1:" << whois_tcp.port() << " ("
+            << ") — binary protocol on 127.0.0.1:" << query_tcp->port()
+            << ", whois on 127.0.0.1:" << whois_tcp->port() << " ("
             << pool.concurrency() << " engine threads, max "
             << max_resident << " resident days)\n";
+  std::cerr << "droplensd: " << transport << " transport; max-conns="
+            << max_conns << " idle-timeout-ms=" << idle_timeout_ms
+            << " max-inflight=" << max_inflight << " (0 = unlimited)\n";
   if (metrics_tcp) {
     std::cerr << "droplensd: Prometheus metrics on http://127.0.0.1:"
               << metrics_tcp->port() << "/metrics\n";
@@ -194,8 +247,8 @@ int main(int argc, char** argv) {
   }
 
   std::cerr << "droplensd: shutting down\n";
-  query_tcp.stop();
-  whois_tcp.stop();
+  query_tcp->stop();
+  whois_tcp->stop();
   if (metrics_tcp) metrics_tcp->stop();
   svc::ServerStats stats = server.stats();
   std::cerr << "droplensd: served " << stats.requests << " frames ("

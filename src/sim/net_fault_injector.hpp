@@ -1,0 +1,67 @@
+// Hostile-client driver for the serving edge.
+//
+// Where sim::FaultInjector corrupts archives on disk, NetFaultInjector
+// attacks a live listener over TCP with the classic resource-exhaustion
+// repertoire — the same class of attack the Stalloris work mounts against
+// RPKI relying parties by stalling their network I/O:
+//
+//   kSlowDrip            feeds a message one byte at a time with seeded
+//                        inter-byte delays (slowloris); a hardened server
+//                        cuts it off at the read deadline
+//   kMidFrameDisconnect  sends a seeded prefix of the message, then closes
+//   kPartialWriteStall   sends a seeded prefix of the message, then goes
+//                        silent holding the connection open
+//   kNeverRead           pipelines `repeats` copies of the message and
+//                        never reads a byte back (write-queue saturation)
+//   kConnectFlood        opens `clients` connections as fast as possible
+//                        and holds them open, sending nothing
+//
+// The injector is protocol-agnostic: the caller supplies one complete
+// message's bytes (a binary query frame, a whois line, an HTTP request),
+// so droplens_sim stays free of svc dependencies. All schedules derive
+// from the config seed; the report aggregates what the server did to us.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace droplens::sim {
+
+class NetFaultInjector {
+ public:
+  enum class Profile : uint8_t {
+    kSlowDrip,
+    kMidFrameDisconnect,
+    kPartialWriteStall,
+    kNeverRead,
+    kConnectFlood,
+  };
+
+  struct Config {
+    uint16_t port = 0;            ///< target on 127.0.0.1
+    uint64_t seed = 1;            ///< drives delays and cut points
+    std::string message;          ///< one complete protocol message
+    size_t clients = 8;           ///< concurrent hostile clients
+    size_t repeats = 4;           ///< messages per client (kNeverRead)
+    uint32_t drip_delay_ms = 20;  ///< mean inter-byte delay (kSlowDrip)
+    uint32_t duration_ms = 3000;  ///< hard budget; stalled clients give up
+  };
+
+  struct Report {
+    size_t attempted = 0;         ///< connection attempts
+    size_t connected = 0;         ///< three-way handshakes that succeeded
+    size_t connect_failures = 0;  ///< refused / reset during connect
+    size_t closed_by_server = 0;  ///< EOF/reset observed while still active
+    size_t gave_up = 0;           ///< duration budget ran out first
+    size_t bytes_sent = 0;
+    size_t bytes_received = 0;    ///< typed refusals/timeouts count here
+  };
+
+  /// Run one hostile scenario to completion (bounded by duration_ms) and
+  /// report. Thread count is capped internally; `clients` beyond the cap
+  /// take turns.
+  static Report run(Profile profile, const Config& config);
+};
+
+}  // namespace droplens::sim

@@ -145,9 +145,42 @@ std::string MetricsHttpService::serve(std::string_view message) {
                        obs::render_prometheus(registry_), keep_alive);
 }
 
-std::string MetricsHttpService::malformed_response(std::string_view /*head*/) {
+std::string MetricsHttpService::malformed_response(std::string_view head) {
+  // message_size throws for exactly three reasons; re-derive which one so
+  // the close is typed. A head that never completed within kMaxHead is
+  // "too large" (431); a complete head whose declared body crosses kMaxBody
+  // is 413; an unparseable Content-Length is a plain 400.
+  const bool head_complete = head.find("\r\n\r\n") != std::string_view::npos ||
+                             head.find("\n\n") != std::string_view::npos;
+  if (!head_complete) {
+    return http_response("431 Request Header Fields Too Large", "text/plain",
+                         "request head exceeds cap\n", false);
+  }
+  try {
+    content_length(head, kMaxBody);
+  } catch (const ParseError& e) {
+    if (std::string_view(e.what()).find("exceeds") !=
+        std::string_view::npos) {
+      return http_response("413 Payload Too Large", "text/plain",
+                           "request body exceeds cap\n", false);
+    }
+  }
   return http_response("400 Bad Request", "text/plain", "bad request\n",
                        false);
+}
+
+MessageClass MetricsHttpService::classify(std::string_view /*message*/) const {
+  return MessageClass::kControl;
+}
+
+std::string MetricsHttpService::overload_response(std::string_view /*msg*/) {
+  return http_response("503 Service Unavailable", "text/plain",
+                       "overloaded\n", false);
+}
+
+std::string MetricsHttpService::timeout_response() {
+  return http_response("408 Request Timeout", "text/plain",
+                       "deadline exceeded\n", false);
 }
 
 }  // namespace droplens::svc

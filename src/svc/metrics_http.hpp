@@ -36,7 +36,15 @@ class MetricsHttpService : public Service {
 
   size_t message_size(std::string_view buffer) const override;
   std::string serve(std::string_view message) override;
+  /// Typed "too large" closes: 431 for a head that never completed within
+  /// kMaxHead, 413 for a declared body beyond kMaxBody, 400 otherwise.
   std::string malformed_response(std::string_view head) override;
+  /// Scrapes are the observability plane: kControl, shed last.
+  MessageClass classify(std::string_view message) const override;
+  /// 503 with Connection: close — typed "too busy".
+  std::string overload_response(std::string_view message) override;
+  /// 408 with Connection: close — typed "too slow".
+  std::string timeout_response() override;
 
  private:
   const obs::Registry& registry_;

@@ -97,6 +97,28 @@ std::string Server::malformed_response(std::string_view /*head*/) {
   return encode_error("malformed frame");
 }
 
+MessageClass Server::classify(std::string_view message) const {
+  if (message.size() < 4) return MessageClass::kNormal;
+  switch (static_cast<FrameType>(static_cast<uint8_t>(message[3]))) {
+    case FrameType::kRangeRequest:
+      return MessageClass::kBulk;  // most work per frame — shed first
+    case FrameType::kStatsRequest:
+    case FrameType::kMetricsRequest:
+      return MessageClass::kControl;  // observability — shed last
+    default:
+      return MessageClass::kNormal;
+  }
+}
+
+std::string Server::overload_response(std::string_view message) {
+  return encode_error(message.empty() ? "overloaded: connection limit"
+                                      : "overloaded: request shed");
+}
+
+std::string Server::timeout_response() {
+  return encode_error("deadline exceeded");
+}
+
 std::string Server::serve(std::string_view frame) {
   const auto start = std::chrono::steady_clock::now();
   requests_.inc();

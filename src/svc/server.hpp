@@ -91,6 +91,16 @@ class Server : public Service {
   size_t message_size(std::string_view buffer) const override;
   std::string serve(std::string_view frame) override;
   std::string malformed_response(std::string_view head) override;
+  /// Shed priority by frame type: range requests are the most work per
+  /// frame (kBulk, shed first), query batches are kNormal, and the
+  /// stats/metrics ops are kControl (shed last) so operators can watch an
+  /// overloaded server defend itself.
+  MessageClass classify(std::string_view message) const override;
+  /// Typed kError frame: "overloaded: connection limit" at the cap (empty
+  /// message), "overloaded: request shed" for a shed frame.
+  std::string overload_response(std::string_view message) override;
+  /// Typed kError frame for idle/read-deadline closes.
+  std::string timeout_response() override;
 
  private:
   /// Batches at least this large go through the thread pool.

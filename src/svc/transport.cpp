@@ -1,11 +1,14 @@
 #include "svc/transport.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
 
@@ -36,33 +39,198 @@ bool write_all(int fd, std::string_view bytes) {
   return true;
 }
 
+uint64_t steady_ms() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Arms SO_RCVTIMEO so the next blocking read returns EAGAIN after
+// `remaining_ms` (0 disables the timeout). Rounded up so a nonzero
+// remaining never becomes "wait forever".
+void set_read_timeout(int fd, uint64_t remaining_ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(remaining_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((remaining_ms % 1000) * 1000);
+  if (remaining_ms != 0 && tv.tv_sec == 0 && tv.tv_usec == 0) {
+    tv.tv_usec = 1000;
+  }
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+const char* kReasonNames[kDisconnectReasonCount] = {
+    "peer_closed",    "malformed",      "idle_timeout",
+    "read_deadline",  "write_deadline", "write_overflow",
+    "shed",           "server_stop",    "error",
+};
+
+const char* kClassNames[kMessageClassCount] = {"bulk", "normal", "control"};
+
+obs::Labels with_listener(const char* transport, const std::string& name,
+                          std::initializer_list<std::pair<const char*,
+                                                          const char*>>
+                              extra = {}) {
+  obs::Labels labels{{"transport", transport}};
+  if (!name.empty()) labels.emplace_back("listener", name);
+  for (const auto& [k, v] : extra) labels.emplace_back(k, v);
+  return labels;
+}
+
 }  // namespace
 
-TcpServer::TcpServer(Service& service, uint16_t port) : service_(service) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) fail("socket");
-  int one = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    int saved = errno;
-    ::close(listen_fd_);
-    errno = saved;
-    fail("bind");
+const char* disconnect_reason_name(DisconnectReason r) {
+  return kReasonNames[static_cast<size_t>(r)];
+}
+
+TransportCounters::TransportCounters(const char* transport,
+                                     const std::string& name) {
+  accepted_c_ = obs::counter("droplens_transport_accepted_total",
+                             with_listener(transport, name),
+                             "Connections accepted over the lifetime");
+  overload_rejected_c_ =
+      obs::counter("droplens_transport_overload_rejects_total",
+                   with_listener(transport, name),
+                   "Accepts refused at the connection cap");
+  accept_errors_c_ = obs::counter("droplens_transport_accept_errors_total",
+                                  with_listener(transport, name),
+                                  "Transient accept() failures survived");
+  open_g_ = obs::gauge("droplens_transport_open_connections",
+                       with_listener(transport, name),
+                       "Currently open connections");
+  buffered_bytes_g_ = obs::gauge("droplens_transport_buffered_bytes",
+                                 with_listener(transport, name),
+                                 "Response bytes queued for slow readers");
+  inflight_g_ = obs::gauge(
+      "droplens_transport_inflight", with_listener(transport, name),
+      "Messages being served plus responses not yet flushed");
+  for (size_t i = 0; i < kMessageClassCount; ++i) {
+    shed_c_[i] = obs::counter(
+        "droplens_transport_shed_total",
+        with_listener(transport, name, {{"class", kClassNames[i]}}),
+        "Messages refused under overload, by priority class");
   }
-  if (::listen(listen_fd_, 64) < 0) {
-    int saved = errno;
-    ::close(listen_fd_);
-    errno = saved;
-    fail("listen");
+  for (size_t i = 0; i < kDisconnectReasonCount; ++i) {
+    disconnects_c_[i] = obs::counter(
+        "droplens_transport_disconnects_total",
+        with_listener(transport, name, {{"reason", kReasonNames[i]}}),
+        "Connections closed, by reason");
   }
-  socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
-  port_ = ntohs(addr.sin_port);
+}
+
+bool TransportCounters::try_accept(size_t max_conns) {
+  // Reserve-then-check keeps the cap strict even when several event threads
+  // race through accept at once.
+  uint64_t now_open = open_.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (max_conns != 0 && now_open > max_conns) {
+    open_.fetch_sub(1, std::memory_order_relaxed);
+    overload_rejected_.fetch_add(1, std::memory_order_relaxed);
+    overload_rejected_c_.inc();
+    return false;
+  }
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  accepted_c_.inc();
+  open_g_.set(static_cast<int64_t>(now_open));
+  return true;
+}
+
+void TransportCounters::on_close(DisconnectReason r) {
+  uint64_t now_open = open_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  open_g_.set(static_cast<int64_t>(now_open));
+  disconnects_[static_cast<size_t>(r)].fetch_add(1, std::memory_order_relaxed);
+  disconnects_c_[static_cast<size_t>(r)].inc();
+}
+
+TransportStats TransportCounters::snapshot() const {
+  TransportStats s;
+  s.accepted = accepted_.load(std::memory_order_relaxed);
+  s.overload_rejected = overload_rejected_.load(std::memory_order_relaxed);
+  s.accept_errors = accept_errors_.load(std::memory_order_relaxed);
+  s.open = open_.load(std::memory_order_relaxed);
+  for (size_t i = 0; i < kMessageClassCount; ++i) {
+    s.shed[i] = shed_[i].load(std::memory_order_relaxed);
+  }
+  for (size_t i = 0; i < kDisconnectReasonCount; ++i) {
+    s.disconnects[i] = disconnects_[i].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+AcceptAction accept_errno_action(int err) {
+  switch (err) {
+    case EINTR:
+    case ECONNABORTED:  // peer gave up during the handshake
+    case EPROTO:
+      return AcceptAction::kRetry;
+    case EAGAIN:  // nonblocking listener drained (also EWOULDBLOCK)
+      return AcceptAction::kRetry;
+    case EMFILE:  // fd exhaustion: retrying instantly would spin; back off
+    case ENFILE:
+    case ENOBUFS:
+    case ENOMEM:
+      return AcceptAction::kRetryBackoff;
+    default:
+      // EBADF / EINVAL / ENOTSOCK: the listening socket itself is gone.
+      return AcceptAction::kFatal;
+  }
+}
+
+Listener open_listener(const ListenerOptions& options, bool nonblocking) {
+  Listener l;
+  l.fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (l.fd < 0) fail("socket");
+  int saved = 0;
+  try {
+    int one = 1;
+    if (::setsockopt(l.fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) < 0) {
+      fail("setsockopt(SO_REUSEADDR)");
+    }
+    if (nonblocking) {
+      int flags = ::fcntl(l.fd, F_GETFL, 0);
+      if (flags < 0 || ::fcntl(l.fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+        fail("fcntl(O_NONBLOCK)");
+      }
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options.port);
+    if (::bind(l.fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      fail("bind");
+    }
+    if (::listen(l.fd, options.backlog) < 0) fail("listen");
+    socklen_t len = sizeof(addr);
+    if (::getsockname(l.fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+      fail("getsockname");
+    }
+    l.port = ntohs(addr.sin_port);
+  } catch (...) {
+    saved = errno;
+    ::close(l.fd);
+    errno = saved;
+    throw;
+  }
+  return l;
+}
+
+namespace {
+TransportOptions legacy_options(uint16_t port) {
+  TransportOptions o;
+  o.listen.port = port;
+  return o;
+}
+}  // namespace
+
+TcpServer::TcpServer(Service& service, uint16_t port)
+    : TcpServer(service, legacy_options(port)) {}
+
+TcpServer::TcpServer(Service& service, const TransportOptions& options)
+    : service_(service),
+      options_(options),
+      counters_("threads", options.name) {
+  Listener l = open_listener(options_.listen, /*nonblocking=*/false);
+  listen_fd_ = l.fd;
+  port_ = l.port;
   acceptor_ = std::thread([this] { accept_loop(); });
 }
 
@@ -91,29 +259,82 @@ void TcpServer::stop() {
   }
 }
 
+void TcpServer::reap_finished_locked() {
+  for (size_t i = 0; i < connections_.size();) {
+    if (connections_[i]->done.load(std::memory_order_acquire)) {
+      if (connections_[i]->thread.joinable()) connections_[i]->thread.join();
+      connections_[i] = std::move(connections_.back());
+      connections_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+}
+
 void TcpServer::accept_loop() {
   while (!stopping_.load()) {
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      break;  // listening socket shut down
+      // Transient failures must not kill the acceptor: a single EMFILE
+      // burst used to end the loop permanently, leaving a healthy daemon
+      // that silently never answered again. Only a shut-down listening
+      // socket (stop(), or a fatal errno) ends the loop.
+      if (stopping_.load()) break;
+      switch (accept_errno_action(errno)) {
+        case AcceptAction::kRetry:
+          counters_.on_accept_error();
+          continue;
+        case AcceptAction::kRetryBackoff:
+          counters_.on_accept_error();
+          std::this_thread::sleep_for(std::chrono::milliseconds(10));
+          continue;
+        case AcceptAction::kFatal:
+          return;
+      }
+      continue;
     }
-    accepted_.fetch_add(1);
+    if (!counters_.try_accept(options_.max_conns)) {
+      // Over the cap: a typed overload reply when the protocol has one,
+      // then an immediate close — never an unbounded thread.
+      std::string reply = service_.overload_response({});
+      if (!reply.empty()) write_all(fd, reply);
+      ::close(fd);
+      continue;
+    }
+    if (options_.so_sndbuf > 0) {
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &options_.so_sndbuf,
+                   sizeof(options_.so_sndbuf));
+    }
     std::lock_guard<std::mutex> lock(mu_);
+    reap_finished_locked();
     auto slot = std::make_unique<ConnectionSlot>();
     slot->fd = fd;
     // Raw pointer stays valid across vector moves/swaps (unique_ptr slot);
-    // the slot is only destroyed after its thread is joined in stop().
+    // the slot is only destroyed after its thread is joined.
     ConnectionSlot* raw = slot.get();
     connections_.push_back(std::move(slot));
-    raw->thread = std::thread([this, raw] { connection_loop(raw); });
+    raw->thread = std::thread([this, raw] {
+      connection_loop(raw);
+      raw->done.store(true, std::memory_order_release);
+    });
   }
+}
+
+void TcpServer::close_slot(ConnectionSlot* slot, DisconnectReason reason) {
+  counters_.on_close(reason);
+  // Mark closed under the lock so stop() never shutdown()s a recycled fd.
+  std::lock_guard<std::mutex> lock(mu_);
+  ::close(slot->fd);
+  slot->fd = -1;
 }
 
 void TcpServer::connection_loop(ConnectionSlot* slot) {
   const int fd = slot->fd;
   std::string buffer;
   char chunk[kReadChunk];
+  uint64_t last_activity = steady_ms();
+  uint64_t partial_since = 0;  // 0 = no incomplete message pending
+  DisconnectReason reason = DisconnectReason::kPeerClosed;
   while (true) {
     // Drain every complete message already buffered before reading more.
     bool closed = false;
@@ -123,27 +344,68 @@ void TcpServer::connection_loop(ConnectionSlot* slot) {
         n = service_.message_size(buffer);
       } catch (const ParseError&) {
         write_all(fd, service_.malformed_response(buffer));
+        reason = DisconnectReason::kMalformed;
         closed = true;
         break;
       }
       if (n == 0) break;
-      std::string response = service_.serve(std::string_view(buffer).substr(0, n));
+      partial_since = 0;
+      std::string response =
+          service_.serve(std::string_view(buffer).substr(0, n));
       buffer.erase(0, n);
       if (!write_all(fd, response)) {
+        reason = DisconnectReason::kPeerClosed;
         closed = true;
         break;
       }
     }
     if (closed) break;
+    if (!buffer.empty() && partial_since == 0) partial_since = steady_ms();
+
+    // Blocking-read deadline enforcement rides SO_RCVTIMEO: the next read
+    // wakes no later than the earliest applicable deadline, and a timeout
+    // gets a typed reply before the close (the anti-slowloris path — a
+    // byte-at-a-time client is bounded by read_deadline_ms no matter how
+    // steadily it drips).
+    uint64_t wait_ms = 0;  // 0 = block forever
+    DisconnectReason timeout_reason = DisconnectReason::kIdleTimeout;
+    const uint64_t now = steady_ms();
+    if (partial_since != 0 && options_.read_deadline_ms != 0) {
+      uint64_t deadline = partial_since + options_.read_deadline_ms;
+      wait_ms = deadline > now ? deadline - now : 1;
+      timeout_reason = DisconnectReason::kReadDeadline;
+    } else if (options_.idle_timeout_ms != 0) {
+      uint64_t deadline = last_activity + options_.idle_timeout_ms;
+      wait_ms = deadline > now ? deadline - now : 1;
+      timeout_reason = DisconnectReason::kIdleTimeout;
+    }
+    set_read_timeout(fd, wait_ms);
+
     ssize_t got = ::read(fd, chunk, sizeof(chunk));
     if (got < 0 && errno == EINTR) continue;
-    if (got <= 0) break;
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK) &&
+        wait_ms != 0) {
+      // Deadline may have been shortened by SO_RCVTIMEO rounding; re-check.
+      const uint64_t after = steady_ms();
+      const uint64_t deadline =
+          timeout_reason == DisconnectReason::kReadDeadline
+              ? partial_since + options_.read_deadline_ms
+              : last_activity + options_.idle_timeout_ms;
+      if (after < deadline) continue;
+      std::string reply = service_.timeout_response();
+      if (!reply.empty()) write_all(fd, reply);
+      reason = timeout_reason;
+      break;
+    }
+    if (got <= 0) {
+      reason = got < 0 ? DisconnectReason::kError
+                       : DisconnectReason::kPeerClosed;
+      break;
+    }
     buffer.append(chunk, static_cast<size_t>(got));
+    last_activity = steady_ms();
   }
-  // Mark closed under the lock so stop() never shutdown()s a recycled fd.
-  std::lock_guard<std::mutex> lock(mu_);
-  ::close(fd);
-  slot->fd = -1;
+  close_slot(slot, stopping_.load() ? DisconnectReason::kServerStop : reason);
 }
 
 TcpClientConnection::TcpClientConnection(const std::string& host,

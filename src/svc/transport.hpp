@@ -2,21 +2,32 @@
 //
 // A Service is one protocol endpoint: it knows how to delimit messages in a
 // byte stream (length-prefixed frames for the binary protocol, newline-
-// terminated lines for whois) and how to serve one message. Transports move
-// bytes and know nothing else — so the binary query server and the whois
-// front ride the same server core:
+// terminated lines for whois, head+body requests for HTTP) and how to serve
+// one message. Transports move bytes and know nothing else — so the binary
+// query server, the whois front, and the metrics HTTP front all ride the
+// same server core:
 //
 //   LoopbackConnection   in-process, deterministic; what tests and the
 //                        service bench drive
 //   TcpServer            POSIX TCP daemon: accept loop + one thread per
 //                        connection, each running the read/delimit/serve
 //                        loop against the shared Service
+//   EpollServer          (epoll_transport.hpp) fixed pool of event-loop
+//                        threads multiplexing nonblocking sockets — the
+//                        hardened transport for untrusted networks
 //   TcpClientConnection  blocking client socket with a response framer
 //
 // Service implementations must be safe to call from many transport threads
 // concurrently; serve() must never throw (protocol errors are responses).
+//
+// Robustness semantics are part of the transport contract, not an add-on:
+// both servers share ListenerOptions (backlog, port), a connection cap with
+// a typed overload reply, idle/read deadlines with a typed timeout reply,
+// and a TransportCounters block that makes every limit, shed decision, and
+// disconnect reason visible as obs::Registry instruments.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <functional>
@@ -27,7 +38,32 @@
 #include <thread>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace droplens::svc {
+
+/// Priority class of one complete message, as reported by the Service.
+/// Under overload the transport sheds kBulk first, kNormal next, and
+/// kControl last — so the stats/metrics ops that let an operator watch the
+/// server defend itself are the last thing to go dark.
+enum class MessageClass : uint8_t { kBulk = 0, kNormal = 1, kControl = 2 };
+inline constexpr size_t kMessageClassCount = 3;
+
+/// Why a transport closed a connection. Each reason is a labelled series of
+/// droplens_transport_disconnects_total.
+enum class DisconnectReason : uint8_t {
+  kPeerClosed = 0,   // orderly EOF or reset from the peer
+  kMalformed,        // Service::message_size threw (unresynchronizable head)
+  kIdleTimeout,      // no bytes and no pending work for idle_timeout_ms
+  kReadDeadline,     // a partial message outlived read_deadline_ms
+  kWriteDeadline,    // queued response bytes outlived write_deadline_ms
+  kWriteOverflow,    // per-connection write queue crossed its watermark
+  kShed,             // load shedding closed it (no typed reply available)
+  kServerStop,       // stop() tore it down
+  kError,            // read/write syscall failure
+};
+inline constexpr size_t kDisconnectReasonCount = 9;
+const char* disconnect_reason_name(DisconnectReason r);
 
 class Service {
  public:
@@ -44,6 +80,22 @@ class Service {
 
   /// The final response for an undelimitable stream head.
   virtual std::string malformed_response(std::string_view head) = 0;
+
+  /// Shed priority of one complete message. Default: everything kNormal.
+  virtual MessageClass classify(std::string_view /*message*/) const {
+    return MessageClass::kNormal;
+  }
+
+  /// The typed reply for a request refused under overload — either a shed
+  /// message (passed in) or a connection refused at the cap (empty view).
+  /// An empty reply tells the transport to close without writing.
+  virtual std::string overload_response(std::string_view /*message*/) {
+    return {};
+  }
+
+  /// The typed reply written (best effort) before a deadline/idle close.
+  /// An empty reply closes silently.
+  virtual std::string timeout_response() { return {}; }
 };
 
 /// A synchronous request/response channel, as used by svc::Client.
@@ -74,47 +126,186 @@ class LoopbackConnection : public Connection {
 /// Client-side response delimiter: same contract as Service::message_size.
 using Framer = std::function<size_t(std::string_view)>;
 
-/// Blocking TCP daemon on 127.0.0.1. Port 0 binds an ephemeral port
-/// (read it back via port()). One accept thread; one thread per connection.
-class TcpServer {
+/// Listening-socket parameters shared by both transports. Port 0 binds an
+/// ephemeral port (read it back via port()).
+struct ListenerOptions {
+  uint16_t port = 0;
+  /// listen(2) backlog — the kernel's queue of not-yet-accepted
+  /// connections. Was a hardcoded 64; floods deeper than the backlog now
+  /// get kernel-side SYN drops instead of silently tuned behavior.
+  int backlog = 128;
+};
+
+/// Knobs shared by both transports. Fields marked (epoll) are inert on the
+/// thread-per-connection TcpServer, which cannot observe write-queue depth
+/// or global in-flight load from inside a blocking read.
+struct TransportOptions {
+  ListenerOptions listen;
+  /// Label for this server's obs series ({listener="name"}); empty = none.
+  std::string name;
+  /// Hard cap on concurrently open connections; excess accepts get the
+  /// service's overload_response() (best effort) and an immediate close.
+  /// 0 = unlimited.
+  size_t max_conns = 0;
+  /// Close a connection with no activity — no bytes arriving, no write
+  /// progress — after this long. A pure inactivity backstop: it bounds even
+  /// a stalled partial message or an undrained response queue when the
+  /// sharper read/write deadlines are not configured. 0 = never.
+  uint32_t idle_timeout_ms = 0;
+  /// A partial message at the head of the buffer must complete within this
+  /// deadline or the connection is closed with a typed timeout reply —
+  /// the anti-slowloris knob. 0 = never.
+  uint32_t read_deadline_ms = 0;
+  /// (epoll) Queued response bytes must drain within this deadline. 0 = never.
+  uint32_t write_deadline_ms = 0;
+  /// (epoll) Per-connection write-queue watermark in bytes; a reader slow
+  /// enough to queue more than this is disconnected instead of ballooning
+  /// memory.
+  size_t max_write_buffer = 4u << 20;
+  /// (epoll) Load-shedding pivot: with max_inflight = M, kBulk messages are
+  /// shed once in-flight work reaches max(1, M/2), kNormal at M, kControl
+  /// at 2*M. In-flight = messages being served plus responses not yet
+  /// flushed to the kernel. 0 disables shedding.
+  size_t max_inflight = 0;
+  /// (epoll) Number of event-loop threads.
+  unsigned event_threads = 2;
+  /// (epoll) Timer-wheel granularity; deadlines are enforced within one tick.
+  uint32_t tick_ms = 16;
+  /// Per-connection SO_SNDBUF override (0 = kernel default). Mostly for
+  /// tests that need a small kernel buffer to exercise backpressure.
+  int so_sndbuf = 0;
+};
+
+/// Counters every transport shares. Values are monotonically increasing
+/// (except `open`) and mutually unsynchronized, same contract as
+/// ServerStats.
+struct TransportStats {
+  uint64_t accepted = 0;          ///< connections accepted over the lifetime
+  uint64_t overload_rejected = 0; ///< accepts refused at the connection cap
+  uint64_t accept_errors = 0;     ///< transient accept() failures survived
+  uint64_t open = 0;              ///< currently open connections
+  std::array<uint64_t, kMessageClassCount> shed{};  ///< messages shed, by class
+  std::array<uint64_t, kDisconnectReasonCount> disconnects{};
+};
+
+/// Internal: the instrument block both transports record into. Plain
+/// atomics back the stats() API; obs handles (bound from the installed
+/// registry, no-ops otherwise) put the same numbers on /metrics.
+class TransportCounters {
+ public:
+  TransportCounters(const char* transport, const std::string& name);
+
+  /// Atomically reserve a connection slot against `max_conns` (0 = no cap).
+  /// Returns false — and counts an overload rejection — when full.
+  bool try_accept(size_t max_conns);
+  void on_close(DisconnectReason r);
+  void on_accept_error() {
+    accept_errors_.fetch_add(1, std::memory_order_relaxed);
+    accept_errors_c_.inc();
+  }
+  void on_shed(MessageClass c) {
+    shed_[static_cast<size_t>(c)].fetch_add(1, std::memory_order_relaxed);
+    shed_c_[static_cast<size_t>(c)].inc();
+  }
+  void add_buffered(int64_t delta) { buffered_bytes_g_.add(delta); }
+  void set_inflight(int64_t v) { inflight_g_.set(v); }
+
+  TransportStats snapshot() const;
+
+ private:
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> overload_rejected_{0};
+  std::atomic<uint64_t> accept_errors_{0};
+  std::atomic<uint64_t> open_{0};
+  std::array<std::atomic<uint64_t>, kMessageClassCount> shed_{};
+  std::array<std::atomic<uint64_t>, kDisconnectReasonCount> disconnects_{};
+
+  obs::Counter accepted_c_;
+  obs::Counter overload_rejected_c_;
+  obs::Counter accept_errors_c_;
+  obs::Gauge open_g_;
+  obs::Gauge buffered_bytes_g_;
+  obs::Gauge inflight_g_;
+  std::array<obs::Counter, kMessageClassCount> shed_c_;
+  std::array<obs::Counter, kDisconnectReasonCount> disconnects_c_;
+};
+
+/// What a transport should do about a failed accept(2). Transient errors
+/// (a peer that aborted mid-handshake, a signal) retry immediately;
+/// fd-exhaustion retries after a backoff so the loop never spins; only a
+/// shut-down listening socket is fatal.
+enum class AcceptAction : uint8_t { kRetry, kRetryBackoff, kFatal };
+AcceptAction accept_errno_action(int err);
+
+/// A bound, listening socket. Failures anywhere — including setsockopt and
+/// O_NONBLOCK, which used to be ignored — throw std::runtime_error.
+struct Listener {
+  int fd = -1;
+  uint16_t port = 0;
+};
+Listener open_listener(const ListenerOptions& options, bool nonblocking);
+
+/// The common face of TcpServer and EpollServer, so frontends and tests can
+/// hold either behind one pointer.
+class TransportServer {
+ public:
+  virtual ~TransportServer() = default;
+  virtual uint16_t port() const = 0;
+  /// Stop accepting, shut down open connections, join all threads.
+  /// Idempotent; also run by destructors.
+  virtual void stop() = 0;
+  virtual TransportStats stats() const = 0;
+};
+
+/// Blocking TCP daemon on 127.0.0.1. One accept thread; one thread per
+/// connection. Honors max_conns / idle_timeout_ms / read_deadline_ms from
+/// TransportOptions (deadlines via SO_RCVTIMEO on the blocking reads);
+/// write-queue and shedding knobs need the epoll transport.
+class TcpServer : public TransportServer {
  public:
   /// Throws std::runtime_error if the socket cannot be bound.
   explicit TcpServer(Service& service, uint16_t port = 0);
-  ~TcpServer();
+  TcpServer(Service& service, const TransportOptions& options);
+  ~TcpServer() override;
 
   TcpServer(const TcpServer&) = delete;
   TcpServer& operator=(const TcpServer&) = delete;
 
-  uint16_t port() const { return port_; }
+  uint16_t port() const override { return port_; }
 
   /// Connections accepted over the server's lifetime.
-  size_t connections_accepted() const { return accepted_.load(); }
+  size_t connections_accepted() const { return counters_.snapshot().accepted; }
 
-  /// Stop accepting, shut down open connections, join all threads.
-  /// Idempotent; also run by the destructor.
-  void stop();
+  void stop() override;
+  TransportStats stats() const override { return counters_.snapshot(); }
 
  private:
   struct ConnectionSlot {
     int fd = -1;
     std::thread thread;
+    std::atomic<bool> done{false};
   };
 
   void accept_loop();
   void connection_loop(ConnectionSlot* slot);
+  void close_slot(ConnectionSlot* slot, DisconnectReason reason);
+  /// Reap finished connection slots so the vector doesn't grow forever.
+  void reap_finished_locked();
 
   Service& service_;
+  TransportOptions options_;
+  mutable TransportCounters counters_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};
-  std::atomic<size_t> accepted_{0};
   std::thread acceptor_;
   std::mutex mu_;
   std::vector<std::unique_ptr<ConnectionSlot>> connections_;
 };
 
-/// Blocking client socket to a TcpServer. `framer` delimits responses
-/// (svc::frame_size for the binary protocol, whois_response_size for whois).
+/// Blocking client socket to a TcpServer/EpollServer. `framer` delimits
+/// responses (svc::frame_size for the binary protocol, whois_response_size
+/// for whois).
 class TcpClientConnection : public Connection {
  public:
   /// Throws std::runtime_error if the connection cannot be established.

@@ -29,6 +29,14 @@ std::string WhoisService::malformed_response(std::string_view /*head*/) {
   return "F line too long\n";
 }
 
+std::string WhoisService::overload_response(std::string_view /*message*/) {
+  return "F overloaded\n";
+}
+
+std::string WhoisService::timeout_response() {
+  return "F deadline exceeded\n";
+}
+
 size_t whois_response_size(std::string_view buffer) {
   if (buffer.empty()) return 0;
   switch (buffer.front()) {

@@ -25,6 +25,11 @@ class WhoisService : public Service {
   size_t message_size(std::string_view buffer) const override;
   std::string serve(std::string_view message) override;
   std::string malformed_response(std::string_view head) override;
+  /// IRRd-style F error lines for refusals: a connection over the cap or a
+  /// shed query gets "F overloaded", a deadline close "F deadline exceeded"
+  /// — typed, parseable, and distinct from a silent drop.
+  std::string overload_response(std::string_view message) override;
+  std::string timeout_response() override;
 
  private:
   const irr::WhoisServer& server_;
