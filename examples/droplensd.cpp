@@ -14,6 +14,7 @@
 //                 [--snapshot-dir=PATH] [--max-resident=N]
 //                 [--transport=epoll|threads] [--max-conns=N]
 //                 [--idle-timeout-ms=MS] [--max-inflight=N]
+//                 [--follow[=DAYS_PER_SEC]] [--compact-every=DAYS]
 //
 // Then, from another terminal:  printf '!gAS64500\n' | nc 127.0.0.1 4343
 // With --metrics-port=P:        curl http://127.0.0.1:P/metrics
@@ -27,6 +28,17 @@
 // next, stats/metrics last, so observability survives overload. All three
 // fronts (binary, whois, metrics HTTP) share the same limits; every limit,
 // shed, and disconnect reason is a droplens_transport_* metric.
+//
+// With --follow the daemon goes live: a follower thread lowers the world
+// into the canonical event stream (sim::EventReplayer), fast-forwards the
+// pre-window history, then paces through the study window at DAYS_PER_SEC
+// (default 50; 0 = as fast as possible), feeding every event through the
+// stream::Publisher — live Applier state, online alarms, delta log. Every
+// --compact-every days (default 7) the live state is compacted into an
+// immutable snapshot and published as the serving head, so queries for the
+// current day hit the live head while historical dates still resolve
+// through the store. Subscribers (svc::Client + stream::Subscriber) follow
+// the session with serial-numbered delta frames.
 //
 // With --snapshot-dir=PATH snapshots persist as `.dls` files — keyframes
 // or deltas, see svc/snapshot_io.hpp: the first run compiles and saves,
@@ -47,7 +59,9 @@
 #include "core/snapshot_cache.hpp"
 #include "irr/whois.hpp"
 #include "obs/metrics.hpp"
+#include "sim/event_replayer.hpp"
 #include "sim/generator.hpp"
+#include "stream/publisher.hpp"
 #include "svc/epoll_transport.hpp"
 #include "svc/metrics_http.hpp"
 #include "svc/server.hpp"
@@ -85,6 +99,9 @@ int main(int argc, char** argv) {
   size_t max_conns = 0;
   uint32_t idle_timeout_ms = 0;
   size_t max_inflight = 0;
+  bool follow = false;
+  double follow_rate = 50.0;
+  int compact_every = 7;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--small") == 0) small = true;
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
@@ -124,7 +141,16 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--max-inflight=", 15) == 0) {
       max_inflight = std::stoull(argv[i] + 15);
     }
+    if (std::strcmp(argv[i], "--follow") == 0) follow = true;
+    if (std::strncmp(argv[i], "--follow=", 9) == 0) {
+      follow = true;
+      follow_rate = std::stod(argv[i] + 9);
+    }
+    if (std::strncmp(argv[i], "--compact-every=", 16) == 0) {
+      compact_every = std::stoi(argv[i] + 16);
+    }
   }
+  if (compact_every < 1) compact_every = 1;
   svc::TransportKind transport_kind;
   try {
     transport_kind = svc::parse_transport_kind(transport);
@@ -195,6 +221,63 @@ int main(int argc, char** argv) {
   std::unique_ptr<svc::TransportServer> query_tcp = svc::make_transport_server(
       transport_kind, server, front_options("query", port));
 
+  // --follow: the live side. The publisher owns event ingestion and the
+  // delta log; the server serves its kSubscribeRequest frames from any
+  // transport thread, and the follower below is the single writer.
+  std::unique_ptr<stream::Publisher> publisher;
+  std::thread follower;
+  if (follow) {
+    stream::AlarmMonitor::Config monitor_config;
+    monitor_config.window_begin = config.window_begin;
+    monitor_config.window_end = config.window_end;
+    monitor_config.drop = &world->drop;
+    publisher = std::make_unique<stream::Publisher>(monitor_config);
+    publisher->seed_rir(world->registry);
+    server.set_stream_feed(publisher.get());
+    follower = std::thread([&world, &config, &server, &publisher, follow_rate,
+                            compact_every] {
+      sim::EventReplayer replayer(*world);
+      const std::vector<stream::Event>& events = replayer.events();
+      // Fast-forward the pre-window history in one burst: the monitor's
+      // baseline and the applier's live state need it, but nobody wants to
+      // watch 14 years at replay pace.
+      size_t i = 0;
+      while (i < events.size() && !g_stop &&
+             events[i].date < config.window_begin) {
+        publisher->ingest(events[i]);
+        ++i;
+      }
+      std::cerr << "droplensd: follower fast-forwarded " << i
+                << " pre-window events; pacing "
+                << (config.window_end.days() - config.window_begin.days() + 1)
+                << " window days at " << follow_rate << " days/s\n";
+      // Live-head versions live far above the store's monotonic counter so
+      // the two artifact streams never collide.
+      uint64_t version = uint64_t{1} << 62;
+      int day_no = 0;
+      for (net::Date d = config.window_begin;
+           d <= config.window_end && !g_stop; d = d + 1, ++day_no) {
+        while (i < events.size() && events[i].date == d) {
+          publisher->ingest(events[i]);
+          ++i;
+        }
+        if (day_no % compact_every == 0 || d == config.window_end) {
+          server.publish(publisher->compact(d, ++version));
+          // Keep a generous tail of delivered history; subscribers lagging
+          // past the floor get the RTR-style reset.
+          publisher->trim(size_t{1} << 16);
+        }
+        if (follow_rate > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(1.0 / follow_rate));
+        }
+      }
+      std::cerr << "droplensd: follower done — " << publisher->head()
+                << " events ingested, " << publisher->monitor().alarms().size()
+                << " alarms raised\n";
+    });
+  }
+
   irr::WhoisServer whois(world->irr, date);
   svc::WhoisService whois_service(whois);
   std::unique_ptr<svc::TransportServer> whois_tcp = svc::make_transport_server(
@@ -247,6 +330,7 @@ int main(int argc, char** argv) {
   }
 
   std::cerr << "droplensd: shutting down\n";
+  if (follower.joinable()) follower.join();
   query_tcp->stop();
   whois_tcp->stop();
   if (metrics_tcp) metrics_tcp->stop();

@@ -26,6 +26,14 @@
 //       segment CRC + structural invariants); deltas are reconstructed over
 //       their base chain, resolved through sibling YYYYMMDD.dls files.
 //       Exit 1 if any file fails.
+//
+//   $ ./snapshot_tool diff A.dls B.dls [--quiet]
+//       Lower the two compiled days into the ordered stream::Event sequence
+//       transforming A into B (stream/snapshot_diff.hpp) — the same currency
+//       the live delta protocol ships. Prints one event per line (--quiet
+//       prints only the summary), then replays the sequence onto A and
+//       verifies the result is structurally identical to B. Exit 1 if the
+//       round-trip check fails.
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
@@ -40,6 +48,7 @@
 #include "core/snapshot_cache.hpp"
 #include "core/study.hpp"
 #include "sim/generator.hpp"
+#include "stream/snapshot_diff.hpp"
 #include "svc/snapshot.hpp"
 #include "svc/snapshot_io.hpp"
 #include "svc/snapshot_store.hpp"
@@ -56,7 +65,8 @@ int usage() {
                "       snapshot_tool delta --dir=DIR [--keyframe-every=K]\n"
                "       snapshot_tool expand --dir=DIR\n"
                "       snapshot_tool inspect FILE...\n"
-               "       snapshot_tool verify FILE...\n";
+               "       snapshot_tool verify FILE...\n"
+               "       snapshot_tool diff A.dls B.dls [--quiet]\n";
   return 2;
 }
 
@@ -315,6 +325,71 @@ int run_verify(int argc, char** argv) {
   return failures ? 1 : 0;
 }
 
+/// Load a .dls file of either kind: keyframes directly, deltas by resolving
+/// the base chain through sibling YYYYMMDD.dls files (like `verify`).
+std::shared_ptr<const svc::Snapshot> load_any(const char* path) {
+  if (svc::snapshot_file_kind(path) == svc::SnapshotFileKind::kDelta) {
+    svc::SnapshotDeltaHeader h = svc::read_snapshot_delta_header(path);
+    svc::SnapshotStore::Config store_config;
+    store_config.dir = std::filesystem::path(path).parent_path().string();
+    store_config.save_compiled = false;
+    svc::SnapshotStore store(store_config);
+    std::shared_ptr<const svc::Snapshot> snap = store.get(net::Date(h.date_days));
+    if (!snap) {
+      throw svc::SnapshotFormatError(
+          svc::SnapshotIoError::kIo,
+          "delta diffing needs the file at its canonical YYYYMMDD.dls name "
+          "(base chain resolves by date)");
+    }
+    return snap;
+  }
+  return svc::load_snapshot(path, 1);
+}
+
+int run_diff(int argc, char** argv) {
+  std::vector<const char*> files;
+  bool quiet = false;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quiet") == 0) {
+      quiet = true;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.size() != 2) return usage();
+
+  std::shared_ptr<const svc::Snapshot> a;
+  std::shared_ptr<const svc::Snapshot> b;
+  try {
+    a = load_any(files[0]);
+    b = load_any(files[1]);
+  } catch (const svc::SnapshotFormatError& e) {
+    std::cerr << "snapshot_tool: REJECTED [" << to_string(e.code()) << "] "
+              << e.what() << "\n";
+    return 1;
+  }
+
+  std::vector<stream::Event> events = stream::diff_snapshots(*a, *b);
+  if (!quiet) {
+    for (const stream::Event& e : events) std::cout << e.to_string() << "\n";
+  }
+  std::cerr << "snapshot_tool: " << events.size() << " events transform "
+            << a->date().to_string() << " into " << b->date().to_string()
+            << "\n";
+
+  // Round-trip: the emitted sequence must actually reproduce B from A.
+  svc::Snapshot rebuilt =
+      stream::apply_diff(*a, events, b->date(), b->version());
+  if (!stream::snapshots_equal(rebuilt, *b)) {
+    std::cerr << "snapshot_tool: round-trip FAILED — replayed diff does not "
+                 "reproduce the target snapshot\n";
+    return 1;
+  }
+  std::cerr << "snapshot_tool: round-trip OK (replayed diff reproduces "
+            << files[1] << ")\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -324,5 +399,6 @@ int main(int argc, char** argv) {
   if (std::strcmp(argv[1], "expand") == 0) return run_expand(argc, argv);
   if (std::strcmp(argv[1], "inspect") == 0) return run_inspect(argc, argv);
   if (std::strcmp(argv[1], "verify") == 0) return run_verify(argc, argv);
+  if (std::strcmp(argv[1], "diff") == 0) return run_diff(argc, argv);
   return usage();
 }

@@ -1,6 +1,7 @@
 #include "core/alarms.hpp"
 
 #include <algorithm>
+#include <tuple>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -29,8 +30,15 @@ AlarmResult analyze_alarms(const Study& study, const DropIndex& index) {
       events.push_back(Event{p, e});
     }
   }
+  // Deterministic total order: date first, then (prefix, origin, end) as the
+  // tie-break within a day. The streaming subsystem replays the same order
+  // (stream::canonical_less), which is what makes online == batch exact.
   std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
-    return a.episode.range.begin < b.episode.range.begin;
+    auto key = [](const Event& e) {
+      return std::tuple(e.episode.range.begin, e.prefix,
+                        e.episode.origin().value(), e.episode.range.end);
+    };
+    return key(a) < key(b);
   });
 
   // Monitor state: per prefix, the set of origins ever seen.
@@ -38,8 +46,6 @@ AlarmResult analyze_alarms(const Study& study, const DropIndex& index) {
   // Monitored "covering" prefixes: everything announced before the window
   // is a baseline route whose more-specifics we watch.
   net::PrefixMap<char> baseline;
-
-  std::unordered_set<net::Prefix> alarmed_prefixes;
 
   for (const Event& ev : events) {
     net::Date begin = ev.episode.range.begin;
@@ -57,7 +63,6 @@ AlarmResult analyze_alarms(const Study& study, const DropIndex& index) {
         a.when = begin;
         a.new_origin = origin;
         a.on_drop = study.drop.first_listed(ev.prefix).has_value();
-        if (a.on_drop) alarmed_prefixes.insert(ev.prefix);
         r.alarms.push_back(std::move(a));
       }
       // MOAS alarm: another origin is announcing right now.
@@ -71,7 +76,6 @@ AlarmResult analyze_alarms(const Study& study, const DropIndex& index) {
           a.when = begin;
           a.new_origin = origin;
           a.on_drop = study.drop.first_listed(ev.prefix).has_value();
-          if (a.on_drop) alarmed_prefixes.insert(ev.prefix);
           r.alarms.push_back(std::move(a));
           break;
         }
@@ -90,7 +94,6 @@ AlarmResult analyze_alarms(const Study& study, const DropIndex& index) {
               a.when = begin;
               a.new_origin = origin;
               a.on_drop = study.drop.first_listed(ev.prefix).has_value();
-              if (a.on_drop) alarmed_prefixes.insert(ev.prefix);
               r.alarms.push_back(std::move(a));
               alarmed = true;
             });
@@ -101,6 +104,16 @@ AlarmResult analyze_alarms(const Study& study, const DropIndex& index) {
     origins.insert(origin.value());
   }
 
+  add_drop_coverage(r, study, index);
+  return r;
+}
+
+void add_drop_coverage(AlarmResult& r, const Study& study,
+                       const DropIndex& index) {
+  std::unordered_set<net::Prefix> alarmed_prefixes;
+  for (const Alarm& a : r.alarms) {
+    if (a.on_drop) alarmed_prefixes.insert(a.prefix);
+  }
   // Coverage over the DROP hijack population.
   for (const DropEntry* e : index.non_incident()) {
     bool is_hijack = e->is(drop::Category::kHijacked) ||
@@ -116,7 +129,6 @@ AlarmResult analyze_alarms(const Study& study, const DropIndex& index) {
       ++r.drop_hijacks_stealthy;
     }
   }
-  return r;
 }
 
 }  // namespace droplens::core

@@ -53,6 +53,18 @@ struct AlarmResult {
 /// Replay every origination episode in date order through the monitor.
 /// Pre-window episodes seed the baseline (known origins) silently; alarms
 /// are only raised inside the study window.
+///
+/// Episodes replay in a deterministic total order — (begin, prefix, origin,
+/// end) — which the streaming subsystem's canonical event order matches, so
+/// the online monitor (stream::AlarmMonitor) reproduces this function's
+/// alarm sequence byte for byte.
 AlarmResult analyze_alarms(const Study& study, const DropIndex& index);
+
+/// Fold the DROP-hijack coverage counters into `r`, deriving the set of
+/// alarmed prefixes from r.alarms (an alarm with on_drop set marks its
+/// prefix as caught). Shared by the batch replay above and the online
+/// monitor's result() so the two paths can never drift.
+void add_drop_coverage(AlarmResult& r, const Study& study,
+                       const DropIndex& index);
 
 }  // namespace droplens::core

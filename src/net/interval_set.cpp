@@ -24,6 +24,23 @@ bool IntervalSet::is_canonical(std::span<const Interval> intervals) {
   return true;
 }
 
+IntervalSet IntervalSet::from_sorted(std::span<const Interval> intervals) {
+  IntervalSet set;
+  set.intervals_.reserve(intervals.size());
+  for (const Interval& iv : intervals) {
+    if (iv.begin >= iv.end) continue;
+    assert(set.intervals_.empty() || iv.begin >= set.intervals_.back().begin);
+    if (!set.intervals_.empty() && iv.begin <= set.intervals_.back().end) {
+      if (iv.end > set.intervals_.back().end) {
+        set.intervals_.back().end = iv.end;
+      }
+    } else {
+      set.intervals_.push_back(iv);
+    }
+  }
+  return set;
+}
+
 void IntervalSet::detach() {
   if (!ext_data_) return;
   intervals_.assign(ext_data_, ext_data_ + ext_size_);

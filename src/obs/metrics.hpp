@@ -139,6 +139,35 @@ class Histogram {
   uint64_t sum() const {
     return cells_ ? cells_->sum.load(std::memory_order_relaxed) : 0;
   }
+
+  /// Upper-bound estimate of the q-quantile (q in [0, 1]): the inclusive
+  /// upper bound of the first bucket where the cumulative count reaches
+  /// q * total. Resolution is the bucket width (a factor of 2 for
+  /// log2_bounds); the overflow bucket answers UINT64_MAX. Reads are
+  /// relaxed and unsynchronized with writers, like every other getter —
+  /// fine for benchmark reporting, not for cross-counter invariants.
+  /// No-op handles and empty histograms answer 0.
+  uint64_t quantile(double q) const {
+    if (!cells_) return 0;
+    const size_t n = cells_->bounds.size() + 1;
+    uint64_t total = 0;
+    for (size_t i = 0; i < n; ++i) {
+      total += cells_->buckets[i].load(std::memory_order_relaxed);
+    }
+    if (total == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    const double target = q * static_cast<double>(total);
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < n; ++i) {
+      cumulative += cells_->buckets[i].load(std::memory_order_relaxed);
+      if (static_cast<double>(cumulative) >= target && cumulative > 0) {
+        return i < cells_->bounds.size() ? cells_->bounds[i] : UINT64_MAX;
+      }
+    }
+    return UINT64_MAX;
+  }
+
   explicit operator bool() const { return cells_ != nullptr; }
 
  private:

@@ -120,6 +120,16 @@ std::vector<RoaRecord> RoaArchive::live_records(net::Date d,
   return out;
 }
 
+std::vector<RoaRecord> RoaArchive::all_records() const {
+  std::vector<RoaRecord> out;
+  out.reserve(total_);
+  by_prefix_.for_each(
+      [&](const net::Prefix&, const std::vector<RoaRecord>& records) {
+        out.insert(out.end(), records.begin(), records.end());
+      });
+  return out;
+}
+
 net::IntervalSet RoaArchive::signed_space(net::Date d, TalSet tals,
                                           Filter filter) const {
   net::IntervalSet out;

@@ -73,6 +73,11 @@ class RoaArchive {
   std::vector<RoaRecord> live_records(net::Date d,
                                       TalSet tals = TalSet::defaults()) const;
 
+  /// Every record ever published (live and revoked), all TALs. The event
+  /// replayer lowers these into publish/revoke events; order follows the
+  /// prefix trie walk (nondecreasing first address).
+  std::vector<RoaRecord> all_records() const;
+
   /// Address space covered by live ROAs on `d`. `as0_only` restricts to AS0
   /// ROAs; `non_as0_only` to ROAs with a real origin ASN (Fig 5's
   /// "signed, non-AS0" series).

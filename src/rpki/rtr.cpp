@@ -232,8 +232,12 @@ std::string RtrServer::handle(const Pdu& query) const {
     return out;
   }
   if (query.type == PduType::kSerialQuery) {
-    if (query.session_id != session_id_ || query.serial > serial_ ||
-        (query.serial < serial_ &&
+    // RFC 1982 comparisons: a router serial "ahead" of ours, or behind by
+    // more than we retain diffs for, gets a Cache Reset. Plain integer
+    // compares here used to wedge every session into a full resync the
+    // moment the serial wrapped past 2^32.
+    if (query.session_id != session_id_ || serial_lt(serial_, query.serial) ||
+        (serial_lt(query.serial, serial_) &&
          !diffs_.contains(query.serial + 1))) {
       Pdu reset;
       reset.type = PduType::kCacheReset;
@@ -244,7 +248,10 @@ std::string RtrServer::handle(const Pdu& query) const {
     resp.type = PduType::kCacheResponse;
     resp.session_id = session_id_;
     emit(resp);
-    for (uint32_t s = query.serial + 1; s <= serial_; ++s) {
+    // Walk the serial space modulo 2^32; `s <= serial_` never terminates
+    // across a wrap.
+    for (uint32_t s = query.serial; s != serial_;) {
+      ++s;
       const Diff& diff = diffs_.at(s);
       for (const Vrp& vrp : diff.announced) prefix_pdu(vrp, true);
       for (const Vrp& vrp : diff.withdrawn) prefix_pdu(vrp, false);

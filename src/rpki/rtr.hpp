@@ -55,6 +55,15 @@ struct Pdu {
   std::string error_text;
 };
 
+/// RFC 1982 serial-number comparison on the 32-bit sequence space
+/// (RFC 8210 §5.1): true iff `a` precedes `b`, i.e. the distance from `a`
+/// forward to `b` is in (0, 2^31). Plain `<` breaks the serial-query path
+/// at the 2^32 wraparound — a cache at serial 1 would treat a router at
+/// serial 0xffffffff as being from the future and force a full resync.
+constexpr bool serial_lt(uint32_t a, uint32_t b) {
+  return static_cast<int32_t>(a - b) < 0;
+}
+
 /// Serialize one PDU to wire bytes (big-endian, protocol version 1).
 std::string serialize_pdu(const Pdu& pdu);
 
@@ -66,7 +75,11 @@ std::vector<Pdu> parse_pdus(std::string_view bytes);
 /// remembers diffs so routers can sync incrementally.
 class RtrServer {
  public:
-  explicit RtrServer(uint16_t session_id) : session_id_(session_id) {}
+  /// `start_serial` sets the serial the first update() increments from —
+  /// production caches start at 0; tests start near 0xffffffff to exercise
+  /// the wraparound.
+  explicit RtrServer(uint16_t session_id, uint32_t start_serial = 0)
+      : session_id_(session_id), serial_(start_serial) {}
 
   /// Install a new VRP snapshot; the serial increments and the diff from
   /// the previous snapshot is retained for serial queries.
@@ -89,7 +102,7 @@ class RtrServer {
   };
 
   uint16_t session_id_;
-  uint32_t serial_ = 0;
+  uint32_t serial_;  // wraps modulo 2^32; compare with serial_lt only
   std::vector<Vrp> current_;
   std::map<uint32_t, Diff> diffs_;  // serial s -> changes from s-1 to s
 };

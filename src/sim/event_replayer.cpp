@@ -1,0 +1,123 @@
+#include "sim/event_replayer.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <utility>
+
+#include "core/drop_index.hpp"
+#include "core/study.hpp"
+#include "drop/category.hpp"
+
+namespace droplens::sim {
+
+namespace {
+
+using stream::Event;
+using stream::EventType;
+
+void push(std::vector<Event>& out, EventType type, net::Date date,
+          const net::Prefix& prefix, uint32_t value = 0, uint8_t aux = 0,
+          uint8_t aux2 = 0) {
+  Event e;
+  e.type = type;
+  e.date = date;
+  e.prefix = prefix;
+  e.value = value;
+  e.aux = aux;
+  e.aux2 = aux2;
+  out.push_back(e);
+}
+
+uint8_t category_bits(const drop::CategorySet& categories) {
+  uint8_t bits = 0;
+  for (drop::Category c : drop::kAllCategories) {
+    if (categories.has(c)) bits |= uint8_t{1} << static_cast<int>(c);
+  }
+  return bits;
+}
+
+}  // namespace
+
+EventReplayer::EventReplayer(const World& world) {
+  // BGP: one announce per episode, one withdraw when it ends.
+  for (const net::Prefix& p : world.fleet.announced_prefixes()) {
+    for (const bgp::Episode& e : world.fleet.episodes(p)) {
+      const uint32_t origin = e.origin().value();
+      push(events_, EventType::kBgpAnnounce, e.range.begin, p, origin);
+      if (e.range.end != net::DateRange::unbounded()) {
+        push(events_, EventType::kBgpWithdraw, e.range.end, p, origin);
+      }
+    }
+  }
+
+  // RPKI: publish/revoke per record lifetime, all TALs.
+  for (const rpki::RoaRecord& r : world.roas.all_records()) {
+    const uint32_t asn = r.roa.asn.value();
+    const uint8_t maxlen = static_cast<uint8_t>(r.roa.max_length);
+    const uint8_t tal = static_cast<uint8_t>(r.roa.tal);
+    push(events_, EventType::kRoaAdd, r.lifetime.begin, r.roa.prefix, asn,
+         maxlen, tal);
+    if (r.lifetime.end != net::DateRange::unbounded()) {
+      push(events_, EventType::kRoaRemove, r.lifetime.end, r.roa.prefix, asn,
+           maxlen, tal);
+    }
+  }
+
+  // DROP: every stint asserts the DropIndex entry's whole-history category
+  // bits (see header comment); the incident flag rides in aux2.
+  core::Study study{world.registry,       world.fleet,
+                    world.irr,            world.roas,
+                    world.drop,           world.sbl,
+                    world.config.window_begin, world.config.window_end};
+  core::DropIndex index = core::DropIndex::build(study);
+  std::unordered_map<net::Prefix, std::pair<uint8_t, uint8_t>> drop_label;
+  for (const core::DropEntry& entry : index.entries()) {
+    drop_label[entry.prefix] = {category_bits(entry.categories),
+                                entry.incident ? uint8_t{1} : uint8_t{0}};
+  }
+  for (const drop::Listing& l : world.drop.all_listings()) {
+    const auto& [bits, incident] = drop_label.at(l.prefix);
+    push(events_, EventType::kDropAdd, l.listed.begin, l.prefix, 0, bits,
+         incident);
+    if (l.listed.end != net::DateRange::unbounded()) {
+      push(events_, EventType::kDropRemove, l.listed.end, l.prefix, 0, bits,
+           incident);
+    }
+  }
+
+  // IRR: route-object registrations and removals.
+  for (const irr::Registration& r : world.irr.all_history()) {
+    const uint32_t origin = r.object.origin.value();
+    push(events_, EventType::kIrrAdd, r.lifetime.begin, r.object.prefix,
+         origin);
+    if (r.lifetime.end != net::DateRange::unbounded()) {
+      push(events_, EventType::kIrrRemove, r.lifetime.end, r.object.prefix,
+           origin);
+    }
+  }
+
+  // RIR delegations: allocation episodes under the whole v4 space.
+  for (const rir::Allocation& a : world.registry.history(net::Prefix())) {
+    const uint8_t rir = static_cast<uint8_t>(a.rir);
+    push(events_, EventType::kDelegationAdd, a.lifetime.begin, a.prefix, 0, 0,
+         rir);
+    if (a.lifetime.end != net::DateRange::unbounded()) {
+      push(events_, EventType::kDelegationRemove, a.lifetime.end, a.prefix, 0,
+           0, rir);
+    }
+  }
+
+  std::sort(events_.begin(), events_.end(), stream::canonical_less);
+}
+
+std::span<const stream::Event> EventReplayer::on(net::Date d) const {
+  auto lo = std::lower_bound(
+      events_.begin(), events_.end(), d,
+      [](const Event& e, net::Date day) { return e.date < day; });
+  auto hi = std::upper_bound(
+      events_.begin(), events_.end(), d,
+      [](net::Date day, const Event& e) { return day < e.date; });
+  return {lo, hi};
+}
+
+}  // namespace droplens::sim

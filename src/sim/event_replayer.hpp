@@ -1,0 +1,47 @@
+// Lowers a generated World into the streaming subsystem's event currency.
+//
+// The generator plants *histories* — episodes, lifetimes, listing stints —
+// and the batch pipeline reads them day by day. EventReplayer flattens those
+// same histories into one ordered stream::Event sequence: every episode
+// becomes an announce at range.begin (and a withdraw at range.end when
+// bounded), every ROA/IRR/delegation lifetime becomes an add/remove pair,
+// every DROP stint a listing/delisting. Sorted by stream::canonical_less,
+// the result is exactly the input the online pipeline (Applier +
+// AlarmMonitor) needs to reproduce the batch outputs — compile_snapshot
+// byte-identically on any day, analyze_alarms alarm-for-alarm.
+//
+// One deliberate wrinkle: kDropAdd events carry the DropIndex entry's
+// whole-history category bits (plus the incident flag), not some
+// per-stint classification. compile_snapshot paints a listed day with the
+// entry's whole-history bits, so the live OR over active listings only
+// matches if every stint asserts those same bits.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sim/world.hpp"
+#include "stream/event.hpp"
+
+namespace droplens::sim {
+
+class EventReplayer {
+ public:
+  /// Builds the full sorted event stream; O(total history) time and space.
+  explicit EventReplayer(const World& world);
+
+  /// All events, in canonical order (dates nondecreasing; within a day,
+  /// removals before additions).
+  const std::vector<stream::Event>& events() const { return events_; }
+
+  /// The contiguous run of events dated exactly `d` (empty if none) — the
+  /// follower's per-day feed unit.
+  std::span<const stream::Event> on(net::Date d) const;
+
+  size_t size() const { return events_.size(); }
+
+ private:
+  std::vector<stream::Event> events_;
+};
+
+}  // namespace droplens::sim

@@ -1,0 +1,92 @@
+#include "stream/alarm_monitor.hpp"
+
+#include <algorithm>
+
+#include "drop/drop_list.hpp"
+
+namespace droplens::stream {
+
+size_t AlarmMonitor::on_event(const Event& e) {
+  if (e.type == EventType::kBgpWithdraw) {
+    // One episode for (prefix, origin) ends. When several are active the
+    // oldest goes first — which one is erased is invisible to the rules
+    // (every active begin predates any future announcement date).
+    auto it = active_.find(e.prefix);
+    if (it != active_.end()) {
+      auto& routes = it->second;
+      auto victim = routes.end();
+      for (auto r = routes.begin(); r != routes.end(); ++r) {
+        if (r->origin != e.value) continue;
+        if (victim == routes.end() || r->begin < victim->begin) victim = r;
+      }
+      if (victim != routes.end()) routes.erase(victim);
+      if (routes.empty()) active_.erase(it);
+    }
+    return 0;
+  }
+  if (e.type != EventType::kBgpAnnounce) return 0;
+
+  const net::Date begin = e.date;
+  const net::Asn origin(e.value);
+  auto& origins = seen_origins_[e.prefix];
+  const bool in_window =
+      begin >= config_.window_begin && begin < config_.window_end;
+  size_t raised = 0;
+
+  auto make_alarm = [&](core::AlarmKind kind, const net::Prefix& monitored) {
+    core::Alarm a;
+    a.kind = kind;
+    a.prefix = e.prefix;
+    a.monitored = monitored;
+    a.when = begin;
+    a.new_origin = origin;
+    a.on_drop =
+        config_.drop && config_.drop->first_listed(e.prefix).has_value();
+    alarms_.push_back(std::move(a));
+    ++raised;
+  };
+
+  if (in_window) {
+    // New-origin alarm.
+    if (!origins.empty() && !origins.contains(origin.value())) {
+      make_alarm(core::AlarmKind::kNewOrigin, e.prefix);
+    }
+    // MOAS alarm: another origin is announcing right now. "Right now" is the
+    // active set (day-`begin` withdrawals already processed); the strictly-
+    // earlier-begin test matches the batch rule.
+    if (auto it = active_.find(e.prefix); it != active_.end()) {
+      for (const ActiveRoute& other : it->second) {
+        if (other.begin < begin && net::Asn(other.origin) != origin) {
+          make_alarm(core::AlarmKind::kMoas, e.prefix);
+          break;
+        }
+      }
+    }
+    // New-sub-prefix alarm: first-ever announcement of a fresh more-specific
+    // of a monitored baseline route.
+    if (origins.empty()) {
+      bool alarmed = false;
+      baseline_.for_each_covering(
+          e.prefix, [&](const net::Prefix& mon, char) {
+            if (alarmed || mon == e.prefix) return;
+            make_alarm(core::AlarmKind::kNewSubPrefix, mon);
+            alarmed = true;
+          });
+    }
+  } else if (begin < config_.window_begin) {
+    baseline_.insert_or_assign(e.prefix, 1);
+  }
+  origins.insert(origin.value());
+  active_[e.prefix].push_back(ActiveRoute{begin, origin.value()});
+  return raised;
+}
+
+core::AlarmResult AlarmMonitor::result(const core::Study& study,
+                                       const core::DropIndex& index) const {
+  core::AlarmResult r;
+  r.alarms = alarms_;
+  core::add_drop_coverage(r, study, index);
+  return r;
+}
+
+}  // namespace droplens::stream

@@ -1,0 +1,87 @@
+// The PHAS-style alarm engine, running online.
+//
+// core::analyze_alarms replays every origination episode in one offline
+// pass, with the whole history in hand. AlarmMonitor implements the same
+// three rules — new-origin, MOAS, new-sub-prefix — as an incremental
+// machine fed one event at a time, so alarms fire the moment the triggering
+// announcement is applied rather than at the end of a nightly batch.
+//
+// Equivalence contract (pinned by tests/test_stream.cpp and the
+// bench_ext_alarms --crosscheck mode): fed the canonical event stream of a
+// World (sim::EventReplayer), the monitor's alarm sequence is byte-identical
+// to core::analyze_alarms' — same alarms, same order. The pieces that make
+// that hold:
+//
+//  - The batch replay sorts episodes by (begin, prefix, origin, end); the
+//    canonical event order (stream::canonical_less) sorts a day's
+//    announcements by (prefix, origin), which is the same order restricted
+//    to one day (episodes differing only in `end` are interchangeable —
+//    `end` is invisible to every rule at announce time).
+//  - A day's withdrawals are processed before its announcements, so "other
+//    episode active right now" means exactly range.contains(begin): an
+//    episode ending on day d is gone before day d's announcements arrive.
+//  - The MOAS rule requires the other episode to have begun strictly
+//    earlier, which the active-entry begin dates preserve.
+//
+// The monitor only reacts to BGP events; everything else passes through
+// untouched (the Applier owns that state).
+#pragma once
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/alarms.hpp"
+#include "net/prefix_trie.hpp"
+#include "stream/event.hpp"
+
+namespace droplens::drop {
+class DropList;
+}  // namespace droplens::drop
+
+namespace droplens::stream {
+
+class AlarmMonitor {
+ public:
+  struct Config {
+    net::Date window_begin;
+    net::Date window_end;
+    /// Labels alarms with the paper's "later blocklisted" bit
+    /// (core::Alarm::on_drop). Null leaves the bit false — the monitor
+    /// itself needs no future knowledge, but result parity with the batch
+    /// replay does.
+    const drop::DropList* drop = nullptr;
+  };
+
+  explicit AlarmMonitor(Config config) : config_(config) {}
+
+  /// Process one event. BGP announcements may append up to three alarms to
+  /// alarms(); returns how many were appended. All other types return 0.
+  size_t on_event(const Event& e);
+
+  /// Every alarm raised so far, in firing order.
+  const std::vector<core::Alarm>& alarms() const { return alarms_; }
+
+  /// The batch-result shape: alarms plus the DROP-coverage counters
+  /// (computed from `study`/`index` exactly as core::analyze_alarms does).
+  core::AlarmResult result(const core::Study& study,
+                           const core::DropIndex& index) const;
+
+ private:
+  struct ActiveRoute {
+    net::Date begin;
+    uint32_t origin;
+  };
+
+  Config config_;
+  /// Episodes announced and not yet withdrawn, with their begin dates.
+  std::unordered_map<net::Prefix, std::vector<ActiveRoute>> active_;
+  /// Every origin ever seen per prefix (the new-origin rule's memory).
+  std::unordered_map<net::Prefix, std::unordered_set<uint32_t>> seen_origins_;
+  /// Prefixes announced before the window: the monitored baseline whose
+  /// more-specifics the new-sub-prefix rule watches.
+  net::PrefixMap<char> baseline_;
+  std::vector<core::Alarm> alarms_;
+};
+
+}  // namespace droplens::stream

@@ -1,0 +1,172 @@
+#include "stream/event.hpp"
+
+#include <tuple>
+
+#include "util/error.hpp"
+
+namespace droplens::stream {
+
+namespace {
+
+void put_u8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void put_u32(std::string& out, uint32_t v) {
+  put_u8(out, static_cast<uint8_t>(v));
+  put_u8(out, static_cast<uint8_t>(v >> 8));
+  put_u8(out, static_cast<uint8_t>(v >> 16));
+  put_u8(out, static_cast<uint8_t>(v >> 24));
+}
+uint8_t get_u8(std::string_view bytes, size_t at) {
+  return static_cast<uint8_t>(bytes[at]);
+}
+uint32_t get_u32(std::string_view bytes, size_t at) {
+  return static_cast<uint32_t>(get_u8(bytes, at)) |
+         (static_cast<uint32_t>(get_u8(bytes, at + 1)) << 8) |
+         (static_cast<uint32_t>(get_u8(bytes, at + 2)) << 16) |
+         (static_cast<uint32_t>(get_u8(bytes, at + 3)) << 24);
+}
+
+constexpr uint8_t kMinType = static_cast<uint8_t>(EventType::kBgpAnnounce);
+constexpr uint8_t kMaxType = static_cast<uint8_t>(EventType::kRirClear);
+
+}  // namespace
+
+std::string_view to_string(EventType t) {
+  switch (t) {
+    case EventType::kBgpAnnounce: return "bgp-announce";
+    case EventType::kBgpWithdraw: return "bgp-withdraw";
+    case EventType::kRoaAdd: return "roa-add";
+    case EventType::kRoaRemove: return "roa-remove";
+    case EventType::kDropAdd: return "drop-add";
+    case EventType::kDropRemove: return "drop-remove";
+    case EventType::kIrrAdd: return "irr-add";
+    case EventType::kIrrRemove: return "irr-remove";
+    case EventType::kDelegationAdd: return "delegation-add";
+    case EventType::kDelegationRemove: return "delegation-remove";
+    case EventType::kRovSet: return "rov-set";
+    case EventType::kRovClear: return "rov-clear";
+    case EventType::kRirSet: return "rir-set";
+    case EventType::kRirClear: return "rir-clear";
+  }
+  return "?";
+}
+
+bool is_removal(EventType t) {
+  switch (t) {
+    case EventType::kBgpWithdraw:
+    case EventType::kRoaRemove:
+    case EventType::kDropRemove:
+    case EventType::kIrrRemove:
+    case EventType::kDelegationRemove:
+    case EventType::kRovClear:
+    case EventType::kRirClear:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string Event::to_string() const {
+  std::string out(stream::to_string(type));
+  out += ' ';
+  out += prefix.to_string();
+  out += " @" + date.to_string();
+  switch (type) {
+    case EventType::kBgpAnnounce:
+    case EventType::kBgpWithdraw:
+    case EventType::kIrrAdd:
+    case EventType::kIrrRemove:
+      out += " AS" + std::to_string(value);
+      break;
+    case EventType::kRoaAdd:
+    case EventType::kRoaRemove:
+      out += " AS" + std::to_string(value) +
+             " maxlen=" + std::to_string(aux) + " tal=" + std::to_string(aux2);
+      break;
+    case EventType::kDropAdd:
+    case EventType::kDropRemove:
+      out += " categories=0x";
+      for (int shift = 4; shift >= 0; shift -= 4) {
+        out += "0123456789abcdef"[(aux >> shift) & 0xf];
+      }
+      if (aux2) out += " incident";
+      break;
+    case EventType::kDelegationAdd:
+    case EventType::kDelegationRemove:
+      out += " rir=" + std::to_string(aux2);
+      break;
+    case EventType::kRovSet:
+    case EventType::kRovClear:
+      out += " rov=" + std::to_string(value);
+      break;
+    case EventType::kRirSet:
+    case EventType::kRirClear:
+      out += " rir=" + std::to_string(value);
+      break;
+  }
+  return out;
+}
+
+bool canonical_less(const Event& a, const Event& b) {
+  auto key = [](const Event& e) {
+    return std::tuple(e.date.days(), is_removal(e.type) ? 0 : 1,
+                      static_cast<uint8_t>(e.type), e.prefix, e.value, e.aux,
+                      e.aux2);
+  };
+  return key(a) < key(b);
+}
+
+void encode_event(std::string& out, const Event& e) {
+  put_u8(out, static_cast<uint8_t>(e.type));
+  put_u8(out, static_cast<uint8_t>(e.prefix.length()));
+  put_u8(out, e.aux);
+  put_u8(out, e.aux2);
+  put_u32(out, static_cast<uint32_t>(e.date.days()));
+  put_u32(out, e.prefix.network().value());
+  put_u32(out, e.value);
+}
+
+std::vector<Event> decode_events(std::string_view bytes, size_t count,
+                                 uint64_t first_seq) {
+  if (bytes.size() < count * kEventRecordSize) {
+    throw ParseError("stream: truncated event records");
+  }
+  std::vector<Event> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back(decode_event(bytes.substr(i * kEventRecordSize)));
+    out.back().seq = first_seq + i;
+  }
+  return out;
+}
+
+Event decode_event(std::string_view bytes) {
+  if (bytes.size() < kEventRecordSize) {
+    throw ParseError("stream: truncated event record");
+  }
+  uint8_t type = get_u8(bytes, 0);
+  if (type < kMinType || type > kMaxType) {
+    throw ParseError("stream: unknown event type " + std::to_string(type));
+  }
+  uint8_t plen = get_u8(bytes, 1);
+  if (plen > 32) throw ParseError("stream: bad prefix length");
+  Event e;
+  e.type = static_cast<EventType>(type);
+  e.aux = get_u8(bytes, 2);
+  e.aux2 = get_u8(bytes, 3);
+  e.date = net::Date(static_cast<int32_t>(get_u32(bytes, 4)));
+  try {
+    e.prefix = net::Prefix(net::Ipv4(get_u32(bytes, 8)), plen);
+  } catch (const InvariantError& err) {
+    throw ParseError(std::string("stream: ") + err.what());
+  }
+  e.value = get_u32(bytes, 12);
+  if ((e.type == EventType::kRoaAdd || e.type == EventType::kRoaRemove) &&
+      (e.aux < plen || e.aux > 32)) {
+    throw ParseError("stream: bad ROA maxLength");
+  }
+  return e;
+}
+
+}  // namespace droplens::stream

@@ -1,0 +1,111 @@
+// Typed events for the streaming pipeline.
+//
+// Everything the batch pipeline reads as five daily feeds arrives, in the
+// real world, as *events*: a BGP announcement or withdrawal, a ROA published
+// or revoked, a prefix listed on or delisted from DROP, an IRR route object
+// created or removed, a delegation made or returned. stream::Event is that
+// common currency — compact enough to log and replay by the million, typed
+// enough that an applier can reconstruct exactly the state the batch
+// compiler would have computed for any day.
+//
+// Wire form (little-endian, like svc/protocol.hpp): one fixed 16-byte record
+//
+//   type:u8 plen:u8 aux:u8 aux2:u8 date:u32 network:u32 value:u32
+//
+// Field use by type:
+//   kBgpAnnounce/kBgpWithdraw       value = origin ASN
+//   kRoaAdd/kRoaRemove              value = ROA ASN, aux = maxLength,
+//                                   aux2 = rpki::Tal index
+//   kDropAdd/kDropRemove            aux = drop::Category bits, aux2 = incident
+//   kIrrAdd/kIrrRemove              value = route-object origin ASN
+//   kDelegationAdd/kDelegationRemove  aux2 = rir::Rir index
+//   kRovSet/kRovClear               value = svc::RovStatus (flat-diff only)
+//   kRirSet/kRirClear               value = rir::Rir index (flat-diff only)
+//
+// The kRovSet/kRirSet family exists for `snapshot_tool diff`, which lowers
+// two compiled snapshots into the event sequence transforming one into the
+// other: ROV status and administering RIR are *derived* maps with no
+// originating feed event, so a flat diff asserts their values directly.
+// The live Applier computes them instead and rejects these types.
+//
+// Sequence numbers are NOT part of the record: the EventLog assigns them,
+// and delta frames carry one starting sequence for a run of consecutive
+// events (RTR-style serial semantics, but 64-bit so wraparound is theory).
+//
+// Decoding is strictly bounds-checked: unknown types, impossible prefix
+// lengths, non-canonical networks, and out-of-range enum values all throw
+// ParseError — a hostile byte stream can never construct an invalid Event.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/date.hpp"
+#include "net/prefix.hpp"
+
+namespace droplens::stream {
+
+enum class EventType : uint8_t {
+  kBgpAnnounce = 1,
+  kBgpWithdraw = 2,
+  kRoaAdd = 3,
+  kRoaRemove = 4,
+  kDropAdd = 5,
+  kDropRemove = 6,
+  kIrrAdd = 7,
+  kIrrRemove = 8,
+  kDelegationAdd = 9,
+  kDelegationRemove = 10,
+  // Flat-diff assertions (snapshot_tool diff); see header comment.
+  kRovSet = 11,
+  kRovClear = 12,
+  kRirSet = 13,
+  kRirClear = 14,
+};
+
+std::string_view to_string(EventType t);
+
+/// True for the withdraw/remove/clear half of each pair. A day's canonical
+/// order processes removals first, so state-after-batch equals state *on*
+/// that day (lifetimes are half-open [begin, end)).
+bool is_removal(EventType t);
+
+inline constexpr size_t kEventRecordSize = 16;
+
+struct Event {
+  /// Log sequence number; assigned by EventLog::append, 0 until then.
+  uint64_t seq = 0;
+  EventType type = EventType::kBgpAnnounce;
+  net::Date date;
+  net::Prefix prefix;
+  uint32_t value = 0;
+  uint8_t aux = 0;
+  uint8_t aux2 = 0;
+
+  friend bool operator==(const Event&, const Event&) = default;
+
+  std::string to_string() const;
+};
+
+/// Canonical order of a day's batch: removals before additions, then type,
+/// prefix, value, aux — a total order (up to identical events), so a replay
+/// is deterministic and the online alarm monitor sees announcements in
+/// exactly the order the batch replay (core::analyze_alarms) sorts them.
+bool canonical_less(const Event& a, const Event& b);
+
+/// Append the 16-byte wire record of `e` to `out` (seq not included).
+void encode_event(std::string& out, const Event& e);
+
+/// Decode `count` consecutive records from `bytes`. Throws ParseError on
+/// short input, unknown type, or an invalid prefix. Sequence numbers are
+/// filled in from `first_seq` upward.
+std::vector<Event> decode_events(std::string_view bytes, size_t count,
+                                 uint64_t first_seq);
+
+/// Decode exactly one record at the head of `bytes`.
+Event decode_event(std::string_view bytes);
+
+}  // namespace droplens::stream

@@ -1,0 +1,59 @@
+#include "stream/event_log.hpp"
+
+namespace droplens::stream {
+
+uint64_t EventLog::append(Event e) {
+  std::lock_guard<std::mutex> lock(mu_);
+  e.seq = next_seq_++;
+  events_.push_back(std::move(e));
+  if (retain_ && events_.size() > retain_) {
+    events_.pop_front();
+    ++floor_seq_;
+  }
+  return next_seq_ - 1;
+}
+
+uint64_t EventLog::head() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+uint64_t EventLog::floor() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return floor_seq_;
+}
+
+uint64_t EventLog::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+EventLog::Tail EventLog::since(uint64_t from, size_t max_events) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Tail tail;
+  tail.head = next_seq_;
+  if (from < floor_seq_ || from > next_seq_) {
+    tail.gap = true;
+    tail.from = next_seq_;
+    return tail;
+  }
+  tail.from = from;
+  const size_t offset = static_cast<size_t>(from - floor_seq_);
+  const size_t available = events_.size() - offset;
+  const size_t n = max_events < available ? max_events : available;
+  tail.events.reserve(n);
+  for (size_t i = 0; i < n; ++i) tail.events.push_back(events_[offset + i]);
+  return tail;
+}
+
+void EventLog::trim(uint64_t up_to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (up_to > next_seq_) up_to = next_seq_;
+  while (floor_seq_ < up_to && !events_.empty()) {
+    events_.pop_front();
+    ++floor_seq_;
+  }
+  floor_seq_ = up_to;
+}
+
+}  // namespace droplens::stream

@@ -1,0 +1,66 @@
+// Append-only event log with 64-bit sequence numbers.
+//
+// The serial-number backbone of delta publication: every appended event gets
+// the next sequence number, subscribers remember the next sequence they
+// need, and since() answers either the missing tail or "gap" when retention
+// (compaction) has already discarded it — the RTR cache-reset semantic,
+// minus the wraparound headaches (64-bit serials outlive the universe at any
+// plausible event rate).
+//
+// Thread-safe: one writer (the ingest thread) and any number of since()
+// readers (transport threads serving subscribe frames) synchronize on an
+// internal mutex. The append path is a deque push under an uncontended lock
+// — micro-benchmarked well above the events/s targets in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "stream/event.hpp"
+
+namespace droplens::stream {
+
+class EventLog {
+ public:
+  /// Retain at most `retain` events; older ones are discarded as the head
+  /// advances (0 = unbounded). Discarded history turns lagging subscribers'
+  /// since() into a gap.
+  explicit EventLog(size_t retain = 0) : retain_(retain) {}
+
+  /// Append one event; stamps and returns its sequence number.
+  uint64_t append(Event e);
+
+  /// The next sequence number to be assigned (== last seq + 1).
+  uint64_t head() const;
+
+  /// The oldest retained sequence number (== head() when empty).
+  uint64_t floor() const;
+
+  uint64_t size() const;
+
+  struct Tail {
+    bool gap = false;       // `from` is below floor(): subscriber must reset
+    uint64_t from = 0;      // first returned sequence (== requested, no gap)
+    uint64_t head = 0;      // log head at read time
+    std::vector<Event> events;
+  };
+
+  /// Events with sequence in [from, head()), capped at `max_events`.
+  /// `from` beyond head() or below floor() answers a gap (reset semantics).
+  Tail since(uint64_t from, size_t max_events) const;
+
+  /// Raise the retention floor to `up_to` (events below it are discarded).
+  /// A compaction calls this after folding history into a flat snapshot.
+  void trim(uint64_t up_to);
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<Event> events_;
+  uint64_t next_seq_ = 0;
+  uint64_t floor_seq_ = 0;
+  size_t retain_;
+};
+
+}  // namespace droplens::stream

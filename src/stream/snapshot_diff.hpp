@@ -1,0 +1,54 @@
+// Flat diffs between compiled snapshots, as event sequences.
+//
+// `snapshot_tool diff A.dls B.dls` lowers two compiled days into the
+// ordered stream::Event sequence transforming A into B — the same currency
+// the live pipeline speaks, so a diff can be shipped over the delta
+// protocol, archived next to an event log, or replayed onto A to reproduce
+// B (apply_diff; pinned by tests).
+//
+// Field → event mapping (all events dated b.date()):
+//   routed     kBgpWithdraw / kBgpAnnounce      (origin unknown: value 0)
+//   as0        kRoaRemove / kRoaAdd             (AS0: value 0, maxlen 32)
+//   irr        kIrrRemove / kIrrAdd             (origin unknown: value 0)
+//   allocated  kDelegationRemove / kDelegationAdd
+//   drop map   kDropRemove / kDropAdd           (aux = categories, aux2 =
+//                                                incident)
+//   rov map    kRovClear / kRovSet              (value = RovStatus)
+//   rir map    kRirClear / kRirSet              (value = rir::Rir index)
+//
+// A flat diff asserts *compiled* state: boolean spaces diff as interval-set
+// differences CIDR-decomposed, valued maps as boundary sweeps where a
+// changed value clears the old and sets the new. This is exactly why the
+// kRovSet family exists (and why the live Applier rejects it — there these
+// maps are derived, not asserted). Events come out in canonical order
+// (removals first), so the sequence is deterministic for a given (A, B).
+#pragma once
+
+#include <vector>
+
+#include "stream/event.hpp"
+#include "svc/snapshot.hpp"
+
+namespace droplens::stream {
+
+/// The canonical event sequence transforming `a` into `b`. Empty iff
+/// snapshots_equal(a, b).
+std::vector<Event> diff_snapshots(const svc::Snapshot& a,
+                                  const svc::Snapshot& b);
+
+/// Replay a flat diff onto `a`: returns a snapshot whose structures equal
+/// the diff's target (snapshots_equal against B for a diff_snapshots(A, B)
+/// sequence). `date`/`version` stamp the result. Throws InvariantError on
+/// an event type flat diffs never contain (live BGP/ROA detail is not
+/// reconstructible from a flat snapshot, so e.g. a kRoaAdd with a real ASN
+/// is a usage error).
+svc::Snapshot apply_diff(const svc::Snapshot& a,
+                         const std::vector<Event>& events, net::Date date,
+                         uint64_t version);
+
+/// Structural equality: same degraded bits and identical compiled
+/// structures (interval sets by content, segment maps by span). Version and
+/// date are metadata and do not participate.
+bool snapshots_equal(const svc::Snapshot& a, const svc::Snapshot& b);
+
+}  // namespace droplens::stream

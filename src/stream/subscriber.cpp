@@ -1,0 +1,27 @@
+#include "stream/subscriber.hpp"
+
+#include <stdexcept>
+
+namespace droplens::stream {
+
+Delta Subscriber::poll(uint32_t max_events) {
+  SubscribeRequest request;
+  request.from_seq = next_;
+  request.max_events = max_events;
+  Delta delta = decode_delta(client_.subscribe_raw(encode_subscribe(request)));
+  if (delta.reset) {
+    ++resets_;
+    next_ = delta.head;
+    return delta;
+  }
+  if (delta.from != next_) {
+    throw std::runtime_error("stream subscriber: non-consecutive delta");
+  }
+  if (delta.from + delta.events.size() > delta.head) {
+    throw std::runtime_error("stream subscriber: delta runs past head");
+  }
+  next_ = delta.from + delta.events.size();
+  return delta;
+}
+
+}  // namespace droplens::stream

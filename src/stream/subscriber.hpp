@@ -1,0 +1,45 @@
+// Typed client of the live-follow ops.
+//
+// Wraps svc::Client::subscribe_raw with the stream codecs and the serial
+// bookkeeping: poll() asks for everything from the last-seen sequence,
+// verifies the answer is the exact consecutive run it asked for, and
+// advances. A reset answer (history trimmed past us) rewinds next() to the
+// server's head — the caller re-baselines from a snapshot (query the
+// current date) and keeps polling; the RTR cache-reset dance with 64-bit
+// serials. A server that answers out of contract (wrong starting sequence)
+// throws rather than silently skipping events.
+#pragma once
+
+#include <cstdint>
+
+#include "stream/wire.hpp"
+#include "svc/client.hpp"
+
+namespace droplens::stream {
+
+class Subscriber {
+ public:
+  /// Follows from sequence `from` (0 = the beginning of retained history;
+  /// the first poll resets if compaction already trimmed it).
+  explicit Subscriber(svc::Client& client, uint64_t from = 0)
+      : client_(client), next_(from) {}
+
+  /// One subscribe round-trip. The returned delta either carries the next
+  /// consecutive events (next() advances past them) or reset == true
+  /// (next() is now the server head; re-baseline before trusting state).
+  /// Throws std::runtime_error on transport errors, server error frames,
+  /// or a contract-violating response.
+  Delta poll(uint32_t max_events = kMaxDeltaEvents);
+
+  /// The next sequence number poll() will ask for.
+  uint64_t next() const { return next_; }
+
+  uint64_t resets() const { return resets_; }
+
+ private:
+  svc::Client& client_;
+  uint64_t next_;
+  uint64_t resets_ = 0;
+};
+
+}  // namespace droplens::stream

@@ -1,0 +1,181 @@
+#include "stream/wire.hpp"
+
+#include "util/error.hpp"
+
+namespace droplens::stream {
+
+namespace {
+
+constexpr size_t kDeltaHeaderSize = 1 + 8 + 8 + 4 + 4 + 4;
+constexpr size_t kMaxDeltaAlarms = 3 * kMaxDeltaEvents;
+
+void put_u8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+void put_u32(std::string& out, uint32_t v) {
+  put_u8(out, static_cast<uint8_t>(v));
+  put_u8(out, static_cast<uint8_t>(v >> 8));
+  put_u8(out, static_cast<uint8_t>(v >> 16));
+  put_u8(out, static_cast<uint8_t>(v >> 24));
+}
+void put_u64(std::string& out, uint64_t v) {
+  put_u32(out, static_cast<uint32_t>(v));
+  put_u32(out, static_cast<uint32_t>(v >> 32));
+}
+
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+  uint8_t u8() {
+    need(1);
+    return static_cast<uint8_t>(bytes_[pos_++]);
+  }
+  uint32_t u32() {
+    uint32_t v = 0;
+    for (int shift = 0; shift < 32; shift += 8) {
+      v |= uint32_t{u8()} << shift;
+    }
+    return v;
+  }
+  uint64_t u64() {
+    uint64_t lo = u32();
+    return lo | (uint64_t{u32()} << 32);
+  }
+  std::string_view take(size_t n) {
+    need(n);
+    std::string_view out = bytes_.substr(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  void expect_done(const char* what) const {
+    if (pos_ != bytes_.size()) {
+      throw ParseError(std::string("stream: trailing bytes after ") + what);
+    }
+  }
+
+ private:
+  void need(size_t n) const {
+    if (remaining() < n) throw ParseError("stream: truncated payload");
+  }
+
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+void put_alarm(std::string& out, const core::Alarm& a) {
+  put_u8(out, static_cast<uint8_t>(a.kind));
+  put_u8(out, static_cast<uint8_t>(a.prefix.length()));
+  put_u8(out, static_cast<uint8_t>(a.monitored.length()));
+  put_u8(out, a.on_drop ? 1 : 0);
+  put_u32(out, static_cast<uint32_t>(a.when.days()));
+  put_u32(out, a.prefix.network().value());
+  put_u32(out, a.monitored.network().value());
+  put_u32(out, a.new_origin.value());
+}
+
+core::Alarm read_alarm(Reader& in) {
+  core::Alarm a;
+  uint8_t kind = in.u8();
+  if (kind > static_cast<uint8_t>(core::AlarmKind::kNewSubPrefix)) {
+    throw ParseError("stream: bad alarm kind");
+  }
+  a.kind = static_cast<core::AlarmKind>(kind);
+  uint8_t plen = in.u8();
+  uint8_t mon_plen = in.u8();
+  if (plen > 32 || mon_plen > 32) {
+    throw ParseError("stream: alarm prefix length > 32");
+  }
+  uint8_t flags = in.u8();
+  if (flags > 1) throw ParseError("stream: bad alarm flags");
+  a.on_drop = flags & 1;
+  a.when = net::Date(static_cast<int32_t>(in.u32()));
+  uint32_t network = in.u32();
+  uint32_t mon_network = in.u32();
+  a.prefix = net::Prefix::containing(net::Ipv4(network), plen);
+  a.monitored = net::Prefix::containing(net::Ipv4(mon_network), mon_plen);
+  a.new_origin = net::Asn(in.u32());
+  return a;
+}
+
+}  // namespace
+
+std::string encode_subscribe(const SubscribeRequest& request) {
+  std::string payload;
+  payload.reserve(12);
+  put_u64(payload, request.from_seq);
+  put_u32(payload, request.max_events);
+  return payload;
+}
+
+SubscribeRequest decode_subscribe(std::string_view payload) {
+  Reader in(payload);
+  SubscribeRequest request;
+  request.from_seq = in.u64();
+  request.max_events = in.u32();
+  in.expect_done("subscribe request");
+  if (request.max_events == 0) {
+    throw ParseError("stream: subscribe max_events is 0");
+  }
+  return request;
+}
+
+std::string encode_delta(const Delta& delta) {
+  if (delta.events.size() > kMaxDeltaEvents) {
+    throw InvariantError("stream: delta exceeds kMaxDeltaEvents");
+  }
+  if (delta.alarms.size() > kMaxDeltaAlarms) {
+    throw InvariantError("stream: delta alarm count exceeds worst case");
+  }
+  std::string payload;
+  payload.reserve(kDeltaHeaderSize + delta.events.size() * kEventRecordSize +
+                  delta.alarms.size() * kAlarmRecordSize);
+  put_u8(payload, delta.reset ? 1 : 0);
+  put_u64(payload, delta.head);
+  put_u64(payload, delta.from);
+  put_u32(payload, static_cast<uint32_t>(delta.date.days()));
+  put_u32(payload, static_cast<uint32_t>(delta.events.size()));
+  put_u32(payload, static_cast<uint32_t>(delta.alarms.size()));
+  for (const Event& e : delta.events) encode_event(payload, e);
+  for (const core::Alarm& a : delta.alarms) put_alarm(payload, a);
+  return payload;
+}
+
+Delta decode_delta(std::string_view payload) {
+  Reader in(payload);
+  Delta delta;
+  uint8_t status = in.u8();
+  if (status > 1) throw ParseError("stream: bad delta status");
+  delta.reset = status == 1;
+  delta.head = in.u64();
+  delta.from = in.u64();
+  delta.date = net::Date(static_cast<int32_t>(in.u32()));
+  size_t event_count = in.u32();
+  size_t alarm_count = in.u32();
+  if (event_count > kMaxDeltaEvents) {
+    throw ParseError("stream: delta exceeds kMaxDeltaEvents");
+  }
+  if (alarm_count > kMaxDeltaAlarms) {
+    throw ParseError("stream: delta alarm count exceeds worst case");
+  }
+  if (delta.reset && (event_count || alarm_count)) {
+    throw ParseError("stream: reset delta carries records");
+  }
+  if (in.remaining() !=
+      event_count * kEventRecordSize + alarm_count * kAlarmRecordSize) {
+    throw ParseError("stream: delta counts do not match payload size");
+  }
+  delta.events = decode_events(in.take(event_count * kEventRecordSize),
+                               event_count, delta.from);
+  delta.alarms.reserve(alarm_count);
+  for (size_t i = 0; i < alarm_count; ++i) {
+    delta.alarms.push_back(read_alarm(in));
+  }
+  in.expect_done("delta response");
+  return delta;
+}
+
+}  // namespace droplens::stream

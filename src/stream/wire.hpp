@@ -1,0 +1,73 @@
+// Payload codecs for the live-follow protocol ops.
+//
+// The query service's frame layer (svc/protocol.hpp) carries two opaque
+// payloads for the streaming subsystem; their byte layouts live here so svc
+// never links stream:
+//
+//   subscribe request := from_seq:u64 max_events:u32              (12 B)
+//   delta response    := status:u8 head:u64 from:u64 date:u32
+//                        event_count:u32 alarm_count:u32
+//                        event_count * event                 (16 B each)
+//                        alarm_count * alarm                 (20 B each)
+//   alarm             := kind:u8 plen:u8 mon_plen:u8 flags:u8 date:u32
+//                        network:u32 mon_network:u32 origin:u32
+//
+// Serial semantics are RTR-inspired (RFC 8210 §8) with 64-bit sequence
+// numbers: a subscriber asks for everything from `from_seq`; the server
+// answers either the consecutive run of events starting exactly there
+// (status 0, `from == from_seq`) plus the alarms those events raised, or a
+// reset (status 1, no events) when compaction already discarded that
+// history — the subscriber must re-baseline (fetch a snapshot) and resume
+// from the returned head. Events in a delta are consecutive: event i has
+// sequence from + i, which is why sequence numbers never travel per-record.
+//
+// Decoding is strictly bounds-checked (counts validated against bytes
+// present before allocation, enums range-checked), matching the discipline
+// of svc/protocol.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/alarms.hpp"
+#include "stream/event.hpp"
+
+namespace droplens::stream {
+
+/// Events per delta. 8192 events (128 KiB) plus their worst-case alarms
+/// (three per announcement, 480 KiB) stays under svc::kMaxPayload with
+/// headroom; servers clamp the subscriber's ask to this.
+inline constexpr size_t kMaxDeltaEvents = 8192;
+inline constexpr size_t kAlarmRecordSize = 20;
+
+struct SubscribeRequest {
+  uint64_t from_seq = 0;
+  uint32_t max_events = kMaxDeltaEvents;
+
+  friend bool operator==(const SubscribeRequest&,
+                         const SubscribeRequest&) = default;
+};
+
+struct Delta {
+  bool reset = false;   // history gone; re-baseline and resume from `head`
+  uint64_t head = 0;    // publisher's log head at answer time
+  uint64_t from = 0;    // sequence of events[0] (== head on reset)
+  net::Date date;       // publisher's current stream date
+  std::vector<Event> events;        // consecutive sequences from `from`
+  std::vector<core::Alarm> alarms;  // raised by these events, firing order
+};
+
+std::string encode_subscribe(const SubscribeRequest& request);
+/// Throws ParseError on a malformed payload or max_events of 0.
+SubscribeRequest decode_subscribe(std::string_view payload);
+
+/// Throws InvariantError when the delta exceeds kMaxDeltaEvents or its
+/// alarm worst-case (events and alarms must fit one frame).
+std::string encode_delta(const Delta& delta);
+/// Throws ParseError on malformed bytes; event sequences are reconstructed
+/// from `from`.
+Delta decode_delta(std::string_view payload);
+
+}  // namespace droplens::stream

@@ -85,6 +85,14 @@ RangeResponse Client::range(net::Date begin, net::Date end,
   return response;
 }
 
+std::string Client::subscribe_raw(std::string_view payload) {
+  std::string storage;
+  std::string_view response =
+      expect(encode_frame(FrameType::kSubscribeRequest, payload),
+             FrameType::kDeltaResponse, storage);
+  return std::string(response);
+}
+
 ServerStats Client::stats() {
   std::string storage;
   std::string_view payload =

@@ -39,6 +39,13 @@ class Client {
   /// Fetch the server's observability counters.
   ServerStats stats();
 
+  /// Round-trip one live-follow subscribe: sends `payload` (encoded by
+  /// stream::encode_subscribe) as a kSubscribeRequest and returns the raw
+  /// kDeltaResponse payload for stream::decode_delta. Raw bytes in, raw
+  /// bytes out, so svc stays independent of the streaming layer —
+  /// stream::Subscriber is the typed wrapper.
+  std::string subscribe_raw(std::string_view payload);
+
  private:
   /// Roundtrip one encoded frame, expecting `want` back; error frames and
   /// type mismatches throw std::runtime_error.

@@ -158,7 +158,7 @@ FrameHeader decode_header(std::string_view frame) {
   }
   uint8_t type = static_cast<uint8_t>(frame[3]);
   if (type < static_cast<uint8_t>(FrameType::kQueryRequest) ||
-      type > static_cast<uint8_t>(FrameType::kRangeResponse)) {
+      type > static_cast<uint8_t>(FrameType::kDeltaResponse)) {
     throw ParseError("svc: unknown frame type " + std::to_string(type));
   }
   header.type = static_cast<FrameType>(type);
@@ -404,6 +404,13 @@ std::string encode_error(std::string_view message) {
 
 std::string decode_error(std::string_view payload) {
   return std::string(payload.substr(0, kMaxErrorMessage));
+}
+
+std::string encode_frame(FrameType type, std::string_view payload) {
+  if (payload.size() > kMaxPayload) {
+    throw InvariantError("svc: payload exceeds kMaxPayload");
+  }
+  return frame(type, payload);
 }
 
 }  // namespace droplens::svc

@@ -22,6 +22,9 @@
 //   range response payload := network:u32 plen:u8 fields:u8 run_count:u16
 //                             run_count * { start_date:u32 days:u32
 //                             degraded:u8 answer }               (17 B each)
+//   subscribe request payload := from_seq:u64 max_events:u32     (12 B)
+//   delta response payload    := streaming delta (see stream/wire.hpp; svc
+//                                carries these two payloads opaquely)
 //
 // A query batch may mix dates: each query record carries its own date:u32
 // and a store-backed server resolves every distinct date in the frame. The
@@ -84,6 +87,12 @@ enum class FrameType : uint8_t {
   // one prefix across a date window and gets RLE-compressed transitions.
   kRangeRequest = 8,
   kRangeResponse = 9,
+  // Live-follow ops (same compatibility rule). The payloads are defined by
+  // the streaming layer (stream/wire.hpp); svc carries them opaquely so the
+  // service library stays independent of stream. A server without a stream
+  // feed attached answers kSubscribeRequest with kError.
+  kSubscribeRequest = 10,
+  kDeltaResponse = 11,
 };
 
 enum class QueryStatus : uint8_t {
@@ -198,5 +207,11 @@ std::string decode_metrics_response(std::string_view payload);
 
 std::string encode_error(std::string_view message);
 std::string decode_error(std::string_view payload);
+
+/// Wrap an arbitrary payload in a frame of the given type — the hook the
+/// streaming layer uses for its subscribe/delta payloads (whose codecs live
+/// in stream/wire.hpp, outside this library). Payloads beyond kMaxPayload
+/// throw InvariantError.
+std::string encode_frame(FrameType type, std::string_view payload);
 
 }  // namespace droplens::svc

@@ -147,6 +147,12 @@ std::string Server::serve(std::string_view frame) {
       case FrameType::kRangeRequest:
         response = handle_range(frame_payload(frame));
         break;
+      case FrameType::kSubscribeRequest: {
+        StreamFeed* feed = stream_feed_.load(std::memory_order_acquire);
+        response = feed ? feed->handle_subscribe(frame_payload(frame))
+                        : encode_error("no stream feed attached");
+        break;
+      }
       default:
         throw ParseError("svc: unexpected frame type from client");
     }
@@ -301,6 +307,12 @@ std::string Server::handle_range(std::string_view payload) {
 }
 
 std::shared_ptr<const Snapshot> Server::store_get(net::Date d) {
+  // The live head (a streaming follower's latest compaction, see publish)
+  // outranks the store for its own date; history still resolves below.
+  if (std::shared_ptr<const Snapshot> live = snapshot();
+      live && live->date() == d) {
+    return live;
+  }
   std::shared_ptr<const Snapshot> snap;
   try {
     snap = store_->get(d);

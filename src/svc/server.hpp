@@ -55,6 +55,18 @@ namespace droplens::svc {
 
 class SnapshotStore;
 
+/// Hook the streaming subsystem implements (stream::Publisher) to serve the
+/// live-follow ops. Declared here — and taken as an abstract pointer — so
+/// svc never links stream; the payload byte layouts live in stream/wire.hpp.
+class StreamFeed {
+ public:
+  virtual ~StreamFeed() = default;
+  /// Answer one kSubscribeRequest payload with a complete response frame
+  /// (normally kDeltaResponse; a kError frame is also valid). Called from
+  /// transport threads concurrently — implementations must be thread-safe.
+  virtual std::string handle_subscribe(std::string_view payload) = 0;
+};
+
 class Server : public Service {
  public:
   /// Single-snapshot mode. `initial` may be null (queries answer with an
@@ -71,8 +83,19 @@ class Server : public Service {
 
   /// Atomically replace the served snapshot. In-flight frames finish
   /// against the snapshot they started with; new frames see `snap`.
-  /// Replacing an existing snapshot counts as a reload.
+  /// Replacing an existing snapshot counts as a reload. In store mode this
+  /// publishes the *live head*: a query whose date matches the published
+  /// snapshot's date is answered from it directly, ahead of the store —
+  /// how a streaming follower keeps "today" current between compactions
+  /// while history still resolves through the store.
   void publish(std::shared_ptr<const Snapshot> snap);
+
+  /// Attach the live-follow handler (null detaches). Without one, subscribe
+  /// frames answer kError. Call before serving or between frames; the
+  /// pointer must outlive the server's serving threads.
+  void set_stream_feed(StreamFeed* feed) {
+    stream_feed_.store(feed, std::memory_order_release);
+  }
 
   /// The currently served snapshot (null before the first publish).
   std::shared_ptr<const Snapshot> snapshot() const;
@@ -118,6 +141,7 @@ class Server : public Service {
   mutable std::mutex snapshot_mu_;
   std::shared_ptr<const Snapshot> snapshot_;
   SnapshotStore* store_ = nullptr;
+  std::atomic<StreamFeed*> stream_feed_{nullptr};
   util::ThreadPool* pool_;
   /// Highest snapshot version served in store mode — what the stats op's
   /// snapshot_version field reports there.

@@ -298,6 +298,66 @@ TEST(Rtr, StaleSerialTriggersCacheResetAndResync) {
   EXPECT_EQ(client.table_size(), 2u);
 }
 
+TEST(Rtr, SerialLtIsRfc1982Comparison) {
+  EXPECT_TRUE(serial_lt(5, 6));
+  EXPECT_FALSE(serial_lt(6, 5));
+  EXPECT_FALSE(serial_lt(7, 7));
+  // Across the wraparound: 0xffffffff precedes 0, 0 precedes 1.
+  EXPECT_TRUE(serial_lt(0xffffffffu, 0));
+  EXPECT_FALSE(serial_lt(0, 0xffffffffu));
+  EXPECT_TRUE(serial_lt(0xfffffff0u, 0x10));
+  // Half the space forward is "greater"; past half it flips sign.
+  EXPECT_TRUE(serial_lt(0, 0x7fffffffu));
+  EXPECT_FALSE(serial_lt(0, 0x80000001u));
+}
+
+// The regression pinned by serial_lt: a cache whose serial wraps past 2^32
+// must keep serving incremental diffs to a router holding a pre-wrap
+// serial. With plain `<` the cache would read the router's 0xffffffff as
+// "from the future" and answer Cache Reset — a gratuitous full resync of
+// every client at the wrap.
+TEST(Rtr, SerialQuerySurvivesWraparound) {
+  RtrServer server(11, 0xfffffffeu);
+  Vrp a{net::Prefix::parse("10.0.0.0/16"), 16, net::Asn(1)};
+  Vrp b{net::Prefix::parse("11.0.0.0/16"), 16, net::Asn(2)};
+  Vrp c{net::Prefix::parse("12.0.0.0/16"), 16, net::Asn(3)};
+  EXPECT_EQ(server.update({a}), 0xffffffffu);
+
+  RtrClient client;
+  client.consume(server.handle(parse_pdus(client.poll())[0]));
+  ASSERT_EQ(client.table_size(), 1u);
+  ASSERT_EQ(*client.serial(), 0xffffffffu);
+
+  // The next update wraps the cache serial to 0. The client's serial query
+  // carries 0xffffffff and must get the incremental diff, not a reset.
+  EXPECT_EQ(server.update({a, b}), 0u);
+  client.consume(server.handle(parse_pdus(client.poll())[0]));
+  EXPECT_FALSE(client.needs_resync());
+  EXPECT_EQ(client.table_size(), 2u);
+  EXPECT_EQ(*client.serial(), 0u);
+  EXPECT_EQ(client.validate(net::Prefix::parse("11.0.0.0/16"), net::Asn(2)),
+            Validity::kValid);
+
+  // And again on the far side of the wrap.
+  EXPECT_EQ(server.update({b, c}), 1u);
+  client.consume(server.handle(parse_pdus(client.poll())[0]));
+  EXPECT_FALSE(client.needs_resync());
+  EXPECT_EQ(client.table_size(), 2u);
+  EXPECT_EQ(*client.serial(), 1u);
+  EXPECT_EQ(client.validate(net::Prefix::parse("10.0.0.0/16"), net::Asn(1)),
+            Validity::kNotFound);  // withdrawn across the wrap
+
+  // A pre-wrap serial whose diff chain is gone still resets cleanly.
+  Pdu ancient;
+  ancient.type = PduType::kSerialQuery;
+  ancient.session_id = 11;
+  ancient.serial = 0xfffffff0u;
+  client.consume(server.handle(ancient));
+  EXPECT_TRUE(client.needs_resync());
+  client.consume(server.handle(parse_pdus(client.poll())[0]));
+  EXPECT_EQ(client.table_size(), 2u);
+}
+
 TEST(Rtr, ValidateMatchesArchiveSemantics) {
   RoaArchive archive;
   net::Date d = D("2021-01-01");
