@@ -6,6 +6,12 @@
 // each, plus the contended case and page rendering, so a regression in the
 // hot path shows up as a number — EXPERIMENTS.md records the baseline.
 //
+// The SpanContext rows price the request flight recorder's ladder: an inert
+// context (recorder absent), the parked-resume shape the epoll transport
+// uses (begin, stage, move across a callback boundary, stage, finish) with
+// the recorder armed at the production 1/1024 sampling, and the full-capture
+// worst case (every request sampled into the recent ring).
+//
 //   $ ./bench_perf_obs [--ops=N] [--threads=N]
 #include <chrono>
 #include <cstdint>
@@ -13,8 +19,10 @@
 #include <iostream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
@@ -82,6 +90,49 @@ int main(int argc, char** argv) {
           obs::Span span("bench");
           keep(span);
         }));
+  }
+
+  // The flight recorder's per-request ladder. "parked resume" replays the
+  // epoll transport's lifecycle: begin on accept, mark a stage, MOVE the
+  // context (park it on the connection object, resume in a later callback),
+  // mark another stage, finish. Armed-but-unsampled is the production
+  // steady state (1/1024); sample_period=1 is the full-capture worst case
+  // (ring push + exemplar stamp under the op mutex on every request).
+  row("span-context  (inert: no recorder)", ns_per_op(ops, [] {
+        obs::SpanContext ctx;
+        ctx.stage("read");
+        ctx.stage("serve");
+        ctx.finish("ok");
+        keep(ctx);
+      }));
+  {
+    obs::FlightRecorder::Options armed;
+    armed.sample_period = 1024;
+    obs::FlightRecorder recorder(armed);
+    const uint16_t op = recorder.op_class("bench");
+    row("span-context  (parked resume, armed 1/1024)",
+        ns_per_op(ops / 50, [&recorder, op] {
+          obs::SpanContext ctx = recorder.begin(op);
+          ctx.stage("read");
+          obs::SpanContext resumed = std::move(ctx);  // park → resume
+          resumed.stage("serve");
+          resumed.finish("ok");
+        }));
+    keep(recorder.finished());
+  }
+  {
+    obs::FlightRecorder::Options every;
+    every.sample_period = 1;
+    obs::FlightRecorder recorder(every);
+    const uint16_t op = recorder.op_class("bench");
+    row("span-context  (full capture, sampled 1/1)",
+        ns_per_op(ops / 50, [&recorder, op] {
+          obs::SpanContext ctx = recorder.begin(op);
+          ctx.stage("read");
+          ctx.stage("serve");
+          ctx.finish("ok");
+        }));
+    keep(recorder.finished());
   }
 
   {

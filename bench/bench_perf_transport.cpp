@@ -32,10 +32,12 @@
 #include <iostream>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "svc/epoll_transport.hpp"
 #include "svc/transport.hpp"
 #include "util/text_table.hpp"
@@ -279,5 +281,69 @@ int main(int argc, char** argv) {
             << ",\"churn_cycles\":" << churn_cycles.load()
             << ",\"roundtrips\":" << roundtrips << ",\"p50_us\":" << pct(0.50)
             << ",\"p99_us\":" << pct(0.99) << "}\n";
+
+  // Overhead gate: with the flight recorder armed at the production 1/1024
+  // sampling, the epoll edge's roundtrip cost must stay within 3% of the
+  // untraced transport. Each measurement builds a fresh server (the
+  // TraceBinding resolves the installed recorder at construction) and times
+  // a fixed count of synchronous roundtrips; best-of-3 interleaved trials
+  // keep scheduler noise out of a 3% comparison.
+  {
+    constexpr double kBudgetPct = 3.0;
+    constexpr uint64_t kWarmup = 500;
+    constexpr uint64_t kIters = 20'000;
+    bool gate_diverged = false;
+    auto roundtrip_ns = [&gate_diverged](bool armed) -> double {
+      obs::FlightRecorder::Options armed_options;
+      armed_options.sample_period = 1024;
+      obs::FlightRecorder recorder(armed_options);
+      std::optional<obs::ScopedFlightRecorder> scoped;
+      if (armed) scoped.emplace(recorder);
+      PingService gate_service;
+      svc::TransportOptions gate_options;
+      gate_options.name = "gate";
+      gate_options.event_threads = 2;
+      svc::EpollServer gate_server(gate_service, gate_options);
+      svc::TcpClientConnection conn(
+          "127.0.0.1", gate_server.port(), [](std::string_view b) {
+            size_t pos = b.find('\n');
+            return pos == std::string_view::npos ? size_t{0} : pos + 1;
+          });
+      const std::string request = "ping gate\n";
+      const std::string expected = "pong:ping gate\n";
+      for (uint64_t n = 0; n < kWarmup; ++n) {
+        if (conn.roundtrip(request) != expected) gate_diverged = true;
+      }
+      const uint64_t begin = now_ns();
+      for (uint64_t n = 0; n < kIters; ++n) {
+        if (conn.roundtrip(request) != expected) gate_diverged = true;
+      }
+      const double ns = static_cast<double>(now_ns() - begin) /
+                        static_cast<double>(kIters);
+      gate_server.stop();
+      return ns;
+    };
+    double base_ns = std::numeric_limits<double>::max();
+    double armed_ns = std::numeric_limits<double>::max();
+    for (int trial = 0; trial < 3; ++trial) {
+      base_ns = std::min(base_ns, roundtrip_ns(false));
+      armed_ns = std::min(armed_ns, roundtrip_ns(true));
+    }
+    const double overhead_pct = (armed_ns - base_ns) / base_ns * 100.0;
+    std::cout << "overhead gate: recorder armed at 1/1024, epoll roundtrips\n"
+              << "  untraced  " << base_ns / 1000.0 << " us/roundtrip\n"
+              << "  traced    " << armed_ns / 1000.0 << " us/roundtrip\n"
+              << "  overhead  " << overhead_pct << "%  (budget "
+              << kBudgetPct << "%)\n";
+    if (gate_diverged) {
+      std::cerr << "FATAL: a gate roundtrip diverged\n";
+      return 1;
+    }
+    if (overhead_pct > kBudgetPct) {
+      std::cerr << "FATAL: recorder overhead " << overhead_pct
+                << "% exceeds the " << kBudgetPct << "% budget\n";
+      return 1;
+    }
+  }
   return 0;
 }

@@ -10,14 +10,23 @@
 // down cleanly.
 //
 //   $ ./droplensd [--small] [--seed=N] [--port=P] [--whois-port=P]
-//                 [--metrics-port=P] [--threads=N] [--date-offset=DAYS]
+//                 [--admin-port=P] [--threads=N] [--date-offset=DAYS]
 //                 [--snapshot-dir=PATH] [--max-resident=N]
 //                 [--transport=epoll|threads] [--max-conns=N]
 //                 [--idle-timeout-ms=MS] [--max-inflight=N]
 //                 [--follow[=DAYS_PER_SEC]] [--compact-every=DAYS]
+//                 [--log-level=debug|info|warn|error]
+//                 [--log-format=logfmt|json]
 //
 // Then, from another terminal:  printf '!gAS64500\n' | nc 127.0.0.1 4343
-// With --metrics-port=P:        curl http://127.0.0.1:P/metrics
+// With --admin-port=P (or its old spelling --metrics-port=P), the admin
+// plane serves the operator's view over plain HTTP:
+//   curl http://127.0.0.1:P/metrics    Prometheus exposition (+ exemplars)
+//   curl http://127.0.0.1:P/healthz    200 ok / 503 with per-check reasons
+//   curl http://127.0.0.1:P/statusz    build, uptime, fds, store + stream
+//   curl http://127.0.0.1:P/tracez     recent sampled request traces
+//   curl http://127.0.0.1:P/slowz      slowest requests with stage splits
+//   curl http://127.0.0.1:P/logz       recent log records + suppression
 //
 // The serving edge defaults to the hardened epoll transport (a fixed pool
 // of event threads; see svc/epoll_transport.hpp) — --transport=threads
@@ -25,8 +34,8 @@
 // connections per listener (excess accepts get a typed overload reply),
 // --idle-timeout-ms bounds quiet connections (slowloris drips included),
 // and --max-inflight turns on load shedding: bulk ops shed first, queries
-// next, stats/metrics last, so observability survives overload. All three
-// fronts (binary, whois, metrics HTTP) share the same limits; every limit,
+// next, stats/admin last, so observability survives overload. All three
+// fronts (binary, whois, admin HTTP) share the same limits; every limit,
 // shed, and disconnect reason is a droplens_transport_* metric.
 //
 // With --follow the daemon goes live: a follower thread lowers the world
@@ -49,7 +58,6 @@
 // two artifacts ever share one.
 #include <csignal>
 #include <cstring>
-#include <iostream>
 #include <memory>
 #include <string>
 #include <thread>
@@ -58,12 +66,14 @@
 #include "core/drop_index.hpp"
 #include "core/snapshot_cache.hpp"
 #include "irr/whois.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
 #include "obs/metrics.hpp"
 #include "sim/event_replayer.hpp"
 #include "sim/generator.hpp"
 #include "stream/publisher.hpp"
+#include "svc/admin_http.hpp"
 #include "svc/epoll_transport.hpp"
-#include "svc/metrics_http.hpp"
 #include "svc/server.hpp"
 #include "svc/snapshot.hpp"
 #include "svc/snapshot_store.hpp"
@@ -102,6 +112,7 @@ int main(int argc, char** argv) {
   bool follow = false;
   double follow_rate = 50.0;
   int compact_every = 7;
+  obs::Logger::Options log_options;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--small") == 0) small = true;
     if (std::strncmp(argv[i], "--seed=", 7) == 0) {
@@ -116,6 +127,26 @@ int main(int argc, char** argv) {
     if (std::strncmp(argv[i], "--metrics-port=", 15) == 0) {
       metrics = true;
       metrics_port = static_cast<uint16_t>(std::stoul(argv[i] + 15));
+    }
+    if (std::strncmp(argv[i], "--admin-port=", 13) == 0) {
+      metrics = true;
+      metrics_port = static_cast<uint16_t>(std::stoul(argv[i] + 13));
+    }
+    if (std::strncmp(argv[i], "--log-level=", 12) == 0) {
+      if (auto level = obs::parse_log_level(argv[i] + 12)) {
+        log_options.level = *level;
+      } else {
+        DLOG_ERROR("unknown --log-level", {{"value", argv[i] + 12}});
+        return 2;
+      }
+    }
+    if (std::strncmp(argv[i], "--log-format=", 13) == 0) {
+      if (auto format = obs::parse_log_format(argv[i] + 13)) {
+        log_options.format = *format;
+      } else {
+        DLOG_ERROR("unknown --log-format", {{"value", argv[i] + 13}});
+        return 2;
+      }
     }
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       threads = static_cast<unsigned>(std::stoul(argv[i] + 10));
@@ -155,7 +186,7 @@ int main(int argc, char** argv) {
   try {
     transport_kind = svc::parse_transport_kind(transport);
   } catch (const std::exception& e) {
-    std::cerr << "droplensd: " << e.what() << "\n";
+    DLOG_ERROR(e.what());
     return 2;
   }
 
@@ -166,11 +197,21 @@ int main(int argc, char** argv) {
   obs::Registry registry;
   obs::ScopedRegistry scoped_registry(registry);
 
+  // The structured logger replaces raw stderr writes, and the flight
+  // recorder arms request tracing. Both install before any TraceBinding or
+  // log site resolves them: the transports, the publisher, and every DLOG_*
+  // from here on bind to these instances.
+  obs::Logger logger(log_options);
+  obs::install_logger(&logger);
+  obs::FlightRecorder recorder;
+  obs::ScopedFlightRecorder scoped_recorder(recorder);
+
   sim::ScenarioConfig config =
       small ? sim::ScenarioConfig::small() : sim::ScenarioConfig{};
   if (seed) config.seed = seed;
-  std::cerr << "droplensd: generating " << (small ? "small" : "paper-scale")
-            << " world...\n";
+  DLOG_INFO("generating world",
+            {{"scale", small ? "small" : "paper-scale"},
+             {"seed", std::to_string(config.seed)}});
   auto world = sim::generate(config);
 
   util::ThreadPool pool(threads);
@@ -203,8 +244,8 @@ int main(int argc, char** argv) {
   svc::SnapshotStore store(store_config, &study, &index);
   store.get(date);  // warm the default serving date eagerly
   if (store.stats().loads > 0) {
-    std::cerr << "droplensd: mmap-loaded snapshot from "
-              << store.path_for(date) << " (no recompile)\n";
+    DLOG_INFO("mmap-loaded snapshot (no recompile)",
+              {{"path", store.path_for(date)}});
   }
   svc::Server server(store, &pool);
   // The three fronts share one robustness posture: same cap, same idle
@@ -247,10 +288,12 @@ int main(int argc, char** argv) {
         publisher->ingest(events[i]);
         ++i;
       }
-      std::cerr << "droplensd: follower fast-forwarded " << i
-                << " pre-window events; pacing "
-                << (config.window_end.days() - config.window_begin.days() + 1)
-                << " window days at " << follow_rate << " days/s\n";
+      DLOG_INFO("follower fast-forwarded pre-window history",
+                {{"events", std::to_string(i)},
+                 {"window_days",
+                  std::to_string(config.window_end.days() -
+                                 config.window_begin.days() + 1)},
+                 {"days_per_sec", std::to_string(follow_rate)}});
       // Live-head versions live far above the store's monotonic counter so
       // the two artifact streams never collide.
       uint64_t version = uint64_t{1} << 62;
@@ -272,9 +315,10 @@ int main(int argc, char** argv) {
               std::chrono::duration<double>(1.0 / follow_rate));
         }
       }
-      std::cerr << "droplensd: follower done — " << publisher->head()
-                << " events ingested, " << publisher->monitor().alarms().size()
-                << " alarms raised\n";
+      DLOG_INFO("follower done",
+                {{"events", std::to_string(publisher->head())},
+                 {"alarms",
+                  std::to_string(publisher->monitor().alarms().size())}});
     });
   }
 
@@ -283,60 +327,123 @@ int main(int argc, char** argv) {
   std::unique_ptr<svc::TransportServer> whois_tcp = svc::make_transport_server(
       transport_kind, whois_service, front_options("whois", whois_port));
 
-  svc::MetricsHttpService metrics_service(registry);
+  // The admin plane: /metrics plus health, status, traces, and logs, all
+  // reading the same objects the daemon serves with — the /healthz checks
+  // and the ingest-lag gauge share one source of truth with the scrape.
+  svc::AdminHttpService::Options admin_options;
+  admin_options.registry = &registry;
+  admin_options.exemplars = &recorder;
+  admin_options.recorder = &recorder;
+  admin_options.logger = &logger;
+  admin_options.build_info = "droplensd (" __VERSION__ ")";
+  svc::AdminHttpService admin_service(admin_options);
+  admin_service.add_health_check("store", [&store] {
+    return store.resident_count() > 0
+               ? std::nullopt
+               : std::optional<std::string>("no resident days");
+  });
+  if (follow) {
+    stream::Publisher* pub = publisher.get();
+    admin_service.add_refresh_hook([pub] { pub->refresh_ingest_lag_gauge(); });
+    admin_service.add_health_check("stream", [pub] {
+      const double lag = pub->ingest_lag_seconds();
+      return lag <= 60.0 ? std::nullopt
+                         : std::optional<std::string>(
+                               "ingest stalled for " +
+                               std::to_string(static_cast<long>(lag)) + "s");
+    });
+  }
+  admin_service.add_status_section("store", [&store, &snapshot_dir] {
+    const svc::SnapshotStore::Stats s = store.stats();
+    std::string body;
+    body += "resident_days " + std::to_string(store.resident_count()) + "\n";
+    body += "on_disk_days " +
+            std::to_string(snapshot_dir.empty() ? 0 : store.on_disk().size()) +
+            "\n";
+    body += "loads " + std::to_string(s.loads) + "\n";
+    body += "delta_loads " + std::to_string(s.delta_loads) + "\n";
+    body += "compiles " + std::to_string(s.compiles) + "\n";
+    body += "evictions " + std::to_string(s.evictions) + "\n";
+    return body;
+  });
+  admin_service.add_status_section("serving", [&server, &config] {
+    const svc::ServerStats s = server.stats();
+    std::string body;
+    body += "window " + config.window_begin.to_string() + ".." +
+            config.window_end.to_string() + "\n";
+    body += "requests " + std::to_string(s.requests) + "\n";
+    body += "queries " + std::to_string(s.queries) + "\n";
+    body += "malformed " + std::to_string(s.malformed) + "\n";
+    return body;
+  });
+  if (follow) {
+    stream::Publisher* pub = publisher.get();
+    admin_service.add_status_section("stream", [pub] {
+      std::string body;
+      body += "head_seq " + std::to_string(pub->head()) + "\n";
+      body += "alarms " + std::to_string(pub->monitor().alarms().size()) +
+              "\n";
+      body += "ingest_lag_seconds " +
+              std::to_string(pub->ingest_lag_seconds()) + "\n";
+      return body;
+    });
+  }
   std::unique_ptr<svc::TransportServer> metrics_tcp;
   if (metrics) {
     metrics_tcp = svc::make_transport_server(
-        transport_kind, metrics_service, front_options("metrics",
-                                                       metrics_port));
+        transport_kind, admin_service, front_options("admin", metrics_port));
   }
 
   std::signal(SIGHUP, on_sighup);
   std::signal(SIGINT, on_sigterm);
   std::signal(SIGTERM, on_sigterm);
 
-  std::cerr << "droplensd: serving window "
-            << config.window_begin.to_string() << ".."
-            << config.window_end.to_string() << " (warm date "
-            << date.to_string()
-            << ") — binary protocol on 127.0.0.1:" << query_tcp->port()
-            << ", whois on 127.0.0.1:" << whois_tcp->port() << " ("
-            << pool.concurrency() << " engine threads, max "
-            << max_resident << " resident days)\n";
-  std::cerr << "droplensd: " << transport << " transport; max-conns="
-            << max_conns << " idle-timeout-ms=" << idle_timeout_ms
-            << " max-inflight=" << max_inflight << " (0 = unlimited)\n";
+  DLOG_INFO("serving",
+            {{"window", config.window_begin.to_string() + ".." +
+                            config.window_end.to_string()},
+             {"warm_date", date.to_string()},
+             {"query_port", std::to_string(query_tcp->port())},
+             {"whois_port", std::to_string(whois_tcp->port())},
+             {"engine_threads", std::to_string(pool.concurrency())},
+             {"max_resident", std::to_string(max_resident)}});
+  DLOG_INFO("transport limits (0 = unlimited)",
+            {{"transport", transport},
+             {"max_conns", std::to_string(max_conns)},
+             {"idle_timeout_ms", std::to_string(idle_timeout_ms)},
+             {"max_inflight", std::to_string(max_inflight)}});
   if (metrics_tcp) {
-    std::cerr << "droplensd: Prometheus metrics on http://127.0.0.1:"
-              << metrics_tcp->port() << "/metrics\n";
+    DLOG_INFO("admin plane up",
+              {{"url", "http://127.0.0.1:" + std::to_string(
+                           metrics_tcp->port()) + "/"}});
   }
-  std::cerr << "droplensd: SIGHUP rescans the snapshot directory; "
-               "SIGINT stops\n";
+  DLOG_INFO("SIGHUP rescans the snapshot directory; SIGINT stops");
 
   while (!g_stop) {
     if (g_reload) {
       g_reload = 0;
-      std::cerr << "droplensd: rescanning snapshot directory...\n";
+      DLOG_INFO("rescanning snapshot directory");
       // Incremental: days whose files are byte-identical (size+mtime) stay
       // resident; changed or deleted days re-materialize on next query.
       const size_t before = store.resident_count();
       store.rescan();
       const size_t kept = store.resident_count();
       quality.export_metrics(registry, window_days);
-      std::cerr << "droplensd: rescan kept " << kept << "/" << before
-                << " resident days\n";
+      DLOG_INFO("rescan done", {{"kept", std::to_string(kept)},
+                                {"of", std::to_string(before)}});
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
   }
 
-  std::cerr << "droplensd: shutting down\n";
+  DLOG_INFO("shutting down");
   if (follower.joinable()) follower.join();
   query_tcp->stop();
   whois_tcp->stop();
   if (metrics_tcp) metrics_tcp->stop();
   svc::ServerStats stats = server.stats();
-  std::cerr << "droplensd: served " << stats.requests << " frames ("
-            << stats.queries << " lookups, " << stats.malformed
-            << " malformed, " << stats.reloads << " reloads)\n";
+  DLOG_INFO("served", {{"frames", std::to_string(stats.requests)},
+                       {"lookups", std::to_string(stats.queries)},
+                       {"malformed", std::to_string(stats.malformed)},
+                       {"reloads", std::to_string(stats.reloads)}});
+  obs::install_logger(nullptr);
   return 0;
 }

@@ -24,6 +24,7 @@
 #include <cstring>
 #include <iostream>
 #include <optional>
+#include <sstream>
 #include <string>
 #include <utility>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "core/data_quality.hpp"
 #include "core/report.hpp"
 #include "drop/feed.hpp"
+#include "obs/log.hpp"
 #include "obs/trace.hpp"
 #include "sim/fault_injector.hpp"
 #include "sim/generator.hpp"
@@ -51,8 +53,10 @@ int main(int argc, char** argv) {
     char* end = nullptr;
     unsigned long v = std::strtoul(arg + prefix, &end, 10);
     if (end == arg + prefix || *end != '\0' || v > max) {
-      std::cerr << "error: " << flag << " expects an integer in 0.." << max
-                << " (got '" << (arg + prefix) << "')\n";
+      DLOG_ERROR("flag expects an integer",
+                 {{"flag", flag},
+                  {"max", std::to_string(max)},
+                  {"got", arg + prefix}});
       return false;
     }
     *out = v;
@@ -113,19 +117,24 @@ int main(int argc, char** argv) {
         quality.note_input(core::Feed::kDropFeed, report);
       }
     } catch (const ParseError& e) {
-      std::cerr << "strict ingestion aborted: " << e.what()
-                << "\n(rerun with --lenient to skip-and-count instead)\n";
+      DLOG_ERROR(
+          "strict ingestion aborted (rerun with --lenient to "
+          "skip-and-count instead)",
+          {{"reason", e.what()}});
       return 1;
     }
     for (net::Date d : dropped) {
       quality.mark_day_unavailable(core::Feed::kDropFeed, d);
     }
     rebuilt = drop::from_daily_feeds(days);
-    std::cerr << "DROP archive replay: " << archive.size() << " days, "
-              << quality.report(core::Feed::kDropFeed).parsed()
-              << " records, "
-              << quality.report(core::Feed::kDropFeed).skipped()
-              << " skipped, " << dropped.size() << " days dropped\n";
+    DLOG_INFO(
+        "DROP archive replay",
+        {{"days", std::to_string(archive.size())},
+         {"records",
+          std::to_string(quality.report(core::Feed::kDropFeed).parsed())},
+         {"skipped",
+          std::to_string(quality.report(core::Feed::kDropFeed).skipped())},
+         {"days_dropped", std::to_string(dropped.size())}});
   }
 
   core::Study study{world->registry, world->fleet,  world->irr,
@@ -139,8 +148,13 @@ int main(int argc, char** argv) {
       obs::ScopedTracer scoped(tracer);
       core::write_report(std::cout, study, options);
     }
-    std::cerr << "--- span trace (" << tracer.submitted() << " roots) ---\n";
-    tracer.render(std::cerr);
+    // The tree goes out as one record (newlines escape in both formats);
+    // a per-line record would trip the per-site rate limiter mid-dump.
+    std::ostringstream tree;
+    tracer.render(tree);
+    DLOG_INFO("span trace",
+              {{"roots", std::to_string(tracer.submitted())},
+               {"tree", tree.str()}});
   } else {
     core::write_report(std::cout, study, options);
   }

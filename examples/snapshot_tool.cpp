@@ -47,6 +47,7 @@
 #include "core/drop_index.hpp"
 #include "core/snapshot_cache.hpp"
 #include "core/study.hpp"
+#include "obs/log.hpp"
 #include "sim/generator.hpp"
 #include "stream/snapshot_diff.hpp"
 #include "svc/snapshot.hpp"
@@ -59,14 +60,11 @@ using namespace droplens;
 namespace {
 
 int usage() {
-  std::cerr << "usage: snapshot_tool compile --dir=DIR [--small] [--seed=N]\n"
-               "                     [--threads=N] [--start=OFFSET]\n"
-               "                     [--days=N] [--stride=DAYS]\n"
-               "       snapshot_tool delta --dir=DIR [--keyframe-every=K]\n"
-               "       snapshot_tool expand --dir=DIR\n"
-               "       snapshot_tool inspect FILE...\n"
-               "       snapshot_tool verify FILE...\n"
-               "       snapshot_tool diff A.dls B.dls [--quiet]\n";
+  DLOG_ERROR(
+      "usage: snapshot_tool compile --dir=DIR [--small] [--seed=N] "
+      "[--threads=N] [--start=OFFSET] [--days=N] [--stride=DAYS] | "
+      "delta --dir=DIR [--keyframe-every=K] | expand --dir=DIR | "
+      "inspect FILE... | verify FILE... | diff A.dls B.dls [--quiet]");
   return 2;
 }
 
@@ -106,8 +104,8 @@ int run_compile(int argc, char** argv) {
   sim::ScenarioConfig config =
       small ? sim::ScenarioConfig::small() : sim::ScenarioConfig{};
   if (seed) config.seed = seed;
-  std::cerr << "snapshot_tool: generating " << (small ? "small" : "paper-scale")
-            << " world...\n";
+  DLOG_INFO("generating world",
+            {{"scale", small ? "small" : "paper-scale"}});
   auto world = sim::generate(config);
   util::ThreadPool pool(threads);
   core::SnapshotCache cache(world->registry, world->fleet, world->roas,
@@ -131,9 +129,10 @@ int run_compile(int argc, char** argv) {
               << unsigned(snap->degraded()) << std::dec << "\n";
   }
   svc::SnapshotStore::Stats stats = store.stats();
-  std::cerr << "snapshot_tool: " << stats.compiles << " compiled, "
-            << stats.saves << " saved, " << stats.loads
-            << " already on disk\n";
+  DLOG_INFO("compile done",
+            {{"compiled", std::to_string(stats.compiles)},
+             {"saved", std::to_string(stats.saves)},
+             {"already_on_disk", std::to_string(stats.loads)}});
   return 0;
 }
 
@@ -158,7 +157,7 @@ int run_delta(int argc, char** argv) {
   svc::SnapshotStore store(store_config);
   std::vector<net::Date> dates = store.on_disk();
   if (dates.empty()) {
-    std::cerr << "snapshot_tool: no .dls files in " << dir << "\n";
+    DLOG_ERROR("no .dls files in directory", {{"dir", dir}});
     return 1;
   }
   uint64_t bytes_before = 0;
@@ -179,12 +178,15 @@ int run_delta(int argc, char** argv) {
     bytes_after += file_bytes(path);
     prev = std::move(snap);
   }
-  std::cerr << "snapshot_tool: re-encoded " << dates.size() << " files, "
-            << bytes_before << " -> " << bytes_after << " bytes ("
-            << (bytes_after ? static_cast<double>(bytes_before) /
-                                  static_cast<double>(bytes_after)
-                            : 0.0)
-            << "x smaller)\n";
+  DLOG_INFO("re-encoded directory as delta chains",
+            {{"files", std::to_string(dates.size())},
+             {"bytes_before", std::to_string(bytes_before)},
+             {"bytes_after", std::to_string(bytes_after)},
+             {"ratio",
+              std::to_string(bytes_after
+                                 ? static_cast<double>(bytes_before) /
+                                       static_cast<double>(bytes_after)
+                                 : 0.0)}});
   return 0;
 }
 
@@ -219,8 +221,8 @@ int run_expand(int argc, char** argv) {
       ++failures;
     }
   }
-  std::cerr << "snapshot_tool: expanded " << expanded
-            << " delta files to keyframes\n";
+  DLOG_INFO("expanded delta files to keyframes",
+            {{"expanded", std::to_string(expanded)}});
   return failures ? 1 : 0;
 }
 
@@ -364,8 +366,9 @@ int run_diff(int argc, char** argv) {
     a = load_any(files[0]);
     b = load_any(files[1]);
   } catch (const svc::SnapshotFormatError& e) {
-    std::cerr << "snapshot_tool: REJECTED [" << to_string(e.code()) << "] "
-              << e.what() << "\n";
+    DLOG_ERROR("snapshot rejected",
+               {{"code", std::string(to_string(e.code()))},
+                {"reason", e.what()}});
     return 1;
   }
 
@@ -373,20 +376,22 @@ int run_diff(int argc, char** argv) {
   if (!quiet) {
     for (const stream::Event& e : events) std::cout << e.to_string() << "\n";
   }
-  std::cerr << "snapshot_tool: " << events.size() << " events transform "
-            << a->date().to_string() << " into " << b->date().to_string()
-            << "\n";
+  DLOG_INFO("diff computed",
+            {{"events", std::to_string(events.size())},
+             {"from", a->date().to_string()},
+             {"to", b->date().to_string()}});
 
   // Round-trip: the emitted sequence must actually reproduce B from A.
   svc::Snapshot rebuilt =
       stream::apply_diff(*a, events, b->date(), b->version());
   if (!stream::snapshots_equal(rebuilt, *b)) {
-    std::cerr << "snapshot_tool: round-trip FAILED — replayed diff does not "
-                 "reproduce the target snapshot\n";
+    DLOG_ERROR(
+        "round-trip FAILED — replayed diff does not reproduce the target "
+        "snapshot");
     return 1;
   }
-  std::cerr << "snapshot_tool: round-trip OK (replayed diff reproduces "
-            << files[1] << ")\n";
+  DLOG_INFO("round-trip OK (replayed diff reproduces target)",
+            {{"target", files[1]}});
   return 0;
 }
 

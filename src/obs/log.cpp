@@ -1,0 +1,319 @@
+#include "obs/log.hpp"
+
+#include <time.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace droplens::obs {
+
+namespace {
+
+std::atomic<Logger*> g_logger{nullptr};
+
+uint64_t realtime_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000u +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+/// RFC 3339 UTC with millisecond precision: 2026-08-08T12:34:56.789Z.
+void append_timestamp(std::string& out, uint64_t unix_ns) {
+  const time_t secs = static_cast<time_t>(unix_ns / 1'000'000'000u);
+  const unsigned millis =
+      static_cast<unsigned>((unix_ns / 1'000'000u) % 1000u);
+  tm parts{};
+  gmtime_r(&secs, &parts);
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03uZ",
+                parts.tm_year + 1900, parts.tm_mon + 1, parts.tm_mday,
+                parts.tm_hour, parts.tm_min, parts.tm_sec, millis);
+  out += buf;
+}
+
+/// basename(file): sites render as "droplensd.cpp:91", not a build path.
+const char* site_basename(const char* file) {
+  const char* slash = std::strrchr(file, '/');
+  return slash ? slash + 1 : file;
+}
+
+bool logfmt_needs_quotes(std::string_view v) {
+  if (v.empty()) return true;
+  for (char c : v) {
+    if (c == ' ' || c == '"' || c == '=' || c == '\\' || c == '\n') {
+      return true;
+    }
+  }
+  return false;
+}
+
+void append_logfmt_value(std::string& out, std::string_view v) {
+  if (!logfmt_needs_quotes(v)) {
+    out += v;
+    return;
+  }
+  out += '"';
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += '"';
+}
+
+void append_json_string(std::string& out, std::string_view v) {
+  out += '"';
+  for (char c : v) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string format_record(LogFormat format, uint64_t unix_ns, LogLevel level,
+                          const LogSite& site, std::string_view msg,
+                          const LogFields& fields, uint64_t suppressed) {
+  std::string out;
+  char site_buf[64];
+  std::snprintf(site_buf, sizeof(site_buf), "%s:%d",
+                site_basename(site.file), site.line);
+  if (format == LogFormat::kLogfmt) {
+    out += "ts=";
+    append_timestamp(out, unix_ns);
+    out += " level=";
+    out += log_level_name(level);
+    out += " site=";
+    out += site_buf;
+    out += " msg=";
+    append_logfmt_value(out, msg);
+    for (const auto& [key, value] : fields) {
+      out += ' ';
+      out += key;
+      out += '=';
+      append_logfmt_value(out, value);
+    }
+    if (suppressed > 0) {
+      out += " suppressed=";
+      out += std::to_string(suppressed);
+    }
+  } else {
+    out += "{\"ts\":\"";
+    append_timestamp(out, unix_ns);
+    out += "\",\"level\":\"";
+    out += log_level_name(level);
+    out += "\",\"site\":\"";
+    out += site_buf;
+    out += "\",\"msg\":";
+    append_json_string(out, msg);
+    for (const auto& [key, value] : fields) {
+      out += ',';
+      append_json_string(out, key);
+      out += ':';
+      append_json_string(out, value);
+    }
+    if (suppressed > 0) {
+      out += ",\"suppressed\":";
+      out += std::to_string(suppressed);
+    }
+    out += '}';
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "info";
+}
+
+std::optional<LogLevel> parse_log_level(std::string_view s) {
+  if (s == "debug") return LogLevel::kDebug;
+  if (s == "info") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning") return LogLevel::kWarn;
+  if (s == "error") return LogLevel::kError;
+  return std::nullopt;
+}
+
+std::optional<LogFormat> parse_log_format(std::string_view s) {
+  if (s == "logfmt") return LogFormat::kLogfmt;
+  if (s == "json") return LogFormat::kJson;
+  return std::nullopt;
+}
+
+Logger::Logger(Options options)
+    : options_(options),
+      level_(static_cast<uint8_t>(options.level)),
+      format_(options.format) {
+  ring_.reserve(options_.ring_capacity);
+  for (int i = 0; i < 4; ++i) {
+    emitted_by_level_[i] = obs::counter(
+        "droplens_log_records_total",
+        {{"level", log_level_name(static_cast<LogLevel>(i))}},
+        "Log records emitted, by level");
+  }
+  suppressed_total_ =
+      obs::counter("droplens_log_suppressed_total", {},
+                   "Log records dropped by per-site rate limiting");
+}
+
+uint64_t Logger::now_ns() const {
+  std::function<uint64_t()> clock;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    clock = clock_;
+  }
+  return clock ? clock() : realtime_ns();
+}
+
+bool Logger::admit(LogSite& site, uint64_t now,
+                   uint64_t* suppressed_before) const {
+  *suppressed_before = 0;
+  const uint64_t interval = options_.site_interval_ns;
+  if (interval == 0) {
+    *suppressed_before = site.suppressed.exchange(0, std::memory_order_relaxed);
+    return true;
+  }
+  // GCRA: each record advances the theoretical arrival time by one
+  // interval; a site may run ahead of real time by at most burst intervals.
+  const uint64_t tolerance = static_cast<uint64_t>(options_.site_burst) *
+                             interval;
+  uint64_t tat = site.tat_ns.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t base = std::max(tat, now);
+    if (base - now > tolerance) {
+      site.suppressed.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    if (site.tat_ns.compare_exchange_weak(tat, base + interval,
+                                          std::memory_order_relaxed)) {
+      *suppressed_before =
+          site.suppressed.exchange(0, std::memory_order_relaxed);
+      return true;
+    }
+  }
+}
+
+void Logger::log(LogLevel level, LogSite& site, std::string_view msg,
+                 const LogFields& fields) {
+  if (static_cast<uint8_t>(level) < level_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  const uint64_t now = now_ns();
+  uint64_t suppressed_before = 0;
+  if (!admit(site, now, &suppressed_before)) {
+    suppressed_.fetch_add(1, std::memory_order_relaxed);
+    suppressed_total_.inc();
+    return;
+  }
+  std::string line =
+      format_record(format_, now, level, site, msg, fields, suppressed_before);
+  emitted_.fetch_add(1, std::memory_order_relaxed);
+  emitted_by_level_[static_cast<size_t>(level)].inc();
+
+  std::function<void(std::string_view)> sink;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink = sink_;
+    if (options_.ring_capacity > 0) {
+      if (ring_.size() < options_.ring_capacity) {
+        ring_.push_back(line);
+      } else {
+        ring_[ring_next_] = line;
+        ring_next_ = (ring_next_ + 1) % options_.ring_capacity;
+        ring_wrapped_ = true;
+      }
+    }
+  }
+  if (sink) {
+    sink(line);
+  } else {
+    line += '\n';
+    std::fwrite(line.data(), 1, line.size(), stderr);
+  }
+}
+
+std::string Logger::render_logz() const {
+  std::string out;
+  out += "log level=";
+  out += log_level_name(level());
+  out += " format=";
+  out += format_ == LogFormat::kLogfmt ? "logfmt" : "json";
+  out += " emitted=";
+  out += std::to_string(emitted());
+  out += " suppressed=";
+  out += std::to_string(suppressed());
+  out += "\n\n";
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t n = ring_.size();
+  const size_t first = ring_wrapped_ ? ring_next_ : 0;
+  for (size_t i = 0; i < n; ++i) {
+    out += ring_[(first + i) % n];
+    out += '\n';
+  }
+  return out;
+}
+
+void install_logger(Logger* l) {
+  g_logger.store(l, std::memory_order_release);
+}
+
+Logger& ambient_logger() {
+  if (Logger* installed = g_logger.load(std::memory_order_acquire)) {
+    return *installed;
+  }
+  static Logger fallback;
+  return fallback;
+}
+
+void log_to_ambient(LogLevel level, LogSite& site, std::string_view msg,
+                    const LogFields& fields) {
+  ambient_logger().log(level, site, msg, fields);
+}
+
+}  // namespace droplens::obs

@@ -1,0 +1,168 @@
+// Structured leveled logging: logfmt/JSON sinks, per-site rate limiting,
+// and a bounded ring of recent records for the admin plane's /logz.
+//
+// Replaces the ad-hoc `std::cerr <<` scattered through examples/ and the
+// transports. Every record carries a timestamp, level, call site
+// (file:line), a message, and optional key=value fields:
+//
+//   logfmt  ts=2026-08-08T12:34:56.789Z level=warn site=droplensd.cpp:91
+//           msg="bind failed" port=8053 errno=98
+//   json    {"ts":"...","level":"warn","site":"droplensd.cpp:91",
+//            "msg":"bind failed","port":"8053","errno":"98"}
+//
+// Call sites use the DLOG_* macros, which plant a static LogSite per
+// expansion. The site carries lock-free GCRA rate-limiter state: each site
+// may burst `site_burst` records, then is throttled to one per
+// `site_interval_ns`; suppressed records are counted and surfaced as a
+// `suppressed=N` field on the next record that gets through — a hot error
+// path cannot flood the sink, and you can still see how hot it was.
+//
+// The level gate is one relaxed atomic load; a record below the level costs
+// nothing else. Formatting and the sink write happen outside any lock; the
+// /logz ring append is the only mutex, sized by ring_capacity.
+//
+// Sinks write to stderr by default so tool stdout (report output) stays
+// byte-identical. Tests inject a capture sink and a fake clock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace droplens::obs {
+
+enum class LogLevel : uint8_t { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+const char* log_level_name(LogLevel level);
+/// Parse "debug"/"info"/"warn"/"error" (the --log-level vocabulary).
+std::optional<LogLevel> parse_log_level(std::string_view s);
+
+enum class LogFormat : uint8_t { kLogfmt, kJson };
+
+/// Parse "logfmt"/"json" (the --log-format vocabulary).
+std::optional<LogFormat> parse_log_format(std::string_view s);
+
+/// Ordered key/value pairs attached to one record. Values are strings;
+/// callers stringify numbers (std::to_string) at the call site.
+using LogFields = std::vector<std::pair<std::string, std::string>>;
+
+/// Static per-call-site state, planted by the DLOG_* macros. Carries the
+/// rate-limiter cells; must have static storage duration.
+struct LogSite {
+  const char* file = "";
+  int line = 0;
+  /// GCRA theoretical-arrival-time, ns on the logger's clock. 0 = fresh.
+  std::atomic<uint64_t> tat_ns{0};
+  /// Records dropped at this site since the last one that got through.
+  std::atomic<uint64_t> suppressed{0};
+};
+
+class Logger {
+ public:
+  struct Options {
+    LogLevel level = LogLevel::kInfo;
+    LogFormat format = LogFormat::kLogfmt;
+    /// Per-site rate limit: after `site_burst` records in a burst, one per
+    /// `site_interval_ns`. 0 interval disables limiting.
+    uint64_t site_interval_ns = 1'000'000'000;
+    uint32_t site_burst = 10;
+    /// Recent formatted records kept for /logz.
+    size_t ring_capacity = 256;
+  };
+
+  Logger() : Logger(Options()) {}
+  explicit Logger(Options options);
+
+  /// Emit one record (rate-limited per site, gated by level).
+  void log(LogLevel level, LogSite& site, std::string_view msg,
+           const LogFields& fields = {});
+
+  LogLevel level() const {
+    return static_cast<LogLevel>(level_.load(std::memory_order_relaxed));
+  }
+  void set_level(LogLevel level) {
+    level_.store(static_cast<uint8_t>(level), std::memory_order_relaxed);
+  }
+  LogFormat format() const { return format_; }
+
+  /// Records emitted (past the gate and limiter) / dropped by the limiter.
+  uint64_t emitted() const { return emitted_.load(std::memory_order_relaxed); }
+  uint64_t suppressed() const {
+    return suppressed_.load(std::memory_order_relaxed);
+  }
+
+  /// The /logz page body: recent records oldest-first, preceded by a
+  /// one-line summary.
+  std::string render_logz() const;
+
+  /// Test seams. The sink receives one formatted line WITHOUT the trailing
+  /// newline; default writes "line\n" to stderr. The clock returns unix ns;
+  /// default reads CLOCK_REALTIME.
+  void set_sink(std::function<void(std::string_view)> sink) {
+    std::lock_guard<std::mutex> lock(mu_);
+    sink_ = std::move(sink);
+  }
+  void set_clock(std::function<uint64_t()> clock) {
+    std::lock_guard<std::mutex> lock(mu_);
+    clock_ = std::move(clock);
+  }
+
+ private:
+  uint64_t now_ns() const;
+  bool admit(LogSite& site, uint64_t now, uint64_t* suppressed_before) const;
+
+  const Options options_;
+  std::atomic<uint8_t> level_;
+  const LogFormat format_;
+  std::atomic<uint64_t> emitted_{0};
+  std::atomic<uint64_t> suppressed_{0};
+  Counter emitted_by_level_[4];
+  Counter suppressed_total_;
+
+  mutable std::mutex mu_;  // guards sink_, clock_, ring_
+  std::function<void(std::string_view)> sink_;
+  std::function<uint64_t()> clock_;
+  std::vector<std::string> ring_;
+  size_t ring_next_ = 0;
+  bool ring_wrapped_ = false;
+};
+
+/// Install `l` as the process-wide logger (nullptr uninstalls). Must
+/// outlive every DLOG_* call while installed.
+void install_logger(Logger* l);
+/// The installed logger, or a lazily-constructed default (stderr, logfmt,
+/// info) — DLOG_* always has somewhere to go.
+Logger& ambient_logger();
+
+/// Emit through the ambient logger. Prefer the DLOG_* macros, which plant
+/// the static site.
+void log_to_ambient(LogLevel level, LogSite& site, std::string_view msg,
+                    const LogFields& fields = {});
+
+}  // namespace droplens::obs
+
+/// DLOG_INFO("message") or DLOG_INFO("message", {{"key", value}, ...}).
+#define DROPLENS_LOG_AT(level_, ...)                                     \
+  do {                                                                   \
+    static ::droplens::obs::LogSite droplens_log_site{__FILE__,          \
+                                                      __LINE__};         \
+    ::droplens::obs::log_to_ambient(level_, droplens_log_site,           \
+                                    __VA_ARGS__);                        \
+  } while (0)
+
+#define DLOG_DEBUG(...) \
+  DROPLENS_LOG_AT(::droplens::obs::LogLevel::kDebug, __VA_ARGS__)
+#define DLOG_INFO(...) \
+  DROPLENS_LOG_AT(::droplens::obs::LogLevel::kInfo, __VA_ARGS__)
+#define DLOG_WARN(...) \
+  DROPLENS_LOG_AT(::droplens::obs::LogLevel::kWarn, __VA_ARGS__)
+#define DLOG_ERROR(...) \
+  DROPLENS_LOG_AT(::droplens::obs::LogLevel::kError, __VA_ARGS__)

@@ -1,5 +1,7 @@
 #include "obs/prometheus.hpp"
 
+#include <cstdio>
+
 #include "obs/metrics.hpp"
 
 namespace droplens::obs {
@@ -55,6 +57,30 @@ void append_labels(std::string& out, const Labels& labels,
   out += '}';
 }
 
+// OpenMetrics exemplar suffix: ` # {labels} value [timestamp]`. Values
+// render with %g so integral nanosecond counts stay compact; timestamps as
+// fractional unix seconds.
+void append_exemplar(std::string& out, const Exemplar& ex) {
+  out += " # {";
+  bool first = true;
+  for (const auto& [key, value] : ex.labels) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    append_escaped(out, value, /*escape_quotes=*/true);
+    out += '"';
+  }
+  out += "} ";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", ex.value);
+  out += buf;
+  if (ex.timestamp_s > 0) {
+    std::snprintf(buf, sizeof(buf), " %.9f", ex.timestamp_s);
+    out += buf;
+  }
+}
+
 const char* type_keyword(Registry::Type t) {
   switch (t) {
     case Registry::Type::kCounter:
@@ -70,6 +96,11 @@ const char* type_keyword(Registry::Type t) {
 }  // namespace
 
 std::string render_prometheus(const Registry& registry) {
+  return render_prometheus(registry, nullptr);
+}
+
+std::string render_prometheus(const Registry& registry,
+                              const ExemplarSource* exemplars) {
   std::string out;
   for (const Registry::FamilySnapshot& family : registry.snapshot()) {
     if (!family.help.empty()) {
@@ -112,6 +143,12 @@ std::string render_prometheus(const Registry& registry) {
                               : "+Inf");
             out += ' ';
             out += std::to_string(cumulative);
+            if (exemplars) {
+              if (std::optional<Exemplar> ex =
+                      exemplars->exemplar(family.name, series.labels, i)) {
+                append_exemplar(out, *ex);
+              }
+            }
             out += '\n';
           }
           out += family.name;

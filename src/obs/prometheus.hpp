@@ -6,14 +6,43 @@
 // deterministic: families sort by name, series by label values, label pairs
 // render in their interned order — the golden test in tests/test_obs.cpp
 // pins the exact bytes.
+//
+// The exemplar-aware overload additionally asks an ExemplarSource for a
+// representative observation per histogram bucket and appends it in
+// OpenMetrics exemplar syntax (` # {trace_id="42"} VALUE TIMESTAMP`) — how
+// a p99 bucket on /metrics links to a captured trace on /tracez. Plain
+// Prometheus scrapers that predate OpenMetrics simply ignore the suffix.
 #pragma once
 
+#include <optional>
 #include <string>
+
+#include "obs/metrics.hpp"
 
 namespace droplens::obs {
 
 class Registry;
 
+/// One representative observation attached to a histogram bucket line.
+struct Exemplar {
+  Labels labels;           ///< e.g. {{"trace_id", "42"}}
+  double value = 0;        ///< the observed value (same unit as the series)
+  double timestamp_s = 0;  ///< unix seconds; <= 0 renders no timestamp
+};
+
+/// Answers "which exemplar represents bucket `bucket_index` of this
+/// series?" — bucket_index counts non-cumulative buckets, overflow last.
+/// Return std::nullopt for buckets without one.
+class ExemplarSource {
+ public:
+  virtual ~ExemplarSource() = default;
+  virtual std::optional<Exemplar> exemplar(const std::string& family,
+                                           const Labels& labels,
+                                           size_t bucket_index) const = 0;
+};
+
 std::string render_prometheus(const Registry& registry);
+std::string render_prometheus(const Registry& registry,
+                              const ExemplarSource* exemplars);
 
 }  // namespace droplens::obs

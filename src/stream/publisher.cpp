@@ -7,8 +7,20 @@
 
 namespace droplens::stream {
 
+namespace {
+
+uint64_t steady_now_ns() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
 Publisher::Publisher(AlarmMonitor::Config alarm_config)
     : monitor_(alarm_config) {
+  last_ingest_ns_.store(steady_now_ns(), std::memory_order_relaxed);
   ingested_ = obs::counter("droplens_stream_events_ingested_total", {},
                            "Events offered to the publisher");
   applied_ = obs::counter("droplens_stream_events_applied_total", {},
@@ -31,6 +43,9 @@ Publisher::Publisher(AlarmMonitor::Config alarm_config)
                          "Subscriber resets (history trimmed past them)");
   head_seq_ = obs::gauge("droplens_stream_head_seq", {},
                          "Next event sequence number");
+  ingest_lag_ = obs::gauge(
+      "droplens_stream_ingest_lag_seconds", {},
+      "Seconds since the last event was ingested (feed liveness)");
   alarm_latency_ = obs::histogram(
       "droplens_stream_ingest_alarm_latency_ns",
       obs::Registry::log2_bounds(39), {},
@@ -41,19 +56,28 @@ void Publisher::seed_rir(const rir::Registry& registry) {
   applier_.seed_rir(registry);
 }
 
+double Publisher::ingest_lag_seconds() const {
+  const uint64_t last = last_ingest_ns_.load(std::memory_order_relaxed);
+  const uint64_t now = steady_now_ns();
+  return now > last ? static_cast<double>(now - last) * 1e-9 : 0.0;
+}
+
 uint64_t Publisher::ingest(const Event& e) {
   const auto start = std::chrono::steady_clock::now();
+  obs::SpanContext trace = ingest_trace_.begin();
   ingested_.inc();
   // The sequence the log WILL assign — safe to read ahead because ingest is
   // the only appender.
   const uint64_t seq = log_.head();
 
+  trace.stage("apply");
   if (applier_.apply(e)) {
     applied_.inc();
   } else {
     rejected_.inc();
   }
 
+  trace.stage("alarm");
   const size_t before = monitor_.alarms().size();
   const size_t raised = monitor_.on_event(e);
   if (raised > 0) {
@@ -81,8 +105,11 @@ uint64_t Publisher::ingest(const Event& e) {
 
   // Append last: once an event is visible in the log, its alarms are
   // already in alarm_log_ (the subscriber-side completeness invariant).
+  trace.stage("append");
   const uint64_t assigned = log_.append(e);
   head_seq_.set(static_cast<int64_t>(assigned + 1));
+  last_ingest_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  trace.finish("ok");
   return assigned;
 }
 

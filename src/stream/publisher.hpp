@@ -21,8 +21,11 @@
 //   droplens_stream_ingest_alarm_latency_ns   (log2 histogram)
 //   droplens_stream_compactions_total, _deltas_total, _resets_total
 //   droplens_stream_head_seq                  (gauge)
+//   droplens_stream_ingest_lag_seconds        (gauge, see
+//                                              refresh_ingest_lag_gauge)
 #pragma once
 
+#include <atomic>
 #include <deque>
 #include <memory>
 #include <mutex>
@@ -30,6 +33,7 @@
 #include <utility>
 
 #include "obs/metrics.hpp"
+#include "svc/transport.hpp"
 #include "stream/alarm_monitor.hpp"
 #include "stream/applier.hpp"
 #include "stream/event_log.hpp"
@@ -65,6 +69,16 @@ class Publisher : public svc::StreamFeed {
   const AlarmMonitor& monitor() const { return monitor_; }
   const EventLog& log() const { return log_; }
 
+  /// Seconds since the last ingest() returned (since construction before
+  /// the first event) — the feed-liveness signal. Safe from any thread.
+  double ingest_lag_seconds() const;
+  /// Recompute droplens_stream_ingest_lag_seconds from the same clock —
+  /// the admin plane runs this as a refresh hook before /metrics and
+  /// /healthz render, so scrapes and health checks agree.
+  void refresh_ingest_lag_gauge() {
+    ingest_lag_.set(static_cast<int64_t>(ingest_lag_seconds()));
+  }
+
  private:
   EventLog log_;
   Applier applier_;
@@ -87,7 +101,13 @@ class Publisher : public svc::StreamFeed {
   obs::Counter deltas_;
   obs::Counter resets_;
   obs::Gauge head_seq_;
+  obs::Gauge ingest_lag_;
   obs::Histogram alarm_latency_;
+  /// Ingest traces land in the flight recorder's "ingest" op class, with
+  /// apply/alarm/append stage timings — the same machinery that traces
+  /// requests, following the ingest path's thread hops instead.
+  svc::TraceBinding ingest_trace_{"ingest"};
+  std::atomic<uint64_t> last_ingest_ns_{0};  // steady clock at last ingest
 };
 
 }  // namespace droplens::stream

@@ -1,0 +1,346 @@
+#include "svc/admin_http.hpp"
+
+#include <dirent.h>
+#include <time.h>
+
+#include <cctype>
+#include <cstdio>
+
+#include "obs/prometheus.hpp"
+#include "util/error.hpp"
+
+namespace droplens::svc {
+
+namespace {
+
+bool equals_ci(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && (s.back() == ' ' || s.back() == '\t')) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+/// The value of header `name` (case-insensitive) in `head`, trimmed; empty
+/// when absent. `head` includes the request line, which has no colon before
+/// its first space and so never matches.
+std::string_view find_header(std::string_view head, std::string_view name) {
+  size_t pos = 0;
+  while (pos < head.size()) {
+    size_t eol = head.find('\n', pos);
+    if (eol == std::string_view::npos) eol = head.size();
+    std::string_view line = head.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    if (equals_ci(trim(line.substr(0, colon)), name)) {
+      return trim(line.substr(colon + 1));
+    }
+  }
+  return {};
+}
+
+/// Declared body length of the request whose head is `head`. Throws
+/// ParseError on an unparseable value — the stream cannot be resynchronized
+/// without knowing where the body ends.
+size_t content_length(std::string_view head, size_t cap) {
+  std::string_view value = find_header(head, "content-length");
+  if (value.empty()) return 0;
+  uint64_t n = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') {
+      throw ParseError("http: unparseable Content-Length");
+    }
+    n = n * 10 + static_cast<uint64_t>(c - '0');
+    if (n > cap) throw ParseError("http: request body exceeds cap");
+  }
+  return static_cast<size_t>(n);
+}
+
+/// Build one response. `head_only` (a HEAD request) sends the headers the
+/// GET would have — including its Content-Length — with no body.
+/// `extra_header` is a complete "Name: value" line or empty.
+std::string http_response(std::string_view status, std::string_view type,
+                          std::string_view body, bool keep_alive,
+                          bool head_only = false,
+                          std::string_view extra_header = {}) {
+  std::string out;
+  out.reserve(160 + (head_only ? 0 : body.size()));
+  out.append("HTTP/1.1 ");
+  out.append(status);
+  out.append("\r\nContent-Type: ");
+  out.append(type);
+  out.append("\r\nContent-Length: ");
+  out.append(std::to_string(body.size()));
+  if (!extra_header.empty()) {
+    out.append("\r\n");
+    out.append(extra_header);
+  }
+  out.append(keep_alive ? "\r\nConnection: keep-alive\r\n\r\n"
+                        : "\r\nConnection: close\r\n\r\n");
+  if (!head_only) out.append(body);
+  return out;
+}
+
+uint64_t steady_ns() {
+  timespec ts{};
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000u +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+/// Open file descriptors of this process, via /proc/self/fd; -1 when that
+/// can't be read (non-Linux). The readdir fd itself is excluded.
+int count_open_fds() {
+  DIR* dir = opendir("/proc/self/fd");
+  if (!dir) return -1;
+  int n = 0;
+  while (dirent* entry = readdir(dir)) {
+    if (entry->d_name[0] == '.') continue;
+    ++n;
+  }
+  closedir(dir);
+  return n - 1;
+}
+
+constexpr std::string_view kRoutes[] = {"/",      "/metrics", "/healthz",
+                                        "/statusz", "/tracez",  "/slowz",
+                                        "/logz"};
+
+}  // namespace
+
+AdminHttpService::AdminHttpService(const obs::Registry& registry)
+    : AdminHttpService([&registry] {
+        Options o;
+        o.registry = &registry;
+        return o;
+      }()) {}
+
+AdminHttpService::AdminHttpService(Options options)
+    : options_(std::move(options)), start_steady_ns_(steady_ns()) {}
+
+void AdminHttpService::add_health_check(std::string name, HealthCheck check) {
+  health_checks_.emplace_back(std::move(name), std::move(check));
+}
+
+void AdminHttpService::add_status_section(std::string title,
+                                          StatusSection section) {
+  status_sections_.emplace_back(std::move(title), std::move(section));
+}
+
+void AdminHttpService::add_refresh_hook(std::function<void()> hook) {
+  refresh_hooks_.push_back(std::move(hook));
+}
+
+size_t AdminHttpService::message_size(std::string_view buffer) const {
+  // A message is the head (request line through blank line) plus its
+  // declared Content-Length body. Consuming the body is what keeps
+  // keep-alive and pipelined peers in sync: leftover body bytes would be
+  // parsed as the next request's head and poison the connection.
+  size_t head_len = 0;
+  size_t end = buffer.find("\r\n\r\n");
+  if (end != std::string_view::npos) {
+    head_len = end + 4;
+  } else {
+    end = buffer.find("\n\n");  // tolerate bare-LF clients (nc, printf)
+    if (end != std::string_view::npos) head_len = end + 2;
+  }
+  if (head_len == 0) {
+    if (buffer.size() > kMaxHead) {
+      throw ParseError("http: request head exceeds cap");
+    }
+    return 0;
+  }
+  size_t body_len = content_length(buffer.substr(0, head_len), kMaxBody);
+  if (buffer.size() < head_len + body_len) return 0;  // body still arriving
+  return head_len + body_len;
+}
+
+void AdminHttpService::run_refresh_hooks() {
+  for (const auto& hook : refresh_hooks_) hook();
+}
+
+AdminHttpService::Page AdminHttpService::metrics_page() {
+  run_refresh_hooks();
+  std::string body;
+  if (options_.registry) {
+    body = obs::render_prometheus(*options_.registry, options_.exemplars);
+  }
+  return {"200 OK", "text/plain; version=0.0.4; charset=utf-8",
+          std::move(body)};
+}
+
+AdminHttpService::Page AdminHttpService::healthz_page() {
+  run_refresh_hooks();
+  std::string failures;
+  for (const auto& [name, check] : health_checks_) {
+    if (std::optional<std::string> reason = check()) {
+      failures += name;
+      failures += ": ";
+      failures += *reason;
+      failures += '\n';
+    }
+  }
+  if (failures.empty()) {
+    return {"200 OK", "text/plain", "ok\n"};
+  }
+  return {"503 Service Unavailable", "text/plain",
+          "unhealthy\n" + failures};
+}
+
+AdminHttpService::Page AdminHttpService::statusz_page() const {
+  std::string body;
+  body += options_.build_info.empty() ? "droplens (unversioned build)"
+                                      : options_.build_info;
+  body += '\n';
+  const uint64_t uptime_ns = steady_ns() - start_steady_ns_;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "uptime_seconds %.3f\n",
+                static_cast<double>(uptime_ns) / 1e9);
+  body += buf;
+  const int fds = count_open_fds();
+  if (fds >= 0) {
+    body += "open_fds ";
+    body += std::to_string(fds);
+    body += '\n';
+  }
+  for (const auto& [title, section] : status_sections_) {
+    body += "\n== ";
+    body += title;
+    body += " ==\n";
+    body += section();
+    if (!body.empty() && body.back() != '\n') body += '\n';
+  }
+  return {"200 OK", "text/plain", std::move(body)};
+}
+
+AdminHttpService::Page AdminHttpService::tracez_page() const {
+  if (!options_.recorder) {
+    return {"200 OK", "text/plain", "no flight recorder wired\n"};
+  }
+  return {"200 OK", "text/plain", options_.recorder->render_tracez()};
+}
+
+AdminHttpService::Page AdminHttpService::slowz_page() const {
+  if (!options_.recorder) {
+    return {"200 OK", "text/plain", "no flight recorder wired\n"};
+  }
+  return {"200 OK", "text/plain", options_.recorder->render_slowz()};
+}
+
+AdminHttpService::Page AdminHttpService::logz_page() const {
+  if (!options_.logger) {
+    return {"200 OK", "text/plain", "no logger wired\n"};
+  }
+  return {"200 OK", "text/plain", options_.logger->render_logz()};
+}
+
+AdminHttpService::Page AdminHttpService::index_page(
+    std::string_view status) const {
+  std::string body = "droplens admin plane. routes:\n";
+  for (std::string_view route : kRoutes) {
+    body += "  ";
+    body += route;
+    body += '\n';
+  }
+  return {std::string(status), "text/plain", std::move(body)};
+}
+
+AdminHttpService::Page AdminHttpService::dispatch(std::string_view path) {
+  if (path == "/metrics") return metrics_page();
+  if (path == "/healthz") return healthz_page();
+  if (path == "/statusz") return statusz_page();
+  if (path == "/tracez") return tracez_page();
+  if (path == "/slowz") return slowz_page();
+  if (path == "/logz") return logz_page();
+  if (path == "/") return index_page("200 OK");
+  return index_page("404 Not Found");
+}
+
+std::string AdminHttpService::serve(std::string_view message) {
+  // Request line: METHOD SP PATH SP VERSION. Headers matter only for
+  // Content-Length (already consumed by message_size) and Connection.
+  size_t eol = message.find_first_of("\r\n");
+  std::string_view line =
+      eol == std::string_view::npos ? message : message.substr(0, eol);
+  size_t sp1 = line.find(' ');
+  size_t sp2 = sp1 == std::string_view::npos ? std::string_view::npos
+                                             : line.find(' ', sp1 + 1);
+  if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+    return http_response("400 Bad Request", "text/plain", "bad request\n",
+                         false);
+  }
+  std::string_view method = line.substr(0, sp1);
+  std::string_view path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = line.substr(sp2 + 1);
+  // Persistence follows the request's version defaults, overridable by an
+  // explicit Connection header either way.
+  std::string_view connection = find_header(message, "connection");
+  bool keep_alive = equals_ci(connection, "keep-alive") ||
+                    (version == "HTTP/1.1" && !equals_ci(connection, "close"));
+  // Ignore query strings: /metrics?foo=bar still answers.
+  path = path.substr(0, path.find('?'));
+  if (method != "GET" && method != "HEAD") {
+    // The route table is uniform: every route is readable and nothing else.
+    return http_response("405 Method Not Allowed", "text/plain",
+                         "only GET and HEAD are served\n", keep_alive,
+                         /*head_only=*/false, "Allow: GET, HEAD");
+  }
+  Page page = dispatch(path);
+  return http_response(page.status, page.content_type, page.body, keep_alive,
+                       /*head_only=*/method == "HEAD");
+}
+
+std::string AdminHttpService::malformed_response(std::string_view head) {
+  // message_size throws for exactly three reasons; re-derive which one so
+  // the close is typed. A head that never completed within kMaxHead is
+  // "too large" (431); a complete head whose declared body crosses kMaxBody
+  // is 413; an unparseable Content-Length is a plain 400.
+  const bool head_complete = head.find("\r\n\r\n") != std::string_view::npos ||
+                             head.find("\n\n") != std::string_view::npos;
+  if (!head_complete) {
+    return http_response("431 Request Header Fields Too Large", "text/plain",
+                         "request head exceeds cap\n", false);
+  }
+  try {
+    content_length(head, kMaxBody);
+  } catch (const ParseError& e) {
+    if (std::string_view(e.what()).find("exceeds") !=
+        std::string_view::npos) {
+      return http_response("413 Payload Too Large", "text/plain",
+                           "request body exceeds cap\n", false);
+    }
+  }
+  return http_response("400 Bad Request", "text/plain", "bad request\n",
+                       false);
+}
+
+MessageClass AdminHttpService::classify(std::string_view /*message*/) const {
+  return MessageClass::kControl;
+}
+
+std::string AdminHttpService::overload_response(std::string_view /*msg*/) {
+  return http_response("503 Service Unavailable", "text/plain",
+                       "overloaded\n", false);
+}
+
+std::string AdminHttpService::timeout_response() {
+  return http_response("408 Request Timeout", "text/plain",
+                       "deadline exceeded\n", false);
+}
+
+}  // namespace droplens::svc

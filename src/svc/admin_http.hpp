@@ -1,0 +1,128 @@
+// The admin plane: one plain-HTTP service exposing the operator's view of
+// a droplens daemon, riding the same svc transport layer as the query
+// protocols. Grown out of the single-endpoint MetricsHttpService; the
+// stream-framing discipline (a message is head + declared Content-Length
+// body; responses carry Content-Length and honor keep-alive semantics) is
+// unchanged and still what keeps scrapers and pipelined peers in sync.
+//
+// Routes:
+//
+//   /metrics   Prometheus text exposition of the wired registry. When a
+//              FlightRecorder is wired, histogram buckets carry OpenMetrics
+//              exemplars linking p99 buckets to trace ids on /tracez.
+//   /healthz   readiness: 200 "ok" when every registered health check
+//              passes, 503 with per-check reasons otherwise. Checks are
+//              wired by the embedding daemon (SnapshotStore residency,
+//              stream publisher liveness, ...).
+//   /statusz   one page of "what is this process": build info, uptime, fd
+//              count, plus daemon-registered sections (resident dates,
+//              connection and shed summaries).
+//   /tracez    recent sampled request traces per op class.
+//   /slowz     the slowest requests ever seen per op class, with per-stage
+//              breakdowns.
+//   /logz      recent log records and suppression counts.
+//   /          route index.
+//
+// HTTP hygiene: HEAD answers every route with the same headers (including
+// the Content-Length the GET body would have) and no body; a known route
+// with any other method gets 405 + `Allow: GET, HEAD`; unknown paths get
+// 404 with the route index. Every response keeps the Content-Length /
+// keep-alive discipline regardless of status.
+//
+// Wiring happens at daemon setup, before a transport starts serving:
+// registration calls (add_health_check / add_status_section /
+// add_refresh_hook) are NOT synchronized against serve().
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/flight_recorder.hpp"
+#include "obs/log.hpp"
+#include "obs/metrics.hpp"
+#include "svc/transport.hpp"
+
+namespace droplens::svc {
+
+class AdminHttpService : public Service {
+ public:
+  /// Longest accepted request head (request line + headers + blank line).
+  static constexpr size_t kMaxHead = 8192;
+  /// Longest accepted request body (an admin client has no business sending
+  /// one, but consuming what arrives keeps the stream in sync).
+  static constexpr size_t kMaxBody = 1 << 16;
+
+  struct Options {
+    /// Rendered on /metrics. nullptr serves an empty exposition.
+    const obs::Registry* registry = nullptr;
+    /// Exemplar provider for /metrics histogram buckets (usually the
+    /// recorder below). nullptr = no exemplars.
+    const obs::ExemplarSource* exemplars = nullptr;
+    /// Serves /tracez and /slowz. nullptr = those routes answer a hint.
+    const obs::FlightRecorder* recorder = nullptr;
+    /// Serves /logz. nullptr = that route answers a hint.
+    const obs::Logger* logger = nullptr;
+    /// First line of /statusz, e.g. "droplensd <version> (<compiler>)".
+    std::string build_info;
+  };
+
+  /// Metrics-only compatibility shape: exactly the old MetricsHttpService.
+  explicit AdminHttpService(const obs::Registry& registry);
+  explicit AdminHttpService(Options options);
+
+  /// A health check returns std::nullopt when healthy, or a short reason
+  /// string when not. All checks must pass for /healthz to answer 200.
+  using HealthCheck = std::function<std::optional<std::string>()>;
+  void add_health_check(std::string name, HealthCheck check);
+
+  /// A /statusz section: title plus a body renderer called per request.
+  using StatusSection = std::function<std::string()>;
+  void add_status_section(std::string title, StatusSection section);
+
+  /// Run before /metrics and /healthz render — the hook point for gauges
+  /// that must be recomputed at scrape time (ingest lag, residency).
+  void add_refresh_hook(std::function<void()> hook);
+
+  // Service ------------------------------------------------------------------
+  size_t message_size(std::string_view buffer) const override;
+  std::string serve(std::string_view message) override;
+  /// Typed "too large" closes: 431 for a head that never completed within
+  /// kMaxHead, 413 for a declared body beyond kMaxBody, 400 otherwise.
+  std::string malformed_response(std::string_view head) override;
+  /// The admin plane is the observability plane: kControl, shed last.
+  MessageClass classify(std::string_view message) const override;
+  /// 503 with Connection: close — typed "too busy".
+  std::string overload_response(std::string_view message) override;
+  /// 408 with Connection: close — typed "too slow".
+  std::string timeout_response() override;
+
+ private:
+  struct Page {
+    std::string status;        // "200 OK", "503 Service Unavailable", ...
+    std::string content_type;  // "text/plain", ...
+    std::string body;
+  };
+
+  Page dispatch(std::string_view path);
+  Page metrics_page();
+  Page healthz_page();
+  Page statusz_page() const;
+  Page tracez_page() const;
+  Page slowz_page() const;
+  Page logz_page() const;
+  Page index_page(std::string_view status) const;
+  void run_refresh_hooks();
+
+  Options options_;
+  uint64_t start_steady_ns_ = 0;  // uptime base
+  std::vector<std::pair<std::string, HealthCheck>> health_checks_;
+  std::vector<std::pair<std::string, StatusSection>> status_sections_;
+  std::vector<std::function<void()>> refresh_hooks_;
+};
+
+}  // namespace droplens::svc

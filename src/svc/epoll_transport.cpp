@@ -108,7 +108,8 @@ uint64_t TimerWheel::next_wake_delay(uint64_t now_ms,
 EpollServer::EpollServer(Service& service, const TransportOptions& options)
     : service_(service),
       options_(options),
-      counters_("epoll", options.name) {
+      counters_("epoll", options.name),
+      trace_(options.name) {
   Listener l = open_listener(options_.listen, /*nonblocking=*/true);
   listen_fd_ = l.fd;
   port_ = l.port;
@@ -274,6 +275,10 @@ void EpollServer::accept_ready(Worker& w, uint64_t now) {
     conn->fd = fd;
     conn->last_activity = now;
     conn->registered_events = EPOLLIN;
+    // The connection's first request gets its accept latency on the trace;
+    // later requests begin at their first read.
+    conn->trace = trace_.begin();
+    conn->trace.stage("accept");
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
@@ -312,6 +317,13 @@ void EpollServer::handle_io(Worker& w, Conn& c, uint32_t events,
     } else {
       c.in.append(chunk, static_cast<size_t>(got));
       c.last_activity = now;
+      // Resume (or begin) the request trace on the thread this connection
+      // is confined to: the first chunk of a request opens its read stage.
+      if (!c.trace) c.trace = trace_.begin();
+      if (c.trace && !c.trace_served && !c.trace_reading) {
+        c.trace.stage("read");
+        c.trace_reading = true;
+      }
       if (!drain_messages(w, c, now)) return;
     }
   }
@@ -341,6 +353,7 @@ bool EpollServer::drain_messages(Worker& w, Conn& c, uint64_t now) {
       n = service_.message_size(c.in);
     } catch (const ParseError&) {
       std::string reply = service_.malformed_response(c.in);
+      finish_trace(c, "malformed");
       close_after_flush(w, c, std::move(reply), DisconnectReason::kMalformed,
                         now);
       return false;
@@ -354,12 +367,19 @@ bool EpollServer::drain_messages(Worker& w, Conn& c, uint64_t now) {
       return true;
     }
     c.partial_since = 0;
+    // A pipelined request completing while the previous response still
+    // drains takes over the connection's single trace slot: the old trace
+    // finishes here (its flush overlapped this request's read) and a fresh
+    // one covers the new message.
+    if (c.trace && c.trace_served) finish_trace(c, "ok");
+    if (!c.trace) c.trace = trace_.begin();
     const std::string_view message(c.in.data(), n);
     const MessageClass cls = service_.classify(message);
     if (should_shed(cls)) {
       counters_.on_shed(cls);
       std::string reply = service_.overload_response(message);
       c.in.erase(0, n);
+      finish_trace(c, "shed");
       if (reply.empty()) {
         close_conn(w, c, DisconnectReason::kShed);
         return false;
@@ -371,7 +391,11 @@ bool EpollServer::drain_messages(Worker& w, Conn& c, uint64_t now) {
     counters_.set_inflight(
         static_cast<int64_t>(inflight_.load(std::memory_order_relaxed)));
     c.unflushed += 1;
-    std::string response = service_.serve(message);
+    c.trace_reading = false;
+    c.trace.stage("serve");
+    std::string response = service_.serve(message, c.trace);
+    c.trace.stage("flush");
+    c.trace_served = true;
     c.in.erase(0, n);
     if (!enqueue(w, c, std::move(response), now)) return false;
   }
@@ -443,6 +467,8 @@ bool EpollServer::flush_out(Worker& w, Conn& c, uint64_t now) {
       counters_.set_inflight(
           static_cast<int64_t>(inflight_.load(std::memory_order_relaxed)));
     }
+    // The response reached the kernel: the request's trace is complete.
+    if (c.trace && c.trace_served) finish_trace(c, "ok");
     if (c.closing_after_flush) {
       close_conn(w, c, c.flush_close_reason);
       return false;
@@ -478,6 +504,12 @@ void EpollServer::close_after_flush(Worker& w, Conn& c, std::string&& reply,
   if (!enqueue(w, c, std::move(reply), now)) return;  // may close inline
   if (c.write_pending_since == 0) c.write_pending_since = now;
   rearm_timer(w, c);
+}
+
+void EpollServer::finish_trace(Conn& c, std::string_view outcome) {
+  if (c.trace) c.trace.finish(outcome);
+  c.trace_reading = false;
+  c.trace_served = false;
 }
 
 void EpollServer::close_conn(Worker& w, Conn& c, DisconnectReason reason) {
@@ -541,6 +573,7 @@ void EpollServer::expire_timers(Worker& w, uint64_t now) {
     // still due, re-arm the rest.
     if (options_.read_deadline_ms != 0 && c.partial_since != 0 &&
         now >= c.partial_since + options_.read_deadline_ms) {
+      finish_trace(c, "timeout");
       close_after_flush(w, c, service_.timeout_response(),
                         DisconnectReason::kReadDeadline, now);
       continue;
@@ -548,6 +581,7 @@ void EpollServer::expire_timers(Worker& w, uint64_t now) {
     if (options_.write_deadline_ms != 0 && c.write_pending_since != 0 &&
         now >= c.write_pending_since + options_.write_deadline_ms) {
       // A peer that stopped reading gets no farewell it would never drain.
+      finish_trace(c, "timeout");
       close_conn(w, c, DisconnectReason::kWriteDeadline);
       continue;
     }
@@ -557,6 +591,7 @@ void EpollServer::expire_timers(Worker& w, uint64_t now) {
     // sharper read/write deadlines configured.
     if (options_.idle_timeout_ms != 0 &&
         now >= c.last_activity + options_.idle_timeout_ms) {
+      finish_trace(c, "timeout");
       close_after_flush(w, c, service_.timeout_response(),
                         DisconnectReason::kIdleTimeout, now);
       continue;

@@ -138,6 +138,13 @@ class EpollServer : public TransportServer {
     uint32_t registered_events = 0;    // epoll mask currently registered
     bool closing_after_flush = false;
     DisconnectReason flush_close_reason = DisconnectReason::kPeerClosed;
+    /// The request trace parked on this connection between callbacks. One
+    /// active trace at a time: accept/read stages accrue here, serve/flush
+    /// run under it, and the flush completion (or a close path) finishes
+    /// it. Destroying the Conn with an armed trace submits "abandoned".
+    obs::SpanContext trace;
+    bool trace_reading = false;  // "read" stage open for the current trace
+    bool trace_served = false;   // trace is past serve, waiting on flush
   };
 
   struct Worker {
@@ -167,10 +174,14 @@ class EpollServer : public TransportServer {
   void rearm_timer(Worker& w, Conn& c);
   void expire_timers(Worker& w, uint64_t now);
   bool should_shed(MessageClass cls) const;
+  /// Finish the connection's active trace (no-op when inert) and reset the
+  /// per-request trace flags.
+  void finish_trace(Conn& c, std::string_view outcome);
 
   Service& service_;
   TransportOptions options_;
   mutable TransportCounters counters_;
+  TraceBinding trace_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

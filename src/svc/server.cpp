@@ -120,14 +120,21 @@ std::string Server::timeout_response() {
 }
 
 std::string Server::serve(std::string_view frame) {
+  obs::SpanContext inert;
+  return serve(frame, inert);
+}
+
+std::string Server::serve(std::string_view frame, obs::SpanContext& ctx) {
   const auto start = std::chrono::steady_clock::now();
   requests_.inc();
   std::string response;
   try {
+    ctx.stage("decode");
     FrameHeader header = decode_header(frame);
     if (kHeaderSize + header.payload_len != frame.size()) {
       throw ParseError("svc: frame length mismatch");
     }
+    ctx.stage("answer");
     switch (header.type) {
       case FrameType::kQueryRequest:
         response = handle_queries(frame_payload(frame));
@@ -160,6 +167,7 @@ std::string Server::serve(std::string_view frame) {
     malformed_.inc();
     response = encode_error(e.what());
   }
+  ctx.stage_end();
   const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                       std::chrono::steady_clock::now() - start)
                       .count();

@@ -113,6 +113,10 @@ class Server : public Service {
   // Service interface ------------------------------------------------------
   size_t message_size(std::string_view buffer) const override;
   std::string serve(std::string_view frame) override;
+  /// Trace-aware serve: the same dispatch, with decode/answer stage marks
+  /// on the request trace so /slowz shows where a slow frame spent its
+  /// time. The 1-arg form forwards here with an inert context.
+  std::string serve(std::string_view frame, obs::SpanContext& ctx) override;
   std::string malformed_response(std::string_view head) override;
   /// Shed priority by frame type: range requests are the most work per
   /// frame (kBulk, shed first), query batches are kNormal, and the

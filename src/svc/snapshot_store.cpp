@@ -28,7 +28,12 @@ std::optional<SnapshotStore::FileStamp> SnapshotStore::stat_stamp(
 
 SnapshotStore::SnapshotStore(Config config, const core::Study* study,
                              const core::DropIndex* index)
-    : config_(std::move(config)), study_(study), index_(index) {}
+    : config_(std::move(config)), study_(study), index_(index) {
+  resident_days_ =
+      obs::gauge("droplens_store_resident_days", {},
+                 "Days currently resident (mapped, patched, or compiled) in "
+                 "the snapshot store");
+}
 
 std::string SnapshotStore::file_name(net::Date d) {
   net::Date::Ymd ymd = d.ymd();
@@ -53,7 +58,10 @@ std::shared_ptr<const Snapshot> SnapshotStore::get_internal(net::Date d,
     {
       std::lock_guard<std::mutex> lock(mu_);
       std::shared_ptr<Slot>& registered = resident_[d];
-      if (!registered) registered = std::make_shared<Slot>();
+      if (!registered) {
+        registered = std::make_shared<Slot>();
+        update_resident_gauge();
+      }
       slot = registered;
       slot->last_used = ++clock_;
       if (slot->ready.load(std::memory_order_acquire)) {
@@ -196,7 +204,10 @@ std::shared_ptr<const Snapshot> SnapshotStore::materialize(net::Date d,
 void SnapshotStore::forget(net::Date d, const std::shared_ptr<Slot>& slot) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = resident_.find(d);
-  if (it != resident_.end() && it->second == slot) resident_.erase(it);
+  if (it != resident_.end() && it->second == slot) {
+    resident_.erase(it);
+    update_resident_gauge();
+  }
 }
 
 void SnapshotStore::evict_over_capacity() {
@@ -219,6 +230,7 @@ void SnapshotStore::evict_over_capacity() {
     }
     resident_.erase(victim);
     ++stats_.evictions;
+    update_resident_gauge();
   }
 }
 
@@ -240,6 +252,7 @@ void SnapshotStore::rescan() {
     }
     it = keep ? std::next(it) : resident_.erase(it);
   }
+  update_resident_gauge();
 }
 
 std::vector<net::Date> SnapshotStore::on_disk() const {

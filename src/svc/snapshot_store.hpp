@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "net/date.hpp"
+#include "obs/metrics.hpp"
 #include "svc/snapshot.hpp"
 
 namespace droplens::core {
@@ -149,6 +150,12 @@ class SnapshotStore {
   std::shared_ptr<const Snapshot> materialize(net::Date d, Slot& slot,
                                               int depth);
   void evict_over_capacity();  // under mu_
+  /// Under mu_: republish resident_.size() as droplens_store_resident_days
+  /// — the same number resident_count() answers, so /healthz and a
+  /// Prometheus scrape can never disagree about residency.
+  void update_resident_gauge() {
+    resident_days_.set(static_cast<int64_t>(resident_.size()));
+  }
   /// Drop `slot` from the registry if it is still the one registered for
   /// `d` — the failure path, so corrupt dates retry on every get().
   void forget(net::Date d, const std::shared_ptr<Slot>& slot);
@@ -165,6 +172,7 @@ class SnapshotStore {
   uint64_t clock_ = 0;     // LRU stamp source
   std::map<net::Date, std::shared_ptr<Slot>> resident_;
   Stats stats_;
+  obs::Gauge resident_days_;  // mirrors resident_.size()
 };
 
 }  // namespace droplens::svc

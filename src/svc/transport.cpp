@@ -83,6 +83,13 @@ const char* disconnect_reason_name(DisconnectReason r) {
   return kReasonNames[static_cast<size_t>(r)];
 }
 
+TraceBinding::TraceBinding(const std::string& name) {
+  recorder = obs::installed_flight_recorder();
+  if (recorder) {
+    op = recorder->op_class(name.empty() ? "server" : name);
+  }
+}
+
 TransportCounters::TransportCounters(const char* transport,
                                      const std::string& name) {
   accepted_c_ = obs::counter("droplens_transport_accepted_total",
@@ -227,7 +234,8 @@ TcpServer::TcpServer(Service& service, uint16_t port)
 TcpServer::TcpServer(Service& service, const TransportOptions& options)
     : service_(service),
       options_(options),
-      counters_("threads", options.name) {
+      counters_("threads", options.name),
+      trace_(options.name) {
   Listener l = open_listener(options_.listen, /*nonblocking=*/false);
   listen_fd_ = l.fd;
   port_ = l.port;
@@ -335,6 +343,12 @@ void TcpServer::connection_loop(ConnectionSlot* slot) {
   uint64_t last_activity = steady_ms();
   uint64_t partial_since = 0;  // 0 = no incomplete message pending
   DisconnectReason reason = DisconnectReason::kPeerClosed;
+  // One trace per request. The first trace on a connection starts at
+  // accept; later ones start when their first bytes arrive. An armed trace
+  // left at close is submitted as "abandoned" by its destructor.
+  obs::SpanContext trace = trace_.begin();
+  trace.stage("accept");
+  bool trace_reading = false;
   while (true) {
     // Drain every complete message already buffered before reading more.
     bool closed = false;
@@ -344,20 +358,27 @@ void TcpServer::connection_loop(ConnectionSlot* slot) {
         n = service_.message_size(buffer);
       } catch (const ParseError&) {
         write_all(fd, service_.malformed_response(buffer));
+        trace.finish("malformed");
         reason = DisconnectReason::kMalformed;
         closed = true;
         break;
       }
       if (n == 0) break;
       partial_since = 0;
+      if (!trace) trace = trace_.begin();
+      trace_reading = false;
+      trace.stage("serve");
       std::string response =
-          service_.serve(std::string_view(buffer).substr(0, n));
+          service_.serve(std::string_view(buffer).substr(0, n), trace);
       buffer.erase(0, n);
+      trace.stage("flush");
       if (!write_all(fd, response)) {
+        trace.finish("error");
         reason = DisconnectReason::kPeerClosed;
         closed = true;
         break;
       }
+      trace.finish("ok");
     }
     if (closed) break;
     if (!buffer.empty() && partial_since == 0) partial_since = steady_ms();
@@ -394,6 +415,7 @@ void TcpServer::connection_loop(ConnectionSlot* slot) {
       if (after < deadline) continue;
       std::string reply = service_.timeout_response();
       if (!reply.empty()) write_all(fd, reply);
+      trace.finish("timeout");
       reason = timeout_reason;
       break;
     }
@@ -403,6 +425,11 @@ void TcpServer::connection_loop(ConnectionSlot* slot) {
       break;
     }
     buffer.append(chunk, static_cast<size_t>(got));
+    if (!trace) trace = trace_.begin();
+    if (trace && !trace_reading) {
+      trace.stage("read");
+      trace_reading = true;
+    }
     last_activity = steady_ms();
   }
   close_slot(slot, stopping_.load() ? DisconnectReason::kServerStop : reason);

@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 
 namespace droplens::svc {
@@ -77,6 +78,16 @@ class Service {
 
   /// Serve one complete message. Must not throw; must be thread-safe.
   virtual std::string serve(std::string_view message) = 0;
+
+  /// Serve with the request's trace context — what transports call. The
+  /// default forwards to the 1-arg serve; services that want sub-stage
+  /// timings on the trace (svc::Server marks decode/answer) override this
+  /// and keep the 1-arg form as the plain entry point. `ctx` may be inert;
+  /// every stage call on it is then a no-op.
+  virtual std::string serve(std::string_view message, obs::SpanContext& ctx) {
+    (void)ctx;
+    return serve(message);
+  }
 
   /// The final response for an undelimitable stream head.
   virtual std::string malformed_response(std::string_view head) = 0;
@@ -230,6 +241,23 @@ class TransportCounters {
   std::array<obs::Counter, kDisconnectReasonCount> disconnects_c_;
 };
 
+/// Internal: a transport's hookup to the process flight recorder, resolved
+/// once at server construction. The op class is the server's `name` option
+/// ("binary", "whois", "admin", ...), so each listener's requests land in
+/// their own trace rings. Inert — begin() returns an inert context — when
+/// no recorder was installed at construction. The recorder, like the obs
+/// registry, must outlive the transport.
+struct TraceBinding {
+  explicit TraceBinding(const std::string& name);
+  obs::SpanContext begin() const {
+    return recorder ? recorder->begin(op) : obs::SpanContext();
+  }
+  explicit operator bool() const { return recorder != nullptr; }
+
+  obs::FlightRecorder* recorder = nullptr;
+  uint16_t op = 0;
+};
+
 /// What a transport should do about a failed accept(2). Transient errors
 /// (a peer that aborted mid-handshake, a signal) retry immediately;
 /// fd-exhaustion retries after a backoff so the loop never spins; only a
@@ -295,6 +323,7 @@ class TcpServer : public TransportServer {
   Service& service_;
   TransportOptions options_;
   mutable TransportCounters counters_;
+  TraceBinding trace_;
   int listen_fd_ = -1;
   uint16_t port_ = 0;
   std::atomic<bool> stopping_{false};

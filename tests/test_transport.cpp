@@ -27,7 +27,7 @@
 #include "sim/generator.hpp"
 #include "sim/net_fault_injector.hpp"
 #include "svc/epoll_transport.hpp"
-#include "svc/metrics_http.hpp"
+#include "svc/admin_http.hpp"
 #include "svc/protocol.hpp"
 #include "svc/server.hpp"
 #include "svc/snapshot.hpp"
@@ -376,7 +376,7 @@ TEST_P(TransportEdge, WhoisOverlongLineIsRefusedNotBuffered) {
 
 TEST_P(TransportEdge, HttpSlowlorisGets408) {
   obs::Registry registry;
-  svc::MetricsHttpService service(registry);
+  svc::AdminHttpService service(registry);
   svc::TransportOptions o;
   o.read_deadline_ms = 150;
   auto server = make(service, o);
@@ -393,13 +393,13 @@ TEST_P(TransportEdge, HttpSlowlorisGets408) {
 
 TEST_P(TransportEdge, HttpOversizedHeadGets431) {
   obs::Registry registry;
-  svc::MetricsHttpService service(registry);
+  svc::AdminHttpService service(registry);
   auto server = make(service, svc::TransportOptions{});
 
   int fd = raw_connect(server->port());
   ASSERT_GE(fd, 0);
   std::string head = "GET /metrics HTTP/1.1\r\nX-Filler: ";
-  head.append(svc::MetricsHttpService::kMaxHead, 'a');  // never terminated
+  head.append(svc::AdminHttpService::kMaxHead, 'a');  // never terminated
   ASSERT_TRUE(raw_send(fd, head));
   bool eof = false;
   std::string reply = raw_read_to_eof(fd, 5000, &eof);
@@ -410,7 +410,7 @@ TEST_P(TransportEdge, HttpOversizedHeadGets431) {
 
 TEST_P(TransportEdge, HttpOversizedBodyGets413) {
   obs::Registry registry;
-  svc::MetricsHttpService service(registry);
+  svc::AdminHttpService service(registry);
   auto server = make(service, svc::TransportOptions{});
 
   int fd = raw_connect(server->port());

@@ -34,7 +34,7 @@
 #include "obs/metrics.hpp"
 #include "sim/generator.hpp"
 #include "svc/client.hpp"
-#include "svc/metrics_http.hpp"
+#include "svc/admin_http.hpp"
 #include "svc/protocol.hpp"
 #include "svc/server.hpp"
 #include "svc/snapshot.hpp"
@@ -396,7 +396,7 @@ TEST_F(WindowTest, RescanKeepsUnchangedDaysAndDropsChangedOrDeletedOnes) {
 
 TEST(WindowHttp, MessageSizeConsumesDeclaredBodies) {
   obs::Registry reg;
-  svc::MetricsHttpService http(reg);
+  svc::AdminHttpService http(reg);
 
   const std::string get = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
   const std::string with_body =
@@ -447,7 +447,7 @@ TEST(WindowHttp, MessageSizeConsumesDeclaredBodies) {
 
 TEST(WindowHttp, KeepAliveOverTcpSurvivesRequestBodies) {
   obs::Registry reg;
-  svc::MetricsHttpService http(reg);
+  svc::AdminHttpService http(reg);
   svc::TcpServer tcp(http);
 
   // A response framer: head plus its declared Content-Length body.
