@@ -10,6 +10,15 @@
 //
 //   $ ./bench_perf_service [--small] [--seed=N] [--threads=N] [--seconds=S]
 //                          [--batch=N] [--reload]
+//
+// `--scale` skips the load generator and runs the full-table regression
+// gate instead: a generate_scale() world (1M routed prefixes, or
+// DROPLENS_SCALE_PREFIXES), served through svc::Server in kMaxBatch frames,
+// best-of-3 fixed-work timing. The batched serving path must (a) answer
+// byte-for-byte what the upper_bound reference path answers and (b) hold a
+// >= 2x throughput edge over per-query reference lookups — the in-binary
+// check that the data plane's full-table speedup never silently regresses.
+// Exits 1 on either failure; CI runs it.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -21,7 +30,11 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "core/drop_index.hpp"
+#include "core/study.hpp"
 #include "obs/flight_recorder.hpp"
+#include "sim/rng.hpp"
+#include "sim/scale.hpp"
 #include "svc/protocol.hpp"
 #include "svc/server.hpp"
 #include "svc/snapshot.hpp"
@@ -77,11 +90,144 @@ struct ThreadResult {
   bool diverged = false;
 };
 
+int run_scale_gate() {
+  sim::ScaleConfig config;
+  if (const char* env = std::getenv("DROPLENS_SCALE_PREFIXES")) {
+    config.routed_prefixes =
+        static_cast<size_t>(std::strtoull(env, nullptr, 10));
+  }
+  std::cerr << "[scale gate: generating " << config.routed_prefixes
+            << "-prefix world...]\n";
+  auto world = sim::generate_scale(config);
+  core::Study study{world->registry,
+                    world->fleet,
+                    world->irr,
+                    world->roas,
+                    world->drop,
+                    world->sbl,
+                    world->config.window_begin,
+                    world->config.window_end};
+  const core::DropIndex index = core::DropIndex::build(study);
+  auto compile_start = std::chrono::steady_clock::now();
+  auto snap = svc::compile_snapshot(study, index, config.day, 1);
+  double compile_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - compile_start)
+                          .count();
+
+  // Probe corpus: routed-interval boundaries interleaved with seeded
+  // randoms, packed into maximal frames.
+  sim::Rng rng(7);
+  const auto ivs = snap->routed().intervals();
+  std::vector<svc::Query> queries;
+  constexpr size_t kProbes = 1 << 17;
+  queries.reserve(kProbes);
+  while (queries.size() < kProbes) {
+    uint64_t addr;
+    if (queries.size() % 2 == 0) {
+      const auto& iv = ivs[rng.below(ivs.size())];
+      addr = rng.chance(0.5) ? iv.begin : iv.end - 1;
+    } else {
+      addr = rng.below(uint64_t{1} << 32);
+    }
+    queries.push_back(svc::Query{
+        config.day,
+        net::Prefix::containing(net::Ipv4(static_cast<uint32_t>(addr)),
+                                8 + static_cast<int>(rng.below(25))),
+        svc::kAllFields});
+  }
+  svc::Server server(snap);
+  std::vector<std::string> requests;
+  std::vector<std::string> expected;
+  for (size_t begin = 0; begin < queries.size(); begin += svc::kMaxBatch) {
+    std::vector<svc::Query> frame(
+        queries.begin() + static_cast<std::ptrdiff_t>(begin),
+        queries.begin() +
+            static_cast<std::ptrdiff_t>(
+                std::min(queries.size(), begin + svc::kMaxBatch)));
+    requests.push_back(svc::encode_query_request(frame));
+    expected.push_back(server.serve(requests.back()));
+  }
+
+  // Correctness first: every served answer equals the reference path's.
+  for (size_t f = 0, q = 0; f < requests.size(); ++f) {
+    const svc::QueryResponse decoded =
+        svc::decode_query_response(svc::frame_payload(expected[f]));
+    for (const svc::Answer& a : decoded.answers) {
+      if (a != snap->lookup_reference(queries[q].prefix, svc::kAllFields)) {
+        std::cerr << "FATAL: served answer diverges from the reference at "
+                  << queries[q].prefix.to_string() << "\n";
+        return 1;
+      }
+      ++q;
+    }
+  }
+
+  // Best-of-3 fixed-work timing: frames through the batched server vs the
+  // same queries through per-query reference lookups.
+  auto best_of_3 = [](auto&& work) {
+    double best = std::numeric_limits<double>::max();
+    for (int trial = 0; trial < 3; ++trial) {
+      const auto start = std::chrono::steady_clock::now();
+      work();
+      best = std::min(
+          best,
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+    }
+    return best;
+  };
+  bool diverged = false;
+  const double served_s = best_of_3([&] {
+    for (size_t f = 0; f < requests.size(); ++f) {
+      if (server.serve(requests[f]) != expected[f]) diverged = true;
+    }
+  });
+  uint64_t sink = 0;
+  const double reference_s = best_of_3([&] {
+    for (const svc::Query& q : queries) {
+      sink += snap->lookup_reference(q.prefix, svc::kAllFields).fields;
+    }
+  });
+  if (diverged) {
+    std::cerr << "FATAL: responses wobbled between timing trials\n";
+    return 1;
+  }
+  const double n = static_cast<double>(queries.size());
+  const double served_rate = n / served_s;
+  const double reference_rate = n / reference_s;
+  const double speedup = served_rate / reference_rate;
+  constexpr double kRequiredSpeedup = 2.0;
+  std::cout << "scale gate: " << snap->routed().interval_count()
+            << " routed intervals, " << queries.size() << " queries, "
+            << "compile " << util::fixed(compile_ms, 0) << " ms\n"
+            << "  reference lookups  "
+            << util::fixed(reference_rate / 1e6, 2) << " Mlookups/s\n"
+            << "  served (batched)   " << util::fixed(served_rate / 1e6, 2)
+            << " Mlookups/s (incl. frame codec)\n"
+            << "  speedup            " << util::fixed(speedup, 2)
+            << "x (required >= " << util::fixed(kRequiredSpeedup, 1) << "x)\n";
+  std::cout << "{\"bench\":\"perf_service_scale\",\"prefixes\":"
+            << config.routed_prefixes
+            << ",\"served_per_sec\":" << static_cast<uint64_t>(served_rate)
+            << ",\"reference_per_sec\":"
+            << static_cast<uint64_t>(reference_rate)
+            << ",\"speedup\":" << util::fixed(speedup, 2)
+            << ",\"checksum\":" << sink << "}\n";
+  if (speedup < kRequiredSpeedup) {
+    std::cerr << "FATAL: batched serving speedup " << util::fixed(speedup, 2)
+              << "x regressed below " << kRequiredSpeedup << "x\n";
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options opt;
   for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0) return run_scale_gate();
     if (std::strncmp(argv[i], "--threads=", 10) == 0) {
       opt.threads = static_cast<unsigned>(std::stoul(argv[i] + 10));
     }

@@ -3,12 +3,24 @@
 //   - RFC 6811 route-origin validation throughput
 //   - IntervalSet accounting vs. a per-/24 bitmap
 //   - SBL classifier throughput
+//   - full-table search: std::upper_bound vs the Eytzinger index, scalar
+//     and batched, at paper scale (1K) through full-table scale (1M/4M)
+//
+// `--scale-gate` skips the benchmark harness and runs the data-plane
+// regression gate instead: best-of-3 timed sweeps over a 1M-segment array,
+// exiting 1 if the batched Eytzinger path is not >= 3x the upper_bound
+// reference on one core (the ISSUE acceptance bar; CI runs it).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string_view>
 #include <vector>
 
 #include "drop/sbl.hpp"
 #include "net/cidr_cover.hpp"
+#include "net/eytzinger.hpp"
 #include "net/interval_set.hpp"
 #include "net/prefix_trie.hpp"
 #include "rpki/archive.hpp"
@@ -231,6 +243,165 @@ void BM_ValidatorTreeWalk(benchmark::State& state) {
 }
 BENCHMARK(BM_ValidatorTreeWalk)->Arg(64)->Arg(512);
 
+// ---------------------------------------------------------------------------
+// Full-table search: the flat sorted array every snapshot substrate ends in,
+// probed three ways. At 1K segments everything lives in L1 and the layouts
+// tie; at 1M+ the sorted array's binary search takes a cache miss per level
+// while the Eytzinger descent keeps the hot levels resident and the batched
+// variant hides the cold-level misses behind prefetch.
+
+std::vector<uint64_t> segment_begins(size_t n, uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  uint64_t cursor = uint64_t{1} << 24;
+  for (size_t i = 0; i < n; ++i) {
+    keys.push_back(cursor);
+    cursor += 256 * (1 + rng.below(4));
+  }
+  return keys;
+}
+
+std::vector<uint64_t> segment_probes(const std::vector<uint64_t>& keys,
+                                     size_t n, uint64_t seed) {
+  sim::Rng rng(seed);
+  std::vector<uint64_t> probes;
+  probes.reserve(n);
+  const uint64_t span = keys.back() + 1024;
+  for (size_t i = 0; i < n; ++i) probes.push_back(rng.below(span));
+  return probes;
+}
+
+void BM_SegmentSearchUpperBound(benchmark::State& state) {
+  const std::vector<uint64_t> keys =
+      segment_begins(static_cast<size_t>(state.range(0)), 31);
+  const std::vector<uint64_t> probes = segment_probes(keys, 4096, 32);
+  size_t i = 0;
+  for (auto _ : state) {
+    auto it = std::upper_bound(keys.begin(), keys.end(),
+                               probes[i++ % probes.size()]);
+    benchmark::DoNotOptimize(it - keys.begin());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentSearchUpperBound)
+    ->Arg(1000)->Arg(1'000'000)->Arg(4'000'000);
+
+void BM_SegmentSearchEytzinger(benchmark::State& state) {
+  const std::vector<uint64_t> keys =
+      segment_begins(static_cast<size_t>(state.range(0)), 31);
+  const std::vector<uint64_t> probes = segment_probes(keys, 4096, 32);
+  net::EytzingerIndex index;
+  index.build(keys.size(), [&](size_t i) { return keys[i]; });
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.upper_bound(probes[i++ % probes.size()]));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SegmentSearchEytzinger)
+    ->Arg(1000)->Arg(1'000'000)->Arg(4'000'000);
+
+void BM_SegmentSearchEytzingerBatch(benchmark::State& state) {
+  constexpr size_t kBatch = 512;
+  const std::vector<uint64_t> keys =
+      segment_begins(static_cast<size_t>(state.range(0)), 31);
+  const std::vector<uint64_t> probes = segment_probes(keys, 8 * kBatch, 32);
+  net::EytzingerIndex index;
+  index.build(keys.size(), [&](size_t i) { return keys[i]; });
+  std::vector<uint32_t> out(kBatch);
+  size_t i = 0;
+  for (auto _ : state) {
+    const size_t at = (i++ % 8) * kBatch;
+    index.upper_bound_batch(
+        std::span<const uint64_t>(probes.data() + at, kBatch), out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * kBatch);
+}
+BENCHMARK(BM_SegmentSearchEytzingerBatch)
+    ->Arg(1000)->Arg(1'000'000)->Arg(4'000'000);
+
+// The CI regression gate (see file comment). Prints both rates so the
+// EXPERIMENTS.md table can be refreshed from its output.
+int run_scale_gate() {
+  constexpr size_t kSegments = 1'000'000;
+  constexpr size_t kProbes = 1 << 20;
+  constexpr size_t kBatch = 512;
+  constexpr double kRequiredSpeedup = 3.0;
+  const std::vector<uint64_t> keys = segment_begins(kSegments, 31);
+  const std::vector<uint64_t> probes = segment_probes(keys, kProbes, 32);
+  net::EytzingerIndex index;
+  index.build(keys.size(), [&](size_t i) { return keys[i]; });
+
+  using Clock = std::chrono::steady_clock;
+  auto best_of_3 = [&](auto&& sweep) {
+    double best = 1e300;
+    uint64_t check = 0;
+    for (int round = 0; round < 3; ++round) {
+      uint64_t sum = 0;
+      const auto t0 = Clock::now();
+      sweep(sum);
+      const auto t1 = Clock::now();
+      best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+      if (round == 0) {
+        check = sum;
+      } else if (sum != check) {
+        std::fprintf(stderr, "scale-gate: nondeterministic checksum\n");
+        std::exit(1);
+      }
+    }
+    return std::pair<double, uint64_t>(best, check);
+  };
+
+  auto [ref_s, ref_sum] = best_of_3([&](uint64_t& sum) {
+    for (uint64_t p : probes) {
+      sum += static_cast<uint64_t>(
+          std::upper_bound(keys.begin(), keys.end(), p) - keys.begin());
+    }
+  });
+  std::vector<uint32_t> out(kBatch);
+  auto [fast_s, fast_sum] = best_of_3([&](uint64_t& sum) {
+    for (size_t at = 0; at < probes.size(); at += kBatch) {
+      index.upper_bound_batch(
+          std::span<const uint64_t>(probes.data() + at, kBatch), out.data());
+      for (uint32_t r : out) sum += r;
+    }
+  });
+  if (ref_sum != fast_sum) {
+    std::fprintf(stderr,
+                 "scale-gate: batched answers diverge from upper_bound "
+                 "(checksum %llu vs %llu)\n",
+                 static_cast<unsigned long long>(fast_sum),
+                 static_cast<unsigned long long>(ref_sum));
+    return 1;
+  }
+  const double ref_rate = kProbes / ref_s;
+  const double fast_rate = kProbes / fast_s;
+  const double speedup = fast_rate / ref_rate;
+  std::printf(
+      "scale-gate: %zu segments, %zu probes, best of 3\n"
+      "  upper_bound        %8.2f Mlookups/s\n"
+      "  eytzinger batched  %8.2f Mlookups/s\n"
+      "  speedup            %8.2fx (required >= %.1fx)\n",
+      kSegments, kProbes, ref_rate / 1e6, fast_rate / 1e6, speedup,
+      kRequiredSpeedup);
+  if (speedup < kRequiredSpeedup) {
+    std::fprintf(stderr, "scale-gate: FAIL — batched speedup regressed\n");
+    return 1;
+  }
+  std::printf("scale-gate: OK\n");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--scale-gate") return run_scale_gate();
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -10,6 +10,10 @@ IntervalSet IntervalSet::view(std::span<const Interval> intervals) {
   IntervalSet set;
   set.ext_data_ = intervals.data();
   set.ext_size_ = intervals.size();
+  // Views are born immutable — build the acceleration index up front. This
+  // is how a snapshot loaded from mmapped bytes regains the fast path: the
+  // on-disk format carries only the canonical arrays.
+  set.build_index();
   return set;
 }
 
@@ -38,7 +42,14 @@ IntervalSet IntervalSet::from_sorted(std::span<const Interval> intervals) {
       set.intervals_.push_back(iv);
     }
   }
+  set.build_index();
   return set;
+}
+
+void IntervalSet::build_index() {
+  std::span<const Interval> ivs = intervals();
+  if (eytz_.built() && eytz_.size() == ivs.size()) return;
+  eytz_.build(ivs.size(), [ivs](size_t i) { return ivs[i].begin; });
 }
 
 void IntervalSet::detach() {
@@ -51,6 +62,7 @@ void IntervalSet::detach() {
 void IntervalSet::insert(uint64_t begin, uint64_t end) {
   if (begin >= end) return;
   detach();
+  eytz_.clear();
   // Find the first interval whose end >= begin (candidate for merging).
   auto first = std::lower_bound(
       intervals_.begin(), intervals_.end(), begin,
@@ -70,6 +82,7 @@ void IntervalSet::insert(uint64_t begin, uint64_t end) {
 void IntervalSet::erase(uint64_t begin, uint64_t end) {
   if (begin >= end) return;
   detach();
+  eytz_.clear();
   std::vector<Interval> out;
   out.reserve(intervals_.size() + 1);
   for (const Interval& iv : intervals_) {
@@ -84,6 +97,34 @@ void IntervalSet::erase(uint64_t begin, uint64_t end) {
 }
 
 bool IntervalSet::contains(Ipv4 addr) const {
+  if (!eytz_.built()) return contains_reference(addr);
+  std::span<const Interval> ivs = intervals();
+  uint64_t a = addr.value();
+  uint32_t r = eytz_.upper_bound(a);
+  return r != 0 && a < ivs[r - 1].end;
+}
+
+bool IntervalSet::covers(const Prefix& p) const {
+  if (!eytz_.built()) return covers_reference(p);
+  std::span<const Interval> ivs = intervals();
+  uint64_t b = p.first(), e = p.end();
+  // upper_bound by begin: interval r-1 (if any) is the last with begin <= b.
+  uint32_t r = eytz_.upper_bound(b);
+  return r != 0 && b >= ivs[r - 1].begin && e <= ivs[r - 1].end;
+}
+
+bool IntervalSet::intersects(const Prefix& p) const {
+  if (!eytz_.built()) return intersects_reference(p);
+  std::span<const Interval> ivs = intervals();
+  uint64_t b = p.first(), e = p.end();
+  // [b, e) overlaps either the last interval beginning at or before b, or
+  // the first interval beginning after b — disjointness rules out others.
+  uint32_t r = eytz_.upper_bound(b);
+  if (r != 0 && b < ivs[r - 1].end) return true;
+  return r < ivs.size() && ivs[r].begin < e;
+}
+
+bool IntervalSet::contains_reference(Ipv4 addr) const {
   std::span<const Interval> ivs = intervals();
   uint64_t a = addr.value();
   auto it = std::upper_bound(
@@ -94,7 +135,7 @@ bool IntervalSet::contains(Ipv4 addr) const {
   return a < it->end;
 }
 
-bool IntervalSet::covers(const Prefix& p) const {
+bool IntervalSet::covers_reference(const Prefix& p) const {
   std::span<const Interval> ivs = intervals();
   uint64_t b = p.first(), e = p.end();
   auto it = std::upper_bound(
@@ -105,13 +146,63 @@ bool IntervalSet::covers(const Prefix& p) const {
   return b >= it->begin && e <= it->end;
 }
 
-bool IntervalSet::intersects(const Prefix& p) const {
+bool IntervalSet::intersects_reference(const Prefix& p) const {
   std::span<const Interval> ivs = intervals();
   uint64_t b = p.first(), e = p.end();
   auto it = std::lower_bound(
       ivs.begin(), ivs.end(), b,
       [](const Interval& iv, uint64_t v) { return iv.end <= v; });
   return it != ivs.end() && it->begin < e;
+}
+
+void IntervalSet::contains_batch(std::span<const uint64_t> addrs,
+                                 uint8_t* out) const {
+  std::span<const Interval> ivs = intervals();
+  if (!eytz_.built()) {
+    for (size_t i = 0; i < addrs.size(); ++i) {
+      out[i] = contains_reference(Ipv4(static_cast<uint32_t>(addrs[i]))) ? 1
+                                                                         : 0;
+    }
+    return;
+  }
+  constexpr size_t kChunk = 512;
+  uint32_t ranks[kChunk];
+  for (size_t base = 0; base < addrs.size(); base += kChunk) {
+    const size_t len = std::min(kChunk, addrs.size() - base);
+    eytz_.upper_bound_batch(addrs.subspan(base, len), ranks);
+    for (size_t j = 0; j < len; ++j) {
+      uint32_t r = ranks[j];
+      out[base + j] =
+          static_cast<uint8_t>(r != 0 && addrs[base + j] < ivs[r - 1].end);
+    }
+  }
+}
+
+void IntervalSet::intersects_batch(std::span<const Prefix> prefixes,
+                                   uint8_t* out) const {
+  std::span<const Interval> ivs = intervals();
+  if (!eytz_.built()) {
+    for (size_t i = 0; i < prefixes.size(); ++i) {
+      out[i] = intersects_reference(prefixes[i]) ? 1 : 0;
+    }
+    return;
+  }
+  constexpr size_t kChunk = 512;
+  uint64_t keys[kChunk];
+  uint32_t ranks[kChunk];
+  for (size_t base = 0; base < prefixes.size(); base += kChunk) {
+    const size_t len = std::min(kChunk, prefixes.size() - base);
+    for (size_t j = 0; j < len; ++j) keys[j] = prefixes[base + j].first();
+    eytz_.upper_bound_batch(std::span<const uint64_t>(keys, len), ranks);
+    for (size_t j = 0; j < len; ++j) {
+      uint32_t r = ranks[j];
+      const uint64_t b = keys[j];
+      const uint64_t e = prefixes[base + j].end();
+      out[base + j] =
+          static_cast<uint8_t>((r != 0 && b < ivs[r - 1].end) ||
+                               (r < ivs.size() && ivs[r].begin < e));
+    }
+  }
 }
 
 uint64_t IntervalSet::size() const {

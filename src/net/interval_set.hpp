@@ -16,6 +16,7 @@
 #include <span>
 #include <vector>
 
+#include "net/eytzinger.hpp"
 #include "net/prefix.hpp"
 
 namespace droplens::net {
@@ -68,6 +69,28 @@ class IntervalSet {
   /// True if any address of `p` is in the set.
   bool intersects(const Prefix& p) const;
 
+  /// Build the Eytzinger acceleration index (net/eytzinger.hpp) over the
+  /// current interval array. A permutation overlay only: intervals() and
+  /// everything serialized from it are unchanged. view() and from_sorted()
+  /// build it automatically; sets grown by insert()/erase() call this once
+  /// after the last mutation (any mutation discards the index). Idempotent.
+  void build_index();
+  bool has_fast_index() const { return eytz_.built(); }
+
+  // Reference twins: the plain std::upper_bound/lower_bound searches,
+  // bypassing the index. The differential tests cross-check every indexed
+  // and batched answer against these.
+  bool contains_reference(Ipv4 addr) const;
+  bool covers_reference(const Prefix& p) const;
+  bool intersects_reference(const Prefix& p) const;
+
+  /// Batched queries: out[i] = contains/intersects of the i-th input
+  /// (0/1). With the index built, a stripe of queries descends in lockstep
+  /// with software prefetch (see eytzinger.hpp); without it, this is the
+  /// reference loop. `out` must have the input's length.
+  void contains_batch(std::span<const uint64_t> addrs, uint8_t* out) const;
+  void intersects_batch(std::span<const Prefix> prefixes, uint8_t* out) const;
+
   /// Total number of addresses.
   uint64_t size() const;
 
@@ -104,6 +127,9 @@ class IntervalSet {
   // View mode: when set, intervals_ is empty and queries read this array.
   const Interval* ext_data_ = nullptr;
   size_t ext_size_ = 0;
+  // Optional acceleration overlay; ranks index into intervals(). Mutations
+  // clear it, copies carry it (ranks stay valid for equal content).
+  EytzingerIndex eytz_;
 };
 
 }  // namespace droplens::net

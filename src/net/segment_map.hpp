@@ -24,6 +24,7 @@
 #include <utility>
 #include <vector>
 
+#include "net/eytzinger.hpp"
 #include "net/prefix.hpp"
 
 namespace droplens::net {
@@ -50,6 +51,10 @@ class SegmentMap {
     SegmentMap m;
     m.ext_data_ = segments.data();
     m.ext_size_ = segments.size();
+    // Views are born finalized — build the acceleration index up front, so
+    // a snapshot loaded from mmapped bytes regains the fast path (the
+    // on-disk format carries only the canonical segment array).
+    m.build_index();
     return m;
   }
 
@@ -111,10 +116,34 @@ class SegmentMap {
       }
     }
     paint_.clear();
+    eytz_.clear();
+    build_index();
   }
+
+  /// Build the Eytzinger acceleration index (net/eytzinger.hpp) over the
+  /// finalized segment array. A permutation overlay only: segments() and
+  /// everything serialized from it are unchanged. finalize() and view()
+  /// call this automatically; idempotent.
+  void build_index() {
+    std::span<const Segment> segs = segments();
+    if (eytz_.built() && eytz_.size() == segs.size()) return;
+    eytz_.build(segs.size(), [segs](size_t i) { return segs[i].begin; });
+  }
+  bool has_fast_index() const { return eytz_.built(); }
 
   /// The segment value at address `addr`, or nullptr for unpainted space.
   const T* lookup(uint64_t addr) const {
+    if (!eytz_.built()) return lookup_reference(addr);
+    std::span<const Segment> segs = segments();
+    uint32_t r = eytz_.upper_bound(addr);
+    if (r == 0) return nullptr;
+    const Segment& s = segs[r - 1];
+    return addr < s.end ? &s.value : nullptr;
+  }
+
+  /// The plain std::upper_bound lookup, bypassing the index — the oracle
+  /// the differential tests cross-check every indexed answer against.
+  const T* lookup_reference(uint64_t addr) const {
     std::span<const Segment> segs = segments();
     auto it = std::upper_bound(
         segs.begin(), segs.end(), addr,
@@ -122,6 +151,32 @@ class SegmentMap {
     if (it == segs.begin()) return nullptr;
     --it;
     return addr < it->end ? &it->value : nullptr;
+  }
+
+  /// Batched lookup: out[i] = lookup(addrs[i]). With the index built, a
+  /// stripe of queries descends in lockstep with software prefetch (see
+  /// eytzinger.hpp); without it, the reference loop. `out` must have
+  /// addrs.size() slots.
+  void lookup_batch(std::span<const uint64_t> addrs, const T** out) const {
+    std::span<const Segment> segs = segments();
+    if (!eytz_.built()) {
+      for (size_t i = 0; i < addrs.size(); ++i) {
+        out[i] = lookup_reference(addrs[i]);
+      }
+      return;
+    }
+    constexpr size_t kChunk = 512;
+    uint32_t ranks[kChunk];
+    for (size_t base = 0; base < addrs.size(); base += kChunk) {
+      const size_t len = std::min(kChunk, addrs.size() - base);
+      eytz_.upper_bound_batch(addrs.subspan(base, len), ranks);
+      for (size_t j = 0; j < len; ++j) {
+        uint32_t r = ranks[j];
+        out[base + j] = (r != 0 && addrs[base + j] < segs[r - 1].end)
+                            ? &segs[r - 1].value
+                            : nullptr;
+      }
+    }
   }
 
   /// The value at a prefix's network address — the longest-match answer
@@ -196,6 +251,9 @@ class SegmentMap {
   // View mode: when set, segments_ is empty and lookups read this array.
   const Segment* ext_data_ = nullptr;
   size_t ext_size_ = 0;
+  // Optional acceleration overlay; ranks index into segments(). Copies
+  // carry it (ranks stay valid for equal content).
+  EytzingerIndex eytz_;
 };
 
 }  // namespace droplens::net

@@ -1,0 +1,133 @@
+#include "sim/scale.hpp"
+
+#include <bit>
+#include <string>
+
+#include "net/asn.hpp"
+#include "rpki/roa.hpp"
+#include "sim/rng.hpp"
+#include "util/error.hpp"
+
+namespace droplens::sim {
+
+namespace {
+
+// Unicast-ish carving range: first octets 1..223.
+constexpr uint64_t kSpaceBegin = uint64_t{1} << 24;
+constexpr uint64_t kSpaceEnd = uint64_t{223} << 24;
+
+rir::Rir rir_for_octet(uint32_t octet) {
+  return rir::kAllRirs[octet % rir::kAllRirs.size()];
+}
+
+// Prefix length distribution, roughly a real table's /24-heavy shape.
+int pick_length(Rng& rng) {
+  const uint64_t r = rng.below(100);
+  if (r < 60) return 24;
+  if (r < 80) return 23;
+  if (r < 90) return 22;
+  if (r < 96) return 21;
+  return 20;
+}
+
+}  // namespace
+
+std::unique_ptr<World> generate_scale(const ScaleConfig& config) {
+  auto world = std::make_unique<World>();
+  world->config.seed = config.seed;
+  world->config.window_begin = config.day - 30;
+  world->config.window_end = config.day + 30;
+  const net::Date wb = world->config.window_begin;
+  const net::Date we = world->config.window_end;
+
+  // RIR plane: every first-octet /8 is administered; the lower half of each
+  // is a live allocation, so rir_status exercises all three answers
+  // (allocated / free pool / unadministered space past 223.0.0.0).
+  for (uint32_t octet = 1; octet < 223; ++octet) {
+    const rir::Rir rir = rir_for_octet(octet);
+    const net::Prefix block(net::Ipv4(octet << 24), 8);
+    world->registry.administer(rir, block);
+    world->registry.allocate(net::Prefix(net::Ipv4(octet << 24), 9), rir,
+                             "SCALE-HOLDER-" + std::to_string(octet), wb - 100);
+  }
+
+  world->fleet.add_collector("scale-rrc00");
+  world->fleet.add_peer(0, net::Asn(65001), /*full_table=*/true);
+
+  Rng rng(config.seed);
+  const net::DateRange lifetime{wb, we};
+  const size_t drop_stride =
+      config.drop_entries
+          ? std::max<size_t>(1, config.routed_prefixes / config.drop_entries)
+          : 0;
+
+  // Stream the space in increasing address order (see header). All index
+  // math is uint64: at full-table magnitude the cursor and every derived
+  // count are far past what 32-bit arithmetic survives.
+  uint64_t cursor = kSpaceBegin;
+  size_t drop_added = 0;
+  for (size_t made = 0; made < config.routed_prefixes; ++made) {
+    // Carve an aligned prefix at the cursor; the cursor is always at least
+    // /24-aligned, so lengthening to the alignment always terminates.
+    int len = pick_length(rng);
+    const int max_len_for_alignment =
+        32 - std::countr_zero(cursor | (uint64_t{1} << 24));
+    if (len < max_len_for_alignment) len = max_len_for_alignment;
+    const uint64_t size = uint64_t{1} << (32 - len);
+    if (cursor + size > kSpaceEnd) {
+      throw InvariantError(
+          "sim: scale generator exhausted the unicast space at " +
+          std::to_string(made) + " prefixes");
+    }
+    const net::Prefix prefix(net::Ipv4(static_cast<uint32_t>(cursor)), len);
+    cursor += size;
+
+    const net::Asn origin(10'000 + static_cast<uint32_t>(rng.below(50'000)));
+    world->fleet.announce(
+        prefix,
+        bgp::AsPath{net::Asn(64'500 + static_cast<uint32_t>(rng.below(1'000))),
+                    origin},
+        lifetime);
+
+    if (rng.chance(config.signed_rate)) {
+      const net::Asn roa_origin = rng.chance(config.invalid_rate)
+                                      ? net::Asn(origin.value() + 1)
+                                      : origin;
+      const int max_length =
+          rng.chance(0.2) && len < 24 ? len + 1 : 0;  // 0 = prefix length
+      world->roas.publish(
+          rpki::Roa(prefix, roa_origin, rpki::Tal::kRipe, max_length),
+          wb - 10);
+    }
+    // Sparse AS0 ROAs so the as0 substrate has full-table-spread entries.
+    if (made % 977 == 0) {
+      world->roas.publish(
+          rpki::Roa(prefix, net::Asn::as0(), rpki::Tal::kApnicAs0), wb - 10);
+    }
+
+    if (rng.chance(config.irr_rate)) {
+      irr::RouteObject obj;
+      obj.prefix = prefix;
+      obj.origin = origin;
+      obj.maintainer = "MNT-SCALE-" + std::to_string(rng.below(1'000));
+      obj.org_id = "ORG-SCALE-" + std::to_string(rng.below(1'000));
+      obj.descr = "scale world route object";
+      obj.created = wb - 20;
+      world->irr.register_object(std::move(obj));
+    }
+
+    if (drop_stride && made % drop_stride == 0 &&
+        drop_added < config.drop_entries) {
+      world->drop.add(prefix, wb);
+      ++drop_added;
+    }
+
+    if (rng.chance(config.gap_rate)) {
+      cursor += (uint64_t{1} << 8) * (1 + rng.below(8));
+    }
+  }
+
+  return world;
+}
+
+}  // namespace droplens::sim

@@ -1,0 +1,46 @@
+// Full-table-magnitude world generator.
+//
+// The scenario generator (sim/generator.hpp) reproduces the paper's world:
+// ~712 DROP prefixes, hundreds of announced prefixes, 244 KB snapshots. The
+// ROADMAP north-star is the real Internet — ~1M routed prefixes — where the
+// data plane's behaviour changes qualitatively (the lookup arrays outgrow
+// cache). generate_scale() builds that world: it streams the unicast
+// address space in increasing address order, carving aligned /16–/24
+// prefixes with deterministic gaps, and plants every substrate the query
+// service compiles (announcements, ROAs with a controlled invalid rate, IRR
+// route objects, DROP listings, RIR administration and allocations).
+//
+// Streaming in address order is load-bearing, not cosmetic: every
+// downstream consumer (IntervalSet::insert, the IRR history walk, the ROV
+// paint) appends at the back of its structure, so fixture construction
+// stays O(n log n) and in memory budget at millions of prefixes — inserting
+// in random order would quadratically memmove the interval arrays.
+//
+// Deterministic in `seed`: same config, same World, byte for byte.
+#pragma once
+
+#include <memory>
+
+#include "sim/world.hpp"
+
+namespace droplens::sim {
+
+struct ScaleConfig {
+  uint64_t seed = 42;
+  /// Announced prefixes to carve; >=1M is full-table magnitude.
+  size_t routed_prefixes = 1'000'000;
+  double gap_rate = 0.5;       // chance of unrouted space after each prefix
+  double signed_rate = 0.35;   // fraction of prefixes with a covering ROA
+  double invalid_rate = 0.05;  // of signed: ROA origin mismatches the route
+  double irr_rate = 0.25;      // fraction with a live IRR route object
+  size_t drop_entries = 4096;  // DROP listings spread over the routed space
+  /// The snapshot date the scale tier compiles; the window extends 30 days
+  /// to each side.
+  net::Date day = net::Date::from_ymd(2022, 1, 15);
+};
+
+/// Generate the full-table World. Throws InvariantError if the requested
+/// prefix count cannot be carved from the unicast space.
+std::unique_ptr<World> generate_scale(const ScaleConfig& config);
+
+}  // namespace droplens::sim

@@ -19,6 +19,41 @@ namespace {
 constexpr const char* kFieldNames[kFieldCount] = {
     "drop", "classification", "rov", "as0", "irr", "rir", "routed"};
 
+// Queries per Snapshot::lookup_batch call on the serving path. Chunks are
+// answered into disjoint slices of the response array, so the parallel_for
+// fan-out below stays byte-deterministic for any thread count; the scratch
+// per chunk lives on the worker's stack.
+constexpr size_t kServeChunk = 512;
+
+// Answer queries[c*kServeChunk ...) against `s`, batching every query whose
+// `accept` predicate passes and writing `miss` for the rest.
+template <typename Accept>
+void answer_chunk(const Snapshot& s, const std::vector<Query>& queries,
+                  std::vector<Answer>& answers, size_t c, const Accept& accept,
+                  const Answer& miss) {
+  const size_t begin = c * kServeChunk;
+  const size_t end = std::min(queries.size(), begin + kServeChunk);
+  net::Prefix prefixes[kServeChunk];
+  uint8_t fields[kServeChunk];
+  uint32_t slot[kServeChunk];
+  Answer out[kServeChunk];
+  size_t m = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const Query& q = queries[i];
+    if (!accept(q)) {
+      answers[i] = miss;
+      continue;
+    }
+    prefixes[m] = q.prefix;
+    fields[m] = q.fields;
+    slot[m] = static_cast<uint32_t>(i);
+    ++m;
+  }
+  s.lookup_batch(std::span<const net::Prefix>(prefixes, m),
+                 std::span<const uint8_t>(fields, m), std::span<Answer>(out, m));
+  for (size_t j = 0; j < m; ++j) answers[slot[j]] = out[j];
+}
+
 }  // namespace
 
 Server::Server(std::shared_ptr<const Snapshot> initial, util::ThreadPool* pool)
@@ -192,20 +227,17 @@ std::string Server::handle_queries(std::string_view payload) {
   response.answers.resize(queries.size());
 
   const Snapshot& s = *snap;
-  auto answer_one = [&](size_t i) {
-    const Query& q = queries[i];
-    if (q.date != s.date()) {
-      Answer a;
-      a.status = static_cast<uint8_t>(QueryStatus::kWrongDate);
-      response.answers[i] = a;
-      return;
-    }
-    response.answers[i] = s.lookup(q.prefix, q.fields);
+  Answer wrong_date;
+  wrong_date.status = static_cast<uint8_t>(QueryStatus::kWrongDate);
+  auto accept = [&](const Query& q) { return q.date == s.date(); };
+  auto serve_chunk = [&](size_t c) {
+    answer_chunk(s, queries, response.answers, c, accept, wrong_date);
   };
+  const size_t chunks = (queries.size() + kServeChunk - 1) / kServeChunk;
   if (pool_ && queries.size() >= kParallelThreshold) {
-    pool_->parallel_for(queries.size(), answer_one);
+    pool_->parallel_for(chunks, serve_chunk);
   } else {
-    for (size_t i = 0; i < queries.size(); ++i) answer_one(i);
+    for (size_t c = 0; c < chunks; ++c) serve_chunk(c);
   }
 
   // Count per-field lookups once per answered query; sequential and cheap.
@@ -246,21 +278,36 @@ std::string Server::handle_store_queries(const std::vector<Query>& queries) {
     }
   }
 
-  auto answer_one = [&](size_t i) {
-    const Query& q = queries[i];
-    const Snapshot* s = by_date.find(q.date)->second.get();
-    if (!s) {
-      Answer a;
-      a.status = static_cast<uint8_t>(QueryStatus::kUnavailable);
-      response.answers[i] = a;
-      return;
+  Answer unavailable;
+  unavailable.status = static_cast<uint8_t>(QueryStatus::kUnavailable);
+  if (by_date.size() == 1 && by_date.begin()->second) {
+    // The bulk shape — one date per frame — takes the batched data plane.
+    const Snapshot& s = *by_date.begin()->second;
+    auto accept = [](const Query&) { return true; };
+    auto serve_chunk = [&](size_t c) {
+      answer_chunk(s, queries, response.answers, c, accept, unavailable);
+    };
+    const size_t chunks = (queries.size() + kServeChunk - 1) / kServeChunk;
+    if (pool_ && queries.size() >= kParallelThreshold) {
+      pool_->parallel_for(chunks, serve_chunk);
+    } else {
+      for (size_t c = 0; c < chunks; ++c) serve_chunk(c);
     }
-    response.answers[i] = s->lookup(q.prefix, q.fields);
-  };
-  if (pool_ && queries.size() >= kParallelThreshold) {
-    pool_->parallel_for(queries.size(), answer_one);
   } else {
-    for (size_t i = 0; i < queries.size(); ++i) answer_one(i);
+    auto answer_one = [&](size_t i) {
+      const Query& q = queries[i];
+      const Snapshot* s = by_date.find(q.date)->second.get();
+      if (!s) {
+        response.answers[i] = unavailable;
+        return;
+      }
+      response.answers[i] = s->lookup(q.prefix, q.fields);
+    };
+    if (pool_ && queries.size() >= kParallelThreshold) {
+      pool_->parallel_for(queries.size(), answer_one);
+    } else {
+      for (size_t i = 0; i < queries.size(); ++i) answer_one(i);
+    }
   }
 
   for (const Query& q : queries) {

@@ -29,13 +29,16 @@ uint8_t primary_bucket(uint8_t category_bits) {
   return kNoValue;
 }
 
-}  // namespace
-
-Answer Snapshot::lookup(const net::Prefix& p, uint8_t fields) const {
+/// One assembly routine for every lookup flavour. `sub` supplies the seven
+/// substrate answers; the scalar, reference, and batched paths plug in
+/// different providers, so their answers can only differ if a substrate
+/// search itself differs — exactly what the differential tests pin.
+template <typename Sub>
+Answer assemble_answer(uint8_t fields, const Sub& sub) {
   Answer a;
   a.fields = fields & kAllFields;
   if (a.fields & (field_bit(Field::kDrop) | field_bit(Field::kClassification))) {
-    if (const DropInfo* info = drop_.lookup(p)) {
+    if (const Snapshot::DropInfo* info = sub.drop_info()) {
       a.drop_listed = true;
       a.incident = info->incident;
       if (a.fields & field_bit(Field::kDrop)) a.categories = info->categories;
@@ -45,24 +48,150 @@ Answer Snapshot::lookup(const net::Prefix& p, uint8_t fields) const {
     }
   }
   if (a.fields & field_bit(Field::kRov)) {
-    const uint8_t* status = rov_.lookup(p);
+    const uint8_t* status = sub.rov_status();
     a.rov = status ? static_cast<RovStatus>(*status) : RovStatus::kUnrouted;
   }
-  if (a.fields & field_bit(Field::kAs0)) a.as0_covered = as0_.intersects(p);
-  if (a.fields & field_bit(Field::kIrr)) a.irr_registered = irr_.intersects(p);
-  if (a.fields & field_bit(Field::kRouted)) a.routed = routed_.intersects(p);
+  if (a.fields & field_bit(Field::kAs0)) a.as0_covered = sub.as0();
+  if (a.fields & field_bit(Field::kIrr)) a.irr_registered = sub.irr();
+  if (a.fields & field_bit(Field::kRouted)) a.routed = sub.routed();
   if (a.fields & field_bit(Field::kRir)) {
-    if (const uint8_t* rir = rir_.lookup(p)) {
+    if (const uint8_t* rir = sub.rir_value()) {
       a.rir = *rir;
-      a.rir_status = allocated_.contains(net::Ipv4(
-                         static_cast<uint32_t>(p.first())))
-                         ? RirStatus::kAllocated
-                         : RirStatus::kFreePool;
+      a.rir_status = sub.allocated_at_first() ? RirStatus::kAllocated
+                                              : RirStatus::kFreePool;
     } else {
       a.rir_status = RirStatus::kUnadministered;
     }
   }
   return a;
+}
+
+/// Per-query provider over the live structures; kReference forces the
+/// plain std::upper_bound searches.
+template <bool kReference>
+struct ScalarSub {
+  const Snapshot& s;
+  const net::Prefix& p;
+
+  const Snapshot::DropInfo* drop_info() const {
+    return kReference ? s.drop().lookup_reference(p.first())
+                      : s.drop().lookup(p);
+  }
+  const uint8_t* rov_status() const {
+    return kReference ? s.rov().lookup_reference(p.first()) : s.rov().lookup(p);
+  }
+  const uint8_t* rir_value() const {
+    return kReference ? s.rir().lookup_reference(p.first()) : s.rir().lookup(p);
+  }
+  bool as0() const {
+    return kReference ? s.as0().intersects_reference(p) : s.as0().intersects(p);
+  }
+  bool irr() const {
+    return kReference ? s.irr().intersects_reference(p) : s.irr().intersects(p);
+  }
+  bool routed() const {
+    return kReference ? s.routed().intersects_reference(p)
+                      : s.routed().intersects(p);
+  }
+  bool allocated_at_first() const {
+    net::Ipv4 first(static_cast<uint32_t>(p.first()));
+    return kReference ? s.allocated().contains_reference(first)
+                      : s.allocated().contains(first);
+  }
+};
+
+/// Provider over one batch lane's precomputed substrate answers.
+struct LaneSub {
+  const Snapshot::DropInfo* drop_v;
+  const uint8_t* rov_v;
+  const uint8_t* rir_v;
+  bool as0_v, irr_v, routed_v, alloc_v;
+
+  const Snapshot::DropInfo* drop_info() const { return drop_v; }
+  const uint8_t* rov_status() const { return rov_v; }
+  const uint8_t* rir_value() const { return rir_v; }
+  bool as0() const { return as0_v; }
+  bool irr() const { return irr_v; }
+  bool routed() const { return routed_v; }
+  bool allocated_at_first() const { return alloc_v; }
+};
+
+}  // namespace
+
+Answer Snapshot::lookup(const net::Prefix& p, uint8_t fields) const {
+  return assemble_answer(fields, ScalarSub<false>{*this, p});
+}
+
+Answer Snapshot::lookup_reference(const net::Prefix& p, uint8_t fields) const {
+  return assemble_answer(fields, ScalarSub<true>{*this, p});
+}
+
+void Snapshot::lookup_batch(std::span<const net::Prefix> prefixes,
+                            std::span<const uint8_t> fields,
+                            std::span<Answer> out) const {
+  assert(prefixes.size() == fields.size() && prefixes.size() == out.size());
+  // Chunked so the per-substrate scratch stays on the stack: run each
+  // requested substrate's batched search over the whole chunk (a stripe of
+  // independent, prefetched descents), then assemble per lane.
+  constexpr size_t kChunk = 512;
+  uint64_t firsts[kChunk];
+  const DropInfo* drop_v[kChunk];
+  const uint8_t* rov_v[kChunk];
+  const uint8_t* rir_v[kChunk];
+  uint8_t as0_v[kChunk], irr_v[kChunk], routed_v[kChunk], alloc_v[kChunk];
+  for (size_t base = 0; base < prefixes.size(); base += kChunk) {
+    const size_t len = std::min(kChunk, prefixes.size() - base);
+    uint8_t want = 0;
+    for (size_t j = 0; j < len; ++j) want |= fields[base + j];
+    want &= kAllFields;
+    for (size_t j = 0; j < len; ++j) firsts[j] = prefixes[base + j].first();
+    const std::span<const uint64_t> first_keys(firsts, len);
+    const std::span<const net::Prefix> chunk = prefixes.subspan(base, len);
+    // Unrequested substrates zero-fill their lanes so LaneSub construction
+    // below never reads an indeterminate slot (assembly still ignores them
+    // per-lane).
+    if (want &
+        (field_bit(Field::kDrop) | field_bit(Field::kClassification))) {
+      drop_.lookup_batch(first_keys, drop_v);
+    } else {
+      std::fill_n(drop_v, len, nullptr);
+    }
+    if (want & field_bit(Field::kRov)) {
+      rov_.lookup_batch(first_keys, rov_v);
+    } else {
+      std::fill_n(rov_v, len, nullptr);
+    }
+    if (want & field_bit(Field::kRir)) {
+      rir_.lookup_batch(first_keys, rir_v);
+      allocated_.contains_batch(first_keys, alloc_v);
+    } else {
+      std::fill_n(rir_v, len, nullptr);
+      std::fill_n(alloc_v, len, uint8_t{0});
+    }
+    if (want & field_bit(Field::kAs0)) {
+      as0_.intersects_batch(chunk, as0_v);
+    } else {
+      std::fill_n(as0_v, len, uint8_t{0});
+    }
+    if (want & field_bit(Field::kIrr)) {
+      irr_.intersects_batch(chunk, irr_v);
+    } else {
+      std::fill_n(irr_v, len, uint8_t{0});
+    }
+    if (want & field_bit(Field::kRouted)) {
+      routed_.intersects_batch(chunk, routed_v);
+    } else {
+      std::fill_n(routed_v, len, uint8_t{0});
+    }
+    for (size_t j = 0; j < len; ++j) {
+      // Lanes only read the substrates their own field mask requested —
+      // which the chunk's `want` union covers, so those slots are filled.
+      out[base + j] = assemble_answer(
+          fields[base + j],
+          LaneSub{drop_v[j], rov_v[j], rir_v[j], as0_v[j] != 0, irr_v[j] != 0,
+                  routed_v[j] != 0, alloc_v[j] != 0});
+    }
+  }
 }
 
 std::shared_ptr<const Snapshot> compile_snapshot(const core::Study& study,
@@ -183,6 +312,10 @@ std::shared_ptr<const Snapshot> compile_snapshot(const core::Study& study,
     }
   }
   snap->rir_.finalize();
+
+  // The interval sets were copied from the engine's cached (index-less)
+  // sets; the finalize() calls above already indexed the segment maps.
+  snap->build_indexes();
 
   return snap;
 }

@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <utility>
 
 #include "core/data_quality.hpp"
@@ -115,7 +116,9 @@ class Snapshot {
         allocated_(std::move(allocated)),
         drop_(std::move(drop)),
         rov_(std::move(rov)),
-        rir_(std::move(rir)) {}
+        rir_(std::move(rir)) {
+    build_indexes();
+  }
 
   uint64_t version() const { return version_; }
   net::Date date() const { return date_; }
@@ -125,6 +128,33 @@ class Snapshot {
 
   /// Answer `fields` for `p`. Never throws; lock-free and allocation-free.
   Answer lookup(const net::Prefix& p, uint8_t fields) const;
+
+  /// Answer a batch: out[i] = lookup(prefixes[i], fields[i]), assembled
+  /// from the substrates' batched (prefetching, branch-free) searches —
+  /// byte-identical to per-query lookup() by construction: both paths share
+  /// one assembly template and differ only in how the substrate answers are
+  /// produced. All three spans must have equal length. Allocation-free.
+  void lookup_batch(std::span<const net::Prefix> prefixes,
+                    std::span<const uint8_t> fields,
+                    std::span<Answer> out) const;
+
+  /// lookup() forced through the substrates' plain std::upper_bound
+  /// searches, bypassing every Eytzinger index — the oracle the
+  /// differential scale tier cross-checks the fast paths against.
+  Answer lookup_reference(const net::Prefix& p, uint8_t fields) const;
+
+  /// Build the substrates' acceleration indexes (idempotent, cheap when
+  /// already built). Every construction path calls this; it exists
+  /// publicly for tests that assemble snapshots by hand.
+  void build_indexes() {
+    routed_.build_index();
+    as0_.build_index();
+    irr_.build_index();
+    allocated_.build_index();
+    drop_.build_index();
+    rov_.build_index();
+    rir_.build_index();
+  }
 
   // Read access to the compiled structures, in on-disk segment order — the
   // spans the snapshot writer serializes (see svc/snapshot_io.hpp).

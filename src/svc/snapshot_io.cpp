@@ -567,15 +567,16 @@ std::string diff_segment(const std::string& base_enc,
   std::string out;
   put_le<uint64_t>(out, nn);
   put_le<uint32_t>(out, util::crc32c(new_enc.data(), new_enc.size()));
-  put_le<uint32_t>(out, static_cast<uint32_t>(ops.size()));
+  put_le<uint32_t>(out, detail::checked_u32(ops.size(), "patch op count"));
   for (const Op& op : ops) {
     if (op.copy) {
       put_le<uint8_t>(out, 0);
-      put_le<uint32_t>(out, static_cast<uint32_t>(op.start));
-      put_le<uint32_t>(out, static_cast<uint32_t>(op.count));
+      put_le<uint32_t>(out, detail::checked_u32(op.start, "copy op start"));
+      put_le<uint32_t>(out, detail::checked_u32(op.count, "copy op count"));
     } else {
       put_le<uint8_t>(out, 1);
-      put_le<uint32_t>(out, static_cast<uint32_t>(op.count));
+      put_le<uint32_t>(out,
+                       detail::checked_u32(op.count, "literal op count"));
       out.append(new_enc.data() + op.start * esz, op.count * esz);
     }
   }

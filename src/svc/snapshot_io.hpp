@@ -110,6 +110,23 @@ class SnapshotFormatError : public ParseError {
   SnapshotIoError code_;
 };
 
+namespace detail {
+
+/// Narrowing guard for the format's u32 wire fields (patch-op indexes and
+/// counts). IPv4 bounds keep every real segment array under 2^32 elements,
+/// so the fields are wide enough — but a writer handed a violating array
+/// must fail loudly here, never wrap silently into a valid-looking patch.
+inline uint32_t checked_u32(uint64_t v, const char* what) {
+  if (v > UINT32_MAX) {
+    throw SnapshotFormatError(
+        SnapshotIoError::kBadInvariant,
+        std::string("svc: ") + what + " overflows a u32 wire field");
+  }
+  return static_cast<uint32_t>(v);
+}
+
+}  // namespace detail
+
 inline constexpr char kSnapshotMagic[8] = {'D', 'L', 'S', 'N',
                                            'A', 'P', '\r', '\n'};
 inline constexpr uint32_t kSnapshotFormatVersion = 1;

@@ -421,6 +421,46 @@ TEST(SnapshotGolden, FixtureLoadsAndAnswersMatchHandBuilt) {
   EXPECT_EQ(net::Date(h.date_days), golden.date());
 }
 
+TEST(SnapshotGolden, FixtureRebuildsFastIndexAndBatchMatchesReference) {
+  // The fixture predates the Eytzinger index, which proves the invariant
+  // that matters: the index is a load-time permutation overlay rebuilt from
+  // the canonical arrays, never part of the format. A pre-index `.dls` must
+  // load with every fast index live, answer batched queries byte-identically
+  // to the plain upper_bound reference path, and reserialize to the exact
+  // fixture bytes.
+  const std::string fixture_path = DROPLENS_GOLDEN_SNAPSHOT;
+  if (std::getenv("DROPLENS_UPDATE_GOLDEN") != nullptr) {
+    GTEST_SKIP() << "fixture being regenerated by the byte test";
+  }
+  // Version 7 matches the fixture's writer_version so the reserialize check
+  // below can demand exact bytes (the header embeds the writer's version).
+  std::shared_ptr<const svc::Snapshot> loaded =
+      svc::load_snapshot(fixture_path, 7);
+  EXPECT_TRUE(loaded->routed().has_fast_index());
+  EXPECT_TRUE(loaded->irr().has_fast_index());
+  EXPECT_TRUE(loaded->allocated().has_fast_index());
+  EXPECT_TRUE(loaded->drop().has_fast_index());
+  EXPECT_TRUE(loaded->rov().has_fast_index());
+  EXPECT_TRUE(loaded->rir().has_fast_index());
+  // as0 is deliberately empty in the golden world; an empty index still
+  // counts as built and answers through the same descent.
+  EXPECT_TRUE(loaded->as0().has_fast_index());
+
+  const std::vector<net::Prefix> probes = golden_probes();
+  const std::vector<uint8_t> fields(probes.size(), svc::kAllFields);
+  std::vector<svc::Answer> batched(probes.size());
+  loaded->lookup_batch(probes, fields, batched);
+  for (size_t i = 0; i < probes.size(); ++i) {
+    EXPECT_EQ(batched[i], loaded->lookup_reference(probes[i], svc::kAllFields))
+        << probes[i].to_string();
+    EXPECT_EQ(batched[i], loaded->lookup(probes[i], svc::kAllFields))
+        << probes[i].to_string();
+  }
+
+  EXPECT_EQ(svc::serialize_snapshot(*loaded), read_file(fixture_path))
+      << "the acceleration index must never leak into the on-disk bytes";
+}
+
 // ---------------------------------------------------------------------------
 // Corruption fuzzing. All of it runs against the small hand-built snapshot,
 // so exhaustive per-byte sweeps stay cheap; the world-scale files go through
